@@ -1,0 +1,45 @@
+// Ablation of the clique count Nc (design choice of Sec. 4): "Increasing
+// oversubscription q or number of cliques Nc lowers latency for local
+// traffic, but increases latency across cliques."
+//
+// Sweeps Nc at the paper's Table 1 scale (N = 4096, x = 0.56, q = q*) and
+// prints intra/inter intrinsic latency and their locality-weighted mean.
+#include <cstdio>
+
+#include "analysis/models.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sorn;
+  const analysis::DeploymentParams base;
+  const NodeId n = base.nodes;
+  const double x = base.locality_x;
+  const double q = analysis::sorn_optimal_q(x);
+
+  std::printf(
+      "Ablation: clique count Nc at N=%d, x=%.2f, q=%.3f "
+      "(u=%d, slot=%.0fns, prop=%.0fns)\n\n",
+      n, x, q, base.uplinks, base.slot_ns, base.propagation_ns);
+
+  TablePrinter table({"Nc", "clique size", "dm intra", "dm inter",
+                      "lat intra (us)", "lat inter (us)", "mean lat (us)"});
+  for (const CliqueId nc : {4, 8, 16, 32, 64, 128, 256, 512}) {
+    const double dmi = analysis::sorn_delta_m_intra(n, nc, q);
+    const double dme = analysis::sorn_delta_m_inter_table(n, nc, q);
+    const double li = analysis::min_latency_us(dmi, base.uplinks, base.slot_ns,
+                                               2, base.propagation_ns);
+    const double le = analysis::min_latency_us(dme, base.uplinks, base.slot_ns,
+                                               3, base.propagation_ns);
+    table.add_row({format("%d", nc), format("%d", n / nc),
+                   format("%.0f", dmi), format("%.0f", dme),
+                   format("%.2f", li), format("%.2f", le),
+                   format("%.2f", x * li + (1.0 - x) * le)});
+  }
+  table.print();
+  std::printf(
+      "\nShape check: intra latency falls and inter latency rises with Nc;\n"
+      "the locality-weighted mean has an interior optimum (Table 1 uses\n"
+      "Nc = 64 and Nc = 32). Throughput is Nc-independent at %.2f%%.\n",
+      analysis::sorn_throughput(x) * 100.0);
+  return 0;
+}

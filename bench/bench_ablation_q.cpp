@@ -1,0 +1,60 @@
+// Ablation of the oversubscription ratio q (design choice of Sec. 4).
+//
+// At fixed locality x, the paper derives q* = 2/(1-x) by equating the
+// intra- and inter-link utilization bounds. This bench sweeps q and shows
+// both the analytic bound r(x, q) = min(q/(2q+2), 1/((1-x)(q+1))) and the
+// simulated saturation throughput peaking at q*.
+#include <cstdio>
+
+#include "analysis/models.h"
+#include "core/sorn.h"
+#include "sim/saturation.h"
+#include "traffic/patterns.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sorn;
+  const NodeId kNodes = 64;
+  const CliqueId kCliques = 8;
+  const double x = 0.56;
+  const double q_star = analysis::sorn_optimal_q(x);  // 4.545
+
+  std::printf(
+      "Ablation: throughput vs oversubscription q "
+      "(%d nodes, %d cliques, x=%.2f, q* = %.3f)\n\n",
+      kNodes, kCliques, x, q_star);
+
+  const Rational sweep[] = {{1, 1}, {2, 1},  {3, 1},  {4, 1}, {50, 11},
+                            {6, 1}, {8, 1},  {12, 1}, {20, 1}};
+
+  TablePrinter table(
+      {"q", "r theory", "intra bound", "inter bound", "r simulated"});
+  for (const Rational q : sweep) {
+    const double qv = q.value();
+    const double intra_bound = qv / (2.0 * qv + 2.0);
+    const double inter_bound = 1.0 / ((1.0 - x) * (qv + 1.0));
+    const double r_theory = analysis::sorn_throughput_at_q(x, qv);
+
+    SornConfig cfg;
+    cfg.nodes = kNodes;
+    cfg.cliques = kCliques;
+    cfg.locality_x = x;
+    cfg.q = q;
+    cfg.propagation_per_hop = 0;
+    const SornNetwork net = SornNetwork::build(cfg);
+    SlottedNetwork sim = net.make_network();
+    const TrafficMatrix tm = patterns::locality_mix(net.cliques(), x);
+    SaturationSource source(&tm, SaturationConfig{});
+    const double r_sim = source.measure(sim, 4000, 8000);
+
+    table.add_row({format("%.3f", qv), format("%.4f", r_theory),
+                   format("%.4f", intra_bound), format("%.4f", inter_bound),
+                   format("%.4f", r_sim)});
+  }
+  table.print();
+  std::printf(
+      "\nShape check: throughput peaks where the two bounds cross "
+      "(q = q* = %.3f -> r = %.4f).\n",
+      q_star, analysis::sorn_throughput(x));
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Ablation of weighted inter-clique schedules (paper Sec. 5,
+// "Expressivity": "we may encode gravity models ... or generally allow
+// higher provisioning between certain spatial groups").
+//
+// Workload: a clique-ring pattern — node loads are balanced, but most of
+// each clique's inter-clique demand goes to one neighbor clique. The
+// uniform SORN splits inter slots evenly across all Nc-1 clique pairs, so
+// the ring pair saturates while the other pairs' slots idle; the weighted
+// schedule (BvN-decomposed aggregate) provisions inter bandwidth in
+// proportion to demand. Sweeps the demand share alpha from pure uniform
+// to strongly demand-matched. (A gravity pattern with hot *cliques* would
+// not show this: there the hot clique's node bandwidth binds first and no
+// inter reweighting can help.)
+#include <cstdio>
+
+#include "core/sorn.h"
+#include "sim/saturation.h"
+#include "traffic/patterns.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace sorn;
+
+constexpr NodeId kNodes = 64;
+constexpr CliqueId kCliques = 8;
+
+double measure(const SornNetwork& net, const TrafficMatrix& tm) {
+  SlottedNetwork sim = net.make_network();
+  SaturationSource source(&tm, SaturationConfig{});
+  return source.measure(sim, 5000, 8000);
+}
+
+}  // namespace
+
+int main() {
+  const auto cliques = CliqueAssignment::contiguous(kNodes, kCliques);
+  // Balanced node loads, strongly skewed clique-pair structure: 85% of
+  // each clique's inter traffic goes to the next clique in a ring.
+  const TrafficMatrix tm = patterns::clique_ring(cliques, 0.4, 0.85);
+  const double x = tm.locality_ratio(cliques);
+
+  std::printf(
+      "Ablation: weighted vs uniform inter-clique schedules on a clique-"
+      "ring workload\n(%d nodes, %d cliques, 85%% of inter demand to the "
+      "next clique; x=%.3f)\n\n",
+      kNodes, kCliques, x);
+
+  const Rational q = Rational::approximate(analysis::sorn_optimal_q(x), 8);
+
+  TablePrinter table({"inter schedule", "demand share alpha", "throughput r"});
+
+  {
+    SornConfig cfg;
+    cfg.nodes = kNodes;
+    cfg.cliques = kCliques;
+    cfg.q = q;
+    cfg.propagation_per_hop = 0;
+    const SornNetwork uniform_net = SornNetwork::build(cfg);
+    table.add_row({"uniform round-robin", "-",
+                   format("%.4f", measure(uniform_net, tm))});
+  }
+
+  for (const double alpha : {0.3, 0.5, 0.7, 0.9}) {
+    SornConfig cfg;
+    cfg.nodes = kNodes;
+    cfg.cliques = kCliques;
+    cfg.q = q;
+    cfg.propagation_per_hop = 0;
+    cfg.inter_clique_weights = tm.aggregate(cliques);
+    cfg.weighted_options.demand_alpha = alpha;
+    const SornNetwork weighted_net = SornNetwork::build(cfg);
+    table.add_row({"BvN demand-weighted", format("%.1f", alpha),
+                   format("%.4f", measure(weighted_net, tm))});
+  }
+  table.print();
+
+  std::printf(
+      "\nShape check: throughput rises with the demand share as inter\n"
+      "bandwidth tracks the gravity aggregate (uniform schedules cap at\n"
+      "the hottest clique pair's bottleneck).\n");
+  return 0;
+}

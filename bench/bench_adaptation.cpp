@@ -1,0 +1,125 @@
+// Sec. 5 experiment: periodic adaptation to macro-pattern shifts.
+//
+// A 64-node fabric carries traffic that is local (x = 0.7) under the
+// *current* job placement. Mid-run the scheduler migrates jobs
+// (placement shuffle) — which machines are co-located changes, so the
+// macro pattern the old cliques were built for is gone. The control plane
+// detects the shift from clique-level aggregates and swaps the schedule.
+//
+// Reported: saturation throughput in each phase, plus a flat 1D ORN
+// baseline. Per the paper, the flat ORN's 50% is the throughput ceiling —
+// SORN's win is holding ~1/(3-x) with an intrinsic latency an order of
+// magnitude lower (delta_m printed at the end), and adaptation is what
+// keeps it there across shifts.
+#include <cstdio>
+
+#include "control/control_plane.h"
+#include "core/sorn.h"
+#include "routing/vlb.h"
+#include "sim/saturation.h"
+#include "traffic/patterns.h"
+#include "traffic/trace.h"
+#include "util/table.h"
+
+namespace {
+
+constexpr sorn::NodeId kNodes = 64;
+constexpr double kLocality = 0.7;
+
+double sat_throughput(sorn::SlottedNetwork& net,
+                      const sorn::TrafficMatrix& tm) {
+  sorn::SaturationSource source(&tm, sorn::SaturationConfig{});
+  // Long warmup: after a swap, backlog routed under the previous schedule
+  // must drain before the steady state is visible.
+  return source.measure(net, 25000, 10000);
+}
+
+}  // namespace
+
+int main() {
+  using namespace sorn;
+  SyntheticTrace::Config tcfg;
+  tcfg.nodes = kNodes;
+  tcfg.group_size = 8;
+  tcfg.burst_sigma = 0.4;
+  tcfg.seed = 2024;
+  SyntheticTrace trace(tcfg);
+
+  ControlPlane::Options opts;
+  opts.optimizer.candidate_nc = {8};
+  opts.optimizer.max_q_denominator = 6;
+  opts.replan_threshold = 0.3;
+  ControlPlane cp(kNodes, opts);
+
+  // The demand the fabric must carry: locality-mix over the current
+  // ground-truth placement (the paper's analysis workload). The control
+  // plane only ever sees noisy epoch observations of it.
+  auto current_demand = [&] {
+    return patterns::locality_mix(trace.ground_truth_cliques(), kLocality);
+  };
+  auto observe_epochs = [&](int count) {
+    bool replanned = false;
+    for (int e = 0; e < count; ++e) {
+      TrafficMatrix obs = current_demand();
+      // Epoch-level burst noise on top of the macro pattern.
+      Rng noise(1000 + static_cast<std::uint64_t>(e));
+      for (NodeId i = 0; i < kNodes; ++i)
+        for (NodeId j = 0; j < kNodes; ++j)
+          if (i != j)
+            obs.set(i, j, obs.at(i, j) * (0.5 + noise.next_double()));
+      replanned |= cp.on_epoch(obs, 0);
+    }
+    return replanned;
+  };
+
+  observe_epochs(3);
+  SornConfig cfg;
+  cfg.nodes = kNodes;
+  cfg.propagation_per_hop = 0;
+  SornNetwork net = SornNetwork::build_with_assignment(cfg,
+                                                       cp.last_plan().cliques);
+  net.adapt(cp.last_plan().cliques, cp.last_plan().q);
+  SlottedNetwork sim = net.make_network();
+
+  TablePrinter table({"Phase", "locality under plan", "throughput r"});
+
+  const TrafficMatrix before = current_demand();
+  table.add_row({"matched (pre-shift)",
+                 format("%.3f", before.locality_ratio(net.cliques())),
+                 format("%.4f", sat_throughput(sim, before))});
+
+  // The shift: jobs migrate; co-location changes entirely.
+  trace.shuffle_placement();
+  const TrafficMatrix after = current_demand();
+  table.add_row({"shifted, not adapted",
+                 format("%.3f", after.locality_ratio(net.cliques())),
+                 format("%.4f", sat_throughput(sim, after))});
+
+  const bool replanned = observe_epochs(3);
+  std::printf("control plane re-planned after shift: %s (replans=%llu)\n\n",
+              replanned ? "yes" : "no",
+              static_cast<unsigned long long>(cp.replans()));
+  net.adapt(cp.last_plan().cliques, cp.last_plan().q);
+  sim.reconfigure(&net.schedule(), &net.router());
+  table.add_row({"shifted, adapted",
+                 format("%.3f", after.locality_ratio(net.cliques())),
+                 format("%.4f", sat_throughput(sim, after))});
+
+  const CircuitSchedule rr = ScheduleBuilder::round_robin(kNodes);
+  const VlbRouter vlb(&rr, LbMode::kRandom);
+  NetworkConfig ncfg;
+  ncfg.propagation_per_hop = 0;
+  SlottedNetwork flat(&rr, &vlb, ncfg);
+  table.add_row({"1D ORN baseline (oblivious)", "-",
+                 format("%.4f", sat_throughput(flat, after))});
+
+  table.print();
+  std::printf(
+      "\nShape check: the shift collapses the locality the plan assumed and\n"
+      "throughput drops toward the 1/((1-x)(q+1)) inter-link bound;\n"
+      "adaptation restores r to ~1/(3-x) = %.3f. The 1D ORN holds 0.5 but\n"
+      "pays delta_m = %d circuits vs SORN's intra %.0f (theory: %.3f).\n",
+      analysis::sorn_throughput(kLocality), kNodes - 1, net.delta_m_intra(),
+      analysis::sorn_throughput(kLocality));
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Sec. 6 ("Practicality benefits"): flat oblivious designs with random
+// indirect hops inflate the blast radius of failures — a flow between any
+// src-dst pair can be affected by any link failure. A modular (clique)
+// design confines the impact.
+//
+// Metric (exact, by enumerating each design's possible path set): for a
+// directed virtual link e, blast(e) = fraction of src-dst pairs that have
+// at least one routable path through e. Reported per link class, plus the
+// expected blast radius of a uniformly random link failure.
+//
+//   Flat 1D ORN + VLB: any pair (s, d) may route s -> m -> d for every m,
+//   so link (a, b) is usable by every pair with s == a or d == b.
+//
+//   SORN: an intra-clique link (a, b) carries LB hops of flows sourced at
+//   a and delivery hops of flows destined to b; an inter-clique link
+//   (a, b) carries only flows from clique(a) to clique(b).
+#include <cstdio>
+#include <vector>
+
+#include "routing/sorn_routing.h"
+#include "routing/vlb.h"
+#include "topo/schedule_builder.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace sorn;
+
+constexpr NodeId kNodes = 64;
+constexpr CliqueId kCliques = 8;
+
+struct BlastStats {
+  double mean = 0.0;   // over links of this class
+  double max = 0.0;
+  int links = 0;
+};
+
+// Enumerate, for every directed link, how many pairs can route through it,
+// given a predicate possible(s, d, a, b) that encodes the design's path
+// set. O(N^4) with trivial constants: 16.7M checks at N=64.
+template <typename Possible>
+BlastStats enumerate(Possible possible,
+                     const std::vector<std::pair<NodeId, NodeId>>& links) {
+  const double total_pairs = static_cast<double>(kNodes) * (kNodes - 1);
+  BlastStats stats;
+  for (const auto& [a, b] : links) {
+    int pairs = 0;
+    for (NodeId s = 0; s < kNodes; ++s)
+      for (NodeId d = 0; d < kNodes; ++d)
+        if (s != d && possible(s, d, a, b)) ++pairs;
+    const double frac = pairs / total_pairs;
+    stats.mean += frac;
+    stats.max = std::max(stats.max, frac);
+    ++stats.links;
+  }
+  if (stats.links > 0) stats.mean /= stats.links;
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  const auto cliques = CliqueAssignment::contiguous(kNodes, kCliques);
+
+  // Link classes.
+  std::vector<std::pair<NodeId, NodeId>> all_links;
+  std::vector<std::pair<NodeId, NodeId>> intra_links;
+  std::vector<std::pair<NodeId, NodeId>> inter_links;
+  for (NodeId a = 0; a < kNodes; ++a) {
+    for (NodeId b = 0; b < kNodes; ++b) {
+      if (a == b) continue;
+      all_links.emplace_back(a, b);
+      (cliques.same_clique(a, b) ? intra_links : inter_links)
+          .emplace_back(a, b);
+    }
+  }
+
+  // Flat VLB path set: s -> m -> d for all m, plus direct s -> d.
+  auto vlb_possible = [](NodeId s, NodeId d, NodeId a, NodeId b) {
+    return (s == a && d != a) || (d == b && s != b) || (s == a && d == b);
+  };
+
+  // SORN path set (paper Sec. 4 routing):
+  //   intra pair: s -> m -> d, m in clique(s);
+  //   inter pair: s -> lb -> landing -> d, lb in clique(s), landing in
+  //   clique(d).
+  auto sorn_possible = [&](NodeId s, NodeId d, NodeId a, NodeId b) {
+    const bool link_intra = cliques.same_clique(a, b);
+    if (cliques.same_clique(s, d)) {
+      if (!link_intra || !cliques.same_clique(s, a)) return false;
+      return s == a || d == b;  // LB hop out of s, or delivery hop into d
+    }
+    if (link_intra) {
+      // LB hop (s == a, within s's clique) or delivery hop (d == b,
+      // within d's clique).
+      return (s == a && cliques.same_clique(s, a)) ||
+             (d == b && cliques.same_clique(d, b));
+    }
+    // Inter hop: only flows clique(a) -> clique(b) use it.
+    return cliques.clique_of(s) == cliques.clique_of(a) &&
+           cliques.clique_of(d) == cliques.clique_of(b);
+  };
+
+  std::printf(
+      "Failure blast radius, exact path-set enumeration "
+      "(%d nodes, %d cliques)\n\n",
+      kNodes, kCliques);
+
+  TablePrinter table({"Design", "link class", "links", "mean blast",
+                      "max blast"});
+  const BlastStats flat = enumerate(vlb_possible, all_links);
+  table.add_row({"Flat 1D ORN + VLB", "all", format("%d", flat.links),
+                 format("%.4f", flat.mean), format("%.4f", flat.max)});
+  const BlastStats s_all = enumerate(sorn_possible, all_links);
+  const BlastStats s_intra = enumerate(sorn_possible, intra_links);
+  const BlastStats s_inter = enumerate(sorn_possible, inter_links);
+  table.add_row({"SORN", "all", format("%d", s_all.links),
+                 format("%.4f", s_all.mean), format("%.4f", s_all.max)});
+  table.add_row({"SORN", "intra-clique", format("%d", s_intra.links),
+                 format("%.4f", s_intra.mean), format("%.4f", s_intra.max)});
+  table.add_row({"SORN", "inter-clique", format("%d", s_inter.links),
+                 format("%.4f", s_inter.mean), format("%.4f", s_inter.max)});
+  table.print();
+
+  std::printf(
+      "\nExpected pairs affected by one random link failure: flat %.1f, "
+      "SORN %.1f (%.2fx lower).\n"
+      "Beyond the mean: in the flat design *any* link can affect *any*\n"
+      "pair touching its endpoints; in SORN an inter-clique link failure\n"
+      "affects exactly the clique(a)->clique(b) pairs — identifiable\n"
+      "immediately, which is the ease-of-diagnosis argument of Sec. 6.\n",
+      flat.mean * kNodes * (kNodes - 1), s_all.mean * kNodes * (kNodes - 1),
+      flat.mean / s_all.mean);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Sec. 4 scaling claim: SORN lowers intrinsic latency by orders of
+// magnitude versus a flat 1D ORN at datacenter scale, while keeping
+// throughput near the 1D ORN's 50%.
+//
+// Sweeps N and prints min worst-case latency (us) for 1D, 2D, 3D ORNs and
+// SORN (Nc chosen ~ sqrt(N), x = 0.56), plus each design's worst-case
+// throughput.
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/models.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sorn;
+  const analysis::DeploymentParams base;  // u=16, 100 ns slots, 500 ns prop
+  const double x = base.locality_x;
+  const double q = analysis::sorn_optimal_q(x);
+
+  std::printf(
+      "Latency scaling with network size (u=%d, slot=%.0fns, "
+      "prop=%.0fns, x=%.2f)\n\n",
+      base.uplinks, base.slot_ns, base.propagation_ns, x);
+
+  TablePrinter table({"N", "1D ORN (us)", "2D ORN (us)", "3D ORN (us)",
+                      "SORN intra (us)", "SORN inter (us)", "SORN Nc"});
+  for (const NodeId n : {256, 1024, 4096, 16384, 65536}) {
+    // Nc ~ sqrt(N), rounded to a power of two dividing N.
+    CliqueId nc = 1;
+    while (nc * 2 <= static_cast<CliqueId>(std::sqrt(n))) nc *= 2;
+    const double l1 = analysis::min_latency_us(analysis::orn1d_delta_m(n),
+                                               base.uplinks, base.slot_ns, 2,
+                                               base.propagation_ns);
+    const double l2 = analysis::min_latency_us(analysis::orn_hd_delta_m(n, 2),
+                                               base.uplinks, base.slot_ns, 4,
+                                               base.propagation_ns);
+    const double l3 = analysis::min_latency_us(analysis::orn_hd_delta_m(n, 3),
+                                               base.uplinks, base.slot_ns, 6,
+                                               base.propagation_ns);
+    const double li = analysis::min_latency_us(
+        analysis::sorn_delta_m_intra(n, nc, q), base.uplinks, base.slot_ns, 2,
+        base.propagation_ns);
+    const double le = analysis::min_latency_us(
+        analysis::sorn_delta_m_inter_table(n, nc, q), base.uplinks,
+        base.slot_ns, 3, base.propagation_ns);
+    table.add_row({format("%d", n), format("%.2f", l1), format("%.2f", l2),
+                   format("%.2f", l3), format("%.2f", li), format("%.2f", le),
+                   format("%d", nc)});
+  }
+  table.print();
+
+  std::printf(
+      "\nWorst-case throughput: 1D = 50%%, 2D = 25%%, 3D = 16.7%%, "
+      "SORN(x=%.2f) = %.2f%%\n"
+      "Shape check: SORN tracks the 2D ORN's latency scaling while keeping\n"
+      "throughput near the 1D ORN's (paper Sec. 4, Table 1 discussion).\n",
+      x, analysis::sorn_throughput(x) * 100.0);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Sec. 6 claim: "Modularity can also relax time-synchronization
+// requirements, as a node participates in independent schedules on each
+// hierarchical level, reducing the diameter of an individual
+// synchronization domain. Smaller schedules may also better tolerate
+// larger time slots and synchronization overheads."
+//
+// A flat oblivious fabric synchronizes all N nodes into one domain; SORN
+// synchronizes each clique independently (intra slots) plus a clique-level
+// domain (inter slots). Guard time grows with domain size; this bench
+// sweeps N and prints the slot efficiency of each design for two slot
+// sizes, plus the SORN throughput including the guard penalty.
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/models.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sorn;
+  // Guard model: 5 ns base skew, +3 ns per doubling of the sync domain.
+  const double base_ns = 5.0;
+  const double per_level_ns = 3.0;
+  const double x = 0.56;
+
+  std::printf(
+      "Synchronization-overhead ablation (guard = %.0f ns + %.0f ns/log2 "
+      "domain; x=%.2f)\n\n",
+      base_ns, per_level_ns, x);
+
+  for (const double slot_ns : {50.0, 100.0}) {
+    std::printf("slot = %.0f ns:\n", slot_ns);
+    TablePrinter table({"N", "flat guard (ns)", "flat eff.",
+                        "SORN intra guard (ns)", "SORN weighted eff.",
+                        "flat r x eff.", "SORN r x eff."});
+    for (const NodeId n : {256, 1024, 4096, 16384, 65536}) {
+      CliqueId nc = 1;
+      while (nc * 2 <= static_cast<CliqueId>(std::sqrt(n))) nc *= 2;
+      const NodeId clique = n / nc;
+      const double flat_guard = analysis::sync_guard_ns(base_ns, per_level_ns, n);
+      const double intra_guard =
+          analysis::sync_guard_ns(base_ns, per_level_ns, clique);
+      const double inter_guard =
+          analysis::sync_guard_ns(base_ns, per_level_ns, nc);
+      const double flat_eff = analysis::slot_efficiency(slot_ns, flat_guard);
+      // SORN: intra slots (share q/(q+1)) sync within the clique, inter
+      // slots within the clique-level domain.
+      const double q = analysis::sorn_optimal_q(x);
+      const double intra_share = q / (q + 1.0);
+      const double sorn_eff =
+          intra_share * analysis::slot_efficiency(slot_ns, intra_guard) +
+          (1.0 - intra_share) * analysis::slot_efficiency(slot_ns, inter_guard);
+      table.add_row(
+          {format("%d", n), format("%.0f", flat_guard),
+           format("%.3f", flat_eff), format("%.0f", intra_guard),
+           format("%.3f", sorn_eff), format("%.3f", 0.5 * flat_eff),
+           format("%.3f", analysis::sorn_throughput(x) * sorn_eff)});
+    }
+    table.print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape check: the flat design's guard grows with log2(N) while\n"
+      "SORN's dominant (intra) domain stays clique-sized; at small slots\n"
+      "the guard erodes the flat design's 50%% headline faster than\n"
+      "SORN's 1/(3-x).\n");
+  return 0;
+}

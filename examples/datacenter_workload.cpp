@@ -1,0 +1,149 @@
+// A realistic datacenter scenario (paper Sec. 3 & 6): a 128-node DCN whose
+// machines host web, cache, hadoop and storage services with planted
+// cluster structure. The control plane infers the cliques from noisy
+// observations, a SORN is built for them, and a pFabric-style flow
+// workload measures flow completion times against a flat 1D ORN — split
+// into intra-clique and inter-clique flows, the two classes the paper's
+// latency analysis distinguishes.
+#include <algorithm>
+#include <cstdio>
+
+#include "control/control_plane.h"
+#include "core/sorn.h"
+#include "routing/vlb.h"
+#include "sim/workload_driver.h"
+#include "traffic/trace.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace sorn;
+
+constexpr NodeId kNodes = 128;
+constexpr double kLoad = 0.3;
+constexpr Picoseconds kHorizon = 1500 * 1000 * 1000;  // 1.5 ms fabric time
+// pFabric web-search sizes, truncated at 64 KB so elephants don't dominate
+// this short demo run (documented demo-scale concession).
+constexpr std::uint64_t kSizeCap = 64 * 1024;
+
+enum FlowClass : int { kIntraClique = 0, kInterClique = 1 };
+
+struct RunResult {
+  std::uint64_t flows;
+  double intra_p50_us;
+  double intra_p99_us;
+  double inter_p50_us;
+  double all_p50_us;
+  double mean_hops;
+};
+
+RunResult run_workload(const CircuitSchedule& sched, const Router& router,
+                       const TrafficMatrix& tm,
+                       const CliqueAssignment& cliques) {
+  NetworkConfig cfg;
+  cfg.cell_bytes = 256;
+  SlottedNetwork net(&sched, &router, cfg);
+  FlowSizeDist sizes = FlowSizeDist::pfabric_web_search();
+  const double node_bw = 256.0 * 8.0 / 100e-9;  // one cell per 100 ns slot
+  FlowArrivals arrivals(&tm, &sizes, node_bw, kLoad, Rng(77));
+
+  // Drive manually (instead of via WorkloadDriver) so sizes can be capped
+  // and flows classified at injection.
+  const Picoseconds slot_ps = net.config().slot_duration;
+  FlowArrival pending = arrivals.next();
+  pending.bytes = std::min(pending.bytes, kSizeCap);
+  FlowId next_id = 1;
+  std::uint64_t flows = 0;
+  while (net.now() * slot_ps < kHorizon) {
+    const Picoseconds slot_start = net.now() * slot_ps;
+    while (pending.time <= slot_start + slot_ps && pending.time <= kHorizon) {
+      const int cls = cliques.same_clique(pending.src, pending.dst)
+                          ? kIntraClique
+                          : kInterClique;
+      net.inject_flow(next_id++, pending.src, pending.dst, pending.bytes,
+                      cls);
+      ++flows;
+      pending = arrivals.next();
+      pending.bytes = std::min(pending.bytes, kSizeCap);
+    }
+    net.step();
+  }
+  for (Slot s = 0; s < 500000 && net.cells_in_flight() > 0; ++s) net.step();
+
+  const auto& intra = net.metrics().fct_ps_class(kIntraClique);
+  const auto& inter = net.metrics().fct_ps_class(kInterClique);
+  return RunResult{flows,
+                   intra.percentile(50.0) / 1e6,
+                   intra.percentile(99.0) / 1e6,
+                   inter.percentile(50.0) / 1e6,
+                   net.metrics().fct_ps().percentile(50.0) / 1e6,
+                   net.metrics().mean_hops()};
+}
+
+}  // namespace
+
+int main() {
+  // The datacenter: 16 groups of 8 machines, four service roles.
+  SyntheticTrace::Config tcfg;
+  tcfg.nodes = kNodes;
+  tcfg.group_size = 8;
+  tcfg.burst_sigma = 0.5;
+  tcfg.seed = 7;
+  SyntheticTrace trace(tcfg);
+  std::printf("datacenter: %d nodes, %d service groups (", kNodes,
+              trace.group_count());
+  for (NodeId g = 0; g < trace.group_count(); ++g)
+    std::printf("%s%s", g == 0 ? "" : " ",
+                service_role_name(trace.role_of_group(g)));
+  std::printf(")\n");
+
+  // Control plane: infer cliques from three noisy epochs.
+  ControlPlane::Options opts;
+  opts.optimizer.candidate_nc = {8, 16};
+  opts.optimizer.max_q_denominator = 6;
+  ControlPlane cp(kNodes, opts);
+  for (int e = 0; e < 3; ++e) cp.on_epoch(trace.epoch_matrix(), e);
+  const SornPlan& plan = cp.last_plan();
+  std::printf(
+      "control plane plan: Nc=%d, q=%.2f, locality x=%.3f, predicted "
+      "r=%.3f\n\n",
+      plan.cliques.clique_count(), plan.q.value(), plan.locality_x,
+      plan.predicted_throughput);
+
+  // Build SORN for the plan; compare against a flat 1D ORN.
+  SornConfig cfg;
+  cfg.nodes = kNodes;
+  cfg.locality_x = plan.locality_x;
+  cfg.q = plan.q;
+  cfg.lb_mode = LbMode::kFirstAvailable;  // latency-oriented LB choice
+  SornNetwork sorn_net = SornNetwork::build_with_assignment(cfg, plan.cliques);
+
+  const TrafficMatrix demand = trace.macro_matrix();
+  const RunResult s = run_workload(sorn_net.schedule(), sorn_net.router(),
+                                   demand, sorn_net.cliques());
+  const CircuitSchedule rr = ScheduleBuilder::round_robin(kNodes);
+  const VlbRouter vlb(&rr, LbMode::kRandom);
+  const RunResult o = run_workload(rr, vlb, demand, sorn_net.cliques());
+
+  TablePrinter table({"Design", "flows", "intra FCT p50 (us)",
+                      "intra FCT p99 (us)", "inter FCT p50 (us)",
+                      "all FCT p50 (us)", "mean hops"});
+  auto row = [&](const char* name, const RunResult& r) {
+    table.add_row({name, format("%llu", static_cast<unsigned long long>(
+                                            r.flows)),
+                   format("%.1f", r.intra_p50_us),
+                   format("%.1f", r.intra_p99_us),
+                   format("%.1f", r.inter_p50_us),
+                   format("%.1f", r.all_p50_us), format("%.2f", r.mean_hops)});
+  };
+  row("SORN (inferred cliques)", s);
+  row("Flat 1D ORN + VLB", o);
+  table.print();
+
+  std::printf(
+      "\nIntra-clique flows ride circuits that recur every ~%.0f slots on\n"
+      "SORN vs %d on the flat schedule, so their completion times drop;\n"
+      "inter-clique flows pay the third hop (SORN mean hops %.2f vs %.2f).\n",
+      sorn_net.delta_m_intra(), kNodes - 1, s.mean_hops, o.mean_hops);
+  return 0;
+}

@@ -1,0 +1,251 @@
+// sorn_tool — command-line frontend to the library.
+//
+//   sorn_tool plan --matrix tm.csv [--nc 4,8,16] [--weighted]
+//       Read a measured traffic matrix (CSV) and print the control
+//       plane's plan: clique assignment quality, q*, predicted
+//       throughput and intrinsic latency.
+//
+//   sorn_tool schedule --nodes 16 --cliques 4 --qnum 3 --qden 1
+//       Print one period of the SORN circuit schedule.
+//
+//   sorn_tool simulate --nodes 64 --cliques 8 --locality 0.56
+//                      [--load 0.3] [--slots 30000]
+//       Run an open-loop pFabric workload on a SORN fabric and print
+//       throughput/FCT metrics.
+//
+// Run without arguments for usage.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/models.h"
+#include "control/hier_optimizer.h"
+#include "control/optimizer.h"
+#include "core/sorn.h"
+#include "sim/workload_driver.h"
+#include "traffic/matrix_io.h"
+#include "traffic/patterns.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace sorn;
+
+// Minimal --key value parser; flags without a value store "1".
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", key.c_str());
+      std::exit(2);
+    }
+    key = key.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      flags[key] = argv[++i];
+    } else {
+      flags[key] = "1";
+    }
+  }
+  return flags;
+}
+
+long flag_long(const std::map<std::string, std::string>& flags,
+               const std::string& key, long fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : std::atol(it->second.c_str());
+}
+
+double flag_double(const std::map<std::string, std::string>& flags,
+                   const std::string& key, double fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : std::atof(it->second.c_str());
+}
+
+std::vector<CliqueId> parse_nc_list(const std::string& csv) {
+  std::vector<CliqueId> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    out.push_back(static_cast<CliqueId>(std::atol(csv.c_str() + pos)));
+    const std::size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+int cmd_plan(const std::map<std::string, std::string>& flags) {
+  const auto it = flags.find("matrix");
+  if (it == flags.end()) {
+    std::fprintf(stderr, "plan requires --matrix <file.csv>\n");
+    return 2;
+  }
+  const auto tm = load_matrix_csv(it->second);
+  if (!tm.has_value()) {
+    std::fprintf(stderr, "could not read a traffic matrix from %s\n",
+                 it->second.c_str());
+    return 1;
+  }
+  SornOptimizer::Options opts;
+  if (flags.count("nc") != 0)
+    opts.candidate_nc = parse_nc_list(flags.at("nc"));
+  opts.weighted_inter = flags.count("weighted") != 0;
+  const SornOptimizer optimizer(opts);
+  const SornPlan plan = optimizer.plan(*tm);
+
+  std::printf("plan for %d nodes:\n", tm->node_count());
+  std::printf("  cliques:            %d x %d nodes\n",
+              plan.cliques.clique_count(),
+              plan.cliques.clique_size(0));
+  std::printf("  locality x:         %.4f\n", plan.locality_x);
+  std::printf("  oversubscription q: %lld/%lld (%.3f)\n",
+              static_cast<long long>(plan.q.num),
+              static_cast<long long>(plan.q.den), plan.q.value());
+  std::printf("  predicted r:        %.4f\n", plan.predicted_throughput);
+  std::printf("  delta_m intra/inter: %.0f / %.0f circuits\n",
+              plan.predicted_delta_m_intra, plan.predicted_delta_m_inter);
+  std::printf("  weighted inter:     %s\n",
+              plan.inter_weights.empty() ? "no (uniform)" : "yes (BvN)");
+  std::printf("\nclique membership:\n");
+  for (CliqueId c = 0; c < plan.cliques.clique_count(); ++c) {
+    std::string line = format("  clique %2d:", c);
+    for (const NodeId m : plan.cliques.members(c)) line += format(" %d", m);
+    std::printf("%s\n", line.c_str());
+  }
+  return 0;
+}
+
+int cmd_hier_plan(const std::map<std::string, std::string>& flags) {
+  const auto it = flags.find("matrix");
+  if (it == flags.end()) {
+    std::fprintf(stderr, "hier-plan requires --matrix <file.csv>\n");
+    return 2;
+  }
+  const auto tm = load_matrix_csv(it->second);
+  if (!tm.has_value()) {
+    std::fprintf(stderr, "could not read a traffic matrix from %s\n",
+                 it->second.c_str());
+    return 1;
+  }
+  HierOptimizer::Options opts;
+  opts.clusters = static_cast<CliqueId>(flag_long(flags, "clusters", 4));
+  opts.pods_per_cluster = static_cast<CliqueId>(flag_long(flags, "pods", 4));
+  const HierOptimizer optimizer(opts);
+  const HierPlan plan = optimizer.plan(*tm);
+  std::printf("hierarchical plan for %d nodes:\n", tm->node_count());
+  std::printf("  layout:           %d clusters x %d pods x %d nodes\n",
+              plan.clusters, plan.pods_per_cluster,
+              tm->node_count() / (plan.clusters * plan.pods_per_cluster));
+  std::printf("  locality:         x1=%.4f (pod), x2=%.4f (cluster), "
+              "x3=%.4f\n",
+              plan.x1, plan.x2, 1.0 - plan.x1 - plan.x2);
+  std::printf("  slot shares:      intra %lld : inter %lld : global %lld\n",
+              static_cast<long long>(plan.shares.intra),
+              static_cast<long long>(plan.shares.inter),
+              static_cast<long long>(plan.shares.global));
+  std::printf("  predicted r:      %.4f (1/(2+x2+2*x3))\n",
+              plan.predicted_throughput);
+  std::printf("\nnode -> hierarchy position:\n ");
+  for (NodeId v = 0; v < tm->node_count(); ++v)
+    std::printf(" %d->%d", v,
+                plan.position_of_node[static_cast<std::size_t>(v)]);
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_schedule(const std::map<std::string, std::string>& flags) {
+  const auto nodes = static_cast<NodeId>(flag_long(flags, "nodes", 16));
+  const auto cliques = static_cast<CliqueId>(flag_long(flags, "cliques", 4));
+  Rational q{flag_long(flags, "qnum", 2), flag_long(flags, "qden", 1)};
+  const auto assignment = CliqueAssignment::contiguous(nodes, cliques);
+  const CircuitSchedule sched = ScheduleBuilder::sorn(assignment, q);
+  std::printf("SORN schedule: %d nodes, %d cliques, q = %.3f, period %lld\n\n",
+              nodes, cliques, q.value(),
+              static_cast<long long>(sched.period()));
+  std::vector<std::string> headers{"slot", "kind"};
+  for (NodeId i = 0; i < nodes; ++i) headers.push_back(format("%d", i));
+  TablePrinter table(std::move(headers));
+  for (Slot t = 0; t < sched.period(); ++t) {
+    std::vector<std::string> row{
+        format("%lld", static_cast<long long>(t)),
+        sched.kind_at(t) == SlotKind::kIntra ? "intra" : "inter"};
+    for (NodeId i = 0; i < nodes; ++i)
+      row.push_back(format("%d", sched.dst_of(i, t)));
+    table.add_row(std::move(row));
+  }
+  table.print();
+  return 0;
+}
+
+int cmd_simulate(const std::map<std::string, std::string>& flags) {
+  SornConfig cfg;
+  cfg.nodes = static_cast<NodeId>(flag_long(flags, "nodes", 64));
+  cfg.cliques = static_cast<CliqueId>(flag_long(flags, "cliques", 8));
+  cfg.locality_x = flag_double(flags, "locality", 0.56);
+  cfg.max_q_denominator = 6;
+  cfg.propagation_per_hop = 0;
+  const double load = flag_double(flags, "load", 0.3);
+  const auto slots = static_cast<Slot>(flag_long(flags, "slots", 30000));
+
+  const SornNetwork net = SornNetwork::build(cfg);
+  SlottedNetwork sim = net.make_network();
+  const TrafficMatrix tm =
+      patterns::locality_mix(net.cliques(), cfg.locality_x);
+  const FlowSizeDist sizes = FlowSizeDist::pfabric_web_search();
+  const double node_bw =
+      static_cast<double>(sim.config().cell_bytes) * 8.0 /
+      (static_cast<double>(sim.config().slot_duration) * 1e-12);
+  FlowArrivals arrivals(&tm, &sizes, node_bw, load, Rng(1));
+  WorkloadDriver driver(&arrivals);
+  driver.run_until(sim, slots * sim.config().slot_duration, 200000);
+
+  std::printf(
+      "simulated %lld slots, %d nodes, %d cliques, x=%.2f, q=%.3f, "
+      "load=%.2f\n",
+      static_cast<long long>(sim.metrics().slots_run()), cfg.nodes,
+      cfg.cliques, cfg.locality_x, net.q().value(), load);
+  std::printf("  flows injected:   %llu (completed %llu)\n",
+              static_cast<unsigned long long>(driver.flows_injected()),
+              static_cast<unsigned long long>(sim.metrics().completed_flows()));
+  std::printf("  cells delivered:  %llu (mean hops %.2f)\n",
+              static_cast<unsigned long long>(sim.metrics().delivered_cells()),
+              sim.metrics().mean_hops());
+  std::printf("  cell latency p50: %.2f us, p99 %.2f us\n",
+              sim.metrics().cell_latency_ps().percentile(50.0) / 1e6,
+              sim.metrics().cell_latency_ps().percentile(99.0) / 1e6);
+  std::printf("  FCT p50:          %.2f us, p99 %.2f us\n",
+              sim.metrics().fct_ps().percentile(50.0) / 1e6,
+              sim.metrics().fct_ps().percentile(99.0) / 1e6);
+  std::printf("  predicted r:      %.4f (1/(3-x))\n",
+              net.predicted_throughput());
+  return 0;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  sorn_tool plan --matrix tm.csv [--nc 4,8,16] [--weighted]\n"
+      "  sorn_tool hier-plan --matrix tm.csv [--clusters 4] [--pods 4]\n"
+      "  sorn_tool schedule --nodes 16 --cliques 4 --qnum 3 --qden 1\n"
+      "  sorn_tool simulate --nodes 64 --cliques 8 --locality 0.56\n"
+      "                     [--load 0.3] [--slots 30000]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const auto flags = parse_flags(argc, argv, 2);
+  if (cmd == "plan") return cmd_plan(flags);
+  if (cmd == "hier-plan") return cmd_hier_plan(flags);
+  if (cmd == "schedule") return cmd_schedule(flags);
+  if (cmd == "simulate") return cmd_simulate(flags);
+  return usage();
+}

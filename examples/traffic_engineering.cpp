@@ -1,0 +1,93 @@
+// Traffic engineering with weighted schedules and hierarchy (paper Sec. 5
+// "Expressivity" and Sec. 6): three fabrics for the same 64-node DCN whose
+// inter-group demand follows a skewed ring, compared end to end:
+//   1. flat SORN (uniform inter-clique round robin),
+//   2. weighted SORN (BvN-provisioned inter slots),
+//   3. hierarchical SORN (pods in clusters).
+#include <cstdio>
+
+#include "core/hier_sorn.h"
+#include "core/sorn.h"
+#include "sim/saturation.h"
+#include "traffic/patterns.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace sorn;
+
+constexpr NodeId kNodes = 64;
+constexpr CliqueId kCliques = 8;
+
+double measure(SlottedNetwork sim, const TrafficMatrix& tm) {
+  SaturationSource source(&tm, SaturationConfig{});
+  return source.measure(sim, 5000, 8000);
+}
+
+}  // namespace
+
+int main() {
+  const auto cliques = CliqueAssignment::contiguous(kNodes, kCliques);
+  const TrafficMatrix tm = patterns::clique_ring(cliques, 0.4, 0.85);
+  const double x = tm.locality_ratio(cliques);
+  const Rational q = Rational::approximate(analysis::sorn_optimal_q(x), 8);
+  std::printf(
+      "Traffic engineering on a skewed clique-ring workload "
+      "(%d nodes, x=%.2f, 85%% of inter demand to the ring neighbor)\n\n",
+      kNodes, x);
+
+  TablePrinter table({"fabric", "throughput r", "notes"});
+
+  {
+    SornConfig cfg;
+    cfg.nodes = kNodes;
+    cfg.cliques = kCliques;
+    cfg.q = q;
+    cfg.propagation_per_hop = 0;
+    const SornNetwork net = SornNetwork::build(cfg);
+    table.add_row({"flat SORN, uniform inter",
+                   format("%.4f", measure(net.make_network(), tm)),
+                   "inter slots split over all 7 clique pairs"});
+  }
+  {
+    SornConfig cfg;
+    cfg.nodes = kNodes;
+    cfg.cliques = kCliques;
+    cfg.q = q;
+    cfg.propagation_per_hop = 0;
+    cfg.inter_clique_weights = tm.aggregate(cliques);
+    cfg.weighted_options.demand_alpha = 0.85;
+    const SornNetwork net = SornNetwork::build(cfg);
+    table.add_row({"weighted SORN (BvN)",
+                   format("%.4f", measure(net.make_network(), tm)),
+                   "inter slots track the measured aggregate"});
+  }
+  {
+    // Hierarchy aligned with the ring: 4 clusters of 2 pods. Ring
+    // neighbors often share a cluster, capturing part of the skew
+    // structurally.
+    HierSornConfig cfg;
+    cfg.nodes = kNodes;
+    cfg.clusters = 4;
+    cfg.pods_per_cluster = 2;
+    cfg.propagation_per_hop = 0;
+    const Hierarchy h =
+        Hierarchy::regular(kNodes, cfg.clusters, cfg.pods_per_cluster);
+    const HierLocality loc = patterns::hier_locality(h, tm);
+    cfg.pod_locality_x1 = loc.pod;
+    cfg.cluster_locality_x2 = loc.cluster;
+    const HierSornNetwork net = HierSornNetwork::build(cfg);
+    table.add_row({"hierarchical SORN (4x2 pods)",
+                   format("%.4f", measure(net.make_network(), tm)),
+                   format("x1=%.2f x2=%.2f x3=%.2f", loc.pod, loc.cluster,
+                          loc.global())});
+  }
+  table.print();
+
+  std::printf(
+      "\nThe weighted fabric provisions the hot clique pairs directly; the\n"
+      "hierarchy helps only as far as the skew aligns with its levels.\n"
+      "All three keep the fixed-superset-of-neighbors property, so any of\n"
+      "them can be swapped in live by the reconfiguration manager.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "analysis/schedule_metrics.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace sorn {
+namespace analysis {
+namespace {
+
+// Worst wrap-around gap between consecutive hits in a sorted slot list
+// within a period.
+Slot worst_gap(const std::vector<Slot>& hits, Slot period) {
+  if (hits.empty()) return -1;
+  Slot worst = hits.front() + period - hits.back();
+  for (std::size_t i = 1; i < hits.size(); ++i)
+    worst = std::max(worst, hits[i] - hits[i - 1]);
+  return worst;
+}
+
+}  // namespace
+
+Slot max_circuit_gap(const CircuitSchedule& schedule, NodeId src,
+                     NodeId dst) {
+  std::vector<Slot> hits;
+  for (Slot t = 0; t < schedule.period(); ++t)
+    if (schedule.dst_of(src, t) == dst && src != dst) hits.push_back(t);
+  return worst_gap(hits, schedule.period());
+}
+
+Slot max_clique_gap(const CircuitSchedule& schedule,
+                    const CliqueAssignment& cliques, NodeId src,
+                    CliqueId dst_clique) {
+  SORN_ASSERT(schedule.node_count() == cliques.node_count(),
+              "schedule and cliques disagree on node count");
+  std::vector<Slot> hits;
+  for (Slot t = 0; t < schedule.period(); ++t) {
+    const NodeId peer = schedule.dst_of(src, t);
+    if (peer != src && cliques.clique_of(peer) == dst_clique)
+      hits.push_back(t);
+  }
+  return worst_gap(hits, schedule.period());
+}
+
+GapStats intra_gap_stats(const CircuitSchedule& schedule,
+                         const CliqueAssignment& cliques) {
+  GapStats stats;
+  std::int64_t count = 0;
+  double sum = 0.0;
+  for (NodeId i = 0; i < schedule.node_count(); ++i) {
+    for (NodeId j = 0; j < schedule.node_count(); ++j) {
+      if (i == j || !cliques.same_clique(i, j)) continue;
+      const Slot gap = max_circuit_gap(schedule, i, j);
+      if (gap < 0) continue;
+      stats.worst = std::max(stats.worst, gap);
+      sum += static_cast<double>(gap);
+      ++count;
+    }
+  }
+  stats.mean = count > 0 ? sum / static_cast<double>(count) : 0.0;
+  return stats;
+}
+
+GapStats inter_gap_stats(const CircuitSchedule& schedule,
+                         const CliqueAssignment& cliques) {
+  GapStats stats;
+  std::int64_t count = 0;
+  double sum = 0.0;
+  for (NodeId i = 0; i < schedule.node_count(); ++i) {
+    for (CliqueId c = 0; c < cliques.clique_count(); ++c) {
+      if (c == cliques.clique_of(i)) continue;
+      const Slot gap = max_clique_gap(schedule, cliques, i, c);
+      if (gap < 0) continue;
+      stats.worst = std::max(stats.worst, gap);
+      sum += static_cast<double>(gap);
+      ++count;
+    }
+  }
+  stats.mean = count > 0 ? sum / static_cast<double>(count) : 0.0;
+  return stats;
+}
+
+double measured_delta_m_intra(const CircuitSchedule& schedule,
+                              const CliqueAssignment& cliques) {
+  return static_cast<double>(intra_gap_stats(schedule, cliques).worst);
+}
+
+double measured_delta_m_inter(const CircuitSchedule& schedule,
+                              const CliqueAssignment& cliques) {
+  const GapStats inter = inter_gap_stats(schedule, cliques);
+  const GapStats intra = intra_gap_stats(schedule, cliques);
+  return static_cast<double>(inter.worst + intra.worst);
+}
+
+}  // namespace analysis
+}  // namespace sorn

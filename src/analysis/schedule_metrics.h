@@ -1,0 +1,52 @@
+// Empirical intrinsic-latency measurement on concrete schedules.
+//
+// The paper's delta_m formulas (Sec. 4) are derived assuming perfectly even
+// interleaving of intra and inter slots. These helpers measure the real
+// worst-case recurrence gaps of a built schedule, validating that the
+// Bresenham interleave realizes the analytic bounds (tests) and providing
+// ground truth for schedules the formulas don't cover (weighted or
+// unequal-clique schedules).
+#pragma once
+
+#include "topo/clique.h"
+#include "topo/schedule.h"
+
+namespace sorn {
+namespace analysis {
+
+// Worst gap, in slots, between consecutive occurrences of the circuit
+// src -> dst across one period (wrapping). -1 if the circuit never appears.
+Slot max_circuit_gap(const CircuitSchedule& schedule, NodeId src, NodeId dst);
+
+// Worst gap until src has *any* circuit into the destination clique.
+// -1 if no such circuit exists.
+Slot max_clique_gap(const CircuitSchedule& schedule,
+                    const CliqueAssignment& cliques, NodeId src,
+                    CliqueId dst_clique);
+
+struct GapStats {
+  Slot worst = 0;
+  double mean = 0.0;
+};
+
+// Gap statistics over all intra-clique circuits (direct delivery hops of
+// intra traffic; the paper's intra delta_m bounds the worst of these).
+GapStats intra_gap_stats(const CircuitSchedule& schedule,
+                         const CliqueAssignment& cliques);
+
+// Gap statistics over all (node, other-clique) combinations (the inter
+// hop's wait).
+GapStats inter_gap_stats(const CircuitSchedule& schedule,
+                         const CliqueAssignment& cliques);
+
+// Measured end-to-end intrinsic latency of the SORN routing scheme on this
+// schedule: intra = worst direct intra-circuit gap; inter = worst
+// inter-hop wait plus the worst final intra-hop gap. Comparable to
+// sorn_delta_m_intra / sorn_delta_m_inter_* (models.h).
+double measured_delta_m_intra(const CircuitSchedule& schedule,
+                              const CliqueAssignment& cliques);
+double measured_delta_m_inter(const CircuitSchedule& schedule,
+                              const CliqueAssignment& cliques);
+
+}  // namespace analysis
+}  // namespace sorn

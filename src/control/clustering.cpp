@@ -1,0 +1,124 @@
+#include "control/clustering.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace sorn {
+namespace {
+
+// Symmetric affinity: demand in both directions.
+std::vector<double> affinity_matrix(const TrafficMatrix& tm) {
+  const NodeId n = tm.node_count();
+  std::vector<double> a(static_cast<std::size_t>(n) *
+                        static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i)
+    for (NodeId j = 0; j < n; ++j)
+      a[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+        static_cast<std::size_t>(j)] = tm.at(i, j) + tm.at(j, i);
+  return a;
+}
+
+}  // namespace
+
+CliqueClusterer::CliqueClusterer(Options options) : options_(options) {}
+
+double CliqueClusterer::objective(const TrafficMatrix& tm,
+                                  const CliqueAssignment& cliques) {
+  return tm.locality_ratio(cliques);
+}
+
+CliqueAssignment CliqueClusterer::cluster(const TrafficMatrix& tm,
+                                          CliqueId nc) const {
+  const NodeId n = tm.node_count();
+  SORN_ASSERT(nc >= 1 && n % nc == 0,
+              "node count must divide into nc equal cliques");
+  const NodeId size = n / nc;
+  const std::vector<double> aff = affinity_matrix(tm);
+  auto aff_at = [&](NodeId i, NodeId j) {
+    return aff[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+               static_cast<std::size_t>(j)];
+  };
+
+  std::vector<CliqueId> assign(static_cast<std::size_t>(n), -1);
+  std::vector<bool> taken(static_cast<std::size_t>(n), false);
+
+  // Greedy growth: seed each clique with the heaviest unassigned node,
+  // then repeatedly add the unassigned node with the highest affinity to
+  // the clique's current members.
+  for (CliqueId c = 0; c < nc; ++c) {
+    NodeId seed = kNoNode;
+    double best_weight = -1.0;
+    for (NodeId i = 0; i < n; ++i) {
+      if (taken[static_cast<std::size_t>(i)]) continue;
+      double w = 0.0;
+      for (NodeId j = 0; j < n; ++j) w += aff_at(i, j);
+      if (w > best_weight) {
+        best_weight = w;
+        seed = i;
+      }
+    }
+    std::vector<NodeId> members{seed};
+    taken[static_cast<std::size_t>(seed)] = true;
+    assign[static_cast<std::size_t>(seed)] = c;
+    while (static_cast<NodeId>(members.size()) < size) {
+      NodeId best = kNoNode;
+      double best_gain = -1.0;
+      for (NodeId i = 0; i < n; ++i) {
+        if (taken[static_cast<std::size_t>(i)]) continue;
+        double gain = 0.0;
+        for (const NodeId m : members) gain += aff_at(i, m);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best = i;
+        }
+      }
+      members.push_back(best);
+      taken[static_cast<std::size_t>(best)] = true;
+      assign[static_cast<std::size_t>(best)] = c;
+    }
+  }
+
+  // Pairwise swap refinement: exchange nodes across cliques while it
+  // improves total intra-clique affinity. Gain of swapping i <-> j
+  // (different cliques): both lose affinity to their old clique-mates and
+  // gain the other's (excluding the pair itself, which stays inter).
+  std::vector<std::vector<NodeId>> members(static_cast<std::size_t>(nc));
+  for (NodeId i = 0; i < n; ++i)
+    members[static_cast<std::size_t>(assign[static_cast<std::size_t>(i)])]
+        .push_back(i);
+  auto clique_affinity = [&](NodeId i, CliqueId c) {
+    double w = 0.0;
+    for (const NodeId m : members[static_cast<std::size_t>(c)])
+      if (m != i) w += aff_at(i, m);
+    return w;
+  };
+  for (int pass = 0; pass < options_.refine_passes; ++pass) {
+    bool improved = false;
+    for (NodeId i = 0; i < n; ++i) {
+      for (NodeId j = i + 1; j < n; ++j) {
+        const CliqueId ci = assign[static_cast<std::size_t>(i)];
+        const CliqueId cj = assign[static_cast<std::size_t>(j)];
+        if (ci == cj) continue;
+        const double before = clique_affinity(i, ci) + clique_affinity(j, cj);
+        const double after = clique_affinity(i, cj) + clique_affinity(j, ci) -
+                             2.0 * aff_at(i, j);
+        if (after > before + 1e-12) {
+          auto& mi = members[static_cast<std::size_t>(ci)];
+          auto& mj = members[static_cast<std::size_t>(cj)];
+          *std::find(mi.begin(), mi.end(), i) = j;
+          *std::find(mj.begin(), mj.end(), j) = i;
+          std::swap(assign[static_cast<std::size_t>(i)],
+                    assign[static_cast<std::size_t>(j)]);
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+
+  return CliqueAssignment(std::move(assign));
+}
+
+}  // namespace sorn

@@ -1,0 +1,36 @@
+// Balanced clique clustering from a measured traffic matrix.
+//
+// Finds an assignment of N nodes into Nc equal cliques that maximizes the
+// intra-clique share of demand (the locality ratio x), which directly
+// maximizes SORN's achievable throughput r = 1/(3-x). Greedy seeded growth
+// followed by pairwise swap refinement; exact balance is required because
+// the inter-clique matchings need equal-sized cliques.
+#pragma once
+
+#include "topo/clique.h"
+#include "traffic/traffic_matrix.h"
+
+namespace sorn {
+
+class CliqueClusterer {
+ public:
+  struct Options {
+    // Passes of pairwise swap refinement after greedy growth.
+    int refine_passes = 3;
+  };
+
+  CliqueClusterer() : CliqueClusterer(Options()) {}
+  explicit CliqueClusterer(Options options);
+
+  // tm.node_count() must be divisible by nc.
+  CliqueAssignment cluster(const TrafficMatrix& tm, CliqueId nc) const;
+
+  // Intra-clique demand share of an assignment (the objective).
+  static double objective(const TrafficMatrix& tm,
+                          const CliqueAssignment& cliques);
+
+ private:
+  Options options_;
+};
+
+}  // namespace sorn

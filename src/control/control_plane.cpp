@@ -1,0 +1,34 @@
+#include "control/control_plane.h"
+
+namespace sorn {
+
+ControlPlane::ControlPlane(NodeId nodes, Options options)
+    : options_(options),
+      estimator_(nodes, options.estimator_alpha),
+      optimizer_(options.optimizer),
+      reconfig_(options.reconfig) {}
+
+bool ControlPlane::on_epoch(const TrafficMatrix& observed, Slot now) {
+  estimator_.observe(observed);
+  const bool first = !has_plan_;
+  const bool drifted =
+      estimator_.macro_change().value_or(0.0) > options_.replan_threshold;
+  const bool degraded =
+      has_plan_ && estimator_.locality(last_plan_.cliques) <
+                       last_plan_.locality_x - options_.locality_degradation;
+  if (!first && !drifted && !degraded) return false;
+
+  // After a detected shift the smoothed history describes a dead pattern;
+  // restart the estimate from the freshest observation.
+  if (drifted || degraded) estimator_.reset_to_latest();
+
+  SornPlan plan = optimizer_.plan(estimator_.estimate());
+  estimator_.set_reference_grouping(plan.cliques);
+  last_plan_ = plan;
+  has_plan_ = true;
+  ++replans_;
+  reconfig_.request_swap(std::move(plan), now);
+  return true;
+}
+
+}  // namespace sorn

@@ -1,0 +1,57 @@
+// The logically centralized control plane (paper Sec. 5).
+//
+// Periodically: ingest the epoch's observed traffic, update the estimate,
+// and — when the macro pattern changed enough, or unconditionally on the
+// first observation — re-plan the clique structure and oversubscription
+// and stage a schedule swap. Deliberately slow-moving: it reacts to
+// macro-scale structure, never to individual flows.
+#pragma once
+
+#include "control/estimator.h"
+#include "control/optimizer.h"
+#include "control/reconfig.h"
+
+namespace sorn {
+
+class ControlPlane {
+ public:
+  struct Options {
+    SornOptimizer::Options optimizer;
+    ReconfigManager::Options reconfig;
+    double estimator_alpha = 0.3;
+    // Re-plan when macro_change() exceeds this (relative L1 of the
+    // clique-level aggregate). 0 re-plans every epoch.
+    double replan_threshold = 0.25;
+    // Also re-plan when the estimate's locality under the current plan's
+    // cliques has fallen this far below what the plan assumed — the plan
+    // is stale even if epoch-to-epoch aggregates look steady again.
+    double locality_degradation = 0.15;
+  };
+
+  ControlPlane(NodeId nodes, Options options);
+
+  // Feed one epoch of observed traffic; stages a swap if warranted.
+  // Returns true when a re-plan was triggered.
+  bool on_epoch(const TrafficMatrix& observed, Slot now);
+
+  // Forward to the reconfiguration manager every slot.
+  bool tick(SlottedNetwork& network, Slot now) {
+    return reconfig_.tick(network, now);
+  }
+
+  const TrafficEstimator& estimator() const { return estimator_; }
+  const ReconfigManager& reconfig() const { return reconfig_; }
+  const SornPlan& last_plan() const { return last_plan_; }
+  std::uint64_t replans() const { return replans_; }
+
+ private:
+  Options options_;
+  TrafficEstimator estimator_;
+  SornOptimizer optimizer_;
+  ReconfigManager reconfig_;
+  SornPlan last_plan_;
+  bool has_plan_ = false;
+  std::uint64_t replans_ = 0;
+};
+
+}  // namespace sorn

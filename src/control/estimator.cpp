@@ -1,0 +1,63 @@
+#include "control/estimator.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace sorn {
+
+TrafficEstimator::TrafficEstimator(NodeId nodes, double alpha)
+    : alpha_(alpha), smoothed_(nodes), latest_(nodes) {
+  SORN_ASSERT(alpha > 0.0 && alpha <= 1.0, "EWMA weight must be in (0,1]");
+}
+
+void TrafficEstimator::observe(const TrafficMatrix& epoch) {
+  SORN_ASSERT(epoch.node_count() == smoothed_.node_count(),
+              "observation size mismatch");
+  const NodeId n = smoothed_.node_count();
+  // Normalize the observation so magnitudes are comparable across epochs.
+  TrafficMatrix obs = epoch;
+  obs.normalize_node_load();
+  const double keep = observations_ == 0 ? 0.0 : 1.0 - alpha_;
+  const double add = observations_ == 0 ? 1.0 : alpha_;
+  for (NodeId i = 0; i < n; ++i)
+    for (NodeId j = 0; j < n; ++j)
+      if (i != j)
+        smoothed_.set(i, j, keep * smoothed_.at(i, j) + add * obs.at(i, j));
+  latest_ = obs;
+  ++observations_;
+
+  if (reference_.has_value()) {
+    const std::vector<double> agg = obs.aggregate(*reference_);
+    if (!last_aggregate_.empty()) {
+      double diff = 0.0;
+      double total = 0.0;
+      for (std::size_t k = 0; k < agg.size(); ++k) {
+        diff += std::abs(agg[k] - last_aggregate_[k]);
+        total += agg[k];
+      }
+      macro_change_ = total > 0.0 ? diff / total : 0.0;
+    }
+    last_aggregate_ = agg;
+  }
+}
+
+void TrafficEstimator::reset_to_latest() {
+  SORN_ASSERT(observations_ > 0, "nothing observed yet");
+  smoothed_ = latest_;
+}
+
+double TrafficEstimator::locality(const CliqueAssignment& cliques) const {
+  return smoothed_.locality_ratio(cliques);
+}
+
+void TrafficEstimator::set_reference_grouping(
+    const CliqueAssignment& cliques) {
+  SORN_ASSERT(cliques.node_count() == smoothed_.node_count(),
+              "grouping size mismatch");
+  reference_ = cliques;
+  last_aggregate_.clear();
+  macro_change_.reset();
+}
+
+}  // namespace sorn

@@ -1,0 +1,63 @@
+// Macro-pattern estimation (paper Sec. 3 and 5).
+//
+// The control plane never tries to predict per-pair demand; it maintains an
+// exponentially weighted average of observed traffic matrices and exposes
+// only macro statistics: the smoothed matrix (for clustering), the locality
+// ratio under a candidate grouping, and a stability signal comparing
+// consecutive clique-level aggregates — the quantity the paper claims is
+// predictable over hours.
+#pragma once
+
+#include <optional>
+
+#include "topo/clique.h"
+#include "traffic/traffic_matrix.h"
+
+namespace sorn {
+
+class TrafficEstimator {
+ public:
+  // alpha in (0, 1]: weight of the newest observation.
+  explicit TrafficEstimator(NodeId nodes, double alpha = 0.3);
+
+  // Feed one measurement epoch's observed matrix.
+  void observe(const TrafficMatrix& epoch);
+
+  bool has_estimate() const { return observations_ > 0; }
+  std::uint64_t observations() const { return observations_; }
+
+  // The smoothed demand estimate (normalized to unit peak node load).
+  const TrafficMatrix& estimate() const { return smoothed_; }
+
+  // The most recent (normalized) observation, un-smoothed.
+  const TrafficMatrix& latest() const { return latest_; }
+
+  // Discard the smoothed history and restart from the latest observation.
+  // Called after change-point detection: once the macro pattern has
+  // shifted, the stale EWMA would otherwise bias the next plan toward the
+  // dead pattern for several epochs.
+  void reset_to_latest();
+
+  // Locality ratio of the estimate under the given grouping.
+  double locality(const CliqueAssignment& cliques) const;
+
+  // Relative L1 change of the clique-level aggregate between the previous
+  // and the latest observation: || agg_t - agg_{t-1} ||_1 / || agg_t ||_1.
+  // Values near zero mean the macro pattern is stable. nullopt until two
+  // observations have been made with set_reference_grouping() in effect.
+  std::optional<double> macro_change() const { return macro_change_; }
+
+  // The grouping against which macro_change() aggregates are computed.
+  void set_reference_grouping(const CliqueAssignment& cliques);
+
+ private:
+  double alpha_;
+  TrafficMatrix smoothed_;
+  TrafficMatrix latest_;
+  std::uint64_t observations_ = 0;
+  std::optional<CliqueAssignment> reference_;
+  std::vector<double> last_aggregate_;
+  std::optional<double> macro_change_;
+};
+
+}  // namespace sorn

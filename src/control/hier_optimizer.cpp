@@ -1,0 +1,77 @@
+#include "control/hier_optimizer.h"
+
+#include "traffic/patterns.h"
+#include "util/assert.h"
+
+namespace sorn {
+
+TrafficMatrix permute_matrix(const TrafficMatrix& tm,
+                             const std::vector<NodeId>& position_of_node) {
+  const NodeId n = tm.node_count();
+  SORN_ASSERT(position_of_node.size() == static_cast<std::size_t>(n),
+              "permutation size mismatch");
+  TrafficMatrix out(n);
+  for (NodeId i = 0; i < n; ++i)
+    for (NodeId j = 0; j < n; ++j)
+      if (i != j)
+        out.set(position_of_node[static_cast<std::size_t>(i)],
+                position_of_node[static_cast<std::size_t>(j)], tm.at(i, j));
+  return out;
+}
+
+HierOptimizer::HierOptimizer(Options options)
+    : options_(options), clusterer_(options.clusterer) {}
+
+HierPlan HierOptimizer::plan(const TrafficMatrix& estimate) const {
+  const NodeId n = estimate.node_count();
+  const CliqueId nc = options_.clusters;
+  const CliqueId p = options_.pods_per_cluster;
+  SORN_ASSERT(nc >= 1 && p >= 1 && n % (nc * p) == 0,
+              "nodes must divide evenly into clusters and pods");
+  const NodeId cluster_size = n / nc;
+  const NodeId pod_size = cluster_size / p;
+
+  // Level 1: clusters.
+  const CliqueAssignment cluster_assignment = clusterer_.cluster(estimate, nc);
+
+  HierPlan plan;
+  plan.clusters = nc;
+  plan.pods_per_cluster = p;
+  plan.position_of_node.assign(static_cast<std::size_t>(n), kNoNode);
+
+  // Level 2: pods within each cluster, on the cluster's sub-matrix.
+  for (CliqueId c = 0; c < nc; ++c) {
+    const std::vector<NodeId>& members = cluster_assignment.members(c);
+    TrafficMatrix sub(cluster_size);
+    for (NodeId a = 0; a < cluster_size; ++a)
+      for (NodeId b = 0; b < cluster_size; ++b)
+        if (a != b)
+          sub.set(a, b,
+                  estimate.at(members[static_cast<std::size_t>(a)],
+                              members[static_cast<std::size_t>(b)]));
+    const CliqueAssignment pods = clusterer_.cluster(sub, p);
+    // Positions: cluster-major, pod-major, stable within a pod.
+    std::vector<NodeId> next_slot_in_pod(static_cast<std::size_t>(p), 0);
+    for (NodeId a = 0; a < cluster_size; ++a) {
+      const CliqueId pod = pods.clique_of(a);
+      const NodeId pos = c * cluster_size + pod * pod_size +
+                         next_slot_in_pod[static_cast<std::size_t>(pod)]++;
+      plan.position_of_node[static_cast<std::size_t>(
+          members[static_cast<std::size_t>(a)])] = pos;
+    }
+  }
+
+  // Locality split and shares under the recovered hierarchy.
+  const TrafficMatrix in_position =
+      permute_matrix(estimate, plan.position_of_node);
+  const Hierarchy h = plan.hierarchy(n);
+  const HierLocality loc = patterns::hier_locality(h, in_position);
+  plan.x1 = loc.pod;
+  plan.x2 = loc.cluster;
+  plan.shares =
+      analysis::hier_optimal_shares(plan.x1, plan.x2, options_.share_scale);
+  plan.predicted_throughput = analysis::hier_throughput(plan.x1, plan.x2);
+  return plan;
+}
+
+}  // namespace sorn

@@ -1,0 +1,60 @@
+// Two-level planning: recover a pods-in-clusters hierarchy from a measured
+// traffic matrix (the Sec. 6 extension's control-plane side).
+//
+// Recursive balanced clustering: first split nodes into clusters
+// (maximizing within-cluster demand), then split each cluster's members
+// into pods. The result is a relabeling that places each node at a
+// position of a *regular* Hierarchy — the form the hierarchical schedule
+// builder requires — plus the locality split and optimal slot shares.
+#pragma once
+
+#include <vector>
+
+#include "analysis/models.h"
+#include "control/clustering.h"
+#include "topo/hierarchy.h"
+
+namespace sorn {
+
+struct HierPlan {
+  // position_of_node[v] is v's position in the regular hierarchy's node
+  // space (cluster-major, then pod-major).
+  std::vector<NodeId> position_of_node;
+  CliqueId clusters = 0;
+  CliqueId pods_per_cluster = 0;
+  double x1 = 0.0;  // pod locality of the estimate under the plan
+  double x2 = 0.0;  // cluster locality
+  analysis::HierSharesApprox shares;
+  double predicted_throughput = 0.0;
+
+  Hierarchy hierarchy(NodeId nodes) const {
+    return Hierarchy::regular(nodes, clusters, pods_per_cluster);
+  }
+};
+
+// Reindex a matrix into hierarchy-position space: entry (pos_i, pos_j) of
+// the result equals tm(i, j).
+TrafficMatrix permute_matrix(const TrafficMatrix& tm,
+                             const std::vector<NodeId>& position_of_node);
+
+class HierOptimizer {
+ public:
+  struct Options {
+    CliqueId clusters = 4;
+    CliqueId pods_per_cluster = 4;
+    int share_scale = 12;
+    CliqueClusterer::Options clusterer;
+  };
+
+  HierOptimizer() : HierOptimizer(Options()) {}
+  explicit HierOptimizer(Options options);
+
+  // tm.node_count() must divide evenly into clusters * pods_per_cluster.
+  HierPlan plan(const TrafficMatrix& estimate) const;
+
+ private:
+  Options options_;
+  CliqueClusterer clusterer_;
+};
+
+}  // namespace sorn

@@ -1,0 +1,91 @@
+#include "control/nic_state.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace sorn {
+
+NicState::NicState(NodeId self, const CircuitSchedule& initial)
+    : self_(self) {
+  SORN_ASSERT(self >= 0 && self < initial.node_count(),
+              "node id outside the schedule");
+  auto& bank = banks_[0];
+  bank.resize(static_cast<std::size_t>(initial.period()));
+  for (Slot t = 0; t < initial.period(); ++t)
+    bank[static_cast<std::size_t>(t)] = initial.dst_of(self_, t);
+}
+
+NodeId NicState::dst_at(Slot t) const {
+  return active()[static_cast<std::size_t>(t % period())];
+}
+
+std::size_t NicState::stage(const CircuitSchedule& next) {
+  SORN_ASSERT(self_ < next.node_count(), "node id outside the new schedule");
+  auto& bank = banks_[1 - active_bank_];
+  bank.resize(static_cast<std::size_t>(next.period()));
+  for (Slot t = 0; t < next.period(); ++t)
+    bank[static_cast<std::size_t>(t)] = next.dst_of(self_, t);
+  staged_ = true;
+  return bank.size();
+}
+
+std::vector<NodeId> NicState::drain_set() const {
+  SORN_ASSERT(staged_, "no staged bank to compare against");
+  auto distinct = [&](const std::vector<NodeId>& bank) {
+    std::vector<NodeId> nbrs;
+    for (const NodeId d : bank)
+      if (d != self_ &&
+          std::find(nbrs.begin(), nbrs.end(), d) == nbrs.end())
+        nbrs.push_back(d);
+    return nbrs;
+  };
+  const std::vector<NodeId> old_nbrs = distinct(active());
+  const std::vector<NodeId> new_nbrs = distinct(shadow());
+  std::vector<NodeId> drains;
+  for (const NodeId d : old_nbrs)
+    if (std::find(new_nbrs.begin(), new_nbrs.end(), d) == new_nbrs.end())
+      drains.push_back(d);
+  return drains;
+}
+
+void NicState::commit() {
+  SORN_ASSERT(staged_, "commit requires a staged bank");
+  active_bank_ = 1 - active_bank_;
+  staged_ = false;
+  ++version_;
+}
+
+std::vector<NicState> UpdateCoordinator::bootstrap(
+    const CircuitSchedule& initial) const {
+  std::vector<NicState> nics;
+  nics.reserve(static_cast<std::size_t>(initial.node_count()));
+  for (NodeId i = 0; i < initial.node_count(); ++i)
+    nics.emplace_back(i, initial);
+  return nics;
+}
+
+UpdateCoordinator::Report UpdateCoordinator::roll_out(
+    std::vector<NicState>& nics, const CircuitSchedule& next) const {
+  SORN_ASSERT(!nics.empty(), "no NICs to update");
+  Report report;
+  report.nodes = nics.size();
+  for (NicState& nic : nics) {
+    const std::size_t entries = nic.stage(next);
+    report.total_entries += entries;
+    report.drain_neighbors_total += nic.drain_set().size();
+    const double node_us = options_.per_node_us +
+                           options_.per_entry_us * static_cast<double>(entries);
+    report.slowest_node_us = std::max(report.slowest_node_us, node_us);
+  }
+  // Synchronized flip after the slowest ack plus a guard.
+  report.total_update_us = report.slowest_node_us + options_.commit_guard_us;
+  const std::uint64_t target_version = nics.front().version() + 1;
+  for (NicState& nic : nics) nic.commit();
+  for (const NicState& nic : nics)
+    SORN_ASSERT(nic.version() == target_version,
+                "NIC versions diverged during rollout");
+  return report;
+}
+
+}  // namespace sorn

@@ -1,0 +1,101 @@
+// Per-node NIC hardware state for schedule updates (paper Fig. 2(c), §5).
+//
+// In a Sirius-style fabric the circuit schedule lives entirely at the
+// nodes: each NIC holds a wavelength table (slot -> wavelength, i.e.
+// slot -> neighbor) and per-neighbor queues. The paper argues updates are
+// cheap because (a) the neighbor *superset* is fixed — only per-neighbor
+// bandwidth changes — so no queue state is created or destroyed, and
+// (b) tables can be double-banked: the control plane stages the next
+// schedule into a shadow bank and all nodes flip banks at an agreed slot.
+//
+// NicState models exactly that: two banks, versioning, staging cost in
+// table entries, and the drain set (neighbors that lose all circuits in
+// the new schedule — their queued cells must drain via the swap-over
+// period; SORN-to-SORN swaps have an empty drain set).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/schedule.h"
+#include "util/types.h"
+
+namespace sorn {
+
+class NicState {
+ public:
+  // Initialize with the node's row of the initial schedule.
+  NicState(NodeId self, const CircuitSchedule& initial);
+
+  NodeId self() const { return self_; }
+  std::uint64_t version() const { return version_; }
+  bool has_staged() const { return staged_; }
+
+  // Active-bank lookup: whom this NIC transmits to in slot t.
+  NodeId dst_at(Slot t) const;
+  Slot period() const { return static_cast<Slot>(active().size()); }
+
+  // Stage the node's row of `next` into the shadow bank. Returns the
+  // number of table entries written — the control-plane message cost for
+  // this node (the paper's "update state at each node").
+  std::size_t stage(const CircuitSchedule& next);
+
+  // Neighbors with at least one circuit in the active bank but none in
+  // the staged bank: their queues can no longer drain after the flip and
+  // must be emptied during the changeover. Empty for any pair of
+  // schedules that both keep the full neighbor superset.
+  std::vector<NodeId> drain_set() const;
+
+  // Flip banks; requires a staged bank. Bumps the version.
+  void commit();
+
+ private:
+  const std::vector<NodeId>& active() const { return banks_[active_bank_]; }
+  const std::vector<NodeId>& shadow() const { return banks_[1 - active_bank_]; }
+
+  NodeId self_;
+  std::vector<NodeId> banks_[2];  // slot -> destination node
+  int active_bank_ = 0;
+  bool staged_ = false;
+  std::uint64_t version_ = 1;
+};
+
+// Logically centralized distribution of a schedule update to every NIC
+// (paper §5: "a logically centralized control plane to synchronously
+// update state across nodes within a few seconds").
+class UpdateCoordinator {
+ public:
+  struct Options {
+    // Modeled one-way control-plane latency per staged table entry and
+    // fixed per-node overhead, in microseconds.
+    double per_entry_us = 0.01;
+    double per_node_us = 50.0;
+    // Commit guard added after the slowest node acks.
+    double commit_guard_us = 100.0;
+  };
+
+  struct Report {
+    std::size_t nodes = 0;
+    std::size_t total_entries = 0;
+    double slowest_node_us = 0.0;
+    // Wall-clock from update start to the synchronized flip.
+    double total_update_us = 0.0;
+    std::size_t drain_neighbors_total = 0;
+  };
+
+  UpdateCoordinator() : UpdateCoordinator(Options()) {}
+  explicit UpdateCoordinator(Options options) : options_(options) {}
+
+  // Build per-node NIC state for an initial schedule.
+  std::vector<NicState> bootstrap(const CircuitSchedule& initial) const;
+
+  // Stage `next` on every NIC and commit all banks; returns the cost
+  // report. All NICs end at the same version.
+  Report roll_out(std::vector<NicState>& nics,
+                  const CircuitSchedule& next) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace sorn

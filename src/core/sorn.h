@@ -1,0 +1,112 @@
+// Public facade: build, analyze, simulate and adapt a semi-oblivious
+// reconfigurable network.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   sorn::SornConfig config;
+//   config.nodes = 128;
+//   config.cliques = 8;
+//   config.locality_x = 0.56;               // derives q* = 2/(1-x)
+//   auto net = sorn::SornNetwork::build(config);
+//   auto sim = net.make_network();           // slot-synchronous simulator
+//   ...
+//   net.adapt(new_assignment, new_q);        // macro-scale reconfiguration
+//   sim.reconfigure(&net.schedule(), &net.router());
+#pragma once
+
+#include <memory>
+
+#include "analysis/models.h"
+#include "routing/sorn_routing.h"
+#include "sim/network.h"
+#include "topo/clique.h"
+#include "topo/logical_topology.h"
+#include "topo/schedule_builder.h"
+
+namespace sorn {
+
+struct SornConfig {
+  NodeId nodes = 128;
+  CliqueId cliques = 8;
+
+  // Expected intra-clique locality ratio x; sets q = q*(x) = 2/(1-x)
+  // unless an explicit q is given.
+  double locality_x = 0.5;
+  // Explicit oversubscription ratio; {0, 1} means "derive from
+  // locality_x".
+  Rational q{0, 1};
+  // Denominator cap when rationalizing q*(x).
+  std::int64_t max_q_denominator = 12;
+
+  // Deployment parameters (Table 1 defaults, scaled-down node count).
+  int uplinks = 1;
+  Picoseconds slot_duration = 100 * 1000;       // 100 ns
+  Picoseconds propagation_per_hop = 500 * 1000;  // 500 ns
+
+  LbMode lb_mode = LbMode::kRandom;
+  // Cap on the schedule period. Memory is ~ period * nodes * 8 bytes; a q
+  // with a large denominator on a large N can force a long period — prefer
+  // a smaller max_q_denominator (or an explicit q) over raising this.
+  Slot max_period = 1 << 18;
+
+  // Non-empty (cliques x cliques, row-major): apportion inter-clique slots
+  // to clique pairs in proportion to this demand aggregate
+  // (ScheduleBuilder::sorn_weighted). Empty: uniform inter round-robin.
+  std::vector<double> inter_clique_weights;
+  ScheduleBuilder::WeightedOptions weighted_options;
+};
+
+class SornNetwork {
+ public:
+  // Build the schedule and router for the configuration; nodes must divide
+  // into `cliques` equal cliques.
+  static SornNetwork build(const SornConfig& config);
+
+  // Same, but with an explicit (possibly non-contiguous) clique
+  // assignment, e.g. one produced by the control plane's clusterer.
+  static SornNetwork build_with_assignment(const SornConfig& config,
+                                           CliqueAssignment assignment);
+
+  const SornConfig& config() const { return config_; }
+  const CliqueAssignment& cliques() const { return *cliques_; }
+  const CircuitSchedule& schedule() const { return *schedule_; }
+  const Router& router() const { return *router_; }
+  Rational q() const { return q_; }
+
+  // Rebuild the macro-configuration in place (new cliques and/or q, and
+  // optionally new inter-clique weights). The old schedule/router are
+  // destroyed; when a live SlottedNetwork points at them, call
+  // sim.reconfigure(&schedule(), &router()) immediately after — or use
+  // ReconfigManager, which keeps generations alive.
+  void adapt(CliqueAssignment new_assignment, Rational new_q);
+  void adapt(CliqueAssignment new_assignment, Rational new_q,
+             std::vector<double> inter_clique_weights);
+
+  // ---- Closed-form predictions (analysis/models.h) ----
+  double predicted_throughput() const;
+  double delta_m_intra() const;
+  double delta_m_inter() const;
+  double min_latency_intra_us() const;
+  double min_latency_inter_us() const;
+
+  // The virtual-edge graph the schedule emulates.
+  LogicalTopology logical_topology() const {
+    return LogicalTopology(*schedule_);
+  }
+
+  // A simulator bound to this network's schedule and router. The returned
+  // object borrows them: keep this SornNetwork alive (and call
+  // reconfigure() after adapt()).
+  SlottedNetwork make_network(std::uint64_t seed = 42) const;
+
+ private:
+  SornNetwork(SornConfig config, CliqueAssignment assignment, Rational q);
+
+  SornConfig config_;
+  Rational q_;
+  std::unique_ptr<CliqueAssignment> cliques_;
+  std::unique_ptr<CircuitSchedule> schedule_;
+  std::unique_ptr<SornRouter> router_;
+};
+
+}  // namespace sorn

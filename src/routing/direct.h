@@ -1,0 +1,21 @@
+// Single-hop direct routing: every cell waits for the direct circuit.
+//
+// Maximally bandwidth-efficient (no bandwidth tax) and maximally latent
+// (full schedule recurrence per cell) — the bulk end of every design's
+// latency-throughput spectrum (RotorNet/Opera bulk, and SORN's "tune the
+// number of indirect hops" direction from paper Sec. 6).
+#pragma once
+
+#include "routing/router.h"
+
+namespace sorn {
+
+class DirectRouter : public Router {
+ public:
+  Path route(NodeId src, NodeId dst, Slot /*now*/, Rng& /*rng*/) const override {
+    return Path::of({src, dst});
+  }
+  int max_hops() const override { return 1; }
+};
+
+}  // namespace sorn

@@ -1,0 +1,87 @@
+#include "routing/hier_routing.h"
+
+#include "util/assert.h"
+
+namespace sorn {
+
+HierSornRouter::HierSornRouter(const CircuitSchedule* schedule,
+                               const Hierarchy* hierarchy, LbMode mode)
+    : schedule_(schedule), hier_(hierarchy), mode_(mode) {
+  SORN_ASSERT(schedule_ != nullptr && hier_ != nullptr,
+              "hierarchical router needs a schedule and a hierarchy");
+  SORN_ASSERT(schedule_->node_count() == hier_->node_count(),
+              "schedule and hierarchy disagree on node count");
+}
+
+NodeId HierSornRouter::pick_pod_intermediate(NodeId src, Slot now,
+                                             Rng& rng) const {
+  if (hier_->pod_size() < 2) return src;
+  if (mode_ == LbMode::kFirstAvailable) {
+    for (Slot t = now; t < now + schedule_->period(); ++t) {
+      if (schedule_->kind_at(t) != SlotKind::kIntra) continue;
+      const NodeId peer = schedule_->dst_of(src, t);
+      if (peer != src) return peer;
+    }
+    return src;
+  }
+  const CliqueId pod = hier_->pod_of(src);
+  const NodeId base = pod * hier_->pod_size();
+  NodeId peer = src;
+  do {
+    peer = base + static_cast<NodeId>(rng.next_below(
+                      static_cast<std::uint64_t>(hier_->pod_size())));
+  } while (peer == src);
+  return peer;
+}
+
+NodeId HierSornRouter::pick_pod_landing(NodeId from, CliqueId target_pod,
+                                        Slot now, Rng& rng) const {
+  if (mode_ == LbMode::kFirstAvailable) {
+    for (Slot t = now; t < now + schedule_->period(); ++t) {
+      if (schedule_->kind_at(t) != SlotKind::kInter) continue;
+      const NodeId peer = schedule_->dst_of(from, t);
+      if (peer != from && hier_->pod_of(peer) == target_pod) return peer;
+    }
+    SORN_ASSERT(false, "no inter circuit to the target pod");
+  }
+  const NodeId base = target_pod * hier_->pod_size();
+  return base + static_cast<NodeId>(rng.next_below(
+                    static_cast<std::uint64_t>(hier_->pod_size())));
+}
+
+NodeId HierSornRouter::pick_cluster_landing(NodeId from,
+                                            CliqueId target_cluster, Slot now,
+                                            Rng& rng) const {
+  if (mode_ == LbMode::kFirstAvailable) {
+    for (Slot t = now; t < now + schedule_->period(); ++t) {
+      if (schedule_->kind_at(t) != SlotKind::kGlobal) continue;
+      const NodeId peer = schedule_->dst_of(from, t);
+      if (peer != from && hier_->cluster_of(peer) == target_cluster)
+        return peer;
+    }
+    SORN_ASSERT(false, "no global circuit to the target cluster");
+  }
+  const NodeId base = target_cluster * hier_->cluster_size();
+  return base + static_cast<NodeId>(rng.next_below(
+                    static_cast<std::uint64_t>(hier_->cluster_size())));
+}
+
+Path HierSornRouter::route(NodeId src, NodeId dst, Slot now, Rng& rng) const {
+  SORN_ASSERT(src != dst, "cannot route a node to itself");
+  const NodeId lb = pick_pod_intermediate(src, now, rng);
+  if (hier_->same_pod(src, dst)) {
+    return Path::of({src, lb, dst});
+  }
+  if (hier_->same_cluster(src, dst)) {
+    const NodeId landing = pick_pod_landing(lb, hier_->pod_of(dst), now, rng);
+    return Path::of({src, lb, landing, dst});
+  }
+  const NodeId v = pick_cluster_landing(lb, hier_->cluster_of(dst), now, rng);
+  if (hier_->same_pod(v, dst) || v == dst) {
+    return Path::of({src, lb, v, dst});
+  }
+  const NodeId w = pick_pod_landing(v, hier_->pod_of(dst), now, rng);
+  return Path::of({src, lb, v, w, dst});
+}
+
+}  // namespace sorn

@@ -1,0 +1,46 @@
+// Routing over a two-level hierarchical SORN schedule (paper Sec. 6).
+//
+// Path classes (each first hop is the load-balancing intra-pod hop):
+//   same pod:            src -> lb -> dst                      (<= 2 hops)
+//   same cluster:        src -> lb -> landing(dst pod) -> dst  (<= 3 hops)
+//   different cluster:   src -> lb -> v(dst cluster) ->
+//                        w(dst pod) -> dst                     (<= 4 hops)
+//
+// Every consecutive pair is realized by some slot class of the
+// hierarchical schedule: intra covers pod pairs, inter covers pod-to-pod
+// within a cluster (all index rotations), global covers cluster-to-cluster
+// (all position rotations).
+#pragma once
+
+#include "routing/router.h"
+#include "topo/hierarchy.h"
+#include "topo/schedule.h"
+
+namespace sorn {
+
+class HierSornRouter : public Router {
+ public:
+  HierSornRouter(const CircuitSchedule* schedule, const Hierarchy* hierarchy,
+                 LbMode mode);
+
+  Path route(NodeId src, NodeId dst, Slot now, Rng& rng) const override;
+  int max_hops() const override { return 4; }
+
+  const Hierarchy& hierarchy() const { return *hier_; }
+
+ private:
+  NodeId pick_pod_intermediate(NodeId src, Slot now, Rng& rng) const;
+  // Node of `target_pod` reached from `from` by the next kInter circuit
+  // (kFirstAvailable) or a random member (kRandom).
+  NodeId pick_pod_landing(NodeId from, CliqueId target_pod, Slot now,
+                          Rng& rng) const;
+  // Node of `target_cluster` reached by the next kGlobal circuit.
+  NodeId pick_cluster_landing(NodeId from, CliqueId target_cluster, Slot now,
+                              Rng& rng) const;
+
+  const CircuitSchedule* schedule_;
+  const Hierarchy* hier_;
+  LbMode mode_;
+};
+
+}  // namespace sorn

@@ -1,0 +1,28 @@
+#include "routing/opera_routing.h"
+
+#include "util/assert.h"
+
+namespace sorn {
+
+OperaRouter::OperaRouter(const Expander* expander, int max_short_hops)
+    : expander_(expander), max_short_hops_(max_short_hops) {
+  SORN_ASSERT(expander_ != nullptr, "Opera router needs an expander");
+  SORN_ASSERT(max_short_hops_ >= 1, "hop budget must be positive");
+}
+
+Path OperaRouter::route_short(NodeId src, NodeId dst) const {
+  SORN_ASSERT(src != dst, "cannot route a node to itself");
+  const auto nodes = expander_->shortest_path(src, dst);
+  SORN_ASSERT(!nodes.empty(), "destination unreachable in expander");
+  SORN_ASSERT(static_cast<int>(nodes.size()) - 1 <= max_short_hops_,
+              "expander diameter exceeds the short-flow hop budget");
+  Path path;
+  for (const NodeId n : nodes) path.push_back(n);
+  return path;
+}
+
+Path OperaRouter::route_bulk(NodeId src, NodeId dst) {
+  return Path::of({src, dst});
+}
+
+}  // namespace sorn

@@ -1,0 +1,38 @@
+// Opera-like baseline routing (Mellette et al., NSDI'20).
+//
+// Opera keeps an expander graph up at all times (u uplinks, a fraction of
+// which reconfigure at any instant) and routes latency-sensitive short
+// flows over multi-hop expander paths while bulk flows wait for the direct
+// circuit of the slow rotation. We reproduce both path classes over a
+// static expander snapshot; the slow rotation's latency/throughput is
+// captured by the analytical model (analysis/models.h).
+#pragma once
+
+#include "routing/path.h"
+#include "topo/expander.h"
+#include "util/rng.h"
+
+namespace sorn {
+
+class OperaRouter {
+ public:
+  // max_short_hops: hop budget for short-flow expander paths (4 in the
+  // paper's Table 1 configuration).
+  OperaRouter(const Expander* expander, int max_short_hops);
+
+  // Expander shortest path for a latency-sensitive flow. Aborts if the
+  // destination is farther than the hop budget allows (a correctly
+  // provisioned Opera expander has diameter <= max_short_hops).
+  Path route_short(NodeId src, NodeId dst) const;
+
+  // Bulk flows take the direct rotation circuit: a single hop.
+  static Path route_bulk(NodeId src, NodeId dst);
+
+  int max_short_hops() const { return max_short_hops_; }
+
+ private:
+  const Expander* expander_;
+  int max_short_hops_;
+};
+
+}  // namespace sorn

@@ -1,0 +1,50 @@
+#include "routing/orn_hd_routing.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace sorn {
+
+OrnHdRouter::OrnHdRouter(NodeId n, int h) : n_(n), h_(h) {
+  SORN_ASSERT(h >= 1, "dimension must be at least 1");
+  r_ = static_cast<NodeId>(std::llround(
+      std::pow(static_cast<double>(n), 1.0 / static_cast<double>(h))));
+  std::int64_t check = 1;
+  for (int d = 0; d < h; ++d) check *= r_;
+  SORN_ASSERT(check == n_, "OrnHdRouter requires n to be a perfect h-th power");
+  SORN_ASSERT(r_ >= 2, "each dimension must have at least two coordinates");
+}
+
+NodeId OrnHdRouter::digit(NodeId node, int d) const {
+  NodeId v = node;
+  for (int i = 0; i < d; ++i) v /= r_;
+  return v % r_;
+}
+
+NodeId OrnHdRouter::with_digit(NodeId node, int d, NodeId value) const {
+  NodeId stride = 1;
+  for (int i = 0; i < d; ++i) stride *= r_;
+  return node + (value - digit(node, d)) * stride;
+}
+
+void OrnHdRouter::append_digit_hops(Path& path, NodeId from, NodeId to) const {
+  NodeId cur = from;
+  for (int d = 0; d < h_; ++d) {
+    cur = with_digit(cur, d, digit(to, d));
+    path.push_back(cur);  // no-op hops collapse inside Path
+  }
+}
+
+Path OrnHdRouter::route(NodeId src, NodeId dst, Slot /*now*/, Rng& rng) const {
+  SORN_ASSERT(src != dst, "cannot route a node to itself");
+  const auto mid =
+      static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n_)));
+  Path path;
+  path.push_back(src);
+  append_digit_hops(path, src, mid);
+  append_digit_hops(path, mid, dst);
+  return path;
+}
+
+}  // namespace sorn

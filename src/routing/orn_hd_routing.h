@@ -1,0 +1,38 @@
+// Routing for the h-dimensional optimal ORN of Amir et al. [4].
+//
+// Nodes are h-digit base-r numbers. A cell is first routed digit-by-digit
+// to a random intermediate (h load-balancing hops), then digit-by-digit to
+// the destination (h delivery hops): 2h hops total, worst-case throughput
+// 1/(2h), intrinsic latency O(h * r) — the Pareto family of Sec. 2.
+#pragma once
+
+#include "routing/router.h"
+
+namespace sorn {
+
+class OrnHdRouter : public Router {
+ public:
+  // n must equal r^h for integer r >= 2 (same condition as
+  // ScheduleBuilder::orn_hd).
+  OrnHdRouter(NodeId n, int h);
+
+  Path route(NodeId src, NodeId dst, Slot now, Rng& rng) const override;
+  int max_hops() const override { return 2 * h_; }
+
+  NodeId radix() const { return r_; }
+  int dims() const { return h_; }
+
+  // Replace digit d of `node` with `value`.
+  NodeId with_digit(NodeId node, int d, NodeId value) const;
+  NodeId digit(NodeId node, int d) const;
+
+ private:
+  // Append the digit-fixing hops from `from` towards `to`.
+  void append_digit_hops(Path& path, NodeId from, NodeId to) const;
+
+  NodeId n_;
+  NodeId r_;
+  int h_;
+};
+
+}  // namespace sorn

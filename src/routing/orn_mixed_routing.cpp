@@ -1,0 +1,53 @@
+#include "routing/orn_mixed_routing.h"
+
+#include "util/assert.h"
+
+namespace sorn {
+
+OrnMixedRouter::OrnMixedRouter(NodeId n, std::vector<NodeId> radices)
+    : n_(n), radices_(std::move(radices)) {
+  SORN_ASSERT(!radices_.empty(), "need at least one radix");
+  SORN_ASSERT(2 * static_cast<int>(radices_.size()) <= Path::kMaxNodes - 1,
+              "too many dimensions for the inline path budget");
+  strides_.resize(radices_.size());
+  std::int64_t stride = 1;
+  for (std::size_t d = 0; d < radices_.size(); ++d) {
+    SORN_ASSERT(radices_[d] >= 2, "each radix must be at least 2");
+    strides_[d] = static_cast<NodeId>(stride);
+    stride *= radices_[d];
+  }
+  SORN_ASSERT(stride == n_, "radices must multiply to n");
+}
+
+NodeId OrnMixedRouter::digit(NodeId node, int d) const {
+  return (node / strides_[static_cast<std::size_t>(d)]) %
+         radices_[static_cast<std::size_t>(d)];
+}
+
+NodeId OrnMixedRouter::with_digit(NodeId node, int d, NodeId value) const {
+  return node +
+         (value - digit(node, d)) * strides_[static_cast<std::size_t>(d)];
+}
+
+void OrnMixedRouter::append_digit_hops(Path& path, NodeId from,
+                                       NodeId to) const {
+  NodeId cur = from;
+  for (int d = 0; d < dims(); ++d) {
+    cur = with_digit(cur, d, digit(to, d));
+    path.push_back(cur);
+  }
+}
+
+Path OrnMixedRouter::route(NodeId src, NodeId dst, Slot /*now*/,
+                           Rng& rng) const {
+  SORN_ASSERT(src != dst, "cannot route a node to itself");
+  const auto mid =
+      static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n_)));
+  Path path;
+  path.push_back(src);
+  append_digit_hops(path, src, mid);
+  append_digit_hops(path, mid, dst);
+  return path;
+}
+
+}  // namespace sorn

@@ -1,0 +1,39 @@
+#include "routing/path.h"
+
+#include "util/assert.h"
+
+namespace sorn {
+
+Path Path::of(std::initializer_list<NodeId> nodes) {
+  Path p;
+  for (const NodeId n : nodes) p.push_back(n);
+  return p;
+}
+
+void Path::push_back(NodeId node) {
+  if (len_ > 0 && nodes_[static_cast<std::size_t>(len_ - 1)] == node) return;
+  SORN_ASSERT(len_ < kMaxNodes, "path exceeds the inline hop budget");
+  nodes_[static_cast<std::size_t>(len_)] = node;
+  ++len_;
+}
+
+bool Path::contains(NodeId node) const {
+  for (int i = 0; i < len_; ++i)
+    if (at(i) == node) return true;
+  return false;
+}
+
+bool Path::uses_edge(NodeId a, NodeId b) const {
+  for (int i = 0; i + 1 < len_; ++i)
+    if (at(i) == a && at(i + 1) == b) return true;
+  return false;
+}
+
+bool Path::operator==(const Path& other) const {
+  if (len_ != other.len_) return false;
+  for (int i = 0; i < len_; ++i)
+    if (at(i) != other.at(i)) return false;
+  return true;
+}
+
+}  // namespace sorn

@@ -1,0 +1,37 @@
+// Router interface: source-selected, oblivious-within-configuration routing.
+//
+// A Router chooses the complete hop sequence for a cell at injection time.
+// It may consult the circuit schedule (for "first available link" choices)
+// and the RNG (for VLB intermediates) but never per-flow demand — that is
+// the defining property of the (semi-)oblivious designs studied here.
+#pragma once
+
+#include "routing/path.h"
+#include "util/rng.h"
+#include "util/time.h"
+#include "util/types.h"
+
+namespace sorn {
+
+// How load-balancing intermediates are picked.
+enum class LbMode {
+  // The neighbor on the next upcoming circuit of the right kind — the
+  // paper's "first available link" rule; deterministic given the slot.
+  kFirstAvailable,
+  // A uniformly random eligible intermediate — classic VLB; easier to
+  // analyze, slightly worse latency.
+  kRandom,
+};
+
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  // Path for a cell from src to dst injected at slot `now`. src != dst.
+  virtual Path route(NodeId src, NodeId dst, Slot now, Rng& rng) const = 0;
+
+  // Upper bound on hop_count() of any returned path.
+  virtual int max_hops() const = 0;
+};
+
+}  // namespace sorn

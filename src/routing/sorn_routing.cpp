@@ -1,0 +1,65 @@
+#include "routing/sorn_routing.h"
+
+#include "util/assert.h"
+
+namespace sorn {
+
+SornRouter::SornRouter(const CircuitSchedule* schedule,
+                       const CliqueAssignment* cliques, LbMode mode)
+    : schedule_(schedule), cliques_(cliques), mode_(mode) {
+  SORN_ASSERT(schedule_ != nullptr && cliques_ != nullptr,
+              "SORN router needs a schedule and a clique assignment");
+  SORN_ASSERT(schedule_->node_count() == cliques_->node_count(),
+              "schedule and clique assignment disagree on node count");
+}
+
+NodeId SornRouter::pick_intra_intermediate(NodeId src, Slot now,
+                                           Rng& rng) const {
+  const CliqueId c = cliques_->clique_of(src);
+  if (cliques_->clique_size(c) < 2) return src;  // singleton: no intra hop
+  if (mode_ == LbMode::kFirstAvailable) {
+    for (Slot t = now; t < now + schedule_->period(); ++t) {
+      if (schedule_->kind_at(t) != SlotKind::kIntra) continue;
+      const NodeId peer = schedule_->dst_of(src, t);
+      if (peer != src) return peer;
+    }
+    return src;  // no intra slots in the schedule
+  }
+  const auto& members = cliques_->members(c);
+  NodeId peer = src;
+  do {
+    peer = members[static_cast<std::size_t>(
+        rng.next_below(members.size()))];
+  } while (peer == src);
+  return peer;
+}
+
+NodeId SornRouter::pick_landing_node(NodeId from, CliqueId target, Slot now,
+                                     Rng& rng) const {
+  if (mode_ == LbMode::kFirstAvailable) {
+    for (Slot t = now; t < now + schedule_->period(); ++t) {
+      if (schedule_->kind_at(t) != SlotKind::kInter) continue;
+      const NodeId peer = schedule_->dst_of(from, t);
+      if (peer != from && cliques_->clique_of(peer) == target) return peer;
+    }
+    SORN_ASSERT(false, "no inter-clique circuit to the target clique");
+  }
+  const auto& members = cliques_->members(target);
+  return members[static_cast<std::size_t>(rng.next_below(members.size()))];
+}
+
+Path SornRouter::route(NodeId src, NodeId dst, Slot now, Rng& rng) const {
+  SORN_ASSERT(src != dst, "cannot route a node to itself");
+  if (cliques_->same_clique(src, dst)) {
+    const NodeId mid = pick_intra_intermediate(src, now, rng);
+    // Path collapses mid == src, and a direct first hop (mid == dst) is
+    // simply taken as the delivery hop.
+    return Path::of({src, mid, dst});
+  }
+  const NodeId lb = pick_intra_intermediate(src, now, rng);
+  const NodeId landing =
+      pick_landing_node(lb, cliques_->clique_of(dst), now, rng);
+  return Path::of({src, lb, landing, dst});
+}
+
+}  // namespace sorn

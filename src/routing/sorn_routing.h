@@ -1,0 +1,46 @@
+// The paper's SORN routing scheme (Sec. 4, "Routing").
+//
+// Intra-clique traffic: 2 hops. The first is a load-balancing hop via the
+// first available intra-clique link; the second is the direct intra-clique
+// link to the destination.
+//
+// Inter-clique traffic: 3 hops. First the load-balancing intra-clique hop,
+// then the inter-clique link to the destination clique, finally the
+// intra-clique link to the destination. The first hop absorbs uneven
+// distribution of inter-clique traffic across individual pairs.
+#pragma once
+
+#include "routing/router.h"
+#include "topo/clique.h"
+#include "topo/schedule.h"
+
+namespace sorn {
+
+class SornRouter : public Router {
+ public:
+  // schedule must be a SORN schedule whose slots are tagged kIntra/kInter
+  // consistently with `cliques`; both must outlive the router.
+  SornRouter(const CircuitSchedule* schedule, const CliqueAssignment* cliques,
+             LbMode mode);
+
+  Path route(NodeId src, NodeId dst, Slot now, Rng& rng) const override;
+  int max_hops() const override { return 3; }
+
+  const CliqueAssignment& cliques() const { return *cliques_; }
+
+ private:
+  // The load-balancing intermediate inside src's clique (may equal src for
+  // singleton cliques, or dst when the first available link points there).
+  NodeId pick_intra_intermediate(NodeId src, Slot now, Rng& rng) const;
+
+  // The node in `target` clique reached by the next inter-clique circuit
+  // from `from` (kFirstAvailable), or a random member (kRandom).
+  NodeId pick_landing_node(NodeId from, CliqueId target, Slot now,
+                           Rng& rng) const;
+
+  const CircuitSchedule* schedule_;
+  const CliqueAssignment* cliques_;
+  LbMode mode_;
+};
+
+}  // namespace sorn

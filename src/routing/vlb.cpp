@@ -1,0 +1,37 @@
+#include "routing/vlb.h"
+
+#include "util/assert.h"
+
+namespace sorn {
+
+VlbRouter::VlbRouter(const CircuitSchedule* schedule, LbMode mode)
+    : schedule_(schedule), mode_(mode) {
+  SORN_ASSERT(schedule_ != nullptr, "VLB router needs a schedule");
+}
+
+Path VlbRouter::direct(NodeId src, NodeId dst) { return Path::of({src, dst}); }
+
+Path VlbRouter::route(NodeId src, NodeId dst, Slot now, Rng& rng) const {
+  SORN_ASSERT(src != dst, "cannot route a node to itself");
+  NodeId mid = src;
+  if (mode_ == LbMode::kFirstAvailable) {
+    // The neighbor on the current/next circuit: effectively zero added
+    // intrinsic latency for the first hop (paper Sec. 4).
+    for (Slot t = now; t < now + schedule_->period(); ++t) {
+      const NodeId peer = schedule_->dst_of(src, t);
+      if (peer != src) {
+        mid = peer;
+        break;
+      }
+    }
+  } else {
+    const auto n = static_cast<std::uint64_t>(schedule_->node_count());
+    do {
+      mid = static_cast<NodeId>(rng.next_below(n));
+    } while (mid == src);
+  }
+  if (mid == dst || mid == src) return Path::of({src, dst});
+  return Path::of({src, mid, dst});
+}
+
+}  // namespace sorn

@@ -1,0 +1,35 @@
+// The unit of transmission: a fixed-size cell.
+//
+// Like Sirius and Shoal, the fabric transports fixed-size cells — one cell
+// per uplink per time slot. A cell carries its full source-selected path
+// (source routing), the index of the node currently holding it, and the
+// timestamps needed for latency accounting.
+#pragma once
+
+#include <cstdint>
+
+#include "routing/path.h"
+#include "util/time.h"
+
+namespace sorn {
+
+using FlowId = std::uint64_t;
+constexpr FlowId kNoFlow = ~FlowId{0};
+
+struct Cell {
+  FlowId flow = kNoFlow;
+  Path path;
+  // Index into path of the node currently buffering the cell.
+  std::int32_t hop = 0;
+  // Slot at which the cell entered the source queue.
+  Slot inject_slot = 0;
+  // Earliest slot at which the cell may be transmitted from the current
+  // node (models propagation + forwarding turnaround after each hop).
+  Slot ready_slot = 0;
+
+  NodeId current() const { return path.at(hop); }
+  NodeId next_hop() const { return path.at(hop + 1); }
+  bool at_destination() const { return hop == path.size() - 1; }
+};
+
+}  // namespace sorn

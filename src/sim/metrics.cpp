@@ -1,0 +1,75 @@
+#include "sim/metrics.h"
+
+#include "util/assert.h"
+
+namespace sorn {
+
+SimMetrics::SimMetrics(Picoseconds slot_duration,
+                       Picoseconds propagation_per_hop)
+    : slot_duration_(slot_duration), propagation_per_hop_(propagation_per_hop) {
+  SORN_ASSERT(slot_duration > 0, "slot duration must be positive");
+  SORN_ASSERT(propagation_per_hop >= 0, "propagation must be nonnegative");
+}
+
+void SimMetrics::on_inject(const Cell& cell, std::uint64_t flow_cells,
+                           std::uint64_t flow_bytes, int flow_class) {
+  ++injected_cells_;
+  if (cell.flow == kNoFlow) return;
+  auto [it, inserted] = open_flows_.try_emplace(cell.flow);
+  if (inserted) {
+    it->second.inject_slot = cell.inject_slot;
+    it->second.cells_total = flow_cells;
+    it->second.cells_remaining = flow_cells;
+    it->second.bytes = flow_bytes;
+    it->second.flow_class = flow_class;
+  }
+}
+
+void SimMetrics::on_deliver(const Cell& cell, Slot now) {
+  ++delivered_cells_;
+  const auto hops = static_cast<std::uint64_t>(cell.path.hop_count());
+  delivered_hops_ += hops;
+  const Picoseconds latency =
+      (now - cell.inject_slot) * slot_duration_ +
+      static_cast<Picoseconds>(hops) * propagation_per_hop_;
+  cell_latency_ps_.add(static_cast<double>(latency));
+  if (cell.flow == kNoFlow) return;
+  const auto it = open_flows_.find(cell.flow);
+  if (it == open_flows_.end()) return;
+  SORN_ASSERT(it->second.cells_remaining > 0, "flow over-delivered");
+  if (--it->second.cells_remaining == 0) {
+    const Picoseconds fct =
+        (now - it->second.inject_slot) * slot_duration_ +
+        static_cast<Picoseconds>(hops) * propagation_per_hop_;
+    fct_ps_.add(static_cast<double>(fct));
+    fct_by_class_[it->second.flow_class].add(static_cast<double>(fct));
+    ++completed_flows_;
+    open_flows_.erase(it);
+  }
+}
+
+const Percentiles& SimMetrics::fct_ps_class(int flow_class) const {
+  static const Percentiles kEmpty;
+  const auto it = fct_by_class_.find(flow_class);
+  return it == fct_by_class_.end() ? kEmpty : it->second;
+}
+
+void SimMetrics::on_slot(std::uint64_t queued_cells) {
+  ++slots_run_;
+  queue_occupancy_.add(static_cast<double>(queued_cells));
+}
+
+double SimMetrics::mean_hops() const {
+  return delivered_cells_ == 0 ? 0.0
+                               : static_cast<double>(delivered_hops_) /
+                                     static_cast<double>(delivered_cells_);
+}
+
+double SimMetrics::delivered_per_slot(NodeId nodes, int lanes) const {
+  if (slots_run_ == 0) return 0.0;
+  return static_cast<double>(delivered_cells_) /
+         (static_cast<double>(slots_run_) * static_cast<double>(nodes) *
+          static_cast<double>(lanes));
+}
+
+}  // namespace sorn

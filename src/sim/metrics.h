@@ -1,0 +1,77 @@
+// Measurement collection for simulator runs.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/cell.h"
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace sorn {
+
+struct FlowRecord {
+  Slot inject_slot = 0;
+  std::uint64_t cells_total = 0;
+  std::uint64_t cells_remaining = 0;
+  std::uint64_t bytes = 0;
+  // Caller-defined class (e.g. intra/inter-clique, short/bulk) used to
+  // split FCT percentiles.
+  int flow_class = 0;
+};
+
+class SimMetrics {
+ public:
+  // slot_duration and per-hop propagation convert slot counts to wall time.
+  SimMetrics(Picoseconds slot_duration, Picoseconds propagation_per_hop);
+
+  void on_inject(const Cell& cell, std::uint64_t flow_cells,
+                 std::uint64_t flow_bytes, int flow_class = 0);
+  void on_forward() { ++forwarded_cells_; }
+  void on_deliver(const Cell& cell, Slot now);
+  void on_drop() { ++dropped_cells_; }
+  void on_slot(std::uint64_t queued_cells);
+
+  std::uint64_t injected_cells() const { return injected_cells_; }
+  std::uint64_t delivered_cells() const { return delivered_cells_; }
+  std::uint64_t forwarded_cells() const { return forwarded_cells_; }
+  std::uint64_t dropped_cells() const { return dropped_cells_; }
+  std::uint64_t slots_run() const { return slots_run_; }
+  std::uint64_t completed_flows() const { return completed_flows_; }
+
+  // Average hops each delivered cell took (the bandwidth-tax measure).
+  double mean_hops() const;
+
+  // Delivered cells per node per lane per slot — the throughput r of the
+  // paper when sources are saturated.
+  double delivered_per_slot(NodeId nodes, int lanes) const;
+
+  // Cell latency in wall time: (deliver - inject) slots * slot_duration
+  // + hops * propagation.
+  const Percentiles& cell_latency_ps() const { return cell_latency_ps_; }
+  // Flow completion times (same wall-time convention).
+  const Percentiles& fct_ps() const { return fct_ps_; }
+  // FCTs of one flow class only (empty Percentiles if the class is unseen).
+  const Percentiles& fct_ps_class(int flow_class) const;
+  const RunningStats& queue_occupancy() const { return queue_occupancy_; }
+
+ private:
+  Picoseconds slot_duration_;
+  Picoseconds propagation_per_hop_;
+
+  std::uint64_t injected_cells_ = 0;
+  std::uint64_t delivered_cells_ = 0;
+  std::uint64_t forwarded_cells_ = 0;
+  std::uint64_t dropped_cells_ = 0;
+  std::uint64_t slots_run_ = 0;
+  std::uint64_t completed_flows_ = 0;
+  std::uint64_t delivered_hops_ = 0;
+
+  Percentiles cell_latency_ps_;
+  Percentiles fct_ps_;
+  std::unordered_map<int, Percentiles> fct_by_class_;
+  RunningStats queue_occupancy_;
+  std::unordered_map<FlowId, FlowRecord> open_flows_;
+};
+
+}  // namespace sorn

@@ -1,0 +1,145 @@
+#include "sim/network.h"
+
+#include "util/assert.h"
+
+namespace sorn {
+
+SlottedNetwork::SlottedNetwork(const CircuitSchedule* schedule,
+                               const Router* router, NetworkConfig config)
+    : schedule_(schedule),
+      router_(router),
+      config_(config),
+      n_(schedule->node_count()),
+      voqs_(n_),
+      metrics_(config.slot_duration, config.propagation_per_hop),
+      rng_(config.seed),
+      failed_nodes_(static_cast<std::size_t>(n_), false),
+      failed_circuits_(
+          static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_),
+          false) {
+  SORN_ASSERT(schedule_ != nullptr && router_ != nullptr,
+              "network needs a schedule and a router");
+  SORN_ASSERT(config_.lanes >= 1, "need at least one uplink lane");
+  SORN_ASSERT(config_.cell_bytes >= 1, "cells must carry at least one byte");
+}
+
+void SlottedNetwork::inject_flow(FlowId flow, NodeId src, NodeId dst,
+                                 std::uint64_t bytes, int flow_class) {
+  inject_flow_with(*router_, flow, src, dst, bytes, flow_class);
+}
+
+void SlottedNetwork::inject_flow_with(const Router& router, FlowId flow,
+                                      NodeId src, NodeId dst,
+                                      std::uint64_t bytes, int flow_class) {
+  SORN_ASSERT(src != dst, "flow endpoints must differ");
+  const std::uint64_t cells =
+      (bytes + config_.cell_bytes - 1) / config_.cell_bytes;
+  for (std::uint64_t c = 0; c < cells; ++c) {
+    Cell cell;
+    cell.flow = flow;
+    // Stagger the routing reference slot across the flow's cells: cell c
+    // will leave the source no earlier than c/lanes slots from now, and
+    // "first available link" load balancing must be evaluated at each
+    // cell's own departure opportunity (otherwise a whole flow convoys
+    // onto one queue; cf. the paper's footnote on long flows spreading
+    // across all intra-clique links).
+    cell.path = router.route(
+        src, dst, now_ + static_cast<Slot>(c) / config_.lanes, rng_);
+    cell.hop = 0;
+    cell.inject_slot = now_;
+    cell.ready_slot = now_;
+    metrics_.on_inject(cell, cells, bytes, flow_class);
+    if (!voqs_.try_push(cell, config_.max_queue_cells)) metrics_.on_drop();
+  }
+}
+
+void SlottedNetwork::inject_cell(NodeId src, NodeId dst) {
+  SORN_ASSERT(src != dst, "cell endpoints must differ");
+  Cell cell;
+  cell.flow = kNoFlow;
+  cell.path = router_->route(src, dst, now_, rng_);
+  cell.hop = 0;
+  cell.inject_slot = now_;
+  cell.ready_slot = now_;
+  metrics_.on_inject(cell, 1, config_.cell_bytes);
+  if (!voqs_.try_push(cell, config_.max_queue_cells)) metrics_.on_drop();
+}
+
+void SlottedNetwork::transmit(NodeId node, NodeId peer) {
+  if (any_failures_ &&
+      (failed_nodes_[static_cast<std::size_t>(node)] ||
+       failed_nodes_[static_cast<std::size_t>(peer)] ||
+       failed_circuits_[edge_index(node, peer)])) {
+    return;
+  }
+  const Cell* head = voqs_.peek(node, peer, now_);
+  if (head == nullptr) return;
+  Cell cell = *head;
+  voqs_.pop(node, peer);
+  ++cell.hop;
+  if (cell.at_destination()) {
+    metrics_.on_deliver(cell, now_ + 1);  // arrives at the end of the slot
+    return;
+  }
+  metrics_.on_forward();
+  // Turnaround at the relay: receivable next slot at the earliest; the
+  // propagation delay is modelled in readiness as whole slots (rounded up)
+  // and in wall-clock latency exactly (metrics).
+  const Slot prop_slots =
+      (config_.propagation_per_hop + config_.slot_duration - 1) /
+      config_.slot_duration;
+  cell.ready_slot = now_ + 1 + prop_slots;
+  if (!voqs_.try_push(cell, config_.max_queue_cells)) metrics_.on_drop();
+}
+
+void SlottedNetwork::step() {
+  const Slot period = schedule_->period();
+  for (int lane = 0; lane < config_.lanes; ++lane) {
+    const Slot t = now_ + lane_phase(period, config_.lanes, lane);
+    const Matching& m = schedule_->matching_at(t);
+    for (NodeId i = 0; i < n_; ++i) {
+      const NodeId peer = m.dst_of(i);
+      if (peer != i) transmit(i, peer);
+    }
+  }
+  metrics_.on_slot(voqs_.total_queued());
+  ++now_;
+}
+
+void SlottedNetwork::run(Slot slots) {
+  for (Slot s = 0; s < slots; ++s) step();
+}
+
+void SlottedNetwork::reconfigure(const CircuitSchedule* schedule,
+                                 const Router* router) {
+  SORN_ASSERT(schedule != nullptr && router != nullptr,
+              "cannot reconfigure to a null schedule/router");
+  SORN_ASSERT(schedule->node_count() == n_,
+              "reconfiguration must preserve the node count");
+  schedule_ = schedule;
+  router_ = router;
+}
+
+void SlottedNetwork::reset_metrics() {
+  metrics_ = SimMetrics(config_.slot_duration, config_.propagation_per_hop);
+}
+
+void SlottedNetwork::fail_node(NodeId node) {
+  failed_nodes_[static_cast<std::size_t>(node)] = true;
+  any_failures_ = true;
+}
+
+void SlottedNetwork::heal_node(NodeId node) {
+  failed_nodes_[static_cast<std::size_t>(node)] = false;
+}
+
+void SlottedNetwork::fail_circuit(NodeId src, NodeId dst) {
+  failed_circuits_[edge_index(src, dst)] = true;
+  any_failures_ = true;
+}
+
+void SlottedNetwork::heal_circuit(NodeId src, NodeId dst) {
+  failed_circuits_[edge_index(src, dst)] = false;
+}
+
+}  // namespace sorn

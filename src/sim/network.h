@@ -1,0 +1,113 @@
+// The slot-synchronous circuit network simulator.
+//
+// One step() is one time slot: every node, on each of its uplink lanes,
+// looks up the peer its circuit connects to in this slot and transmits the
+// head cell of the matching VOQ. Delivered cells are recorded; relayed
+// cells become available at the next node after a fixed turnaround
+// (1 slot + propagation). This is the htsim-style substrate all ORN papers
+// evaluate on (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "routing/router.h"
+#include "sim/cell.h"
+#include "sim/metrics.h"
+#include "sim/voq.h"
+#include "topo/schedule.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace sorn {
+
+struct NetworkConfig {
+  // Parallel uplinks per node; lane l runs the schedule phase-shifted by
+  // lane_phase(period, lanes, l).
+  int lanes = 1;
+  Picoseconds slot_duration = 100 * 1000;      // 100 ns, Table 1
+  Picoseconds propagation_per_hop = 500 * 1000;  // 500 ns, Table 1
+  std::uint64_t cell_bytes = 256;
+  // Per-(node, next-hop) FIFO depth; 0 = unbounded. Overflowing cells are
+  // tail-dropped and counted in SimMetrics::dropped_cells (NIC buffers
+  // are finite; loss experiments set this).
+  std::uint64_t max_queue_cells = 0;
+  std::uint64_t seed = 42;
+};
+
+class SlottedNetwork {
+ public:
+  // schedule and router must outlive the network (or be replaced via
+  // reconfigure() before destruction of the old ones).
+  SlottedNetwork(const CircuitSchedule* schedule, const Router* router,
+                 NetworkConfig config);
+
+  NodeId node_count() const { return n_; }
+  Slot now() const { return now_; }
+  const NetworkConfig& config() const { return config_; }
+  const SimMetrics& metrics() const { return metrics_; }
+  SimMetrics& metrics() { return metrics_; }
+  std::uint64_t cells_in_flight() const { return voqs_.total_queued(); }
+
+  // Inject one flow: bytes are split into cells, each routed independently
+  // (per-cell spraying) and enqueued at the source now. flow_class labels
+  // the flow for split FCT percentiles (SimMetrics::fct_ps_class).
+  void inject_flow(FlowId flow, NodeId src, NodeId dst, std::uint64_t bytes,
+                   int flow_class = 0);
+
+  // Same, but routed by `router` instead of the network's default — used
+  // by designs that route flow classes differently (Opera: short flows on
+  // expander paths, bulk on the direct rotation circuit).
+  void inject_flow_with(const Router& router, FlowId flow, NodeId src,
+                        NodeId dst, std::uint64_t bytes, int flow_class = 0);
+
+  // Inject a single anonymous cell (saturation sources).
+  void inject_cell(NodeId src, NodeId dst);
+
+  // Advance one slot.
+  void step();
+  void run(Slot slots);
+
+  // Swap in a new schedule/router (the control plane's epoch-synchronous
+  // update, paper Sec. 5). In-flight cells keep their old paths; this is
+  // safe because every schedule built in this library keeps the full
+  // neighbor superset reachable (all pairs recur within a period).
+  void reconfigure(const CircuitSchedule* schedule, const Router* router);
+
+  // ---- Failure injection (paper Sec. 6, blast radius) ----
+  // A failed node neither transmits nor receives; a failed circuit
+  // disables one directed virtual edge. Cells whose next hop is failed
+  // stay queued (outage semantics) and resume after heal_*.
+  void fail_node(NodeId node);
+  void heal_node(NodeId node);
+  void fail_circuit(NodeId src, NodeId dst);
+  void heal_circuit(NodeId src, NodeId dst);
+  bool is_failed(NodeId node) const {
+    return failed_nodes_[static_cast<std::size_t>(node)];
+  }
+
+  // Reset counters but keep queued cells (used to exclude warmup).
+  void reset_metrics();
+
+ private:
+  void transmit(NodeId node, NodeId peer);
+  std::size_t edge_index(NodeId src, NodeId dst) const {
+    return static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(dst);
+  }
+
+  const CircuitSchedule* schedule_;
+  const Router* router_;
+  NetworkConfig config_;
+  NodeId n_;
+  Slot now_ = 0;
+  VoqSet voqs_;
+  SimMetrics metrics_;
+  Rng rng_;
+  FlowId next_anonymous_flow_ = 1ULL << 62;
+  std::vector<bool> failed_nodes_;
+  std::vector<bool> failed_circuits_;
+  bool any_failures_ = false;
+};
+
+}  // namespace sorn

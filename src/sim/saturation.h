@@ -1,0 +1,82 @@
+// Saturation (closed-loop) sources for worst-case throughput measurement.
+//
+// Every node keeps a bounded backlog of single-cell demands drawn from a
+// traffic matrix; each slot, backlogs are topped up unless the network
+// already holds too many in-flight cells. Under permanent backpressure the
+// delivered rate converges to the saturation throughput r — the quantity
+// the paper's analysis bounds (r = 1/(3-x) for SORN with optimal q).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/network.h"
+#include "traffic/flow_size.h"
+#include "traffic/traffic_matrix.h"
+#include "util/rng.h"
+
+namespace sorn {
+
+struct SaturationConfig {
+  // New cells injected per node per slot while below the caps. Should be
+  // at least lanes (so injection can outrun delivery).
+  int cells_per_node_per_slot = 2;
+  // Stop injecting while the network holds more than this many cells per
+  // node (bounds memory; does not bias steady-state throughput).
+  std::uint64_t max_in_flight_per_node = 512;
+  std::uint64_t seed = 7;
+};
+
+class SaturationSource {
+ public:
+  // tm rows select destinations per source; must outlive the source.
+  SaturationSource(const TrafficMatrix* tm, SaturationConfig config);
+
+  // Inject this slot's new demands into the network.
+  void pump(SlottedNetwork& network);
+
+  // Run warmup then a measured phase; returns delivered cells per node per
+  // lane per slot over the measured phase (the throughput r).
+  double measure(SlottedNetwork& network, Slot warmup_slots,
+                 Slot measure_slots);
+
+ private:
+  const TrafficMatrix* tm_;
+  SaturationConfig config_;
+  // Per-source destination samplers (row CDFs).
+  std::vector<std::vector<double>> row_cdf_;
+  Rng rng_;
+};
+
+// Flow-granular saturation: each node keeps `concurrency` open *flows*
+// (destination + remaining cells) with sizes drawn from a flow-size
+// distribution, cycling cell injections across them — a host multiplexing
+// several transfers. This is the "real-world traffic" flavor of
+// Fig. 2(f): bursty per-pair demand at the cell timescale, the matrix
+// only in aggregate.
+class FlowSaturationSource {
+ public:
+  FlowSaturationSource(const TrafficMatrix* tm, const FlowSizeDist* sizes,
+                       SaturationConfig config, int concurrency = 8);
+
+  void pump(SlottedNetwork& network);
+  double measure(SlottedNetwork& network, Slot warmup_slots,
+                 Slot measure_slots);
+
+ private:
+  struct OpenFlow {
+    NodeId dst = kNoNode;
+    std::uint64_t cells_left = 0;
+  };
+
+  const TrafficMatrix* tm_;
+  const FlowSizeDist* sizes_;
+  SaturationConfig config_;
+  int concurrency_;
+  std::vector<std::vector<double>> row_cdf_;
+  // concurrency_ open flows per node, row-major.
+  std::vector<OpenFlow> open_;
+  std::vector<int> cursor_;
+  Rng rng_;
+};
+
+}  // namespace sorn

@@ -1,0 +1,52 @@
+#include "sim/voq.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace sorn {
+
+VoqSet::VoqSet(NodeId nodes)
+    : n_(nodes),
+      queues_(static_cast<std::size_t>(nodes) * static_cast<std::size_t>(nodes)),
+      per_node_count_(static_cast<std::size_t>(nodes), 0) {
+  SORN_ASSERT(nodes > 0, "VOQ set needs at least one node");
+}
+
+void VoqSet::push(const Cell& cell) {
+  SORN_ASSERT(!cell.at_destination(), "delivered cells must not be queued");
+  const NodeId node = cell.current();
+  queues_[index(node, cell.next_hop())].push_back(cell);
+  ++per_node_count_[static_cast<std::size_t>(node)];
+  ++total_;
+}
+
+bool VoqSet::try_push(const Cell& cell, std::uint64_t cap) {
+  if (cap > 0 &&
+      queues_[index(cell.current(), cell.next_hop())].size() >= cap)
+    return false;
+  push(cell);
+  return true;
+}
+
+const Cell* VoqSet::peek(NodeId node, NodeId next_hop, Slot now) const {
+  const auto& q = queues_[index(node, next_hop)];
+  if (q.empty() || q.front().ready_slot > now) return nullptr;
+  return &q.front();
+}
+
+void VoqSet::pop(NodeId node, NodeId next_hop) {
+  auto& q = queues_[index(node, next_hop)];
+  SORN_ASSERT(!q.empty(), "pop from empty VOQ");
+  q.pop_front();
+  --per_node_count_[static_cast<std::size_t>(node)];
+  --total_;
+}
+
+std::uint64_t VoqSet::max_queue_depth() const {
+  std::uint64_t depth = 0;
+  for (const auto& q : queues_) depth = std::max<std::uint64_t>(depth, q.size());
+  return depth;
+}
+
+}  // namespace sorn

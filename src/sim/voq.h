@@ -1,0 +1,52 @@
+// Per-node virtual output queues.
+//
+// Each node keeps one FIFO per next-hop neighbor (the NIC state of the
+// paper's Fig. 2c). Cells are enqueued with a ready slot; because every
+// enqueue uses the same fixed delay, FIFO order coincides with ready order
+// and only the head needs checking.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/cell.h"
+#include "util/types.h"
+
+namespace sorn {
+
+class VoqSet {
+ public:
+  // Queues for `nodes` nodes, one per possible next hop.
+  explicit VoqSet(NodeId nodes);
+
+  void push(const Cell& cell);
+
+  // Push unless the target FIFO already holds `cap` cells (cap 0 means
+  // unbounded). Returns false on a (tail-)drop.
+  bool try_push(const Cell& cell, std::uint64_t cap);
+
+  // Head cell queued at `node` for `next_hop` if transmittable at `now`,
+  // else nullptr. Does not pop.
+  const Cell* peek(NodeId node, NodeId next_hop, Slot now) const;
+  void pop(NodeId node, NodeId next_hop);
+
+  std::uint64_t queued_at(NodeId node) const {
+    return per_node_count_[static_cast<std::size_t>(node)];
+  }
+  std::uint64_t total_queued() const { return total_; }
+  std::uint64_t max_queue_depth() const;
+
+ private:
+  std::size_t index(NodeId node, NodeId next_hop) const {
+    return static_cast<std::size_t>(node) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(next_hop);
+  }
+
+  NodeId n_;
+  std::vector<std::deque<Cell>> queues_;
+  std::vector<std::uint64_t> per_node_count_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace sorn

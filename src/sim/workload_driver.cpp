@@ -1,0 +1,37 @@
+#include "sim/workload_driver.h"
+
+#include "util/assert.h"
+
+namespace sorn {
+
+WorkloadDriver::WorkloadDriver(FlowArrivals* arrivals, Classifier classifier)
+    : arrivals_(arrivals), classifier_(std::move(classifier)) {
+  SORN_ASSERT(arrivals_ != nullptr, "driver needs an arrival stream");
+}
+
+void WorkloadDriver::run_until(SlottedNetwork& network, Picoseconds horizon,
+                               Slot drain_slots) {
+  const Picoseconds slot_ps = network.config().slot_duration;
+  while (network.now() * slot_ps < horizon) {
+    const Picoseconds slot_start = network.now() * slot_ps;
+    // Inject every flow that arrives before the end of this slot.
+    for (;;) {
+      if (!has_pending_) {
+        pending_ = arrivals_->next();
+        has_pending_ = true;
+      }
+      if (pending_.time > slot_start + slot_ps || pending_.time > horizon)
+        break;
+      const int cls = classifier_ ? classifier_(pending_) : 0;
+      network.inject_flow(next_flow_id_++, pending_.src, pending_.dst,
+                          pending_.bytes, cls);
+      ++flows_injected_;
+      has_pending_ = false;
+    }
+    network.step();
+  }
+  for (Slot s = 0; s < drain_slots && network.cells_in_flight() > 0; ++s)
+    network.step();
+}
+
+}  // namespace sorn

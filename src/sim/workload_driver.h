@@ -1,0 +1,40 @@
+// Open-loop flow workload driver: feeds a Poisson flow arrival stream into
+// the slotted network and runs it to a time horizon, collecting FCTs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/network.h"
+#include "traffic/arrivals.h"
+
+namespace sorn {
+
+class WorkloadDriver {
+ public:
+  // Maps an arrival to a flow class for split FCT percentiles.
+  using Classifier = std::function<int(const FlowArrival&)>;
+
+  // arrivals must outlive the driver.
+  explicit WorkloadDriver(FlowArrivals* arrivals,
+                          Classifier classifier = nullptr);
+
+  // Run the network until `horizon`; flows whose arrival time falls in a
+  // slot are injected at that slot's start. Optionally keep running
+  // (without new arrivals) until in-flight cells drain or `drain_slots`
+  // elapse.
+  void run_until(SlottedNetwork& network, Picoseconds horizon,
+                 Slot drain_slots = 0);
+
+  std::uint64_t flows_injected() const { return flows_injected_; }
+
+ private:
+  FlowArrivals* arrivals_;
+  Classifier classifier_;
+  FlowArrival pending_{};
+  bool has_pending_ = false;
+  std::uint64_t flows_injected_ = 0;
+  FlowId next_flow_id_ = 1;
+};
+
+}  // namespace sorn

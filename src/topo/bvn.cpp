@@ -1,0 +1,152 @@
+#include "topo/bvn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace sorn {
+namespace {
+
+// Kuhn's augmenting-path bipartite matching over the support of the
+// residual matrix (entries > eps). Returns perm[c] = matched column of row
+// c, or an empty vector if no perfect matching exists.
+std::vector<CliqueId> perfect_matching(const std::vector<double>& m,
+                                       CliqueId nc, double eps) {
+  const auto n = static_cast<std::size_t>(nc);
+  std::vector<CliqueId> match_col(n, -1);  // column -> row
+  std::vector<CliqueId> match_row(n, -1);  // row -> column
+
+  std::vector<bool> visited(n);
+  // Try to find an augmenting path from `row`.
+  auto augment = [&](auto&& self, CliqueId row) -> bool {
+    for (CliqueId col = 0; col < nc; ++col) {
+      if (visited[static_cast<std::size_t>(col)]) continue;
+      if (m[static_cast<std::size_t>(row) * n +
+            static_cast<std::size_t>(col)] <= eps)
+        continue;
+      visited[static_cast<std::size_t>(col)] = true;
+      if (match_col[static_cast<std::size_t>(col)] == -1 ||
+          self(self, match_col[static_cast<std::size_t>(col)])) {
+        match_col[static_cast<std::size_t>(col)] = row;
+        match_row[static_cast<std::size_t>(row)] = col;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (CliqueId row = 0; row < nc; ++row) {
+    std::fill(visited.begin(), visited.end(), false);
+    if (!augment(augment, row)) return {};
+  }
+  return match_row;
+}
+
+}  // namespace
+
+std::vector<double> mix_with_uniform(const std::vector<double>& weights,
+                                     CliqueId nc, double alpha) {
+  SORN_ASSERT(alpha >= 0.0 && alpha < 1.0, "alpha must be in [0,1)");
+  const auto n = static_cast<std::size_t>(nc);
+  SORN_ASSERT(weights.size() == n * n, "weights must be nc x nc");
+  double total = 0.0;
+  for (CliqueId i = 0; i < nc; ++i)
+    for (CliqueId j = 0; j < nc; ++j)
+      if (i != j) total += weights[static_cast<std::size_t>(i) * n +
+                                   static_cast<std::size_t>(j)];
+  const double pairs = static_cast<double>(nc) * (nc - 1);
+  const double uniform = total > 0.0 ? total / pairs : 1.0;
+  std::vector<double> mixed(n * n, 0.0);
+  for (CliqueId i = 0; i < nc; ++i) {
+    for (CliqueId j = 0; j < nc; ++j) {
+      if (i == j) continue;
+      const double w =
+          weights[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(j)];
+      mixed[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(j)] =
+          (1.0 - alpha) * uniform + alpha * w;
+    }
+  }
+  return mixed;
+}
+
+BvnDecomposition BvnDecomposition::compute(const std::vector<double>& weights,
+                                           CliqueId nc, BvnOptions options) {
+  SORN_ASSERT(nc >= 2, "BvN needs at least two cliques");
+  const auto n = static_cast<std::size_t>(nc);
+  SORN_ASSERT(weights.size() == n * n, "weights must be nc x nc");
+
+  // Copy with zeroed diagonal; verify positivity off-diagonal.
+  std::vector<double> m(n * n, 0.0);
+  for (CliqueId i = 0; i < nc; ++i) {
+    for (CliqueId j = 0; j < nc; ++j) {
+      if (i == j) continue;
+      const double w =
+          weights[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(j)];
+      SORN_ASSERT(w > 0.0,
+                  "all off-diagonal weights must be positive; apply "
+                  "mix_with_uniform first");
+      m[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(j)] = w;
+    }
+  }
+
+  // Sinkhorn: alternately normalize rows and columns toward doubly
+  // stochastic. Zero-diagonal positive matrices converge.
+  for (int it = 0; it < options.sinkhorn_iterations; ++it) {
+    for (CliqueId i = 0; i < nc; ++i) {
+      double row = 0.0;
+      for (CliqueId j = 0; j < nc; ++j)
+        row += m[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(j)];
+      for (CliqueId j = 0; j < nc; ++j)
+        m[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(j)] /= row;
+    }
+    for (CliqueId j = 0; j < nc; ++j) {
+      double col = 0.0;
+      for (CliqueId i = 0; i < nc; ++i)
+        col += m[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(j)];
+      for (CliqueId i = 0; i < nc; ++i)
+        m[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(j)] /= col;
+    }
+  }
+
+  // Peel permutations: support matching, subtract min coefficient.
+  std::vector<BvnTerm> terms;
+  double remaining = 1.0;
+  const double eps = 1e-9;
+  for (int t = 0; t < options.max_terms && remaining > options.residual_tolerance;
+       ++t) {
+    const std::vector<CliqueId> perm = perfect_matching(m, nc, eps);
+    if (perm.empty()) break;
+    double coeff = 1e300;
+    for (CliqueId i = 0; i < nc; ++i)
+      coeff = std::min(coeff, m[static_cast<std::size_t>(i) * n +
+                                static_cast<std::size_t>(perm[
+                                    static_cast<std::size_t>(i)])]);
+    for (CliqueId i = 0; i < nc; ++i)
+      m[static_cast<std::size_t>(i) * n +
+        static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])] -= coeff;
+    terms.push_back(BvnTerm{perm, coeff});
+    remaining -= coeff;
+  }
+  SORN_ASSERT(!terms.empty(), "BvN extracted no permutations");
+  return BvnDecomposition(nc, std::move(terms));
+}
+
+double BvnDecomposition::total_coefficient() const {
+  double total = 0.0;
+  for (const auto& t : terms_) total += t.coeff;
+  return total;
+}
+
+std::vector<double> BvnDecomposition::reconstruct() const {
+  const auto n = static_cast<std::size_t>(nc_);
+  std::vector<double> m(n * n, 0.0);
+  for (const auto& t : terms_)
+    for (CliqueId i = 0; i < nc_; ++i)
+      m[static_cast<std::size_t>(i) * n +
+        static_cast<std::size_t>(t.perm[static_cast<std::size_t>(i)])] +=
+          t.coeff;
+  return m;
+}
+
+}  // namespace sorn

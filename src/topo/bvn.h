@@ -1,0 +1,67 @@
+// Birkhoff-von-Neumann decomposition of a clique-level demand matrix.
+//
+// Paper Sec. 5 ("Expressivity"): "we may encode gravity models,
+// non-uniform clique sizes, or generally allow higher provisioning between
+// certain spatial groups". The standard tool is BvN: scale the demand to a
+// doubly stochastic matrix (Sinkhorn), then peel it into a convex
+// combination of permutation matrices. Each permutation becomes an
+// inter-clique matching shape; its coefficient becomes the matching's slot
+// share, so clique-pair bandwidth tracks demand.
+#pragma once
+
+#include <vector>
+
+#include "util/types.h"
+
+namespace sorn {
+
+struct BvnTerm {
+  // perm[c] is the destination clique of clique c; never a fixed point
+  // when the input diagonal is zero.
+  std::vector<CliqueId> perm;
+  // Convex coefficient; terms sum to ~1 (up to the residual tolerance).
+  double coeff = 0.0;
+};
+
+struct BvnOptions {
+  int sinkhorn_iterations = 200;
+  // Stop when the residual mass is below this fraction.
+  double residual_tolerance = 1e-3;
+  // Safety cap on the number of extracted permutations.
+  int max_terms = 64;
+};
+
+class BvnDecomposition {
+ public:
+  // weights: nc*nc row-major nonnegative matrix; the diagonal is ignored
+  // (forced to zero). Every off-diagonal entry must be positive — mix with
+  // a uniform floor first (mix_with_uniform) if the demand has zeros, so
+  // that every clique pair retains some bandwidth and SORN's single
+  // inter-hop routing stays complete.
+  static BvnDecomposition compute(const std::vector<double>& weights,
+                                  CliqueId nc, BvnOptions options = {});
+
+  const std::vector<BvnTerm>& terms() const { return terms_; }
+  CliqueId clique_count() const { return nc_; }
+
+  // Sum of coefficients (<= 1; shortfall is the residual the tolerance
+  // allowed).
+  double total_coefficient() const;
+
+  // Reconstruct sum(coeff * perm) as a matrix, for testing.
+  std::vector<double> reconstruct() const;
+
+ private:
+  BvnDecomposition(CliqueId nc, std::vector<BvnTerm> terms)
+      : nc_(nc), terms_(std::move(terms)) {}
+
+  CliqueId nc_;
+  std::vector<BvnTerm> terms_;
+};
+
+// (1 - alpha) * uniform-off-diagonal + alpha * weights, rescaled so rows
+// are comparable. alpha in [0, 1); smaller alpha = closer to uniform.
+std::vector<double> mix_with_uniform(const std::vector<double>& weights,
+                                     CliqueId nc, double alpha);
+
+}  // namespace sorn

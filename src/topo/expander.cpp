@@ -1,0 +1,86 @@
+#include "topo/expander.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/assert.h"
+
+namespace sorn {
+
+Expander::Expander(std::vector<std::vector<NodeId>> adj)
+    : n_(static_cast<NodeId>(adj.size())), adj_(std::move(adj)) {}
+
+Expander Expander::random_regular(NodeId n, int degree, Rng& rng) {
+  SORN_ASSERT(n >= 2, "expander needs at least two nodes");
+  SORN_ASSERT(degree >= 1, "degree must be positive");
+  std::vector<std::vector<NodeId>> adj(static_cast<std::size_t>(n));
+  for (int d = 0; d < degree; ++d) {
+    // Random permutation; repair fixed points by swapping with a neighbor
+    // position so the matching is fixed-point free.
+    std::vector<NodeId> perm(static_cast<std::size_t>(n));
+    for (NodeId i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+    rng.shuffle(perm);
+    for (NodeId i = 0; i < n; ++i) {
+      if (perm[static_cast<std::size_t>(i)] == i) {
+        const auto j = static_cast<std::size_t>((i + 1) % n);
+        std::swap(perm[static_cast<std::size_t>(i)], perm[j]);
+      }
+    }
+    for (NodeId i = 0; i < n; ++i) {
+      const NodeId j = perm[static_cast<std::size_t>(i)];
+      if (j == i) continue;  // possible residual self-map when n == 1 only
+      auto& nbrs = adj[static_cast<std::size_t>(i)];
+      if (std::find(nbrs.begin(), nbrs.end(), j) == nbrs.end())
+        nbrs.push_back(j);
+    }
+  }
+  return Expander(std::move(adj));
+}
+
+std::vector<NodeId> Expander::shortest_path(NodeId src, NodeId dst) const {
+  if (src == dst) return {src};
+  std::vector<NodeId> parent(static_cast<std::size_t>(n_), kNoNode);
+  std::queue<NodeId> frontier;
+  frontier.push(src);
+  parent[static_cast<std::size_t>(src)] = src;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const NodeId v : neighbors(u)) {
+      if (parent[static_cast<std::size_t>(v)] != kNoNode) continue;
+      parent[static_cast<std::size_t>(v)] = u;
+      if (v == dst) {
+        std::vector<NodeId> path{dst};
+        for (NodeId w = dst; w != src; w = parent[static_cast<std::size_t>(w)])
+          path.push_back(parent[static_cast<std::size_t>(w)]);
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push(v);
+    }
+  }
+  return {};
+}
+
+int Expander::diameter() const {
+  int diam = 0;
+  for (NodeId s = 0; s < n_; ++s) {
+    std::vector<int> dist(static_cast<std::size_t>(n_), -1);
+    std::queue<NodeId> frontier;
+    frontier.push(s);
+    dist[static_cast<std::size_t>(s)] = 0;
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      for (const NodeId v : neighbors(u)) {
+        if (dist[static_cast<std::size_t>(v)] != -1) continue;
+        dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
+        diam = std::max(diam, dist[static_cast<std::size_t>(v)]);
+        frontier.push(v);
+      }
+    }
+  }
+  return diam;
+}
+
+}  // namespace sorn

@@ -1,0 +1,38 @@
+// Random regular expander graphs, used as the Opera-like baseline topology
+// (union of u rotating matchings) and by the failure blast-radius bench.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace sorn {
+
+class Expander {
+ public:
+  // Union of `degree` random fixed-point-free matchings over n nodes
+  // (parallel edges merged). This is the standard construction Opera uses
+  // for its per-instant topology.
+  static Expander random_regular(NodeId n, int degree, Rng& rng);
+
+  NodeId node_count() const { return n_; }
+  const std::vector<NodeId>& neighbors(NodeId node) const {
+    return adj_[static_cast<std::size_t>(node)];
+  }
+
+  // BFS shortest path from src to dst (inclusive of both endpoints).
+  // Empty when unreachable.
+  std::vector<NodeId> shortest_path(NodeId src, NodeId dst) const;
+
+  // Graph diameter (max over BFS from every node); intended for small n.
+  int diameter() const;
+
+ private:
+  explicit Expander(std::vector<std::vector<NodeId>> adj);
+
+  NodeId n_;
+  std::vector<std::vector<NodeId>> adj_;
+};
+
+}  // namespace sorn

@@ -1,0 +1,25 @@
+#include "topo/hierarchy.h"
+
+#include "util/assert.h"
+
+namespace sorn {
+
+Hierarchy Hierarchy::regular(NodeId nodes, CliqueId clusters,
+                             CliqueId pods_per_cluster) {
+  SORN_ASSERT(clusters >= 1 && pods_per_cluster >= 1,
+              "hierarchy dimensions must be positive");
+  const CliqueId total_pods = clusters * pods_per_cluster;
+  SORN_ASSERT(nodes % total_pods == 0,
+              "nodes must divide evenly into pods");
+  return Hierarchy(nodes, clusters, pods_per_cluster, nodes / total_pods);
+}
+
+CliqueAssignment Hierarchy::pods() const {
+  return CliqueAssignment::contiguous(nodes_, pod_count());
+}
+
+CliqueAssignment Hierarchy::clusters() const {
+  return CliqueAssignment::contiguous(nodes_, clusters_);
+}
+
+}  // namespace sorn

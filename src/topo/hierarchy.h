@@ -1,0 +1,76 @@
+// Two-level spatial hierarchy: pods of nodes grouped into clusters.
+//
+// Paper Sec. 3: "Machines or racks in a datacenter are usually arranged
+// into a spatial hierarchy of pods, clusters, or blocks"; Sec. 6 suggests
+// extending SORN across the levels ("a node participates in independent
+// schedules on each hierarchical level"). This type captures a *regular*
+// two-level hierarchy — equal pod sizes and equal pods per cluster — which
+// is what the hierarchical schedule builder requires.
+#pragma once
+
+#include "topo/clique.h"
+#include "util/types.h"
+
+namespace sorn {
+
+// Demand shares per hierarchy level (computed by traffic/patterns.h's
+// hier_locality, which lives above the topo layer).
+struct HierLocality {
+  double pod = 0.0;      // x1: same-pod share of demand
+  double cluster = 0.0;  // x2: same-cluster, different-pod share
+  double global() const { return 1.0 - pod - cluster; }  // x3
+};
+
+class Hierarchy {
+ public:
+  // nodes split into `clusters` clusters of `pods_per_cluster` pods each;
+  // nodes must divide evenly.
+  static Hierarchy regular(NodeId nodes, CliqueId clusters,
+                           CliqueId pods_per_cluster);
+
+  NodeId node_count() const { return nodes_; }
+  CliqueId cluster_count() const { return clusters_; }
+  CliqueId pods_per_cluster() const { return pods_per_cluster_; }
+  CliqueId pod_count() const { return clusters_ * pods_per_cluster_; }
+  NodeId pod_size() const { return pod_size_; }
+  NodeId cluster_size() const { return pod_size_ * pods_per_cluster_; }
+
+  CliqueId pod_of(NodeId node) const { return node / pod_size_; }
+  CliqueId cluster_of(NodeId node) const {
+    return pod_of(node) / pods_per_cluster_;
+  }
+  NodeId index_in_pod(NodeId node) const { return node % pod_size_; }
+  // Position of the node within its cluster (pod-major order).
+  NodeId position_in_cluster(NodeId node) const {
+    return node % cluster_size();
+  }
+  NodeId node_at(CliqueId cluster, NodeId position) const {
+    return cluster * cluster_size() + position;
+  }
+
+  bool same_pod(NodeId a, NodeId b) const { return pod_of(a) == pod_of(b); }
+  bool same_cluster(NodeId a, NodeId b) const {
+    return cluster_of(a) == cluster_of(b);
+  }
+
+  // The pod-level grouping as a CliqueAssignment (for reuse of flat-SORN
+  // machinery and metrics).
+  CliqueAssignment pods() const;
+  // The cluster-level grouping.
+  CliqueAssignment clusters() const;
+
+ private:
+  Hierarchy(NodeId nodes, CliqueId clusters, CliqueId pods_per_cluster,
+            NodeId pod_size)
+      : nodes_(nodes),
+        clusters_(clusters),
+        pods_per_cluster_(pods_per_cluster),
+        pod_size_(pod_size) {}
+
+  NodeId nodes_;
+  CliqueId clusters_;
+  CliqueId pods_per_cluster_;
+  NodeId pod_size_;
+};
+
+}  // namespace sorn

@@ -1,0 +1,55 @@
+#include "topo/logical_topology.h"
+
+#include "util/assert.h"
+
+namespace sorn {
+
+LogicalTopology::LogicalTopology(const CircuitSchedule& schedule)
+    : n_(schedule.node_count()),
+      frac_(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_), 0.0) {
+  const double per_slot = 1.0 / static_cast<double>(schedule.period());
+  for (Slot t = 0; t < schedule.period(); ++t) {
+    const Matching& m = schedule.matching_at(t);
+    for (NodeId i = 0; i < n_; ++i) {
+      if (m.is_idle(i)) continue;
+      frac_[static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) +
+            static_cast<std::size_t>(m.dst_of(i))] += per_slot;
+    }
+  }
+}
+
+NodeId LogicalTopology::degree(NodeId node) const {
+  NodeId deg = 0;
+  for (NodeId j = 0; j < n_; ++j)
+    if (j != node && edge_fraction(node, j) > 0.0) ++deg;
+  return deg;
+}
+
+double LogicalTopology::intra_fraction(NodeId node,
+                                       const CliqueAssignment& cliques) const {
+  double total = 0.0;
+  for (NodeId j = 0; j < n_; ++j)
+    if (j != node && cliques.same_clique(node, j))
+      total += edge_fraction(node, j);
+  return total;
+}
+
+double LogicalTopology::inter_fraction(NodeId node,
+                                       const CliqueAssignment& cliques) const {
+  double total = 0.0;
+  for (NodeId j = 0; j < n_; ++j)
+    if (!cliques.same_clique(node, j)) total += edge_fraction(node, j);
+  return total;
+}
+
+double LogicalTopology::clique_bandwidth(CliqueId a, CliqueId b,
+                                         const CliqueAssignment& cliques) const {
+  SORN_ASSERT(cliques.node_count() == n_, "assignment size mismatch");
+  double total = 0.0;
+  for (const NodeId i : cliques.members(a))
+    for (const NodeId j : cliques.members(b))
+      if (i != j) total += edge_fraction(i, j);
+  return total / static_cast<double>(cliques.clique_size(a));
+}
+
+}  // namespace sorn

@@ -1,0 +1,44 @@
+// The logical topology a schedule emulates: the virtual-edge bandwidth graph.
+//
+// A circuit present in fraction l of slots is a virtual edge of bandwidth
+// b*l (paper Sec. 4). This class materializes those fractions for analysis,
+// tests (Fig. 2d/e), and the failure blast-radius experiment.
+#pragma once
+
+#include <vector>
+
+#include "topo/clique.h"
+#include "topo/schedule.h"
+
+namespace sorn {
+
+class LogicalTopology {
+ public:
+  explicit LogicalTopology(const CircuitSchedule& schedule);
+
+  NodeId node_count() const { return n_; }
+
+  // Fraction of node bandwidth on the virtual edge src -> dst.
+  double edge_fraction(NodeId src, NodeId dst) const {
+    return frac_[static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
+                 static_cast<std::size_t>(dst)];
+  }
+
+  // Out-degree in the virtual graph (number of distinct neighbors).
+  NodeId degree(NodeId node) const;
+
+  // Total bandwidth fraction node spends inside / outside its clique.
+  double intra_fraction(NodeId node, const CliqueAssignment& cliques) const;
+  double inter_fraction(NodeId node, const CliqueAssignment& cliques) const;
+
+  // Aggregate bandwidth fraction from clique a to clique b (sum of member
+  // edge fractions, normalized by clique size: per-node average).
+  double clique_bandwidth(CliqueId a, CliqueId b,
+                          const CliqueAssignment& cliques) const;
+
+ private:
+  NodeId n_;
+  std::vector<double> frac_;
+};
+
+}  // namespace sorn

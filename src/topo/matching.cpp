@@ -1,0 +1,46 @@
+#include "topo/matching.h"
+
+#include "util/assert.h"
+
+namespace sorn {
+
+Matching::Matching(std::vector<NodeId> dst_map) : dst_(std::move(dst_map)) {
+  const auto n = static_cast<NodeId>(dst_.size());
+  inv_.assign(dst_.size(), kNoNode);
+  for (NodeId i = 0; i < n; ++i) {
+    const NodeId d = dst_[static_cast<std::size_t>(i)];
+    SORN_ASSERT(d >= 0 && d < n, "matching destination out of range");
+    SORN_ASSERT(inv_[static_cast<std::size_t>(d)] == kNoNode,
+                "matching destination map is not a permutation");
+    inv_[static_cast<std::size_t>(d)] = i;
+  }
+}
+
+Matching Matching::idle(NodeId n) {
+  std::vector<NodeId> m(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) m[static_cast<std::size_t>(i)] = i;
+  return Matching(std::move(m));
+}
+
+Matching Matching::cyclic_shift(NodeId n, NodeId k) {
+  SORN_ASSERT(n > 0, "matching size must be positive");
+  std::vector<NodeId> m(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i)
+    m[static_cast<std::size_t>(i)] = static_cast<NodeId>((i + k) % n);
+  return Matching(std::move(m));
+}
+
+bool Matching::is_perfect() const {
+  for (NodeId i = 0; i < size(); ++i)
+    if (is_idle(i)) return false;
+  return true;
+}
+
+NodeId Matching::active_circuits() const {
+  NodeId active = 0;
+  for (NodeId i = 0; i < size(); ++i)
+    if (!is_idle(i)) ++active;
+  return active;
+}
+
+}  // namespace sorn

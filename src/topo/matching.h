@@ -1,0 +1,50 @@
+// A matching: the circuit configuration of the OCS layer for one time slot.
+//
+// Following the paper's abstraction (Fig. 2a-b), the optical layer realizes a
+// permutation: in a given slot, node i transmits to exactly one node
+// dst(i), and each node receives from exactly one node. A node mapped to
+// itself is idle in that slot (no circuit); physical OCS ports are never
+// looped back, so self-maps model unused slots.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.h"
+
+namespace sorn {
+
+class Matching {
+ public:
+  Matching() = default;
+
+  // Takes the destination map: dst_map[i] is where node i transmits.
+  // Aborts if dst_map is not a permutation.
+  explicit Matching(std::vector<NodeId> dst_map);
+
+  // Identity matching of n nodes: every node idle.
+  static Matching idle(NodeId n);
+
+  // Cyclic shift by k: i -> (i + k) mod n. The AWGR wavelength family.
+  static Matching cyclic_shift(NodeId n, NodeId k);
+
+  NodeId size() const { return static_cast<NodeId>(dst_.size()); }
+  NodeId dst_of(NodeId src) const { return dst_[static_cast<std::size_t>(src)]; }
+  NodeId src_of(NodeId dst) const { return inv_[static_cast<std::size_t>(dst)]; }
+  bool is_idle(NodeId node) const { return dst_of(node) == node; }
+
+  // True when no node is idle (a perfect matching of transmitters to
+  // receivers).
+  bool is_perfect() const;
+
+  // Number of non-idle circuits.
+  NodeId active_circuits() const;
+
+  bool operator==(const Matching& other) const { return dst_ == other.dst_; }
+
+ private:
+  std::vector<NodeId> dst_;
+  std::vector<NodeId> inv_;
+};
+
+}  // namespace sorn

@@ -1,0 +1,45 @@
+#include "topo/matching_set.h"
+
+#include "util/assert.h"
+
+namespace sorn {
+
+MatchingSet MatchingSet::awgr_family(NodeId n) {
+  std::vector<Matching> family;
+  family.reserve(static_cast<std::size_t>(n) - 1);
+  for (NodeId k = 1; k < n; ++k) family.push_back(Matching::cyclic_shift(n, k));
+  return MatchingSet(std::move(family));
+}
+
+MatchingSet::MatchingSet(std::vector<Matching> matchings)
+    : matchings_(std::move(matchings)) {
+  SORN_ASSERT(!matchings_.empty(), "matching set must be nonempty");
+  n_ = matchings_.front().size();
+  for (const auto& m : matchings_)
+    SORN_ASSERT(m.size() == n_, "all matchings must have the same node count");
+}
+
+std::optional<std::size_t> MatchingSet::find(const Matching& m) const {
+  for (std::size_t i = 0; i < matchings_.size(); ++i)
+    if (matchings_[i] == m) return i;
+  return std::nullopt;
+}
+
+bool MatchingSet::covers_all_pairs() const {
+  std::vector<bool> covered(static_cast<std::size_t>(n_) *
+                            static_cast<std::size_t>(n_));
+  for (const auto& m : matchings_)
+    for (NodeId i = 0; i < n_; ++i)
+      if (!m.is_idle(i))
+        covered[static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) +
+                static_cast<std::size_t>(m.dst_of(i))] = true;
+  for (NodeId i = 0; i < n_; ++i)
+    for (NodeId j = 0; j < n_; ++j)
+      if (i != j && !covered[static_cast<std::size_t>(i) *
+                                 static_cast<std::size_t>(n_) +
+                             static_cast<std::size_t>(j)])
+        return false;
+  return true;
+}
+
+}  // namespace sorn

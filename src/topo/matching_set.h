@@ -1,0 +1,45 @@
+// The set of matchings a physical OCS setup can realize.
+//
+// A wavelength-selective OCS (AWGR, as in Sirius and Fig. 2a of the paper)
+// offers one matching per wavelength: lambda_k realizes the cyclic shift
+// i -> (i + k) mod N. A schedule may only use matchings from the set the
+// hardware provides; ScheduleBuilder validates against this.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "topo/matching.h"
+
+namespace sorn {
+
+class MatchingSet {
+ public:
+  // The AWGR wavelength family: shifts k = 1 .. n-1 (k = 0 would be a
+  // loopback and is excluded). This family suffices to realize any
+  // circulant logical topology, including all SORN clique schedules over
+  // contiguous equal cliques.
+  static MatchingSet awgr_family(NodeId n);
+
+  // An arbitrary explicit set (e.g. a crossbar OCS with precomputed
+  // configurations).
+  explicit MatchingSet(std::vector<Matching> matchings);
+
+  NodeId node_count() const { return n_; }
+  std::size_t size() const { return matchings_.size(); }
+  const Matching& at(std::size_t i) const { return matchings_[i]; }
+
+  // Index of the given matching in the set, if present.
+  std::optional<std::size_t> find(const Matching& m) const;
+
+  // True when every (src, dst) pair with src != dst is covered by some
+  // matching — the precondition for full logical flexibility (paper Sec. 5,
+  // "Expressivity").
+  bool covers_all_pairs() const;
+
+ private:
+  NodeId n_ = 0;
+  std::vector<Matching> matchings_;
+};
+
+}  // namespace sorn

@@ -1,0 +1,32 @@
+#include "traffic/arrivals.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace sorn {
+
+FlowArrivals::FlowArrivals(const TrafficMatrix* tm, const FlowSizeDist* sizes,
+                           double node_bandwidth_bps, double load, Rng rng)
+    : tm_(tm), sizes_(sizes), rng_(rng) {
+  SORN_ASSERT(tm_ != nullptr && sizes_ != nullptr, "null workload inputs");
+  SORN_ASSERT(load > 0.0, "load must be positive");
+  SORN_ASSERT(node_bandwidth_bps > 0.0, "bandwidth must be positive");
+  // Target aggregate byte rate: load * N * b / 8 bytes per second. Flow
+  // rate lambda = byte_rate / mean_flow_size; mean gap = 1 / lambda.
+  const double byte_rate = load * static_cast<double>(tm_->node_count()) *
+                           node_bandwidth_bps / 8.0;
+  const double lambda = byte_rate / sizes_->mean_bytes();
+  const double gap_seconds = 1.0 / lambda;
+  mean_gap_ = static_cast<Picoseconds>(std::llround(gap_seconds * 1e12));
+  SORN_ASSERT(mean_gap_ > 0, "arrival rate too high for picosecond clock");
+}
+
+FlowArrival FlowArrivals::next() {
+  now_ += static_cast<Picoseconds>(std::llround(
+      rng_.next_exponential(static_cast<double>(mean_gap_))));
+  const auto [src, dst] = tm_->sample_pair(rng_);
+  return FlowArrival{now_, src, dst, sizes_->sample(rng_)};
+}
+
+}  // namespace sorn

@@ -1,0 +1,46 @@
+// Open-loop flow arrival processes.
+//
+// FlowArrivals turns a (traffic matrix, flow-size distribution, target
+// load) triple into a Poisson stream of flows: inter-arrival times are
+// exponential with rate chosen so the injected byte rate equals
+// load * N * node_bandwidth, and (src, dst) pairs are drawn proportionally
+// to the matrix.
+#pragma once
+
+#include <cstdint>
+
+#include "traffic/flow_size.h"
+#include "traffic/traffic_matrix.h"
+#include "util/time.h"
+
+namespace sorn {
+
+struct FlowArrival {
+  Picoseconds time = 0;
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint64_t bytes = 0;
+};
+
+class FlowArrivals {
+ public:
+  // node_bandwidth_bps: per-node aggregate bandwidth b in bits/second.
+  // load in (0, +inf): 1.0 offers exactly the aggregate network capacity.
+  FlowArrivals(const TrafficMatrix* tm, const FlowSizeDist* sizes,
+               double node_bandwidth_bps, double load, Rng rng);
+
+  // Next flow in arrival order; times are strictly nondecreasing.
+  FlowArrival next();
+
+  // Mean flow inter-arrival time implied by the calibration.
+  Picoseconds mean_interarrival() const { return mean_gap_; }
+
+ private:
+  const TrafficMatrix* tm_;
+  const FlowSizeDist* sizes_;
+  Picoseconds mean_gap_;
+  Picoseconds now_ = 0;
+  Rng rng_;
+};
+
+}  // namespace sorn

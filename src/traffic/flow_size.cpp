@@ -1,0 +1,118 @@
+#include "traffic/flow_size.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace sorn {
+
+FlowSizeDist::FlowSizeDist(std::string name,
+                           std::vector<std::pair<double, double>> cdf_points)
+    : name_(std::move(name)), points_(std::move(cdf_points)) {
+  SORN_ASSERT(points_.size() >= 2, "CDF needs at least two points");
+  for (std::size_t i = 0; i + 1 < points_.size(); ++i) {
+    SORN_ASSERT(points_[i].first < points_[i + 1].first,
+                "CDF sizes must be strictly increasing");
+    SORN_ASSERT(points_[i].second <= points_[i + 1].second,
+                "CDF probabilities must be nondecreasing");
+  }
+  SORN_ASSERT(points_.front().second >= 0.0 &&
+                  std::abs(points_.back().second - 1.0) < 1e-9,
+              "CDF must end at probability 1");
+}
+
+FlowSizeDist FlowSizeDist::fixed(std::uint64_t bytes) {
+  const auto b = static_cast<double>(bytes);
+  return FlowSizeDist("fixed", {{b - 0.5, 0.0}, {b, 1.0}});
+}
+
+// Piecewise approximations of pFabric Fig. 4 (sizes in bytes). The web
+// search curve concentrates flows between 10 KB and 30 MB; the data mining
+// curve has ~80% of flows under 10 KB with a tail reaching 1 GB.
+FlowSizeDist FlowSizeDist::pfabric_web_search() {
+  return FlowSizeDist("pfabric-web-search",
+                      {{6e3, 0.0},
+                       {10e3, 0.15},
+                       {13e3, 0.2},
+                       {19e3, 0.3},
+                       {33e3, 0.4},
+                       {53e3, 0.53},
+                       {133e3, 0.6},
+                       {667e3, 0.7},
+                       {1.333e6, 0.8},
+                       {4e6, 0.9},
+                       {8e6, 0.97},
+                       {30e6, 1.0}});
+}
+
+FlowSizeDist FlowSizeDist::pfabric_data_mining() {
+  return FlowSizeDist("pfabric-data-mining",
+                      {{100.0, 0.0},
+                       {180.0, 0.1},
+                       {250.0, 0.2},
+                       {560.0, 0.3},
+                       {900.0, 0.4},
+                       {1.1e3, 0.5},
+                       {1.87e3, 0.6},
+                       {3.16e3, 0.7},
+                       {10e3, 0.8},
+                       {400e3, 0.9},
+                       {3.16e6, 0.95},
+                       {100e6, 0.98},
+                       {1e9, 1.0}});
+}
+
+std::uint64_t FlowSizeDist::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  // Find the segment [p_i, p_{i+1}] containing u and interpolate sizes
+  // log-linearly (flow sizes span many decades).
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), u,
+      [](const std::pair<double, double>& p, double v) { return p.second < v; });
+  if (it == points_.begin()) {
+    return static_cast<std::uint64_t>(std::max(1.0, it->first));
+  }
+  if (it == points_.end()) --it;
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  const double span = hi.second - lo.second;
+  const double frac = span > 0.0 ? (u - lo.second) / span : 0.0;
+  const double log_size =
+      std::log(lo.first) + frac * (std::log(hi.first) - std::log(lo.first));
+  return static_cast<std::uint64_t>(
+      std::max<long long>(1, std::llround(std::exp(log_size))));
+}
+
+double FlowSizeDist::mean_bytes() const {
+  // Integrate size over the CDF segments using the log-linear
+  // interpolation's expected value per segment, approximated by the
+  // geometric midpoint (adequate for workload calibration).
+  double mean = 0.0;
+  for (std::size_t i = 0; i + 1 < points_.size(); ++i) {
+    const double p = points_[i + 1].second - points_[i].second;
+    const double mid =
+        std::exp(0.5 * (std::log(points_[i].first) +
+                        std::log(points_[i + 1].first)));
+    mean += p * mid;
+  }
+  mean += points_.front().second * points_.front().first;
+  return mean;
+}
+
+double FlowSizeDist::cdf(double bytes) const {
+  if (bytes <= points_.front().first) return points_.front().second;
+  if (bytes >= points_.back().first) return 1.0;
+  for (std::size_t i = 0; i + 1 < points_.size(); ++i) {
+    if (bytes <= points_[i + 1].first) {
+      const double flo = std::log(points_[i].first);
+      const double fhi = std::log(points_[i + 1].first);
+      const double frac = (std::log(bytes) - flo) / (fhi - flo);
+      return points_[i].second +
+             frac * (points_[i + 1].second - points_[i].second);
+    }
+  }
+  return 1.0;
+}
+
+}  // namespace sorn

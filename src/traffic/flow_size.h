@@ -1,0 +1,58 @@
+// Flow-size distributions.
+//
+// The paper's Fig. 2(f) simulation uses "real-world traffic [2]" — the
+// pFabric workloads (Alizadeh et al., SIGCOMM'13). We reproduce the two
+// published empirical CDFs (web search, from the DCTCP production cluster;
+// data mining, from a large cluster running mining jobs) as piecewise
+// log-linear interpolations of their Fig. 4 curves. Both are heavy-tailed:
+// most flows are small while most bytes come from large flows, which is
+// what stresses the load-balancing hop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sorn {
+
+class FlowSizeDist {
+ public:
+  // Empirical CDF given as (size_bytes, cumulative_probability) points.
+  // Points must be strictly increasing in both coordinates, start with
+  // probability >= 0 and end with probability 1.
+  FlowSizeDist(std::string name,
+               std::vector<std::pair<double, double>> cdf_points);
+
+  // All flows the same size.
+  static FlowSizeDist fixed(std::uint64_t bytes);
+
+  // pFabric web-search workload (DCTCP cluster), mean ~1.6 MB.
+  static FlowSizeDist pfabric_web_search();
+
+  // pFabric data-mining workload, mean ~7.4 MB; >95% of bytes in flows
+  // larger than 35 MB.
+  static FlowSizeDist pfabric_data_mining();
+
+  const std::string& name() const { return name_; }
+
+  // Sample a flow size in bytes (>= 1).
+  std::uint64_t sample(Rng& rng) const;
+
+  // Analytic mean of the interpolated distribution, in bytes.
+  double mean_bytes() const;
+
+  // Value of the interpolated CDF at the given size.
+  double cdf(double bytes) const;
+
+  // Fraction of flows no larger than `bytes` — alias of cdf, kept for
+  // readability at call sites reasoning about "short flow share".
+  double short_flow_share(double bytes) const { return cdf(bytes); }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<double, double>> points_;  // (bytes, cum prob)
+};
+
+}  // namespace sorn

@@ -1,0 +1,188 @@
+#include "traffic/patterns.h"
+
+#include "util/assert.h"
+
+namespace sorn {
+namespace patterns {
+
+TrafficMatrix uniform(NodeId n) {
+  TrafficMatrix tm(n);
+  for (NodeId i = 0; i < n; ++i)
+    for (NodeId j = 0; j < n; ++j)
+      if (i != j) tm.set(i, j, 1.0);
+  tm.normalize_node_load();
+  return tm;
+}
+
+TrafficMatrix locality_mix(const CliqueAssignment& cliques, double x) {
+  SORN_ASSERT(x >= 0.0 && x <= 1.0, "locality ratio must be in [0,1]");
+  const NodeId n = cliques.node_count();
+  TrafficMatrix tm(n);
+  for (NodeId i = 0; i < n; ++i) {
+    const CliqueId c = cliques.clique_of(i);
+    const NodeId in_clique = cliques.clique_size(c) - 1;
+    const NodeId out_clique = n - cliques.clique_size(c);
+    // A singleton clique has no intra peers; all demand goes inter.
+    const double intra_share = in_clique > 0 ? x : 0.0;
+    const double inter_share = out_clique > 0 ? 1.0 - intra_share : 0.0;
+    for (NodeId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (cliques.same_clique(i, j)) {
+        tm.set(i, j, intra_share / static_cast<double>(in_clique));
+      } else {
+        tm.set(i, j, inter_share / static_cast<double>(out_clique));
+      }
+    }
+  }
+  tm.normalize_node_load();
+  return tm;
+}
+
+TrafficMatrix permutation(NodeId n, Rng& rng) {
+  SORN_ASSERT(n >= 2, "permutation needs at least two nodes");
+  std::vector<NodeId> perm(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(perm);
+  // Repair fixed points so every node sends to a distinct other node.
+  for (NodeId i = 0; i < n; ++i) {
+    if (perm[static_cast<std::size_t>(i)] == i) {
+      const auto j = static_cast<std::size_t>((i + 1) % n);
+      std::swap(perm[static_cast<std::size_t>(i)], perm[j]);
+    }
+  }
+  TrafficMatrix tm(n);
+  for (NodeId i = 0; i < n; ++i)
+    tm.set(i, perm[static_cast<std::size_t>(i)], 1.0);
+  return tm;
+}
+
+TrafficMatrix hotspot(NodeId n, NodeId hot_count, double hot_factor,
+                      Rng& rng) {
+  SORN_ASSERT(hot_factor >= 1.0, "hot factor must be at least 1");
+  TrafficMatrix tm = uniform(n);
+  for (NodeId h = 0; h < hot_count; ++h) {
+    const auto i = static_cast<NodeId>(rng.next_below(
+        static_cast<std::uint64_t>(n)));
+    auto j = static_cast<NodeId>(rng.next_below(
+        static_cast<std::uint64_t>(n)));
+    if (j == i) j = static_cast<NodeId>((j + 1) % n);
+    tm.set(i, j, tm.at(i, j) * hot_factor);
+  }
+  tm.normalize_node_load();
+  return tm;
+}
+
+TrafficMatrix gravity(const CliqueAssignment& cliques,
+                      const std::vector<double>& clique_weight) {
+  SORN_ASSERT(clique_weight.size() ==
+                  static_cast<std::size_t>(cliques.clique_count()),
+              "one weight per clique required");
+  const NodeId n = cliques.node_count();
+  TrafficMatrix tm(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double w =
+          clique_weight[static_cast<std::size_t>(cliques.clique_of(i))] *
+          clique_weight[static_cast<std::size_t>(cliques.clique_of(j))];
+      const double pairs =
+          static_cast<double>(cliques.clique_size(cliques.clique_of(i))) *
+          static_cast<double>(cliques.clique_size(cliques.clique_of(j)));
+      tm.set(i, j, w / pairs);
+    }
+  }
+  tm.normalize_node_load();
+  return tm;
+}
+
+TrafficMatrix clique_ring(const CliqueAssignment& cliques, double x,
+                          double heavy_share) {
+  SORN_ASSERT(x >= 0.0 && x < 1.0, "locality must be in [0,1)");
+  SORN_ASSERT(heavy_share >= 0.0 && heavy_share <= 1.0,
+              "heavy share must be in [0,1]");
+  SORN_ASSERT(cliques.equal_sized(), "clique_ring needs equal cliques");
+  const NodeId n = cliques.node_count();
+  const CliqueId nc = cliques.clique_count();
+  SORN_ASSERT(nc >= 3, "clique_ring needs at least three cliques");
+  const NodeId s = cliques.clique_size(0);
+  TrafficMatrix tm(n);
+  for (NodeId i = 0; i < n; ++i) {
+    const CliqueId c = cliques.clique_of(i);
+    const CliqueId next = static_cast<CliqueId>((c + 1) % nc);
+    // Intra share.
+    if (s >= 2) {
+      for (const NodeId j : cliques.members(c))
+        if (j != i) tm.set(i, j, x / static_cast<double>(s - 1));
+    }
+    const double inter = s >= 2 ? 1.0 - x : 1.0;
+    // Heavy share to the next clique.
+    for (const NodeId j : cliques.members(next))
+      tm.set(i, j, inter * heavy_share / static_cast<double>(s));
+    // The rest spread over the remaining cliques.
+    const double rest = inter * (1.0 - heavy_share);
+    const double per_node =
+        rest / static_cast<double>((nc - 2) * s);
+    for (CliqueId other = 0; other < nc; ++other) {
+      if (other == c || other == next) continue;
+      for (const NodeId j : cliques.members(other)) tm.set(i, j, per_node);
+    }
+  }
+  tm.normalize_node_load();
+  return tm;
+}
+
+TrafficMatrix hier_locality_mix(const Hierarchy& h, double x1, double x2) {
+  SORN_ASSERT(x1 >= 0.0 && x2 >= 0.0 && x1 + x2 <= 1.0 + 1e-12,
+              "locality shares must be a sub-distribution");
+  const NodeId n = h.node_count();
+  TrafficMatrix tm(n);
+  const NodeId pod_peers = h.pod_size() - 1;
+  const NodeId cluster_peers = h.cluster_size() - h.pod_size();
+  const NodeId global_peers = n - h.cluster_size();
+  for (NodeId i = 0; i < n; ++i) {
+    const double pod_share = pod_peers > 0 ? x1 : 0.0;
+    const double cluster_share = cluster_peers > 0 ? x2 : 0.0;
+    double global_share = global_peers > 0 ? 1.0 - pod_share - cluster_share
+                                           : 0.0;
+    if (global_share < 0.0) global_share = 0.0;
+    for (NodeId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (h.same_pod(i, j)) {
+        tm.set(i, j, pod_share / static_cast<double>(pod_peers));
+      } else if (h.same_cluster(i, j)) {
+        tm.set(i, j, cluster_share / static_cast<double>(cluster_peers));
+      } else {
+        tm.set(i, j, global_share / static_cast<double>(global_peers));
+      }
+    }
+  }
+  tm.normalize_node_load();
+  return tm;
+}
+
+HierLocality hier_locality(const Hierarchy& h, const TrafficMatrix& tm) {
+  SORN_ASSERT(tm.node_count() == h.node_count(), "size mismatch");
+  double pod = 0.0;
+  double cluster = 0.0;
+  double all = 0.0;
+  for (NodeId i = 0; i < h.node_count(); ++i) {
+    for (NodeId j = 0; j < h.node_count(); ++j) {
+      const double d = tm.at(i, j);
+      all += d;
+      if (h.same_pod(i, j)) {
+        pod += d;
+      } else if (h.same_cluster(i, j)) {
+        cluster += d;
+      }
+    }
+  }
+  HierLocality loc;
+  if (all > 0.0) {
+    loc.pod = pod / all;
+    loc.cluster = cluster / all;
+  }
+  return loc;
+}
+
+}  // namespace patterns
+}  // namespace sorn

@@ -1,0 +1,59 @@
+// Generators for the traffic patterns the paper discusses (Sec. 3):
+// uniform all-to-all, locality mixes with a target intra-clique ratio x,
+// gravity models between cliques, permutations and hotspots.
+#pragma once
+
+#include "topo/clique.h"
+#include "topo/hierarchy.h"
+#include "traffic/traffic_matrix.h"
+#include "util/rng.h"
+
+namespace sorn {
+namespace patterns {
+
+// Uniform all-to-all: every ordered pair gets equal demand; normalized so
+// the busiest node sends/receives at rate 1.
+TrafficMatrix uniform(NodeId n);
+
+// Locality mix: fraction x of each node's demand is spread uniformly over
+// its own clique, the remaining 1-x uniformly over all other cliques
+// (paper Sec. 4's analysis workload). Cliques of size 1 put all demand
+// inter-clique regardless of x.
+TrafficMatrix locality_mix(const CliqueAssignment& cliques, double x);
+
+// Random permutation: each node sends its full rate to one distinct node.
+// The classic ORN worst case.
+TrafficMatrix permutation(NodeId n, Rng& rng);
+
+// Hotspot: uniform background plus `hot_count` node pairs elevated by
+// `hot_factor`.
+TrafficMatrix hotspot(NodeId n, NodeId hot_count, double hot_factor, Rng& rng);
+
+// Gravity model over cliques: clique-to-clique demand proportional to
+// weight[a] * weight[b]; spread uniformly over member pairs. Models the
+// stable aggregated matrices reported for Jupiter (paper Sec. 3).
+TrafficMatrix gravity(const CliqueAssignment& cliques,
+                      const std::vector<double>& clique_weight);
+
+// Clique ring: fraction x of each node's demand stays in its clique; of
+// the inter share, `heavy_share` goes to the next clique (c+1 mod Nc) and
+// the rest spreads uniformly over the remaining cliques. Node loads stay
+// perfectly balanced while the clique-pair structure is strongly skewed —
+// the regime where non-uniform inter-clique bandwidth (weighted
+// schedules, paper Sec. 5) pays off. Requires equal cliques, Nc >= 3.
+TrafficMatrix clique_ring(const CliqueAssignment& cliques, double x,
+                          double heavy_share);
+
+// Two-level locality mix: fraction x1 of each node's demand spread over
+// its pod, x2 over the rest of its cluster, and 1 - x1 - x2 over other
+// clusters (uniformly within each scope). The hierarchical analogue of
+// locality_mix.
+TrafficMatrix hier_locality_mix(const Hierarchy& hierarchy, double x1,
+                                double x2);
+
+// Demand shares per hierarchy level of an arbitrary matrix.
+HierLocality hier_locality(const Hierarchy& hierarchy,
+                           const TrafficMatrix& tm);
+
+}  // namespace patterns
+}  // namespace sorn

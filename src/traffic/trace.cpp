@@ -1,0 +1,122 @@
+#include "traffic/trace.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace sorn {
+
+const char* service_role_name(ServiceRole role) {
+  switch (role) {
+    case ServiceRole::kWeb:
+      return "web";
+    case ServiceRole::kCache:
+      return "cache";
+    case ServiceRole::kHadoop:
+      return "hadoop";
+    case ServiceRole::kStorage:
+      return "storage";
+  }
+  return "unknown";
+}
+
+double role_affinity(ServiceRole from, ServiceRole to) {
+  // Rows: from; columns: to. Qualitative shape from Roy et al. [23]:
+  // web <-> cache dominates, hadoop is self-affine (cluster-local
+  // shuffles), storage exchanges moderately with everyone.
+  static constexpr double kAffinity[kServiceRoleCount][kServiceRoleCount] = {
+      //            web   cache hadoop storage
+      /* web    */ {0.2, 1.0, 0.05, 0.3},
+      /* cache  */ {0.8, 0.3, 0.05, 0.4},
+      /* hadoop */ {0.05, 0.05, 1.0, 0.5},
+      /* storage*/ {0.3, 0.4, 0.5, 0.2},
+  };
+  return kAffinity[static_cast<int>(from)][static_cast<int>(to)];
+}
+
+double role_diurnal_activity(ServiceRole role, double phase) {
+  SORN_ASSERT(phase >= 0.0 && phase < 1.0, "phase must be in [0,1)");
+  // Day factor peaks at phase 0.5 (midday), range [0, 1].
+  const double day =
+      0.5 - 0.5 * std::cos(2.0 * 3.14159265358979323846 * phase);
+  switch (role) {
+    case ServiceRole::kWeb:
+      return 0.4 + 0.8 * day;
+    case ServiceRole::kCache:
+      return 0.5 + 0.7 * day;
+    case ServiceRole::kHadoop:
+      return 1.2 - 0.8 * day;  // batch runs at night
+    case ServiceRole::kStorage:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+void SyntheticTrace::set_phase(double phase01) {
+  SORN_ASSERT(phase01 >= 0.0 && phase01 < 1.0, "phase must be in [0,1)");
+  phase_ = phase01;
+}
+
+SyntheticTrace::SyntheticTrace(Config config)
+    : config_(config), rng_(config.seed) {
+  SORN_ASSERT(config_.nodes > 0 && config_.group_size > 0,
+              "trace needs positive node and group sizes");
+  SORN_ASSERT(config_.nodes % config_.group_size == 0,
+              "nodes must divide into equal groups");
+  const NodeId groups = group_count();
+  roles_.resize(static_cast<std::size_t>(groups));
+  for (NodeId g = 0; g < groups; ++g)
+    roles_[static_cast<std::size_t>(g)] =
+        static_cast<ServiceRole>(g % kServiceRoleCount);
+  group_of_node_.resize(static_cast<std::size_t>(config_.nodes));
+  for (NodeId i = 0; i < config_.nodes; ++i)
+    group_of_node_[static_cast<std::size_t>(i)] = i / config_.group_size;
+}
+
+TrafficMatrix SyntheticTrace::macro_matrix() const {
+  const NodeId n = config_.nodes;
+  TrafficMatrix tm(n);
+  for (NodeId i = 0; i < n; ++i) {
+    const NodeId gi = group_of_node(i);
+    for (NodeId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const NodeId gj = group_of_node(j);
+      double d = role_affinity(role_of_group(gi), role_of_group(gj)) *
+                 role_diurnal_activity(role_of_group(gi), phase_) *
+                 role_diurnal_activity(role_of_group(gj), phase_);
+      if (gi == gj) d *= config_.colocation_boost;
+      tm.set(i, j, d);
+    }
+  }
+  tm.normalize_node_load();
+  return tm;
+}
+
+TrafficMatrix SyntheticTrace::epoch_matrix() {
+  TrafficMatrix tm = macro_matrix();
+  if (config_.burst_sigma > 0.0) {
+    const NodeId n = config_.nodes;
+    for (NodeId i = 0; i < n; ++i) {
+      for (NodeId j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double noise =
+            std::exp(config_.burst_sigma * rng_.next_normal() -
+                     0.5 * config_.burst_sigma * config_.burst_sigma);
+        tm.set(i, j, tm.at(i, j) * noise);
+      }
+    }
+    tm.normalize_node_load();
+  }
+  return tm;
+}
+
+void SyntheticTrace::shuffle_roles() { rng_.shuffle(roles_); }
+
+void SyntheticTrace::shuffle_placement() { rng_.shuffle(group_of_node_); }
+
+CliqueAssignment SyntheticTrace::ground_truth_cliques() const {
+  std::vector<CliqueId> map(group_of_node_.begin(), group_of_node_.end());
+  return CliqueAssignment(std::move(map));
+}
+
+}  // namespace sorn

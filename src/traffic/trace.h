@@ -1,0 +1,102 @@
+// Synthetic production-style trace generator.
+//
+// Substitute for the Facebook datacenter trace of [23] (see DESIGN.md):
+// machines have service roles (web, cache, hadoop, ...) grouped by cluster,
+// role-pair affinities define a *stable macro* traffic structure, and a
+// bursty multiplicative noise term makes individual node pairs
+// unpredictable — exactly the regime the paper argues for: macro patterns
+// predictable, micro patterns not.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topo/clique.h"
+#include "traffic/traffic_matrix.h"
+#include "util/rng.h"
+
+namespace sorn {
+
+enum class ServiceRole : int {
+  kWeb = 0,
+  kCache = 1,
+  kHadoop = 2,
+  kStorage = 3,
+};
+constexpr int kServiceRoleCount = 4;
+
+const char* service_role_name(ServiceRole role);
+
+// Affinity of traffic from one role to another, per Roy et al.'s
+// qualitative description: web talks mostly to cache, hadoop is
+// rack/cluster-local, storage serves everyone moderately.
+double role_affinity(ServiceRole from, ServiceRole to);
+
+// Diurnal activity of a role at time-of-day `phase` in [0, 1) (0 =
+// midnight). User-facing services (web, cache) peak during the day;
+// batch (hadoop) fills the night; storage is flat. Paper Sec. 6 lists
+// diurnal utilization as another exploitable structural pattern.
+double role_diurnal_activity(ServiceRole role, double phase);
+
+class SyntheticTrace {
+ public:
+  struct Config {
+    NodeId nodes = 128;
+    // One role per node group of `group_size` consecutive nodes.
+    NodeId group_size = 16;
+    // Burst noise: per-pair demand is multiplied by a lognormal factor
+    // with this sigma each epoch. 0 disables micro noise.
+    double burst_sigma = 0.6;
+    // Extra weight for same-group pairs (spatial co-location of a
+    // service's machines).
+    double colocation_boost = 4.0;
+    std::uint64_t seed = 1;
+  };
+
+  explicit SyntheticTrace(Config config);
+
+  NodeId node_count() const { return config_.nodes; }
+  NodeId group_count() const { return config_.nodes / config_.group_size; }
+  ServiceRole role_of_group(NodeId group) const {
+    return roles_[static_cast<std::size_t>(group)];
+  }
+
+  // Time of day in [0, 1) applied to macro_matrix()/epoch_matrix() via
+  // per-role diurnal activity. Default 0.5 (midday-equivalent mix).
+  void set_phase(double phase01);
+  double phase() const { return phase_; }
+
+  // The stable macro matrix: role affinities + co-location + diurnal
+  // activity at the current phase, no burst noise. Repeated calls return
+  // the same matrix.
+  TrafficMatrix macro_matrix() const;
+
+  // One epoch's observed matrix: macro matrix with fresh burst noise.
+  TrafficMatrix epoch_matrix();
+
+  // Re-draw group roles (models a workload-mix shift: which services are
+  // popular changes, machine placement does not).
+  void shuffle_roles();
+
+  // Re-place nodes across groups (models job migration / re-scheduling:
+  // which machines are co-located changes). This is the shift that
+  // invalidates an existing clique assignment.
+  void shuffle_placement();
+
+  // Group of an individual node under the current placement.
+  NodeId group_of_node(NodeId node) const {
+    return group_of_node_[static_cast<std::size_t>(node)];
+  }
+
+  // Grouping of nodes implied by the trace (the "ground truth" cliques).
+  CliqueAssignment ground_truth_cliques() const;
+
+ private:
+  Config config_;
+  std::vector<ServiceRole> roles_;
+  std::vector<NodeId> group_of_node_;
+  double phase_ = 0.5;
+  Rng rng_;
+};
+
+}  // namespace sorn

@@ -1,0 +1,64 @@
+// Dense traffic matrices and their macro-scale aggregates.
+//
+// tm(i, j) is the demand rate from node i to node j, as a fraction of node
+// bandwidth. The control plane never optimizes for the raw matrix (the
+// paper argues that is unpredictable); it consumes the two macro statistics
+// implemented here: the locality ratio x and the clique-aggregated matrix
+// (paper Sec. 3).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topo/clique.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace sorn {
+
+class TrafficMatrix {
+ public:
+  explicit TrafficMatrix(NodeId n);
+
+  NodeId node_count() const { return n_; }
+
+  double at(NodeId src, NodeId dst) const { return demand_[index(src, dst)]; }
+  void set(NodeId src, NodeId dst, double rate);
+  void add(NodeId src, NodeId dst, double rate);
+
+  double total() const;
+  double row_sum(NodeId src) const;
+  double col_sum(NodeId dst) const;
+  // Max over nodes of max(row_sum, col_sum): the load the busiest node
+  // must carry; normalizing by it makes the matrix admissible at rate 1.
+  double max_node_load() const;
+
+  // Scale all entries by the given factor.
+  void scale(double factor);
+  // Scale so that max_node_load() == target (no-op on an all-zero matrix).
+  void normalize_node_load(double target = 1.0);
+
+  // Fraction of total demand that stays within a clique (the paper's x).
+  double locality_ratio(const CliqueAssignment& cliques) const;
+
+  // Clique-level aggregate: entry (a, b) sums demand from clique a to b.
+  std::vector<double> aggregate(const CliqueAssignment& cliques) const;
+
+  // Draw a (src, dst) pair with probability proportional to demand.
+  // Requires total() > 0.
+  std::pair<NodeId, NodeId> sample_pair(Rng& rng) const;
+
+ private:
+  std::size_t index(NodeId src, NodeId dst) const {
+    return static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(dst);
+  }
+
+  NodeId n_;
+  std::vector<double> demand_;
+  // Cached prefix sums for sample_pair; rebuilt lazily after mutation.
+  mutable std::vector<double> cdf_;
+  mutable bool cdf_valid_ = false;
+};
+
+}  // namespace sorn

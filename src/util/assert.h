@@ -1,0 +1,18 @@
+// Checked assertions that stay on in release builds.
+//
+// Simulator correctness depends on invariants (perfect matchings, conserved
+// cells) that are cheap to verify relative to the cost of silently producing
+// wrong experiment numbers, so SORN_ASSERT is always compiled in.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define SORN_ASSERT(cond, msg)                                               \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "SORN_ASSERT failed at %s:%d: %s\n  %s\n",        \
+                   __FILE__, __LINE__, #cond, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)

@@ -1,0 +1,32 @@
+// Simulation time representation.
+//
+// All network timing is kept in integer picoseconds to avoid floating-point
+// drift when accumulating per-slot delays over long runs. A slot-synchronous
+// network additionally counts whole slots (Slot).
+#pragma once
+
+#include <cstdint>
+
+namespace sorn {
+
+// Absolute or relative simulated time in picoseconds.
+using Picoseconds = std::int64_t;
+
+// Index of a time slot in a slot-synchronous schedule.
+using Slot = std::int64_t;
+
+constexpr Picoseconds operator""_ns(unsigned long long v) {
+  return static_cast<Picoseconds>(v) * 1000;
+}
+constexpr Picoseconds operator""_us(unsigned long long v) {
+  return static_cast<Picoseconds>(v) * 1000 * 1000;
+}
+constexpr Picoseconds operator""_ms(unsigned long long v) {
+  return static_cast<Picoseconds>(v) * 1000 * 1000 * 1000;
+}
+
+constexpr double to_ns(Picoseconds t) { return static_cast<double>(t) / 1e3; }
+constexpr double to_us(Picoseconds t) { return static_cast<double>(t) / 1e6; }
+constexpr double to_ms(Picoseconds t) { return static_cast<double>(t) / 1e9; }
+
+}  // namespace sorn

@@ -1,0 +1,17 @@
+// Shared identifier types.
+#pragma once
+
+#include <cstdint>
+
+namespace sorn {
+
+// Index of a network node (ToR switch or end-host) in [0, N).
+using NodeId = std::int32_t;
+
+// Index of a clique (macro-scale node group) in [0, Nc).
+using CliqueId = std::int32_t;
+
+// Sentinel for "no node" / idle circuit.
+constexpr NodeId kNoNode = -1;
+
+}  // namespace sorn

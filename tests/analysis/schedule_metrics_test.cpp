@@ -1,0 +1,97 @@
+// Validates the analytic delta_m formulas against gaps measured on real
+// schedules — the built Bresenham interleave must realize the even-spread
+// assumption the paper's Sec. 4 analysis makes.
+#include "analysis/schedule_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/schedule_builder.h"
+#include "analysis/models.h"
+
+namespace sorn {
+namespace analysis {
+namespace {
+
+TEST(ScheduleMetricsTest, RoundRobinGapIsPeriod) {
+  const CircuitSchedule s = ScheduleBuilder::round_robin(8);
+  // Every circuit appears exactly once per period of 7.
+  EXPECT_EQ(max_circuit_gap(s, 0, 3), 7);
+  EXPECT_EQ(max_circuit_gap(s, 5, 2), 7);
+}
+
+TEST(ScheduleMetricsTest, MissingCircuitReportsMinusOne) {
+  std::vector<Matching> slots{Matching::cyclic_shift(4, 1)};
+  const CircuitSchedule s(std::move(slots));
+  EXPECT_EQ(max_circuit_gap(s, 0, 2), -1);
+  EXPECT_EQ(max_circuit_gap(s, 0, 0), -1);  // self circuit never counts
+}
+
+TEST(ScheduleMetricsTest, CliqueGapShorterThanCircuitGap) {
+  // Reaching *some* node of a clique is much more frequent than reaching
+  // one specific node.
+  const auto cliques = CliqueAssignment::contiguous(16, 2);
+  const CircuitSchedule s = ScheduleBuilder::sorn(cliques, Rational{3, 1});
+  const Slot any = max_clique_gap(s, cliques, 0, 1);
+  const Slot specific = max_circuit_gap(s, 0, 12);
+  ASSERT_GT(any, 0);
+  ASSERT_GT(specific, 0);
+  EXPECT_LT(any, specific);
+}
+
+struct Case {
+  NodeId n;
+  CliqueId nc;
+  Rational q;
+};
+
+class MeasuredDeltaM : public ::testing::TestWithParam<Case> {};
+
+TEST_P(MeasuredDeltaM, IntraGapTracksAnalyticFormula) {
+  const auto& c = GetParam();
+  const auto cliques = CliqueAssignment::contiguous(c.n, c.nc);
+  const CircuitSchedule s = ScheduleBuilder::sorn(cliques, c.q);
+  const double analytic = sorn_delta_m_intra(c.n, c.nc, c.q.value());
+  const double measured = measured_delta_m_intra(s, cliques);
+  // The interleave cannot beat the analytic bound by much, and should not
+  // exceed it by more than the rounding granularity of the interleave.
+  EXPECT_GE(measured, analytic * 0.8) << "suspiciously good interleave";
+  EXPECT_LE(measured, analytic + c.q.value() + 2.0)
+      << "interleave too uneven";
+}
+
+TEST_P(MeasuredDeltaM, InterWaitBoundedByTextFormula) {
+  const auto& c = GetParam();
+  const auto cliques = CliqueAssignment::contiguous(c.n, c.nc);
+  const CircuitSchedule s = ScheduleBuilder::sorn(cliques, c.q);
+  const GapStats inter = inter_gap_stats(s, cliques);
+  // The inter hop waits for any circuit to the target clique. Its worst
+  // wait is at most (q+1)(Nc-1) slots (the body-text accounting), within
+  // interleave rounding.
+  const double bound = (c.q.value() + 1.0) * (c.nc - 1);
+  EXPECT_LE(static_cast<double>(inter.worst), bound + c.q.value() + 2.0);
+  EXPECT_GT(inter.worst, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MeasuredDeltaM,
+    ::testing::Values(Case{8, 2, {3, 1}}, Case{16, 4, {2, 1}},
+                      Case{32, 4, {4, 1}}, Case{32, 8, {9, 2}},
+                      Case{64, 8, {50, 11}}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return "N" + std::to_string(info.param.n) + "_Nc" +
+             std::to_string(info.param.nc) + "_q" +
+             std::to_string(info.param.q.num) + "over" +
+             std::to_string(info.param.q.den);
+    });
+
+TEST(ScheduleMetricsTest, MeasuredInterCombinesBothHops) {
+  const auto cliques = CliqueAssignment::contiguous(16, 4);
+  const CircuitSchedule s = ScheduleBuilder::sorn(cliques, Rational{2, 1});
+  EXPECT_EQ(measured_delta_m_inter(s, cliques),
+            static_cast<double>(inter_gap_stats(s, cliques).worst +
+                                intra_gap_stats(s, cliques).worst));
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace sorn

@@ -1,0 +1,44 @@
+#include <gtest/gtest.h>
+
+#include "analysis/models.h"
+
+namespace sorn {
+namespace analysis {
+namespace {
+
+TEST(SyncOverheadTest, GuardGrowsLogarithmically) {
+  const double g1 = sync_guard_ns(5.0, 3.0, 64);
+  const double g2 = sync_guard_ns(5.0, 3.0, 128);
+  EXPECT_NEAR(g2 - g1, 3.0, 1e-9);  // one doubling = one per-level term
+  EXPECT_NEAR(sync_guard_ns(5.0, 3.0, 1), 5.0, 1e-9);
+}
+
+TEST(SyncOverheadTest, EfficiencyBounds) {
+  EXPECT_DOUBLE_EQ(slot_efficiency(100.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(slot_efficiency(100.0, 25.0), 0.75);
+  EXPECT_DOUBLE_EQ(slot_efficiency(100.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(slot_efficiency(100.0, 150.0), 0.0);
+}
+
+TEST(SyncOverheadTest, SmallerDomainsAlwaysWin) {
+  for (NodeId domain : {2, 16, 256, 4096}) {
+    EXPECT_LT(sync_guard_ns(5.0, 3.0, domain),
+              sync_guard_ns(5.0, 3.0, domain * 2));
+  }
+}
+
+// The paper's qualitative claim: at datacenter scale and small slots, the
+// guard penalty hits a flat fabric harder than a modular one.
+TEST(SyncOverheadTest, ModularityBeatsFlatAtScale) {
+  const NodeId n = 65536;
+  const CliqueId nc = 256;
+  const double slot = 50.0;
+  const double flat = slot_efficiency(slot, sync_guard_ns(5.0, 3.0, n));
+  const double modular =
+      slot_efficiency(slot, sync_guard_ns(5.0, 3.0, n / nc));
+  EXPECT_GT(modular, flat + 0.1);
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace sorn

@@ -1,0 +1,87 @@
+#include "control/clustering.h"
+
+#include <gtest/gtest.h>
+
+#include "traffic/patterns.h"
+#include "util/rng.h"
+
+namespace sorn {
+namespace {
+
+// Build a locality-mix matrix over a "hidden" non-contiguous grouping and
+// check the clusterer recovers it.
+TEST(ClusteringTest, RecoversPlantedCliques) {
+  // Hidden grouping: node i belongs to clique i % 4 (interleaved).
+  std::vector<CliqueId> hidden(32);
+  for (NodeId i = 0; i < 32; ++i) hidden[static_cast<std::size_t>(i)] = i % 4;
+  const CliqueAssignment truth(hidden);
+  const TrafficMatrix tm = patterns::locality_mix(truth, 0.8);
+
+  const CliqueClusterer clusterer;
+  const CliqueAssignment found = clusterer.cluster(tm, 4);
+  // Recovered locality should match the planted 0.8 (clique labels may
+  // permute; locality ratio is label-invariant).
+  EXPECT_NEAR(tm.locality_ratio(found), 0.8, 1e-9);
+}
+
+TEST(ClusteringTest, ProducesBalancedCliques) {
+  Rng rng(5);
+  TrafficMatrix tm(24);
+  for (NodeId i = 0; i < 24; ++i)
+    for (NodeId j = 0; j < 24; ++j)
+      if (i != j) tm.set(i, j, rng.next_double());
+  const CliqueClusterer clusterer;
+  const CliqueAssignment found = clusterer.cluster(tm, 6);
+  EXPECT_EQ(found.clique_count(), 6);
+  EXPECT_TRUE(found.equal_sized());
+  EXPECT_EQ(found.clique_size(0), 4);
+}
+
+TEST(ClusteringTest, BeatsContiguousOnShuffledTraffic) {
+  // Traffic is local under an interleaved grouping; the naive contiguous
+  // grouping sees almost none of it.
+  std::vector<CliqueId> hidden(32);
+  for (NodeId i = 0; i < 32; ++i) hidden[static_cast<std::size_t>(i)] = i % 4;
+  const CliqueAssignment truth(hidden);
+  const TrafficMatrix tm = patterns::locality_mix(truth, 0.7);
+
+  const double naive =
+      tm.locality_ratio(CliqueAssignment::contiguous(32, 4));
+  const CliqueClusterer clusterer;
+  const double clustered =
+      tm.locality_ratio(clusterer.cluster(tm, 4));
+  EXPECT_GT(clustered, naive + 0.3);
+}
+
+TEST(ClusteringTest, UniformTrafficStillBalanced) {
+  // No structure to find: result must still be a valid balanced
+  // assignment (the paper: "even in the absence of traffic locality, the
+  // network can still be optimized accordingly").
+  const TrafficMatrix tm = patterns::uniform(16);
+  const CliqueClusterer clusterer;
+  const CliqueAssignment found = clusterer.cluster(tm, 4);
+  EXPECT_TRUE(found.equal_sized());
+}
+
+TEST(ClusteringTest, ObjectiveIsLocalityRatio) {
+  const auto cliques = CliqueAssignment::contiguous(8, 2);
+  const TrafficMatrix tm = patterns::locality_mix(cliques, 0.6);
+  EXPECT_NEAR(CliqueClusterer::objective(tm, cliques), 0.6, 1e-9);
+}
+
+TEST(ClusteringTest, SingleCliqueIsTrivial) {
+  const TrafficMatrix tm = patterns::uniform(8);
+  const CliqueClusterer clusterer;
+  const CliqueAssignment found = clusterer.cluster(tm, 1);
+  EXPECT_EQ(found.clique_count(), 1);
+  EXPECT_DOUBLE_EQ(tm.locality_ratio(found), 1.0);
+}
+
+TEST(ClusteringTest, RejectsIndivisibleCounts) {
+  const TrafficMatrix tm = patterns::uniform(10);
+  const CliqueClusterer clusterer;
+  EXPECT_DEATH(clusterer.cluster(tm, 4), "equal cliques");
+}
+
+}  // namespace
+}  // namespace sorn

@@ -1,0 +1,87 @@
+#include "control/control_plane.h"
+
+#include <gtest/gtest.h>
+
+#include "routing/vlb.h"
+#include "topo/schedule_builder.h"
+#include "traffic/trace.h"
+
+namespace sorn {
+namespace {
+
+ControlPlane::Options test_options() {
+  ControlPlane::Options opts;
+  opts.optimizer.candidate_nc = {4, 8};
+  opts.replan_threshold = 0.3;
+  return opts;
+}
+
+TEST(ControlPlaneTest, FirstEpochAlwaysPlans) {
+  SyntheticTrace::Config cfg;
+  cfg.nodes = 32;
+  cfg.group_size = 8;
+  SyntheticTrace trace(cfg);
+  ControlPlane cp(32, test_options());
+  EXPECT_TRUE(cp.on_epoch(trace.epoch_matrix(), 0));
+  EXPECT_EQ(cp.replans(), 1u);
+  EXPECT_TRUE(cp.reconfig().swap_pending());
+}
+
+TEST(ControlPlaneTest, StableEpochsDoNotReplan) {
+  SyntheticTrace::Config cfg;
+  cfg.nodes = 32;
+  cfg.group_size = 8;
+  cfg.burst_sigma = 0.3;
+  SyntheticTrace trace(cfg);
+  ControlPlane cp(32, test_options());
+  cp.on_epoch(trace.epoch_matrix(), 0);
+  int replans = 0;
+  for (int e = 1; e <= 6; ++e)
+    if (cp.on_epoch(trace.epoch_matrix(), e * 100)) ++replans;
+  EXPECT_EQ(replans, 0);
+}
+
+TEST(ControlPlaneTest, WorkloadShiftTriggersReplan) {
+  SyntheticTrace::Config cfg;
+  cfg.nodes = 32;
+  cfg.group_size = 8;
+  cfg.burst_sigma = 0.2;
+  cfg.seed = 9;
+  SyntheticTrace trace(cfg);
+  ControlPlane::Options opts = test_options();
+  opts.replan_threshold = 0.4;
+  ControlPlane cp(32, opts);
+  cp.on_epoch(trace.epoch_matrix(), 0);
+  cp.on_epoch(trace.epoch_matrix(), 100);
+  trace.shuffle_roles();
+  bool replanned = false;
+  for (int e = 2; e < 5 && !replanned; ++e)
+    replanned = cp.on_epoch(trace.epoch_matrix(), e * 100);
+  EXPECT_TRUE(replanned);
+  EXPECT_GE(cp.replans(), 2u);
+}
+
+TEST(ControlPlaneTest, EndToEndSwapIntoNetwork) {
+  SyntheticTrace::Config cfg;
+  cfg.nodes = 32;
+  cfg.group_size = 8;
+  SyntheticTrace trace(cfg);
+
+  const CircuitSchedule initial = ScheduleBuilder::round_robin(32);
+  const VlbRouter vlb(&initial, LbMode::kRandom);
+  NetworkConfig netcfg;
+  netcfg.propagation_per_hop = 0;
+  SlottedNetwork net(&initial, &vlb, netcfg);
+
+  ControlPlane cp(32, test_options());
+  cp.on_epoch(trace.epoch_matrix(), net.now());
+  EXPECT_TRUE(cp.tick(net, net.now()));
+  // The plan's locality should reflect the trace's planted structure.
+  EXPECT_GT(cp.last_plan().locality_x, 0.2);
+  net.inject_cell(0, 31);
+  net.run(200);
+  EXPECT_EQ(net.metrics().delivered_cells(), 1u);
+}
+
+}  // namespace
+}  // namespace sorn

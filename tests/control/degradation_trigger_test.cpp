@@ -1,0 +1,82 @@
+// The control plane's second re-planning trigger: plan-quality
+// degradation. Even when epoch-to-epoch aggregates look steady (macro
+// change below threshold), a plan whose assumed locality has evaporated
+// must be replaced.
+#include <gtest/gtest.h>
+
+#include "control/control_plane.h"
+#include "traffic/patterns.h"
+
+namespace sorn {
+namespace {
+
+ControlPlane::Options options(double replan_threshold,
+                              double degradation) {
+  ControlPlane::Options opts;
+  opts.optimizer.candidate_nc = {4};
+  opts.replan_threshold = replan_threshold;
+  opts.locality_degradation = degradation;
+  return opts;
+}
+
+TEST(DegradationTriggerTest, GradualDriftEventuallyReplans) {
+  // The pattern drifts slowly from grouping A to grouping B: each epoch's
+  // macro change is small (below the change threshold), but the plan's
+  // locality decays until the degradation trigger fires.
+  const auto group_a = CliqueAssignment::contiguous(32, 4);
+  std::vector<CliqueId> interleaved(32);
+  for (NodeId i = 0; i < 32; ++i)
+    interleaved[static_cast<std::size_t>(i)] = i % 4;
+  const CliqueAssignment group_b(interleaved);
+  const TrafficMatrix tm_a = patterns::locality_mix(group_a, 0.8);
+  const TrafficMatrix tm_b = patterns::locality_mix(group_b, 0.8);
+
+  // High macro-change threshold: only the degradation trigger can fire.
+  ControlPlane cp(32, options(/*replan_threshold=*/10.0,
+                              /*degradation=*/0.2));
+  cp.on_epoch(tm_a, 0);
+  EXPECT_EQ(cp.replans(), 1u);
+  const double planned_locality = cp.last_plan().locality_x;
+  EXPECT_NEAR(planned_locality, 0.8, 0.05);
+
+  bool replanned = false;
+  for (int e = 1; e <= 12 && !replanned; ++e) {
+    const double w = std::min(1.0, e / 8.0);  // drift A -> B
+    TrafficMatrix blend(32);
+    for (NodeId i = 0; i < 32; ++i)
+      for (NodeId j = 0; j < 32; ++j)
+        if (i != j)
+          blend.set(i, j, (1.0 - w) * tm_a.at(i, j) + w * tm_b.at(i, j));
+    replanned = cp.on_epoch(blend, e);
+  }
+  EXPECT_TRUE(replanned);
+  EXPECT_EQ(cp.replans(), 2u);
+  // The new plan recovers locality on the drifted pattern.
+  EXPECT_GT(cp.last_plan().locality_x, 0.5);
+}
+
+TEST(DegradationTriggerTest, HealthyPlanNeverDegrades) {
+  const auto cliques = CliqueAssignment::contiguous(32, 4);
+  const TrafficMatrix tm = patterns::locality_mix(cliques, 0.7);
+  ControlPlane cp(32, options(10.0, 0.15));
+  cp.on_epoch(tm, 0);
+  for (int e = 1; e <= 8; ++e) EXPECT_FALSE(cp.on_epoch(tm, e));
+  EXPECT_EQ(cp.replans(), 1u);
+}
+
+TEST(DegradationTriggerTest, DisabledWithLargeMargin) {
+  // With a huge degradation margin the trigger cannot fire even on a
+  // complete shift (and the macro threshold is set high too).
+  const auto group_a = CliqueAssignment::contiguous(32, 4);
+  std::vector<CliqueId> interleaved(32);
+  for (NodeId i = 0; i < 32; ++i)
+    interleaved[static_cast<std::size_t>(i)] = i % 4;
+  const CliqueAssignment group_b(interleaved);
+  ControlPlane cp(32, options(10.0, 5.0));
+  cp.on_epoch(patterns::locality_mix(group_a, 0.8), 0);
+  for (int e = 1; e <= 5; ++e)
+    EXPECT_FALSE(cp.on_epoch(patterns::locality_mix(group_b, 0.8), e));
+}
+
+}  // namespace
+}  // namespace sorn

@@ -1,0 +1,80 @@
+#include "control/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "traffic/patterns.h"
+#include "traffic/trace.h"
+
+namespace sorn {
+namespace {
+
+TEST(EstimatorTest, FirstObservationIsAdoptedWholesale) {
+  TrafficEstimator est(8);
+  EXPECT_FALSE(est.has_estimate());
+  const TrafficMatrix tm = patterns::uniform(8);
+  est.observe(tm);
+  EXPECT_TRUE(est.has_estimate());
+  EXPECT_NEAR(est.estimate().at(0, 1), tm.at(0, 1), 1e-12);
+}
+
+TEST(EstimatorTest, EwmaConvergesToStationaryPattern) {
+  TrafficEstimator est(16, 0.5);
+  const auto cliques = CliqueAssignment::contiguous(16, 4);
+  const TrafficMatrix target = patterns::locality_mix(cliques, 0.7);
+  for (int i = 0; i < 20; ++i) est.observe(target);
+  EXPECT_NEAR(est.locality(cliques), 0.7, 1e-6);
+}
+
+TEST(EstimatorTest, MacroChangeLowForStableTraffic) {
+  SyntheticTrace::Config cfg;
+  cfg.nodes = 64;
+  cfg.group_size = 8;
+  SyntheticTrace trace(cfg);
+  TrafficEstimator est(64);
+  est.set_reference_grouping(trace.ground_truth_cliques());
+  est.observe(trace.epoch_matrix());
+  EXPECT_FALSE(est.macro_change().has_value());
+  double worst = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    est.observe(trace.epoch_matrix());
+    ASSERT_TRUE(est.macro_change().has_value());
+    worst = std::max(worst, *est.macro_change());
+  }
+  EXPECT_LT(worst, 0.35);  // bursty micro noise, stable macro pattern
+}
+
+TEST(EstimatorTest, MacroChangeSpikesOnWorkloadShift) {
+  SyntheticTrace::Config cfg;
+  cfg.nodes = 64;
+  cfg.group_size = 8;
+  cfg.seed = 3;
+  SyntheticTrace trace(cfg);
+  TrafficEstimator est(64);
+  est.set_reference_grouping(trace.ground_truth_cliques());
+  est.observe(trace.epoch_matrix());
+  est.observe(trace.epoch_matrix());
+  const double stable = est.macro_change().value();
+  // Shift the role layout: the clique-level aggregate jumps.
+  trace.shuffle_roles();
+  est.observe(trace.epoch_matrix());
+  const double shifted = est.macro_change().value();
+  EXPECT_GT(shifted, stable * 1.5);
+}
+
+TEST(EstimatorTest, ReferenceGroupingResetClearsHistory) {
+  TrafficEstimator est(8);
+  est.set_reference_grouping(CliqueAssignment::contiguous(8, 2));
+  est.observe(patterns::uniform(8));
+  est.observe(patterns::uniform(8));
+  EXPECT_TRUE(est.macro_change().has_value());
+  est.set_reference_grouping(CliqueAssignment::contiguous(8, 4));
+  EXPECT_FALSE(est.macro_change().has_value());
+}
+
+TEST(EstimatorTest, RejectsAlphaOutOfRange) {
+  EXPECT_DEATH(TrafficEstimator(4, 0.0), "EWMA");
+  EXPECT_DEATH(TrafficEstimator(4, 1.5), "EWMA");
+}
+
+}  // namespace
+}  // namespace sorn

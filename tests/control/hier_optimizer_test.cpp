@@ -1,0 +1,88 @@
+#include "control/hier_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "traffic/patterns.h"
+#include "util/rng.h"
+
+namespace sorn {
+namespace {
+
+TEST(PermuteMatrixTest, ReindexesEntries) {
+  TrafficMatrix tm(3);
+  tm.set(0, 1, 5.0);
+  tm.set(2, 0, 3.0);
+  const TrafficMatrix out = permute_matrix(tm, {2, 0, 1});
+  EXPECT_DOUBLE_EQ(out.at(2, 0), 5.0);
+  EXPECT_DOUBLE_EQ(out.at(1, 2), 3.0);
+  EXPECT_DOUBLE_EQ(out.total(), tm.total());
+}
+
+TEST(HierOptimizerTest, RecoversPlantedTwoLevelStructure) {
+  // Ground truth: regular 4x2x4 hierarchy with strong two-level locality,
+  // scrambled by a random node relabeling.
+  const NodeId n = 32;
+  const Hierarchy truth = Hierarchy::regular(n, 4, 2);
+  const TrafficMatrix clean = patterns::hier_locality_mix(truth, 0.55, 0.3);
+
+  Rng rng(13);
+  std::vector<NodeId> scramble(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) scramble[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(scramble);
+  const TrafficMatrix observed = permute_matrix(clean, scramble);
+
+  HierOptimizer::Options opts;
+  opts.clusters = 4;
+  opts.pods_per_cluster = 2;
+  const HierOptimizer optimizer(opts);
+  const HierPlan plan = optimizer.plan(observed);
+
+  EXPECT_NEAR(plan.x1, 0.55, 0.05);
+  EXPECT_NEAR(plan.x2, 0.3, 0.07);
+  EXPECT_NEAR(plan.predicted_throughput,
+              analysis::hier_throughput(plan.x1, plan.x2), 1e-12);
+}
+
+TEST(HierOptimizerTest, PositionsFormAPermutation) {
+  const TrafficMatrix tm = patterns::uniform(24);
+  HierOptimizer::Options opts;
+  opts.clusters = 3;
+  opts.pods_per_cluster = 2;
+  const HierOptimizer optimizer(opts);
+  const HierPlan plan = optimizer.plan(tm);
+  std::vector<bool> seen(24, false);
+  for (const NodeId pos : plan.position_of_node) {
+    ASSERT_GE(pos, 0);
+    ASSERT_LT(pos, 24);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(pos)]);
+    seen[static_cast<std::size_t>(pos)] = true;
+  }
+}
+
+TEST(HierOptimizerTest, SharesMatchLocality) {
+  const Hierarchy truth = Hierarchy::regular(32, 4, 2);
+  const TrafficMatrix tm = patterns::hier_locality_mix(truth, 0.5, 0.3);
+  HierOptimizer::Options opts;
+  opts.clusters = 4;
+  opts.pods_per_cluster = 2;
+  const HierOptimizer optimizer(opts);
+  const HierPlan plan = optimizer.plan(tm);
+  // Already in position space: the plan may relabel but the split is
+  // label-invariant.
+  const auto expected = analysis::hier_optimal_shares(plan.x1, plan.x2);
+  EXPECT_EQ(plan.shares.intra, expected.intra);
+  EXPECT_EQ(plan.shares.inter, expected.inter);
+  EXPECT_EQ(plan.shares.global, expected.global);
+}
+
+TEST(HierOptimizerTest, RejectsIndivisibleDimensions) {
+  const TrafficMatrix tm = patterns::uniform(30);
+  HierOptimizer::Options opts;
+  opts.clusters = 4;
+  opts.pods_per_cluster = 2;
+  const HierOptimizer optimizer(opts);
+  EXPECT_DEATH(optimizer.plan(tm), "divide evenly");
+}
+
+}  // namespace
+}  // namespace sorn

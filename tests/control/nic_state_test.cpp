@@ -1,0 +1,110 @@
+// NIC state banks and update rollout (paper Fig. 2(c), Sec. 5).
+#include "control/nic_state.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/schedule_builder.h"
+
+namespace sorn {
+namespace {
+
+TEST(NicStateTest, ActiveBankMirrorsSchedule) {
+  const CircuitSchedule rr = ScheduleBuilder::round_robin(8);
+  const NicState nic(3, rr);
+  EXPECT_EQ(nic.period(), rr.period());
+  for (Slot t = 0; t < rr.period(); ++t)
+    EXPECT_EQ(nic.dst_at(t), rr.dst_of(3, t));
+  EXPECT_EQ(nic.version(), 1u);
+}
+
+TEST(NicStateTest, StagingLeavesActiveUntouched) {
+  const CircuitSchedule rr = ScheduleBuilder::round_robin(8);
+  const auto cliques = CliqueAssignment::contiguous(8, 2);
+  const CircuitSchedule sorn_sched = ScheduleBuilder::sorn(cliques, {3, 1});
+  NicState nic(0, rr);
+  const std::size_t entries = nic.stage(sorn_sched);
+  EXPECT_EQ(entries, static_cast<std::size_t>(sorn_sched.period()));
+  EXPECT_TRUE(nic.has_staged());
+  // Still transmitting per the old schedule.
+  for (Slot t = 0; t < rr.period(); ++t)
+    EXPECT_EQ(nic.dst_at(t), rr.dst_of(0, t));
+}
+
+TEST(NicStateTest, CommitFlipsBanksAndBumpsVersion) {
+  const CircuitSchedule rr = ScheduleBuilder::round_robin(8);
+  const auto cliques = CliqueAssignment::contiguous(8, 2);
+  const CircuitSchedule sorn_sched = ScheduleBuilder::sorn(cliques, {3, 1});
+  NicState nic(5, rr);
+  nic.stage(sorn_sched);
+  nic.commit();
+  EXPECT_EQ(nic.version(), 2u);
+  EXPECT_FALSE(nic.has_staged());
+  for (Slot t = 0; t < sorn_sched.period(); ++t)
+    EXPECT_EQ(nic.dst_at(t), sorn_sched.dst_of(5, t));
+}
+
+TEST(NicStateTest, CommitWithoutStagingAborts) {
+  const CircuitSchedule rr = ScheduleBuilder::round_robin(4);
+  NicState nic(0, rr);
+  EXPECT_DEATH(nic.commit(), "staged");
+}
+
+TEST(NicStateTest, SornSwapsHaveEmptyDrainSet) {
+  // The paper's Sec. 5 claim: the fixed neighbor superset means schedule
+  // updates create no stranded queues.
+  const auto cliques_a = CliqueAssignment::contiguous(16, 4);
+  const auto cliques_b = CliqueAssignment::contiguous(16, 2);
+  const CircuitSchedule a = ScheduleBuilder::sorn(cliques_a, {2, 1});
+  const CircuitSchedule b = ScheduleBuilder::sorn(cliques_b, {5, 1});
+  for (NodeId i = 0; i < 16; ++i) {
+    NicState nic(i, a);
+    nic.stage(b);
+    EXPECT_TRUE(nic.drain_set().empty()) << "node " << i;
+  }
+}
+
+TEST(NicStateTest, DrainSetDetectsLostNeighbors) {
+  // Moving from full connectivity to a single-matching schedule strands
+  // every neighbor except one.
+  const CircuitSchedule rr = ScheduleBuilder::round_robin(8);
+  std::vector<Matching> single{Matching::cyclic_shift(8, 1)};
+  const CircuitSchedule narrow{std::move(single)};
+  NicState nic(0, rr);
+  nic.stage(narrow);
+  EXPECT_EQ(nic.drain_set().size(), 6u);  // keeps only neighbor 1
+}
+
+TEST(UpdateCoordinatorTest, RolloutSynchronizesVersions) {
+  const CircuitSchedule rr = ScheduleBuilder::round_robin(16);
+  const auto cliques = CliqueAssignment::contiguous(16, 4);
+  const CircuitSchedule next = ScheduleBuilder::sorn(cliques, {2, 1});
+  const UpdateCoordinator coordinator;
+  auto nics = coordinator.bootstrap(rr);
+  ASSERT_EQ(nics.size(), 16u);
+  const auto report = coordinator.roll_out(nics, next);
+  EXPECT_EQ(report.nodes, 16u);
+  EXPECT_EQ(report.total_entries,
+            16u * static_cast<std::size_t>(next.period()));
+  EXPECT_EQ(report.drain_neighbors_total, 0u);
+  for (const NicState& nic : nics) EXPECT_EQ(nic.version(), 2u);
+}
+
+TEST(UpdateCoordinatorTest, UpdateLatencyOnSecondsNotMicroseconds) {
+  // Sanity-check the paper's "within a few seconds" at scale: 4096 nodes,
+  // schedule period ~20k entries, 10 ns per entry + 50 us per node.
+  UpdateCoordinator::Options opts;
+  opts.per_entry_us = 0.01;
+  opts.per_node_us = 50.0;
+  const UpdateCoordinator coordinator(opts);
+  const auto cliques = CliqueAssignment::contiguous(128, 8);
+  const CircuitSchedule a = ScheduleBuilder::sorn(cliques, {2, 1});
+  const CircuitSchedule b = ScheduleBuilder::sorn(cliques, {5, 1});
+  auto nics = coordinator.bootstrap(a);
+  const auto report = coordinator.roll_out(nics, b);
+  // Staging dominates per node; total well under a second at this scale.
+  EXPECT_GT(report.total_update_us, opts.per_node_us);
+  EXPECT_LT(report.total_update_us, 1e6);
+}
+
+}  // namespace
+}  // namespace sorn

@@ -1,0 +1,63 @@
+#include "core/hier_sorn.h"
+
+#include <gtest/gtest.h>
+
+#include "traffic/patterns.h"
+
+namespace sorn {
+namespace {
+
+TEST(HierSornNetworkTest, BuildDerivesOptimalShares) {
+  HierSornConfig cfg;
+  cfg.nodes = 64;
+  cfg.clusters = 4;
+  cfg.pods_per_cluster = 4;
+  cfg.pod_locality_x1 = 0.5;
+  cfg.cluster_locality_x2 = 0.3;
+  const HierSornNetwork net = HierSornNetwork::build(cfg);
+  // Optimal ratio 2 : 0.5 : 0.2 (x3 = 0.2), scaled by 12: 24 : 6 : 2.
+  EXPECT_EQ(net.shares().intra, 24);
+  EXPECT_EQ(net.shares().inter, 6);
+  EXPECT_EQ(net.shares().global, 2);
+  EXPECT_NEAR(net.predicted_throughput(), 1.0 / 2.7, 1e-12);
+}
+
+TEST(HierSornNetworkTest, ExplicitSharesOverrideLocality) {
+  HierSornConfig cfg;
+  cfg.nodes = 16;
+  cfg.clusters = 2;
+  cfg.pods_per_cluster = 2;
+  cfg.shares = {4, 2, 1};
+  const HierSornNetwork net = HierSornNetwork::build(cfg);
+  EXPECT_EQ(net.shares().intra, 4);
+  EXPECT_EQ(net.shares().inter, 2);
+  EXPECT_EQ(net.shares().global, 1);
+}
+
+TEST(HierSornNetworkTest, DeltaMOrdering) {
+  HierSornConfig cfg;
+  cfg.nodes = 64;
+  cfg.clusters = 4;
+  cfg.pods_per_cluster = 4;
+  const HierSornNetwork net = HierSornNetwork::build(cfg);
+  EXPECT_LT(net.delta_m_pod(), net.delta_m_cluster());
+  EXPECT_LT(net.delta_m_cluster(), net.delta_m_global());
+}
+
+TEST(HierSornNetworkTest, SimulationDeliversAllClasses) {
+  HierSornConfig cfg;
+  cfg.nodes = 64;
+  cfg.clusters = 4;
+  cfg.pods_per_cluster = 4;
+  cfg.propagation_per_hop = 0;
+  const HierSornNetwork net = HierSornNetwork::build(cfg);
+  SlottedNetwork sim = net.make_network();
+  sim.inject_cell(0, 2);    // same pod
+  sim.inject_cell(0, 9);    // same cluster
+  sim.inject_cell(0, 40);   // cross cluster
+  sim.run(2000);
+  EXPECT_EQ(sim.metrics().delivered_cells(), 3u);
+}
+
+}  // namespace
+}  // namespace sorn

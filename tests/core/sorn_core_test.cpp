@@ -1,0 +1,115 @@
+#include "core/sorn.h"
+
+#include <gtest/gtest.h>
+
+#include "traffic/patterns.h"
+
+namespace sorn {
+namespace {
+
+TEST(SornNetworkTest, BuildDerivesOptimalQFromLocality) {
+  SornConfig cfg;
+  cfg.nodes = 32;
+  cfg.cliques = 4;
+  cfg.locality_x = 0.5;
+  const SornNetwork net = SornNetwork::build(cfg);
+  EXPECT_NEAR(net.q().value(), 4.0, 1e-9);
+  EXPECT_NEAR(net.predicted_throughput(), 0.4, 1e-9);
+}
+
+TEST(SornNetworkTest, ExplicitQOverridesLocality) {
+  SornConfig cfg;
+  cfg.nodes = 16;
+  cfg.cliques = 2;
+  cfg.locality_x = 0.5;
+  cfg.q = Rational{3, 1};
+  const SornNetwork net = SornNetwork::build(cfg);
+  EXPECT_DOUBLE_EQ(net.q().value(), 3.0);
+}
+
+TEST(SornNetworkTest, PredictionsUseTableCalibratedForms) {
+  SornConfig cfg;
+  cfg.nodes = 4096;
+  cfg.cliques = 64;
+  cfg.locality_x = 0.56;
+  cfg.uplinks = 16;
+  cfg.max_q_denominator = 11;
+  cfg.max_period = 1 << 24;
+  // Building the full 4096-node schedule is expensive; only the analytic
+  // accessors are exercised here via a smaller build with equal ratios.
+  // Use the closed forms directly through a small instance instead.
+  SornConfig small = cfg;
+  small.nodes = 128;
+  small.cliques = 8;
+  const SornNetwork net = SornNetwork::build(small);
+  EXPECT_NEAR(net.q().value(), 50.0 / 11.0, 1e-9);
+  EXPECT_GT(net.delta_m_inter(), net.delta_m_intra());
+  EXPECT_GT(net.min_latency_inter_us(), net.min_latency_intra_us());
+}
+
+TEST(SornNetworkTest, LogicalTopologyReflectsOversubscription) {
+  SornConfig cfg;
+  cfg.nodes = 8;
+  cfg.cliques = 2;
+  cfg.q = Rational{3, 1};
+  const SornNetwork net = SornNetwork::build(cfg);
+  const LogicalTopology topo = net.logical_topology();
+  EXPECT_NEAR(topo.intra_fraction(0, net.cliques()), 0.75, 1e-12);
+  EXPECT_NEAR(topo.inter_fraction(0, net.cliques()), 0.25, 1e-12);
+}
+
+TEST(SornNetworkTest, MakeNetworkRunsTraffic) {
+  SornConfig cfg;
+  cfg.nodes = 16;
+  cfg.cliques = 4;
+  cfg.locality_x = 0.5;
+  cfg.propagation_per_hop = 0;
+  const SornNetwork net = SornNetwork::build(cfg);
+  SlottedNetwork sim = net.make_network();
+  sim.inject_cell(0, 3);    // intra
+  sim.inject_cell(0, 12);   // inter
+  sim.run(300);
+  EXPECT_EQ(sim.metrics().delivered_cells(), 2u);
+}
+
+TEST(SornNetworkTest, AdaptRebuildsScheduleAndRouter) {
+  SornConfig cfg;
+  cfg.nodes = 16;
+  cfg.cliques = 4;
+  cfg.locality_x = 0.5;
+  cfg.propagation_per_hop = 0;
+  SornNetwork net = SornNetwork::build(cfg);
+  const double old_intra = net.delta_m_intra();
+
+  net.adapt(CliqueAssignment::contiguous(16, 2), Rational{5, 1});
+  EXPECT_EQ(net.cliques().clique_count(), 2);
+  EXPECT_DOUBLE_EQ(net.q().value(), 5.0);
+  EXPECT_NE(net.delta_m_intra(), old_intra);
+
+  SlottedNetwork sim = net.make_network();
+  sim.inject_cell(0, 9);
+  sim.run(300);
+  EXPECT_EQ(sim.metrics().delivered_cells(), 1u);
+}
+
+TEST(SornNetworkTest, BuildWithAssignmentAcceptsNonContiguous) {
+  std::vector<CliqueId> map(16);
+  for (NodeId i = 0; i < 16; ++i) map[static_cast<std::size_t>(i)] = i % 4;
+  SornConfig cfg;
+  cfg.nodes = 16;
+  cfg.cliques = 4;
+  const SornNetwork net =
+      SornNetwork::build_with_assignment(cfg, CliqueAssignment(map));
+  EXPECT_TRUE(net.cliques().same_clique(0, 4));
+  EXPECT_FALSE(net.cliques().same_clique(0, 1));
+}
+
+TEST(SornNetworkTest, RejectsIndivisibleCliques) {
+  SornConfig cfg;
+  cfg.nodes = 10;
+  cfg.cliques = 4;
+  EXPECT_DEATH(SornNetwork::build(cfg), "equal cliques");
+}
+
+}  // namespace
+}  // namespace sorn

@@ -1,0 +1,134 @@
+#include "routing/hier_routing.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/models.h"
+#include "sim/network.h"
+#include "sim/saturation.h"
+#include "topo/schedule_builder.h"
+#include "traffic/patterns.h"
+
+namespace sorn {
+namespace {
+
+struct Fixture {
+  Hierarchy h;
+  CircuitSchedule schedule;
+  explicit Fixture(ScheduleBuilder::HierShares shares = {2, 1, 1})
+      : h(Hierarchy::regular(64, 4, 4)),
+        schedule(ScheduleBuilder::sorn_hierarchical(h, shares)) {}
+};
+
+TEST(HierRoutingTest, SamePodIsTwoHops) {
+  Fixture f;
+  const HierSornRouter router(&f.schedule, &f.h, LbMode::kRandom);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const Path p = router.route(0, 3, 0, rng);
+    EXPECT_LE(p.hop_count(), 2);
+    for (int k = 0; k < p.size(); ++k) EXPECT_TRUE(f.h.same_pod(p.at(k), 0));
+  }
+}
+
+TEST(HierRoutingTest, SameClusterIsThreeHops) {
+  Fixture f;
+  const HierSornRouter router(&f.schedule, &f.h, LbMode::kRandom);
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const Path p = router.route(0, 13, 0, rng);  // pod 0 -> pod 3, cluster 0
+    EXPECT_LE(p.hop_count(), 3);
+    // All nodes stay in cluster 0.
+    for (int k = 0; k < p.size(); ++k)
+      EXPECT_TRUE(f.h.same_cluster(p.at(k), 0));
+    // Exactly one pod-crossing hop.
+    int pod_crossings = 0;
+    for (int k = 0; k + 1 < p.size(); ++k)
+      if (!f.h.same_pod(p.at(k), p.at(k + 1))) ++pod_crossings;
+    EXPECT_EQ(pod_crossings, 1);
+  }
+}
+
+TEST(HierRoutingTest, CrossClusterIsAtMostFourHops) {
+  Fixture f;
+  const HierSornRouter router(&f.schedule, &f.h, LbMode::kRandom);
+  Rng rng(3);
+  for (int i = 0; i < 400; ++i) {
+    const Path p = router.route(0, 55, 0, rng);  // cluster 0 -> cluster 3
+    EXPECT_LE(p.hop_count(), 4);
+    EXPECT_EQ(p.dst(), 55);
+    // Exactly one cluster-crossing hop.
+    int cluster_crossings = 0;
+    for (int k = 0; k + 1 < p.size(); ++k)
+      if (!f.h.same_cluster(p.at(k), p.at(k + 1))) ++cluster_crossings;
+    EXPECT_EQ(cluster_crossings, 1);
+  }
+}
+
+struct ModeCase {
+  LbMode mode;
+};
+
+class HierRoutingSweep : public ::testing::TestWithParam<LbMode> {};
+
+TEST_P(HierRoutingSweep, AllHopsExistInSchedule) {
+  Fixture f;
+  const HierSornRouter router(&f.schedule, &f.h, GetParam());
+  Rng rng(17);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto src = static_cast<NodeId>(rng.next_below(64));
+    auto dst = static_cast<NodeId>(rng.next_below(64));
+    if (dst == src) dst = (dst + 1) % 64;
+    const auto now = static_cast<Slot>(
+        rng.next_below(static_cast<std::uint64_t>(f.schedule.period())));
+    const Path p = router.route(src, dst, now, rng);
+    EXPECT_EQ(p.src(), src);
+    EXPECT_EQ(p.dst(), dst);
+    for (int k = 0; k + 1 < p.size(); ++k)
+      EXPECT_GE(f.schedule.next_slot_connecting(p.at(k), p.at(k + 1), 0), 0)
+          << p.at(k) << "->" << p.at(k + 1) << " never scheduled";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, HierRoutingSweep,
+                         ::testing::Values(LbMode::kRandom,
+                                           LbMode::kFirstAvailable),
+                         [](const ::testing::TestParamInfo<LbMode>& info) {
+                           return info.param == LbMode::kRandom ? "random"
+                                                                : "first";
+                         });
+
+TEST(HierRoutingTest, SimulatedThroughputTracksClosedForm) {
+  // x1 = 0.5, x2 = 0.3, x3 = 0.2 -> r = 1/(2 + 0.3 + 0.4) = 0.370.
+  const double x1 = 0.5;
+  const double x2 = 0.3;
+  const auto shares = analysis::hier_optimal_shares(x1, x2);
+  Fixture f({shares.intra, shares.inter, shares.global});
+  const HierSornRouter router(&f.schedule, &f.h, LbMode::kRandom);
+  NetworkConfig cfg;
+  cfg.propagation_per_hop = 0;
+  SlottedNetwork net(&f.schedule, &router, cfg);
+  const TrafficMatrix tm = patterns::hier_locality_mix(f.h, x1, x2);
+  SaturationSource source(&tm, SaturationConfig{});
+  const double r = source.measure(net, 6000, 8000);
+  EXPECT_NEAR(r, analysis::hier_throughput(x1, x2), 0.05);
+}
+
+TEST(HierRoutingTest, DegenerateMatchesFlatSorn) {
+  // x3 = 0: the hierarchical bound equals the paper's flat 1/(3-x).
+  EXPECT_NEAR(analysis::hier_throughput(0.56, 0.44),
+              analysis::sorn_throughput(0.56), 1e-12);
+  EXPECT_NEAR(analysis::hier_throughput(0.5, 0.5),
+              analysis::sorn_throughput(0.5), 1e-12);
+}
+
+TEST(HierRoutingTest, DeltaMOrderingMatchesLevels) {
+  const auto shares = analysis::hier_optimal_shares(0.5, 0.3);
+  const double pod = analysis::hier_delta_m_pod(16, shares);
+  const double cluster = analysis::hier_delta_m_cluster(16, 8, shares);
+  const double global = analysis::hier_delta_m_global(16, 8, 8, shares);
+  EXPECT_LT(pod, cluster);
+  EXPECT_LT(cluster, global);
+}
+
+}  // namespace
+}  // namespace sorn

@@ -1,0 +1,53 @@
+#include "routing/opera_routing.h"
+
+#include <gtest/gtest.h>
+
+namespace sorn {
+namespace {
+
+TEST(OperaRoutingTest, ShortFlowPathsWithinBudget) {
+  Rng rng(1);
+  const Expander e = Expander::random_regular(128, 7, rng);
+  const OperaRouter router(&e, 4);
+  Rng route_rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto src = static_cast<NodeId>(route_rng.next_below(128));
+    auto dst = static_cast<NodeId>(route_rng.next_below(128));
+    if (dst == src) dst = (dst + 1) % 128;
+    const Path p = router.route_short(src, dst);
+    EXPECT_EQ(p.src(), src);
+    EXPECT_EQ(p.dst(), dst);
+    EXPECT_LE(p.hop_count(), 4);
+    // Hops follow expander edges.
+    for (int k = 0; k + 1 < p.size(); ++k) {
+      const auto& nbrs = e.neighbors(p.at(k));
+      EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), p.at(k + 1)), nbrs.end());
+    }
+  }
+}
+
+TEST(OperaRoutingTest, BulkIsDirect) {
+  const Path p = OperaRouter::route_bulk(3, 9);
+  EXPECT_EQ(p.hop_count(), 1);
+  EXPECT_EQ(p.src(), 3);
+  EXPECT_EQ(p.dst(), 9);
+}
+
+TEST(OperaRoutingTest, TightBudgetAborts) {
+  Rng rng(3);
+  // Degree 2 on 64 nodes: diameter clearly exceeds 1 hop.
+  const Expander e = Expander::random_regular(64, 2, rng);
+  const OperaRouter router(&e, 1);
+  bool found_far_pair = false;
+  for (NodeId dst = 1; dst < 64 && !found_far_pair; ++dst) {
+    const auto path = e.shortest_path(0, dst);
+    if (path.size() > 2) {
+      found_far_pair = true;
+      EXPECT_DEATH(router.route_short(0, dst), "hop budget");
+    }
+  }
+  EXPECT_TRUE(found_far_pair);
+}
+
+}  // namespace
+}  // namespace sorn

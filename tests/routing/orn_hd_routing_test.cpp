@@ -1,0 +1,83 @@
+#include "routing/orn_hd_routing.h"
+
+#include <gtest/gtest.h>
+
+namespace sorn {
+namespace {
+
+// Count differing digits between consecutive path nodes: every hop of an
+// h-D ORN path changes exactly one digit.
+int digits_changed(const OrnHdRouter& router, NodeId a, NodeId b) {
+  int changed = 0;
+  for (int d = 0; d < router.dims(); ++d)
+    if (router.digit(a, d) != router.digit(b, d)) ++changed;
+  return changed;
+}
+
+TEST(OrnHdRoutingTest, DigitHelpers) {
+  const OrnHdRouter router(64, 2);  // r = 8
+  EXPECT_EQ(router.radix(), 8);
+  EXPECT_EQ(router.digit(013, 0), 3);
+  EXPECT_EQ(router.digit(013, 1), 1);
+  EXPECT_EQ(router.with_digit(013, 0, 7), 017);
+  EXPECT_EQ(router.with_digit(013, 1, 0), 3);
+}
+
+TEST(OrnHdRoutingTest, EveryHopChangesOneDigit) {
+  const OrnHdRouter router(64, 2);
+  Rng rng(1);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto src = static_cast<NodeId>(rng.next_below(64));
+    auto dst = static_cast<NodeId>(rng.next_below(64));
+    if (dst == src) dst = (dst + 1) % 64;
+    const Path p = router.route(src, dst, 0, rng);
+    EXPECT_EQ(p.src(), src);
+    EXPECT_EQ(p.dst(), dst);
+    EXPECT_LE(p.hop_count(), router.max_hops());
+    for (int k = 0; k + 1 < p.size(); ++k)
+      EXPECT_EQ(digits_changed(router, p.at(k), p.at(k + 1)), 1);
+  }
+}
+
+class OrnHdSweep : public ::testing::TestWithParam<std::pair<NodeId, int>> {};
+
+TEST_P(OrnHdSweep, PathsValidAcrossDimensions) {
+  const auto [n, h] = GetParam();
+  const OrnHdRouter router(n, h);
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto src = static_cast<NodeId>(rng.next_below(
+        static_cast<std::uint64_t>(n)));
+    auto dst = static_cast<NodeId>(rng.next_below(
+        static_cast<std::uint64_t>(n)));
+    if (dst == src) dst = (dst + 1) % n;
+    const Path p = router.route(src, dst, 0, rng);
+    EXPECT_EQ(p.dst(), dst);
+    EXPECT_LE(p.hop_count(), 2 * h);
+    for (int k = 0; k + 1 < p.size(); ++k)
+      EXPECT_EQ(digits_changed(router, p.at(k), p.at(k + 1)), 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, OrnHdSweep,
+                         ::testing::Values(std::pair<NodeId, int>{16, 1},
+                                           std::pair<NodeId, int>{16, 2},
+                                           std::pair<NodeId, int>{64, 2},
+                                           std::pair<NodeId, int>{64, 3},
+                                           std::pair<NodeId, int>{256, 2}));
+
+TEST(OrnHdRoutingTest, MaxHopsAttainable) {
+  // For some src/dst pair with all digits differing and an intermediate
+  // with all digits differing from both, the path reaches 2h hops.
+  const OrnHdRouter router(16, 2);
+  Rng rng(11);
+  int longest = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    const Path p = router.route(0, 15, 0, rng);  // digits (0,0) -> (3,3)
+    longest = std::max(longest, p.hop_count());
+  }
+  EXPECT_EQ(longest, 4);
+}
+
+}  // namespace
+}  // namespace sorn

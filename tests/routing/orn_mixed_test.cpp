@@ -1,0 +1,83 @@
+// Mixed-radix optimal ORN ([35]: all N, not just perfect powers).
+#include "routing/orn_mixed_routing.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/network.h"
+#include "sim/saturation.h"
+#include "topo/schedule_builder.h"
+#include "traffic/patterns.h"
+
+namespace sorn {
+namespace {
+
+TEST(OrnMixedScheduleTest, PeriodIsSumOfRadixCycles) {
+  // 24 = 4 * 3 * 2: period (4-1) + (3-1) + (2-1) = 6.
+  const CircuitSchedule s = ScheduleBuilder::orn_mixed(24, {4, 3, 2});
+  EXPECT_EQ(s.period(), 6);
+  for (Slot t = 0; t < s.period(); ++t)
+    EXPECT_TRUE(s.matching_at(t).is_perfect());
+}
+
+TEST(OrnMixedScheduleTest, EqualRadicesMatchOrnHd) {
+  const CircuitSchedule mixed = ScheduleBuilder::orn_mixed(16, {4, 4});
+  const CircuitSchedule hd = ScheduleBuilder::orn_hd(16, 2);
+  ASSERT_EQ(mixed.period(), hd.period());
+  for (Slot t = 0; t < mixed.period(); ++t)
+    for (NodeId i = 0; i < 16; ++i)
+      EXPECT_EQ(mixed.dst_of(i, t), hd.dst_of(i, t));
+}
+
+TEST(OrnMixedScheduleTest, RejectsBadRadices) {
+  EXPECT_DEATH(ScheduleBuilder::orn_mixed(24, {4, 3}), "multiply to n");
+  EXPECT_DEATH(ScheduleBuilder::orn_mixed(24, {24, 1}), "at least 2");
+}
+
+TEST(OrnMixedRouterTest, DigitHelpers) {
+  const OrnMixedRouter router(24, {4, 3, 2});
+  // node 17 = 1 + 4*(1 + 3*1) -> digits (1, 1, 1)... check: 1 + 4 + 12 = 17.
+  EXPECT_EQ(router.digit(17, 0), 1);
+  EXPECT_EQ(router.digit(17, 1), 1);
+  EXPECT_EQ(router.digit(17, 2), 1);
+  EXPECT_EQ(router.with_digit(17, 0, 3), 19);
+  EXPECT_EQ(router.with_digit(17, 2, 0), 5);
+}
+
+TEST(OrnMixedRouterTest, EveryHopChangesOneDigitAndExistsInSchedule) {
+  const CircuitSchedule s = ScheduleBuilder::orn_mixed(24, {4, 3, 2});
+  const OrnMixedRouter router(24, {4, 3, 2});
+  Rng rng(5);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto src = static_cast<NodeId>(rng.next_below(24));
+    auto dst = static_cast<NodeId>(rng.next_below(24));
+    if (dst == src) dst = (dst + 1) % 24;
+    const Path p = router.route(src, dst, 0, rng);
+    EXPECT_EQ(p.src(), src);
+    EXPECT_EQ(p.dst(), dst);
+    EXPECT_LE(p.hop_count(), 6);
+    for (int k = 0; k + 1 < p.size(); ++k) {
+      int changed = 0;
+      for (int d = 0; d < 3; ++d)
+        if (router.digit(p.at(k), d) != router.digit(p.at(k + 1), d))
+          ++changed;
+      EXPECT_EQ(changed, 1);
+      EXPECT_GE(s.next_slot_connecting(p.at(k), p.at(k + 1), 0), 0);
+    }
+  }
+}
+
+TEST(OrnMixedRouterTest, ThroughputNearOneOverTwoH) {
+  // 2 dimensions -> worst-case throughput 1/4, also for uneven radices.
+  const CircuitSchedule s = ScheduleBuilder::orn_mixed(24, {6, 4});
+  const OrnMixedRouter router(24, {6, 4});
+  NetworkConfig cfg;
+  cfg.propagation_per_hop = 0;
+  SlottedNetwork net(&s, &router, cfg);
+  const TrafficMatrix tm = patterns::uniform(24);
+  SaturationSource source(&tm, SaturationConfig{});
+  const double r = source.measure(net, 4000, 8000);
+  EXPECT_NEAR(r, 0.25, 0.05);
+}
+
+}  // namespace
+}  // namespace sorn

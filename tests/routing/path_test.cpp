@@ -1,0 +1,54 @@
+#include "routing/path.h"
+
+#include <gtest/gtest.h>
+
+namespace sorn {
+namespace {
+
+TEST(PathTest, BasicConstruction) {
+  const Path p = Path::of({0, 3, 7, 6});
+  EXPECT_EQ(p.size(), 4);
+  EXPECT_EQ(p.hop_count(), 3);
+  EXPECT_EQ(p.src(), 0);
+  EXPECT_EQ(p.dst(), 6);
+  EXPECT_EQ(p.at(1), 3);
+}
+
+TEST(PathTest, CollapsesConsecutiveDuplicates) {
+  const Path p = Path::of({0, 0, 5, 5, 2});
+  EXPECT_EQ(p.size(), 3);
+  EXPECT_EQ(p.at(0), 0);
+  EXPECT_EQ(p.at(1), 5);
+  EXPECT_EQ(p.at(2), 2);
+}
+
+TEST(PathTest, ContainsAndUsesEdge) {
+  const Path p = Path::of({1, 4, 6});
+  EXPECT_TRUE(p.contains(4));
+  EXPECT_FALSE(p.contains(5));
+  EXPECT_TRUE(p.uses_edge(1, 4));
+  EXPECT_TRUE(p.uses_edge(4, 6));
+  EXPECT_FALSE(p.uses_edge(6, 4));  // directed
+  EXPECT_FALSE(p.uses_edge(1, 6));
+}
+
+TEST(PathTest, EqualityIsElementwise) {
+  EXPECT_EQ(Path::of({1, 2, 3}), Path::of({1, 2, 3}));
+  EXPECT_FALSE(Path::of({1, 2}) == Path::of({1, 2, 3}));
+  EXPECT_FALSE(Path::of({1, 2, 4}) == Path::of({1, 2, 3}));
+}
+
+TEST(PathTest, HopBudgetEnforced) {
+  Path p;
+  for (NodeId i = 0; i < Path::kMaxNodes; ++i) p.push_back(i);
+  EXPECT_DEATH(p.push_back(99), "hop budget");
+}
+
+TEST(PathTest, EmptyPathHasZeroHops) {
+  const Path p;
+  EXPECT_EQ(p.size(), 0);
+  EXPECT_EQ(p.hop_count(), 0);
+}
+
+}  // namespace
+}  // namespace sorn

@@ -1,0 +1,144 @@
+#include "routing/rotor_routing.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/network.h"
+#include "topo/schedule_builder.h"
+
+namespace sorn {
+namespace {
+
+TEST(RotorScheduleTest, DwellRepeatsMatchings) {
+  const CircuitSchedule s = ScheduleBuilder::rotor(8, 5);
+  EXPECT_EQ(s.period(), 7 * 5);
+  // First five slots identical, then the shift changes.
+  for (Slot t = 0; t < 5; ++t) EXPECT_EQ(s.dst_of(0, t), 1);
+  EXPECT_EQ(s.dst_of(0, 5), 2);
+  // Edge fraction unchanged by dwell: each circuit 1/(n-1) of slots.
+  EXPECT_DOUBLE_EQ(s.edge_fraction(0, 3), 1.0 / 7.0);
+}
+
+TEST(RotorRouterTest, ActiveNeighborsOnePerLane) {
+  const CircuitSchedule s = ScheduleBuilder::rotor(16, 10);
+  const RotorRouter router(&s, 4, 4);
+  const auto nbrs = router.active_neighbors(0, 0);
+  EXPECT_GE(nbrs.size(), 2u);  // distinct shifts, possibly deduplicated
+  EXPECT_LE(nbrs.size(), 4u);
+  for (const NodeId v : nbrs) EXPECT_NE(v, 0);
+}
+
+TEST(RotorScheduleTest, RandomRotorIsProperOneFactorization) {
+  const CircuitSchedule s = ScheduleBuilder::rotor_random(16, 3, 42);
+  EXPECT_EQ(s.period(), 15 * 3);
+  for (Slot t = 0; t < s.period(); ++t)
+    EXPECT_TRUE(s.matching_at(t).is_perfect());
+  // Every ordered pair appears (bulk flows always get a direct circuit).
+  for (NodeId i = 0; i < 16; ++i)
+    for (NodeId j = 0; j < 16; ++j)
+      if (i != j) {
+        EXPECT_NEAR(s.edge_fraction(i, j), 1.0 / 15.0, 1e-12)
+            << i << "->" << j;
+      }
+}
+
+TEST(RotorRouterTest, PathsFollowActiveCircuitsOrFallBackDirect) {
+  const CircuitSchedule s = ScheduleBuilder::rotor_random(32, 20, 7);
+  const RotorRouter router(&s, 4, 6);
+  Rng rng(1);
+  int expander_paths = 0;
+  for (NodeId dst = 1; dst < 32; ++dst) {
+    const Path p = router.route(0, dst, 7, rng);
+    EXPECT_EQ(p.src(), 0);
+    EXPECT_EQ(p.dst(), dst);
+    EXPECT_LE(p.hop_count(), 6);
+    bool followed_union = true;
+    for (int k = 0; k + 1 < p.size(); ++k) {
+      const auto nbrs = router.active_neighbors(p.at(k), 7);
+      if (std::find(nbrs.begin(), nbrs.end(), p.at(k + 1)) == nbrs.end())
+        followed_union = false;
+    }
+    if (followed_union) {
+      ++expander_paths;
+    } else {
+      // Fallback must be the direct circuit, nothing else.
+      EXPECT_EQ(p.hop_count(), 1);
+    }
+  }
+  // On a random 1-factorization with 4 lanes the expander covers nearly
+  // everything.
+  EXPECT_GE(expander_paths, 28);
+}
+
+TEST(RotorRouterTest, FallbackFractionSmallWithEnoughLanes) {
+  const CircuitSchedule s = ScheduleBuilder::rotor_random(32, 4, 11);
+  const RotorRouter router(&s, 4, 6);
+  EXPECT_LT(router.fallback_fraction(), 0.05);
+}
+
+TEST(RotorRouterTest, ShortFlowsDeliverWithinDwell) {
+  // The Opera premise: a short flow's multi-hop path is live immediately
+  // — delivery takes ~hops slots, far less than one dwell.
+  const Slot dwell = 200;
+  const CircuitSchedule s = ScheduleBuilder::rotor_random(32, dwell, 3);
+  const RotorRouter router(&s, 4, 6);
+  NetworkConfig cfg;
+  cfg.lanes = 4;
+  cfg.propagation_per_hop = 0;
+  SlottedNetwork net(&s, &router, cfg);
+  net.inject_flow(1, 0, 17, 4 * 256);  // 4 cells
+  net.run(dwell / 4);
+  EXPECT_EQ(net.metrics().delivered_cells(), 4u);
+}
+
+TEST(RotorRouterTest, BulkWaitsForRotation) {
+  const Slot dwell = 50;
+  const CircuitSchedule s = ScheduleBuilder::rotor_random(16, dwell, 5);
+  const RotorRouter router(&s, 2, 6);
+  NetworkConfig cfg;
+  cfg.lanes = 2;
+  cfg.propagation_per_hop = 0;
+  SlottedNetwork net(&s, &router, cfg);
+  // Direct circuit 0 -> 8 is up when shift k = 8 rotates in; worst case
+  // (n-1)/lanes * dwell slots.
+  class BulkRouter : public Router {
+   public:
+    Path route(NodeId a, NodeId b, Slot, Rng&) const override {
+      return RotorRouter::route_bulk(a, b);
+    }
+    int max_hops() const override { return 1; }
+  } bulk;
+  net.inject_flow_with(bulk, 2, 0, 8, 256);
+  net.run(16 * dwell);  // a full rotation guarantees the direct circuit
+  EXPECT_EQ(net.metrics().delivered_cells(), 1u);
+  // Its latency is on the rotation scale, not the hop scale — unless the
+  // direct circuit happened to be active at injection; with seed 5 the
+  // wait is at least one dwell.
+  EXPECT_GT(net.metrics().cell_latency_ps().percentile(50.0),
+            static_cast<double>(dwell) * 100e3 / 2.0);
+}
+
+TEST(RotorRouterTest, MixedClassesShareOneFabric) {
+  const CircuitSchedule s = ScheduleBuilder::rotor_random(32, 100, 9);
+  const RotorRouter short_router(&s, 4, 6);
+  NetworkConfig cfg;
+  cfg.lanes = 4;
+  cfg.propagation_per_hop = 0;
+  SlottedNetwork net(&s, &short_router, cfg);
+  class BulkRouter : public Router {
+   public:
+    Path route(NodeId a, NodeId b, Slot, Rng&) const override {
+      return RotorRouter::route_bulk(a, b);
+    }
+    int max_hops() const override { return 1; }
+  } bulk;
+  net.inject_flow(1, 0, 9, 2 * 256, /*flow_class=*/0);
+  net.inject_flow_with(bulk, 2, 3, 20, 2 * 256, /*flow_class=*/1);
+  net.run(3000);
+  EXPECT_EQ(net.metrics().completed_flows(), 2u);
+  // Short class completes much faster than bulk class.
+  EXPECT_LT(net.metrics().fct_ps_class(0).percentile(50.0),
+            net.metrics().fct_ps_class(1).percentile(50.0));
+}
+
+}  // namespace
+}  // namespace sorn

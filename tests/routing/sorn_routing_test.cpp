@@ -1,0 +1,135 @@
+#include "routing/sorn_routing.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/schedule_builder.h"
+
+namespace sorn {
+namespace {
+
+struct Fixture {
+  CliqueAssignment cliques;
+  CircuitSchedule schedule;
+  Fixture(NodeId n, CliqueId nc, Rational q)
+      : cliques(CliqueAssignment::contiguous(n, nc)),
+        schedule(ScheduleBuilder::sorn(cliques, q)) {}
+};
+
+TEST(SornRoutingTest, IntraCliqueUsesAtMostTwoHops) {
+  Fixture f(8, 2, {3, 1});
+  const SornRouter router(&f.schedule, &f.cliques, LbMode::kRandom);
+  Rng rng(1);
+  for (int i = 0; i < 300; ++i) {
+    const Path p = router.route(0, 3, 0, rng);
+    EXPECT_LE(p.hop_count(), 2);
+    EXPECT_EQ(p.src(), 0);
+    EXPECT_EQ(p.dst(), 3);
+    // Both hops stay inside the clique.
+    for (int k = 0; k < p.size(); ++k)
+      EXPECT_TRUE(f.cliques.same_clique(p.at(k), 0));
+  }
+}
+
+TEST(SornRoutingTest, InterCliqueUsesAtMostThreeHops) {
+  Fixture f(8, 2, {3, 1});
+  const SornRouter router(&f.schedule, &f.cliques, LbMode::kRandom);
+  Rng rng(2);
+  for (int i = 0; i < 300; ++i) {
+    const Path p = router.route(0, 6, 0, rng);
+    EXPECT_LE(p.hop_count(), 3);
+    EXPECT_GE(p.hop_count(), 1);
+    EXPECT_EQ(p.dst(), 6);
+    // Exactly one hop crosses cliques.
+    int crossings = 0;
+    for (int k = 0; k + 1 < p.size(); ++k)
+      if (!f.cliques.same_clique(p.at(k), p.at(k + 1))) ++crossings;
+    EXPECT_EQ(crossings, 1);
+  }
+}
+
+TEST(SornRoutingTest, PaperExamplePathsArePossible) {
+  // Paper Sec. 4: "a flow from 0 to 6 could be routed as 0->3->7->6, or
+  // 0->1->4->6, besides other paths."
+  Fixture f(8, 2, {3, 1});
+  const SornRouter router(&f.schedule, &f.cliques, LbMode::kRandom);
+  Rng rng(3);
+  bool saw_via_3 = false;
+  bool saw_via_1 = false;
+  for (int i = 0; i < 3000; ++i) {
+    const Path p = router.route(0, 6, 0, rng);
+    if (p.size() == 4 && p.at(1) == 3) saw_via_3 = true;
+    if (p.size() == 4 && p.at(1) == 1) saw_via_1 = true;
+  }
+  EXPECT_TRUE(saw_via_3);
+  EXPECT_TRUE(saw_via_1);
+}
+
+TEST(SornRoutingTest, FirstAvailableIsDeterministicGivenSlot) {
+  Fixture f(16, 4, {2, 1});
+  const SornRouter router(&f.schedule, &f.cliques, LbMode::kFirstAvailable);
+  Rng rng(4);
+  const Path a = router.route(0, 13, 5, rng);
+  const Path b = router.route(0, 13, 5, rng);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SornRoutingTest, SingletonCliquesRouteDirectInter) {
+  const auto cliques = CliqueAssignment::flat(6);
+  const CircuitSchedule s = ScheduleBuilder::sorn(cliques, Rational{1, 1});
+  const SornRouter router(&s, &cliques, LbMode::kRandom);
+  Rng rng(5);
+  const Path p = router.route(0, 4, 0, rng);
+  // No intra hop exists on either side: the path is the single inter hop.
+  EXPECT_EQ(p.hop_count(), 1);
+}
+
+// Property sweep: every consecutive pair of a routed path must be realized
+// by some slot of the schedule (otherwise the cell could never move).
+struct SweepCase {
+  NodeId n;
+  CliqueId nc;
+  Rational q;
+  LbMode mode;
+};
+
+class SornRoutingSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(SornRoutingSweep, AllHopsExistInSchedule) {
+  const auto& c = GetParam();
+  const auto cliques = CliqueAssignment::contiguous(c.n, c.nc);
+  const CircuitSchedule s = ScheduleBuilder::sorn(cliques, c.q);
+  const SornRouter router(&s, &cliques, c.mode);
+  Rng rng(17);
+  for (int trial = 0; trial < 400; ++trial) {
+    const auto src = static_cast<NodeId>(
+        rng.next_below(static_cast<std::uint64_t>(c.n)));
+    auto dst = static_cast<NodeId>(
+        rng.next_below(static_cast<std::uint64_t>(c.n)));
+    if (dst == src) dst = (dst + 1) % c.n;
+    const auto now = static_cast<Slot>(rng.next_below(
+        static_cast<std::uint64_t>(s.period())));
+    const Path p = router.route(src, dst, now, rng);
+    EXPECT_EQ(p.src(), src);
+    EXPECT_EQ(p.dst(), dst);
+    for (int k = 0; k + 1 < p.size(); ++k)
+      EXPECT_GE(s.next_slot_connecting(p.at(k), p.at(k + 1), 0), 0)
+          << "edge " << p.at(k) << "->" << p.at(k + 1) << " never scheduled";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SornRoutingSweep,
+    ::testing::Values(SweepCase{8, 2, {3, 1}, LbMode::kRandom},
+                      SweepCase{8, 2, {3, 1}, LbMode::kFirstAvailable},
+                      SweepCase{16, 4, {2, 1}, LbMode::kRandom},
+                      SweepCase{32, 4, {50, 11}, LbMode::kFirstAvailable},
+                      SweepCase{64, 8, {9, 2}, LbMode::kRandom},
+                      SweepCase{128, 8, {50, 11}, LbMode::kRandom}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return "N" + std::to_string(info.param.n) + "_Nc" +
+             std::to_string(info.param.nc) +
+             (info.param.mode == LbMode::kRandom ? "_rand" : "_first");
+    });
+
+}  // namespace
+}  // namespace sorn

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "routing/vlb.h"
+#include "sim/saturation.h"
+#include "topo/schedule_builder.h"
+#include "traffic/patterns.h"
+
+namespace sorn {
+namespace {
+
+NetworkConfig sim_config() {
+  NetworkConfig c;
+  c.propagation_per_hop = 0;
+  return c;
+}
+
+TEST(FlowSaturationTest, FixedSizeFlowsMatchCellSaturation) {
+  // With single-cell flows the flow-granular source degenerates to the
+  // cell-granular one: same throughput within noise.
+  const CircuitSchedule s = ScheduleBuilder::round_robin(16);
+  const VlbRouter router(&s, LbMode::kRandom);
+  const TrafficMatrix tm = patterns::uniform(16);
+  const FlowSizeDist one_cell = FlowSizeDist::fixed(256);
+
+  SlottedNetwork cell_net(&s, &router, sim_config());
+  SaturationSource cell_source(&tm, SaturationConfig{});
+  const double r_cells = cell_source.measure(cell_net, 3000, 5000);
+
+  SlottedNetwork flow_net(&s, &router, sim_config());
+  FlowSaturationSource flow_source(&tm, &one_cell, SaturationConfig{});
+  const double r_flows = flow_source.measure(flow_net, 3000, 5000);
+
+  EXPECT_NEAR(r_flows, r_cells, 0.03);
+}
+
+TEST(FlowSaturationTest, HeavyTailsCostThroughput) {
+  // Elephants concentrate a node's demand on one destination at a time;
+  // saturation throughput under pFabric sizes is below the cell-level
+  // worst-case bound but not collapsed.
+  const CircuitSchedule s = ScheduleBuilder::round_robin(16);
+  const VlbRouter router(&s, LbMode::kRandom);
+  const TrafficMatrix tm = patterns::uniform(16);
+  const FlowSizeDist sizes = FlowSizeDist::pfabric_web_search();
+
+  SlottedNetwork net(&s, &router, sim_config());
+  FlowSaturationSource source(&tm, &sizes, SaturationConfig{});
+  const double r = source.measure(net, 5000, 8000);
+  EXPECT_GT(r, 0.25);
+  EXPECT_LT(r, 0.5);
+}
+
+TEST(FlowSaturationTest, MoreConcurrencyRecoversThroughput) {
+  const CircuitSchedule s = ScheduleBuilder::round_robin(16);
+  const VlbRouter router(&s, LbMode::kRandom);
+  const TrafficMatrix tm = patterns::uniform(16);
+  const FlowSizeDist sizes = FlowSizeDist::pfabric_web_search();
+
+  auto measure = [&](int concurrency) {
+    SlottedNetwork net(&s, &router, sim_config());
+    FlowSaturationSource source(&tm, &sizes, SaturationConfig{}, concurrency);
+    return source.measure(net, 5000, 8000);
+  };
+  EXPECT_GT(measure(16), measure(1) + 0.02);
+}
+
+TEST(FlowSaturationTest, RespectsInFlightCap) {
+  const CircuitSchedule s = ScheduleBuilder::round_robin(8);
+  const VlbRouter router(&s, LbMode::kRandom);
+  const TrafficMatrix tm = patterns::uniform(8);
+  const FlowSizeDist sizes = FlowSizeDist::pfabric_web_search();
+  SlottedNetwork net(&s, &router, sim_config());
+  SaturationConfig cfg;
+  cfg.max_in_flight_per_node = 16;
+  FlowSaturationSource source(&tm, &sizes, cfg);
+  for (int i = 0; i < 300; ++i) {
+    source.pump(net);
+    net.step();
+  }
+  EXPECT_LE(net.cells_in_flight(), (16 + 2) * 8u);
+}
+
+}  // namespace
+}  // namespace sorn

@@ -1,0 +1,81 @@
+#include "sim/voq.h"
+
+#include <gtest/gtest.h>
+
+namespace sorn {
+namespace {
+
+Cell make_cell(NodeId src, NodeId via, NodeId dst, Slot ready) {
+  Cell c;
+  c.flow = 1;
+  c.path = Path::of({src, via, dst});
+  c.hop = 0;
+  c.inject_slot = 0;
+  c.ready_slot = ready;
+  return c;
+}
+
+TEST(VoqTest, PushPeekPop) {
+  VoqSet voqs(4);
+  voqs.push(make_cell(0, 1, 2, 0));
+  EXPECT_EQ(voqs.total_queued(), 1u);
+  EXPECT_EQ(voqs.queued_at(0), 1u);
+  const Cell* head = voqs.peek(0, 1, 0);
+  ASSERT_NE(head, nullptr);
+  EXPECT_EQ(head->next_hop(), 1);
+  voqs.pop(0, 1);
+  EXPECT_EQ(voqs.total_queued(), 0u);
+  EXPECT_EQ(voqs.peek(0, 1, 0), nullptr);
+}
+
+TEST(VoqTest, ReadySlotGatesTransmission) {
+  VoqSet voqs(4);
+  voqs.push(make_cell(0, 1, 2, 5));
+  EXPECT_EQ(voqs.peek(0, 1, 4), nullptr);
+  EXPECT_NE(voqs.peek(0, 1, 5), nullptr);
+}
+
+TEST(VoqTest, FifoOrderWithinQueue) {
+  VoqSet voqs(4);
+  Cell a = make_cell(0, 1, 2, 0);
+  a.flow = 10;
+  Cell b = make_cell(0, 1, 3, 0);
+  b.flow = 20;
+  voqs.push(a);
+  voqs.push(b);
+  EXPECT_EQ(voqs.peek(0, 1, 0)->flow, 10u);
+  voqs.pop(0, 1);
+  EXPECT_EQ(voqs.peek(0, 1, 0)->flow, 20u);
+}
+
+TEST(VoqTest, QueuesAreSeparatedByNextHop) {
+  VoqSet voqs(4);
+  voqs.push(make_cell(0, 1, 2, 0));
+  voqs.push(make_cell(0, 2, 3, 0));
+  EXPECT_NE(voqs.peek(0, 1, 0), nullptr);
+  EXPECT_NE(voqs.peek(0, 2, 0), nullptr);
+  EXPECT_EQ(voqs.peek(0, 3, 0), nullptr);
+  EXPECT_EQ(voqs.queued_at(0), 2u);
+}
+
+TEST(VoqTest, MaxQueueDepth) {
+  VoqSet voqs(4);
+  for (int i = 0; i < 5; ++i) voqs.push(make_cell(0, 1, 2, 0));
+  voqs.push(make_cell(1, 2, 3, 0));
+  EXPECT_EQ(voqs.max_queue_depth(), 5u);
+}
+
+TEST(VoqTest, RejectsDeliveredCell) {
+  VoqSet voqs(4);
+  Cell c = make_cell(0, 1, 2, 0);
+  c.hop = 2;  // already at destination
+  EXPECT_DEATH(voqs.push(c), "delivered");
+}
+
+TEST(VoqTest, PopEmptyAborts) {
+  VoqSet voqs(2);
+  EXPECT_DEATH(voqs.pop(0, 1), "empty");
+}
+
+}  // namespace
+}  // namespace sorn

@@ -1,0 +1,73 @@
+#include "sim/workload_driver.h"
+
+#include <gtest/gtest.h>
+
+#include "routing/vlb.h"
+#include "topo/schedule_builder.h"
+#include "traffic/patterns.h"
+
+namespace sorn {
+namespace {
+
+TEST(WorkloadTest, FlowsCompleteUnderLightLoad) {
+  const CircuitSchedule s = ScheduleBuilder::round_robin(16);
+  const VlbRouter router(&s, LbMode::kRandom);
+  NetworkConfig nc;
+  nc.propagation_per_hop = 0;
+  nc.cell_bytes = 256;
+  SlottedNetwork net(&s, &router, nc);
+
+  const TrafficMatrix tm = patterns::uniform(16);
+  const FlowSizeDist sizes = FlowSizeDist::fixed(2560);  // 10 cells
+  // Node bandwidth: 256 B per 100 ns slot = 20.48 Gb/s.
+  const double node_bw = 256.0 * 8.0 / 100e-9;
+  FlowArrivals arrivals(&tm, &sizes, node_bw, 0.2, Rng(5));
+  WorkloadDriver driver(&arrivals);
+  driver.run_until(net, 200 * 1000 * 1000 /* 200 us */, 20000);
+
+  EXPECT_GT(driver.flows_injected(), 50u);
+  EXPECT_EQ(net.metrics().completed_flows(), driver.flows_injected());
+  EXPECT_EQ(net.cells_in_flight(), 0u);
+  EXPECT_GT(net.metrics().fct_ps().percentile(50.0), 0.0);
+}
+
+TEST(WorkloadTest, HigherLoadRaisesLatency) {
+  const CircuitSchedule s = ScheduleBuilder::round_robin(16);
+  const VlbRouter router(&s, LbMode::kRandom);
+  const TrafficMatrix tm = patterns::uniform(16);
+  const FlowSizeDist sizes = FlowSizeDist::fixed(2560);
+  const double node_bw = 256.0 * 8.0 / 100e-9;
+
+  auto median_fct = [&](double load) {
+    NetworkConfig nc;
+    nc.propagation_per_hop = 0;
+    SlottedNetwork net(&s, &router, nc);
+    FlowArrivals arrivals(&tm, &sizes, node_bw, load, Rng(6));
+    WorkloadDriver driver(&arrivals);
+    driver.run_until(net, 300 * 1000 * 1000, 50000);
+    return net.metrics().fct_ps().percentile(50.0);
+  };
+
+  const double light = median_fct(0.1);
+  const double heavy = median_fct(0.42);  // near the 0.5 VLB limit
+  EXPECT_GT(heavy, light);
+}
+
+TEST(WorkloadTest, DrainDeliversEverything) {
+  const CircuitSchedule s = ScheduleBuilder::round_robin(8);
+  const VlbRouter router(&s, LbMode::kRandom);
+  NetworkConfig nc;
+  nc.propagation_per_hop = 0;
+  SlottedNetwork net(&s, &router, nc);
+  const TrafficMatrix tm = patterns::uniform(8);
+  const FlowSizeDist sizes = FlowSizeDist::fixed(1024);
+  const double node_bw = 256.0 * 8.0 / 100e-9;
+  FlowArrivals arrivals(&tm, &sizes, node_bw, 0.3, Rng(7));
+  WorkloadDriver driver(&arrivals);
+  driver.run_until(net, 50 * 1000 * 1000, 100000);
+  EXPECT_EQ(net.cells_in_flight(), 0u);
+  EXPECT_EQ(net.metrics().injected_cells(), net.metrics().delivered_cells());
+}
+
+}  // namespace
+}  // namespace sorn

@@ -1,0 +1,100 @@
+#include "topo/bvn.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sorn {
+namespace {
+
+std::vector<double> uniform_weights(CliqueId nc) {
+  std::vector<double> w(static_cast<std::size_t>(nc) *
+                        static_cast<std::size_t>(nc), 1.0);
+  for (CliqueId c = 0; c < nc; ++c)
+    w[static_cast<std::size_t>(c) * static_cast<std::size_t>(nc) +
+      static_cast<std::size_t>(c)] = 0.0;
+  return w;
+}
+
+TEST(BvnTest, UniformDecomposesIntoDerangements) {
+  const auto bvn = BvnDecomposition::compute(uniform_weights(4), 4);
+  EXPECT_GE(bvn.terms().size(), 1u);
+  EXPECT_NEAR(bvn.total_coefficient(), 1.0, 1e-2);
+  for (const auto& term : bvn.terms()) {
+    // Valid permutation with no fixed points.
+    std::set<CliqueId> targets;
+    for (CliqueId c = 0; c < 4; ++c) {
+      EXPECT_NE(term.perm[static_cast<std::size_t>(c)], c);
+      targets.insert(term.perm[static_cast<std::size_t>(c)]);
+    }
+    EXPECT_EQ(targets.size(), 4u);
+    EXPECT_GT(term.coeff, 0.0);
+  }
+}
+
+TEST(BvnTest, ReconstructionMatchesDoublyStochasticScaling) {
+  // A gravity-ish asymmetric matrix.
+  std::vector<double> w{0.0, 5.0, 1.0, 1.0,   //
+                        5.0, 0.0, 1.0, 1.0,   //
+                        1.0, 1.0, 0.0, 3.0,   //
+                        1.0, 1.0, 3.0, 0.0};
+  BvnOptions opts;
+  opts.residual_tolerance = 1e-4;
+  opts.max_terms = 256;
+  const auto bvn = BvnDecomposition::compute(w, 4, opts);
+  const auto recon = bvn.reconstruct();
+  // Rows and columns of the reconstruction sum to ~1 (doubly stochastic).
+  for (CliqueId i = 0; i < 4; ++i) {
+    double row = 0.0;
+    double col = 0.0;
+    for (CliqueId j = 0; j < 4; ++j) {
+      row += recon[static_cast<std::size_t>(i) * 4 + static_cast<std::size_t>(j)];
+      col += recon[static_cast<std::size_t>(j) * 4 + static_cast<std::size_t>(i)];
+    }
+    EXPECT_NEAR(row, 1.0, 2e-3);
+    EXPECT_NEAR(col, 1.0, 2e-3);
+  }
+  // The hot pair 0<->1 keeps more mass than the cold pair 0->2.
+  EXPECT_GT(recon[0 * 4 + 1], recon[0 * 4 + 2] * 2.0);
+}
+
+TEST(BvnTest, RespectsMaxTerms) {
+  std::vector<double> w{0.0, 7.0, 2.0, 1.0,  //
+                        1.0, 0.0, 7.0, 2.0,  //
+                        2.0, 1.0, 0.0, 7.0,  //
+                        7.0, 2.0, 1.0, 0.0};
+  BvnOptions opts;
+  opts.max_terms = 2;
+  const auto bvn = BvnDecomposition::compute(w, 4, opts);
+  EXPECT_LE(bvn.terms().size(), 2u);
+}
+
+TEST(BvnTest, RejectsZeroOffDiagonal) {
+  std::vector<double> w = uniform_weights(3);
+  w[0 * 3 + 1] = 0.0;
+  EXPECT_DEATH(BvnDecomposition::compute(w, 3), "positive");
+}
+
+TEST(BvnTest, MixWithUniformFloorsZeros) {
+  std::vector<double> w(16, 0.0);
+  w[0 * 4 + 1] = 8.0;  // single hot pair
+  const auto mixed = mix_with_uniform(w, 4, 0.7);
+  for (CliqueId i = 0; i < 4; ++i)
+    for (CliqueId j = 0; j < 4; ++j)
+      if (i != j) {
+        EXPECT_GT(mixed[static_cast<std::size_t>(i) * 4 +
+                        static_cast<std::size_t>(j)], 0.0);
+      }
+  // The hot pair stays hottest.
+  EXPECT_GT(mixed[0 * 4 + 1], mixed[1 * 4 + 0] * 2.0);
+}
+
+TEST(BvnTest, MixAlphaZeroIsUniform) {
+  std::vector<double> w(9, 0.0);
+  w[0 * 3 + 1] = 100.0;
+  const auto mixed = mix_with_uniform(w, 3, 0.0);
+  EXPECT_DOUBLE_EQ(mixed[0 * 3 + 1], mixed[1 * 3 + 2]);
+}
+
+}  // namespace
+}  // namespace sorn

@@ -1,0 +1,64 @@
+#include "topo/clique.h"
+
+#include <gtest/gtest.h>
+
+namespace sorn {
+namespace {
+
+TEST(CliqueTest, ContiguousPartition) {
+  const auto c = CliqueAssignment::contiguous(8, 2);
+  EXPECT_EQ(c.node_count(), 8);
+  EXPECT_EQ(c.clique_count(), 2);
+  EXPECT_EQ(c.clique_of(0), 0);
+  EXPECT_EQ(c.clique_of(3), 0);
+  EXPECT_EQ(c.clique_of(4), 1);
+  EXPECT_EQ(c.clique_size(0), 4);
+  EXPECT_TRUE(c.equal_sized());
+  EXPECT_TRUE(c.same_clique(0, 3));
+  EXPECT_FALSE(c.same_clique(3, 4));
+}
+
+TEST(CliqueTest, IndexInClique) {
+  const auto c = CliqueAssignment::contiguous(8, 2);
+  EXPECT_EQ(c.index_in_clique(0), 0);
+  EXPECT_EQ(c.index_in_clique(3), 3);
+  EXPECT_EQ(c.index_in_clique(4), 0);
+  EXPECT_EQ(c.index_in_clique(7), 3);
+}
+
+TEST(CliqueTest, FlatAssignmentIsSingletons) {
+  const auto c = CliqueAssignment::flat(5);
+  EXPECT_EQ(c.clique_count(), 5);
+  for (NodeId i = 0; i < 5; ++i) EXPECT_EQ(c.clique_size(i), 1);
+}
+
+TEST(CliqueTest, NonContiguousAssignment) {
+  const CliqueAssignment c({0, 1, 0, 1});
+  EXPECT_EQ(c.clique_count(), 2);
+  EXPECT_EQ(c.members(0), (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(c.members(1), (std::vector<NodeId>{1, 3}));
+  EXPECT_EQ(c.index_in_clique(2), 1);
+}
+
+TEST(CliqueTest, UnequalSizesDetected) {
+  const CliqueAssignment c({0, 0, 0, 1});
+  EXPECT_FALSE(c.equal_sized());
+}
+
+TEST(CliqueTest, RejectsSparseCliqueIds) {
+  EXPECT_DEATH(CliqueAssignment({0, 2}), "dense");
+}
+
+TEST(CliqueTest, RejectsIndivisibleContiguous) {
+  EXPECT_DEATH(CliqueAssignment::contiguous(7, 2), "divisible");
+}
+
+TEST(CliqueTest, EqualityComparesMaps) {
+  EXPECT_TRUE(CliqueAssignment::contiguous(4, 2) ==
+              CliqueAssignment::contiguous(4, 2));
+  EXPECT_FALSE(CliqueAssignment::contiguous(4, 2) ==
+               CliqueAssignment::flat(4));
+}
+
+}  // namespace
+}  // namespace sorn

@@ -1,0 +1,69 @@
+#include "topo/expander.h"
+
+#include <gtest/gtest.h>
+
+namespace sorn {
+namespace {
+
+TEST(ExpanderTest, DegreeIsBounded) {
+  Rng rng(3);
+  const Expander e = Expander::random_regular(32, 4, rng);
+  for (NodeId i = 0; i < 32; ++i) {
+    EXPECT_GE(e.neighbors(i).size(), 1u);
+    EXPECT_LE(e.neighbors(i).size(), 4u);
+  }
+}
+
+TEST(ExpanderTest, NoSelfLoops) {
+  Rng rng(5);
+  const Expander e = Expander::random_regular(16, 3, rng);
+  for (NodeId i = 0; i < 16; ++i)
+    for (const NodeId j : e.neighbors(i)) EXPECT_NE(j, i);
+}
+
+TEST(ExpanderTest, ShortestPathEndsAtDestination) {
+  Rng rng(7);
+  const Expander e = Expander::random_regular(64, 5, rng);
+  for (NodeId dst = 1; dst < 64; dst += 7) {
+    const auto path = e.shortest_path(0, dst);
+    ASSERT_FALSE(path.empty()) << "unreachable " << dst;
+    EXPECT_EQ(path.front(), 0);
+    EXPECT_EQ(path.back(), dst);
+    // Every hop is an actual edge.
+    for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+      const auto& nbrs = e.neighbors(path[k]);
+      EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), path[k + 1]), nbrs.end());
+    }
+  }
+}
+
+TEST(ExpanderTest, TrivialPathToSelf) {
+  Rng rng(9);
+  const Expander e = Expander::random_regular(8, 2, rng);
+  const auto path = e.shortest_path(3, 3);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], 3);
+}
+
+TEST(ExpanderTest, DiameterIsLogarithmic) {
+  // Opera's premise: a degree-u expander on N nodes has diameter ~log N.
+  // For 256 nodes and degree 8 the diameter should be well under 5.
+  Rng rng(11);
+  const Expander e = Expander::random_regular(256, 8, rng);
+  EXPECT_LE(e.diameter(), 4);
+  EXPECT_GE(e.diameter(), 2);
+}
+
+class ExpanderSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExpanderSweep, ConnectedForModestDegrees) {
+  Rng rng(100 + GetParam());
+  const Expander e = Expander::random_regular(48, GetParam(), rng);
+  for (NodeId dst = 1; dst < 48; ++dst)
+    EXPECT_FALSE(e.shortest_path(0, dst).empty()) << "degree " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, ExpanderSweep, ::testing::Values(3, 4, 6, 8));
+
+}  // namespace
+}  // namespace sorn

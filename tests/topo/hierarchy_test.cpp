@@ -1,0 +1,154 @@
+#include "topo/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/schedule_metrics.h"
+#include "topo/logical_topology.h"
+#include "topo/schedule_builder.h"
+#include "traffic/patterns.h"
+
+namespace sorn {
+namespace {
+
+TEST(HierarchyTest, RegularLayout) {
+  const Hierarchy h = Hierarchy::regular(64, 4, 4);  // 4x4 pods of 4
+  EXPECT_EQ(h.pod_size(), 4);
+  EXPECT_EQ(h.cluster_size(), 16);
+  EXPECT_EQ(h.pod_count(), 16);
+  EXPECT_EQ(h.pod_of(0), 0);
+  EXPECT_EQ(h.pod_of(5), 1);
+  EXPECT_EQ(h.cluster_of(15), 0);
+  EXPECT_EQ(h.cluster_of(16), 1);
+  EXPECT_TRUE(h.same_pod(0, 3));
+  EXPECT_FALSE(h.same_pod(3, 4));
+  EXPECT_TRUE(h.same_cluster(3, 12));
+  EXPECT_FALSE(h.same_cluster(12, 20));
+  EXPECT_EQ(h.position_in_cluster(17), 1);
+  EXPECT_EQ(h.node_at(1, 1), 17);
+}
+
+TEST(HierarchyTest, PodAndClusterAssignmentsAgree) {
+  const Hierarchy h = Hierarchy::regular(32, 2, 4);
+  const CliqueAssignment pods = h.pods();
+  const CliqueAssignment clusters = h.clusters();
+  for (NodeId i = 0; i < 32; ++i) {
+    EXPECT_EQ(pods.clique_of(i), h.pod_of(i));
+    EXPECT_EQ(clusters.clique_of(i), h.cluster_of(i));
+  }
+}
+
+TEST(HierarchyTest, RejectsIndivisibleNodes) {
+  EXPECT_DEATH(Hierarchy::regular(30, 4, 2), "divide evenly");
+}
+
+TEST(HierLocalityMixTest, RecoversTargets) {
+  const Hierarchy h = Hierarchy::regular(64, 4, 4);
+  const TrafficMatrix tm = patterns::hier_locality_mix(h, 0.5, 0.3);
+  const HierLocality loc = patterns::hier_locality(h, tm);
+  EXPECT_NEAR(loc.pod, 0.5, 1e-9);
+  EXPECT_NEAR(loc.cluster, 0.3, 1e-9);
+  EXPECT_NEAR(loc.global(), 0.2, 1e-9);
+}
+
+struct HierCase {
+  NodeId n;
+  CliqueId clusters;
+  CliqueId pods;
+  ScheduleBuilder::HierShares shares;
+};
+
+class HierScheduleSweep : public ::testing::TestWithParam<HierCase> {};
+
+TEST_P(HierScheduleSweep, EverySlotIsPerfectMatching) {
+  const auto& c = GetParam();
+  const Hierarchy h = Hierarchy::regular(c.n, c.clusters, c.pods);
+  const CircuitSchedule s = ScheduleBuilder::sorn_hierarchical(h, c.shares);
+  for (Slot t = 0; t < s.period(); ++t)
+    EXPECT_TRUE(s.matching_at(t).is_perfect()) << "slot " << t;
+}
+
+TEST_P(HierScheduleSweep, SharesRealizedExactly) {
+  const auto& c = GetParam();
+  const Hierarchy h = Hierarchy::regular(c.n, c.clusters, c.pods);
+  const CircuitSchedule s = ScheduleBuilder::sorn_hierarchical(h, c.shares);
+  const double total =
+      static_cast<double>(c.shares.intra + c.shares.inter + c.shares.global);
+  EXPECT_NEAR(s.kind_fraction(SlotKind::kIntra),
+              c.shares.intra / total, 1e-9);
+  EXPECT_NEAR(s.kind_fraction(SlotKind::kInter),
+              c.shares.inter / total, 1e-9);
+  EXPECT_NEAR(s.kind_fraction(SlotKind::kGlobal),
+              c.shares.global / total, 1e-9);
+}
+
+TEST_P(HierScheduleSweep, SlotClassesMatchHierarchy) {
+  const auto& c = GetParam();
+  const Hierarchy h = Hierarchy::regular(c.n, c.clusters, c.pods);
+  const CircuitSchedule s = ScheduleBuilder::sorn_hierarchical(h, c.shares);
+  for (Slot t = 0; t < s.period(); ++t) {
+    const Matching& m = s.matching_at(t);
+    for (NodeId i = 0; i < c.n; ++i) {
+      if (m.is_idle(i)) continue;
+      const NodeId j = m.dst_of(i);
+      switch (s.kind_at(t)) {
+        case SlotKind::kIntra:
+          EXPECT_TRUE(h.same_pod(i, j));
+          break;
+        case SlotKind::kInter:
+          EXPECT_TRUE(h.same_cluster(i, j) && !h.same_pod(i, j));
+          break;
+        case SlotKind::kGlobal:
+          EXPECT_FALSE(h.same_cluster(i, j));
+          break;
+        case SlotKind::kUniform:
+          FAIL() << "hierarchical schedules never emit kUniform";
+      }
+    }
+  }
+}
+
+TEST_P(HierScheduleSweep, FullNeighborSuperset) {
+  const auto& c = GetParam();
+  const Hierarchy h = Hierarchy::regular(c.n, c.clusters, c.pods);
+  const CircuitSchedule s = ScheduleBuilder::sorn_hierarchical(h, c.shares);
+  const LogicalTopology topo(s);
+  for (NodeId i = 0; i < c.n; ++i) EXPECT_EQ(topo.degree(i), c.n - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HierScheduleSweep,
+    ::testing::Values(HierCase{16, 2, 2, {2, 1, 1}},
+                      HierCase{64, 4, 4, {2, 1, 1}},
+                      HierCase{64, 4, 4, {6, 2, 1}},
+                      HierCase{48, 3, 2, {4, 1, 2}},
+                      HierCase{128, 4, 4, {24, 7, 5}}),
+    [](const ::testing::TestParamInfo<HierCase>& info) {
+      return "N" + std::to_string(info.param.n) + "_C" +
+             std::to_string(info.param.clusters) + "_P" +
+             std::to_string(info.param.pods) + "_s" +
+             std::to_string(info.param.shares.intra) +
+             std::to_string(info.param.shares.inter) +
+             std::to_string(info.param.shares.global);
+    });
+
+TEST(HierScheduleTest, RejectsShareLevelMismatch) {
+  const Hierarchy h = Hierarchy::regular(16, 1, 4);  // one cluster
+  EXPECT_DEATH(
+      ScheduleBuilder::sorn_hierarchical(h, ScheduleBuilder::HierShares{2, 1, 1}),
+      "global share");
+}
+
+TEST(HierScheduleTest, MeasuredGapsTrackShares) {
+  // More intra share -> shorter intra recurrence gaps.
+  const Hierarchy h = Hierarchy::regular(32, 2, 4);
+  const CircuitSchedule lo =
+      ScheduleBuilder::sorn_hierarchical(h, ScheduleBuilder::HierShares{2, 1, 1});
+  const CircuitSchedule hi =
+      ScheduleBuilder::sorn_hierarchical(h, ScheduleBuilder::HierShares{8, 1, 1});
+  const auto pods = h.pods();
+  EXPECT_LT(analysis::intra_gap_stats(hi, pods).mean,
+            analysis::intra_gap_stats(lo, pods).mean);
+}
+
+}  // namespace
+}  // namespace sorn

@@ -1,0 +1,59 @@
+#include "topo/logical_topology.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/schedule_builder.h"
+
+namespace sorn {
+namespace {
+
+TEST(LogicalTopologyTest, RoundRobinIsUniformClique) {
+  const CircuitSchedule s = ScheduleBuilder::round_robin(8);
+  const LogicalTopology topo(s);
+  for (NodeId i = 0; i < 8; ++i) {
+    EXPECT_EQ(topo.degree(i), 7);
+    for (NodeId j = 0; j < 8; ++j)
+      if (i != j) {
+        EXPECT_DOUBLE_EQ(topo.edge_fraction(i, j), 1.0 / 7.0);
+      }
+    EXPECT_DOUBLE_EQ(topo.edge_fraction(i, i), 0.0);
+  }
+}
+
+TEST(LogicalTopologyTest, FractionsSumToOneForPerfectSchedules) {
+  const auto cliques = CliqueAssignment::contiguous(16, 4);
+  const CircuitSchedule s = ScheduleBuilder::sorn(cliques, {3, 1});
+  const LogicalTopology topo(s);
+  for (NodeId i = 0; i < 16; ++i) {
+    double total = 0.0;
+    for (NodeId j = 0; j < 16; ++j) total += topo.edge_fraction(i, j);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    EXPECT_NEAR(topo.intra_fraction(i, cliques) +
+                    topo.inter_fraction(i, cliques),
+                1.0, 1e-12);
+  }
+}
+
+TEST(LogicalTopologyTest, CliqueBandwidthIsPerNodeAverage) {
+  const auto cliques = CliqueAssignment::contiguous(8, 2);
+  const CircuitSchedule s = ScheduleBuilder::sorn(cliques, {3, 1});
+  const LogicalTopology topo(s);
+  // Per node, inter fraction is 1/4; aggregate from clique 0 to clique 1
+  // normalized by clique size equals that.
+  EXPECT_NEAR(topo.clique_bandwidth(0, 1, cliques), 0.25, 1e-12);
+  // Intra aggregate: 3/4 per node.
+  EXPECT_NEAR(topo.clique_bandwidth(0, 0, cliques), 0.75, 1e-12);
+}
+
+TEST(LogicalTopologyTest, IdleSlotsReduceTotals) {
+  // A schedule with idle nodes: one matching pairing only 0<->1 of 4.
+  std::vector<NodeId> map{1, 0, 2, 3};  // 2 and 3 idle
+  std::vector<Matching> slots{Matching(std::move(map))};
+  const CircuitSchedule s(std::move(slots));
+  const LogicalTopology topo(s);
+  EXPECT_DOUBLE_EQ(topo.edge_fraction(0, 1), 1.0);
+  EXPECT_EQ(topo.degree(2), 0);
+}
+
+}  // namespace
+}  // namespace sorn

@@ -1,0 +1,74 @@
+#include "topo/matching.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/matching_set.h"
+
+namespace sorn {
+namespace {
+
+TEST(MatchingTest, CyclicShiftMapsCorrectly) {
+  const Matching m = Matching::cyclic_shift(5, 2);
+  EXPECT_EQ(m.dst_of(0), 2);
+  EXPECT_EQ(m.dst_of(3), 0);
+  EXPECT_EQ(m.dst_of(4), 1);
+  EXPECT_EQ(m.src_of(2), 0);
+  EXPECT_TRUE(m.is_perfect());
+  EXPECT_EQ(m.active_circuits(), 5);
+}
+
+TEST(MatchingTest, IdleMatchingHasNoCircuits) {
+  const Matching m = Matching::idle(4);
+  EXPECT_FALSE(m.is_perfect());
+  EXPECT_EQ(m.active_circuits(), 0);
+  for (NodeId i = 0; i < 4; ++i) EXPECT_TRUE(m.is_idle(i));
+}
+
+TEST(MatchingTest, InverseIsConsistent) {
+  const Matching m = Matching::cyclic_shift(7, 3);
+  for (NodeId i = 0; i < 7; ++i) EXPECT_EQ(m.src_of(m.dst_of(i)), i);
+}
+
+TEST(MatchingTest, RejectsNonPermutation) {
+  EXPECT_DEATH(Matching({0, 0, 1}), "not a permutation");
+}
+
+TEST(MatchingTest, RejectsOutOfRange) {
+  EXPECT_DEATH(Matching({0, 5, 1}), "out of range");
+}
+
+TEST(MatchingTest, EqualityComparesMaps) {
+  EXPECT_EQ(Matching::cyclic_shift(4, 1), Matching::cyclic_shift(4, 1));
+  EXPECT_FALSE(Matching::cyclic_shift(4, 1) == Matching::cyclic_shift(4, 2));
+}
+
+TEST(MatchingSetTest, AwgrFamilyCoversAllPairs) {
+  const MatchingSet set = MatchingSet::awgr_family(8);
+  EXPECT_EQ(set.size(), 7u);
+  EXPECT_TRUE(set.covers_all_pairs());
+}
+
+TEST(MatchingSetTest, FindLocatesMembers) {
+  const MatchingSet set = MatchingSet::awgr_family(6);
+  const auto idx = set.find(Matching::cyclic_shift(6, 3));
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(*idx, 2u);  // k=1 at index 0
+  EXPECT_FALSE(set.find(Matching::idle(6)).has_value());
+}
+
+TEST(MatchingSetTest, PartialFamilyDoesNotCoverAllPairs) {
+  std::vector<Matching> partial{Matching::cyclic_shift(5, 1)};
+  EXPECT_FALSE(MatchingSet(std::move(partial)).covers_all_pairs());
+}
+
+// Paper Fig. 2(b): the 8-node example provides matchings m1..m5; a set of
+// cyclic shifts behaves as a wavelength table where row=source,
+// column=matching.
+TEST(MatchingSetTest, EveryMatchingIsPerfectInAwgrFamily) {
+  const MatchingSet set = MatchingSet::awgr_family(8);
+  for (std::size_t k = 0; k < set.size(); ++k)
+    EXPECT_TRUE(set.at(k).is_perfect());
+}
+
+}  // namespace
+}  // namespace sorn

@@ -1,0 +1,69 @@
+// Physical realizability of schedules (paper Sec. 4-5): which schedules a
+// given OCS setup supports.
+//
+// With a *synchronous* AWGR (all nodes emit the same wavelength in a
+// slot), only the cyclic-shift matchings are available; the flat round
+// robin is realizable but SORN's per-clique matchings are not. With
+// fast-tunable lasers per node ("nodes could choose to emit different
+// wavelengths at the same time", Sec. 5), any permutation becomes
+// realizable — which is exactly what SORN's schedule needs.
+#include <gtest/gtest.h>
+
+#include "topo/schedule_builder.h"
+
+namespace sorn {
+namespace {
+
+TEST(RealizabilityTest, RoundRobinRealizableWithSynchronousAwgr) {
+  const MatchingSet awgr = MatchingSet::awgr_family(8);
+  const CircuitSchedule rr = ScheduleBuilder::round_robin(8);
+  EXPECT_TRUE(rr.realizable_with(awgr));
+}
+
+TEST(RealizabilityTest, RotorRealizableWithSynchronousAwgr) {
+  const MatchingSet awgr = MatchingSet::awgr_family(8);
+  const CircuitSchedule rotor = ScheduleBuilder::rotor(8, 5);
+  EXPECT_TRUE(rotor.realizable_with(awgr));
+}
+
+TEST(RealizabilityTest, SornNeedsPerNodeWavelengthChoice) {
+  // SORN's intra matchings are per-clique shifts, not global shifts: the
+  // bare synchronous wavelength family cannot realize them...
+  const MatchingSet awgr = MatchingSet::awgr_family(8);
+  const auto cliques = CliqueAssignment::contiguous(8, 2);
+  const CircuitSchedule sorn_sched = ScheduleBuilder::sorn(cliques, {3, 1});
+  EXPECT_FALSE(sorn_sched.realizable_with(awgr));
+
+  // ...but every slot is still a permutation, i.e. realizable once each
+  // node picks its own wavelength k_i = dst(i) - i (mod N): receivers
+  // never collide because the map is a permutation.
+  for (Slot t = 0; t < sorn_sched.period(); ++t)
+    EXPECT_TRUE(sorn_sched.matching_at(t).is_perfect());
+}
+
+TEST(RealizabilityTest, ExplicitSetMatchesItsOwnSchedule) {
+  // A schedule built from an explicit configuration set is trivially
+  // realizable with that set.
+  const auto cliques = CliqueAssignment::contiguous(8, 2);
+  const CircuitSchedule sorn_sched = ScheduleBuilder::sorn(cliques, {3, 1});
+  std::vector<Matching> configs;
+  for (Slot t = 0; t < sorn_sched.period(); ++t) {
+    bool seen = false;
+    for (const auto& m : configs)
+      if (m == sorn_sched.matching_at(t)) seen = true;
+    if (!seen) configs.push_back(sorn_sched.matching_at(t));
+  }
+  // The 8-node q=3 schedule uses 3 intra + 4 inter distinct matchings.
+  EXPECT_EQ(configs.size(), 7u);
+  const MatchingSet set(std::move(configs));
+  EXPECT_TRUE(sorn_sched.realizable_with(set));
+}
+
+TEST(RealizabilityTest, NodeCountMismatchIsUnrealizable) {
+  const MatchingSet awgr = MatchingSet::awgr_family(16);
+  const CircuitSchedule rr = ScheduleBuilder::round_robin(8);
+  EXPECT_FALSE(rr.realizable_with(awgr));
+}
+
+}  // namespace
+}  // namespace sorn

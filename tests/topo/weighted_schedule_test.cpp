@@ -1,0 +1,106 @@
+// Weighted-inter SORN schedules (paper Sec. 5 expressivity): inter-clique
+// bandwidth follows a demand aggregate while all structural invariants of
+// the uniform schedule are preserved.
+#include <gtest/gtest.h>
+
+#include "analysis/schedule_metrics.h"
+#include "topo/logical_topology.h"
+#include "topo/schedule_builder.h"
+
+namespace sorn {
+namespace {
+
+// 4 cliques of 4 with a hot 0 -> 1 clique pair.
+std::vector<double> hot_pair_weights() {
+  std::vector<double> w(16, 1.0);
+  for (int c = 0; c < 4; ++c) w[static_cast<std::size_t>(c * 4 + c)] = 0.0;
+  w[0 * 4 + 1] = 6.0;
+  return w;
+}
+
+CircuitSchedule build_weighted(double alpha) {
+  const auto cliques = CliqueAssignment::contiguous(16, 4);
+  ScheduleBuilder::WeightedOptions opts;
+  opts.demand_alpha = alpha;
+  return ScheduleBuilder::sorn_weighted(cliques, Rational{2, 1},
+                                        hot_pair_weights(), opts);
+}
+
+TEST(WeightedScheduleTest, EverySlotIsPerfectMatching) {
+  const CircuitSchedule s = build_weighted(0.7);
+  for (Slot t = 0; t < s.period(); ++t)
+    EXPECT_TRUE(s.matching_at(t).is_perfect()) << "slot " << t;
+}
+
+TEST(WeightedScheduleTest, QRatioStillExact) {
+  const CircuitSchedule s = build_weighted(0.7);
+  EXPECT_NEAR(s.kind_fraction(SlotKind::kIntra) /
+                  s.kind_fraction(SlotKind::kInter),
+              2.0, 1e-9);
+}
+
+TEST(WeightedScheduleTest, KindsConsistentWithCliques) {
+  const auto cliques = CliqueAssignment::contiguous(16, 4);
+  const CircuitSchedule s = build_weighted(0.7);
+  std::vector<CliqueId> map(16);
+  for (NodeId i = 0; i < 16; ++i) map[static_cast<std::size_t>(i)] =
+      cliques.clique_of(i);
+  EXPECT_TRUE(s.kinds_consistent(map));
+}
+
+TEST(WeightedScheduleTest, HotPairGetsMoreBandwidth) {
+  const auto cliques = CliqueAssignment::contiguous(16, 4);
+  const CircuitSchedule s = build_weighted(0.7);
+  const LogicalTopology topo(s);
+  const double hot = topo.clique_bandwidth(0, 1, cliques);
+  const double cold = topo.clique_bandwidth(2, 0, cliques);
+  EXPECT_GT(hot, cold * 1.5);
+}
+
+TEST(WeightedScheduleTest, FullNeighborSupersetPreserved) {
+  // Even with a strongly skewed demand, the uniform floor keeps every
+  // ordered node pair connected within a period (fixed superset of
+  // neighbors, paper Sec. 5).
+  const CircuitSchedule s = build_weighted(0.85);
+  const LogicalTopology topo(s);
+  for (NodeId i = 0; i < 16; ++i) EXPECT_EQ(topo.degree(i), 15);
+}
+
+TEST(WeightedScheduleTest, AlphaZeroApproximatesUniformSchedule) {
+  const auto cliques = CliqueAssignment::contiguous(16, 4);
+  const CircuitSchedule s = build_weighted(0.0);
+  const LogicalTopology topo(s);
+  // All clique pairs within ~35% of each other (quantization leaves some
+  // unevenness; the uniform builder is exact).
+  double lo = 1e9;
+  double hi = 0.0;
+  for (CliqueId a = 0; a < 4; ++a) {
+    for (CliqueId b = 0; b < 4; ++b) {
+      if (a == b) continue;
+      const double bw = topo.clique_bandwidth(a, b, cliques);
+      lo = std::min(lo, bw);
+      hi = std::max(hi, bw);
+    }
+  }
+  EXPECT_LT(hi / lo, 1.35);
+}
+
+TEST(WeightedScheduleTest, InterGapStaysBounded) {
+  // The uniform floor guarantees every (node, clique) inter wait is
+  // finite and not wildly above the uniform schedule's.
+  const auto cliques = CliqueAssignment::contiguous(16, 4);
+  const CircuitSchedule s = build_weighted(0.7);
+  const auto gaps = analysis::inter_gap_stats(s, cliques);
+  EXPECT_GT(gaps.worst, 0);
+  EXPECT_LT(gaps.worst, s.period());
+}
+
+TEST(WeightedScheduleTest, RejectsSingletonCliques) {
+  const auto cliques = CliqueAssignment::flat(4);
+  std::vector<double> w(16, 1.0);
+  EXPECT_DEATH(ScheduleBuilder::sorn_weighted(cliques, Rational{2, 1}, w),
+               "size >= 2");
+}
+
+}  // namespace
+}  // namespace sorn

@@ -1,0 +1,59 @@
+#include "traffic/arrivals.h"
+
+#include <gtest/gtest.h>
+
+#include "traffic/patterns.h"
+
+namespace sorn {
+namespace {
+
+TEST(ArrivalsTest, TimesAreNondecreasing) {
+  const TrafficMatrix tm = patterns::uniform(8);
+  const FlowSizeDist sizes = FlowSizeDist::fixed(10000);
+  FlowArrivals arrivals(&tm, &sizes, 100e9, 0.5, Rng(1));
+  Picoseconds prev = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const FlowArrival a = arrivals.next();
+    EXPECT_GE(a.time, prev);
+    EXPECT_NE(a.src, a.dst);
+    EXPECT_EQ(a.bytes, 10000u);
+    prev = a.time;
+  }
+}
+
+TEST(ArrivalsTest, RateMatchesTargetLoad) {
+  // 8 nodes * 100 Gb/s * load 0.5 = 400 Gb/s = 50 GB/s aggregate.
+  // With 10 KB flows: 5e6 flows/s -> mean gap 200 ns.
+  const TrafficMatrix tm = patterns::uniform(8);
+  const FlowSizeDist sizes = FlowSizeDist::fixed(10000);
+  FlowArrivals arrivals(&tm, &sizes, 100e9, 0.5, Rng(2));
+  EXPECT_NEAR(static_cast<double>(arrivals.mean_interarrival()),
+              200e3 /* ps */, 1e3);
+}
+
+TEST(ArrivalsTest, EmpiricalRateTracksCalibration) {
+  const TrafficMatrix tm = patterns::uniform(4);
+  const FlowSizeDist sizes = FlowSizeDist::fixed(5000);
+  FlowArrivals arrivals(&tm, &sizes, 10e9, 1.0, Rng(3));
+  const int n = 20000;
+  Picoseconds last = 0;
+  for (int i = 0; i < n; ++i) last = arrivals.next().time;
+  const double mean_gap = static_cast<double>(last) / n;
+  EXPECT_NEAR(mean_gap / static_cast<double>(arrivals.mean_interarrival()),
+              1.0, 0.05);
+}
+
+TEST(ArrivalsTest, PairsFollowMatrix) {
+  TrafficMatrix tm(3);
+  tm.set(0, 2, 1.0);
+  const FlowSizeDist sizes = FlowSizeDist::fixed(100);
+  FlowArrivals arrivals(&tm, &sizes, 1e9, 0.1, Rng(4));
+  for (int i = 0; i < 200; ++i) {
+    const FlowArrival a = arrivals.next();
+    EXPECT_EQ(a.src, 0);
+    EXPECT_EQ(a.dst, 2);
+  }
+}
+
+}  // namespace
+}  // namespace sorn

@@ -1,0 +1,87 @@
+// Diurnal utilization patterns (paper Sec. 6, "Other Structural
+// Patterns"): the trace's macro matrix evolves smoothly over a simulated
+// day, and the control plane only re-plans when the slow drift has
+// accumulated.
+#include <gtest/gtest.h>
+
+#include "control/control_plane.h"
+#include "traffic/trace.h"
+
+namespace sorn {
+namespace {
+
+TEST(DiurnalTest, ActivityShapes) {
+  // Web peaks at midday, hadoop at midnight, storage flat.
+  EXPECT_GT(role_diurnal_activity(ServiceRole::kWeb, 0.5),
+            role_diurnal_activity(ServiceRole::kWeb, 0.0));
+  EXPECT_GT(role_diurnal_activity(ServiceRole::kHadoop, 0.0),
+            role_diurnal_activity(ServiceRole::kHadoop, 0.5));
+  EXPECT_DOUBLE_EQ(role_diurnal_activity(ServiceRole::kStorage, 0.1),
+                   role_diurnal_activity(ServiceRole::kStorage, 0.7));
+}
+
+TEST(DiurnalTest, PhaseShiftsTheMacroMix) {
+  SyntheticTrace::Config cfg;
+  cfg.nodes = 64;
+  cfg.group_size = 8;
+  SyntheticTrace trace(cfg);
+
+  // Pick a web group and a hadoop group.
+  NodeId web_group = -1;
+  NodeId hadoop_group = -1;
+  for (NodeId g = 0; g < trace.group_count(); ++g) {
+    if (trace.role_of_group(g) == ServiceRole::kWeb && web_group < 0)
+      web_group = g;
+    if (trace.role_of_group(g) == ServiceRole::kHadoop && hadoop_group < 0)
+      hadoop_group = g;
+  }
+  ASSERT_GE(web_group, 0);
+  ASSERT_GE(hadoop_group, 0);
+  const NodeId web_node = web_group * cfg.group_size;
+  const NodeId hadoop_node = hadoop_group * cfg.group_size;
+
+  trace.set_phase(0.5);  // midday
+  const double web_day = trace.macro_matrix().row_sum(web_node);
+  const double hadoop_day = trace.macro_matrix().row_sum(hadoop_node);
+  trace.set_phase(0.0);  // midnight
+  const double web_night = trace.macro_matrix().row_sum(web_node);
+  const double hadoop_night = trace.macro_matrix().row_sum(hadoop_node);
+
+  // Relative dominance flips between day and night.
+  EXPECT_GT(web_day / hadoop_day, web_night / hadoop_night);
+}
+
+TEST(DiurnalTest, SmoothDriftKeepsReplansBounded) {
+  SyntheticTrace::Config cfg;
+  cfg.nodes = 64;
+  cfg.group_size = 8;
+  cfg.burst_sigma = 0.2;
+  SyntheticTrace trace(cfg);
+
+  ControlPlane::Options opts;
+  opts.optimizer.candidate_nc = {8};
+  opts.replan_threshold = 0.3;
+  opts.locality_degradation = 0.2;
+  ControlPlane cp(64, opts);
+
+  // One simulated day in 24 hourly epochs.
+  for (int hour = 0; hour < 24; ++hour) {
+    trace.set_phase(hour / 24.0);
+    cp.on_epoch(trace.epoch_matrix(), hour);
+  }
+  // The drift is slow and the co-location structure never moves: the
+  // control plane should not thrash (a handful of re-plans at most).
+  EXPECT_GE(cp.replans(), 1u);
+  EXPECT_LE(cp.replans(), 6u);
+}
+
+TEST(DiurnalTest, RejectsOutOfRangePhase) {
+  SyntheticTrace::Config cfg;
+  cfg.nodes = 8;
+  cfg.group_size = 2;
+  SyntheticTrace trace(cfg);
+  EXPECT_DEATH(trace.set_phase(1.0), "phase");
+}
+
+}  // namespace
+}  // namespace sorn

@@ -1,0 +1,81 @@
+#include "traffic/flow_size.h"
+
+#include <gtest/gtest.h>
+
+namespace sorn {
+namespace {
+
+TEST(FlowSizeTest, FixedDistributionIsConstant) {
+  const FlowSizeDist d = FlowSizeDist::fixed(1500);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(d.sample(rng), 1500u);
+}
+
+TEST(FlowSizeTest, WebSearchSamplesWithinSupport) {
+  const FlowSizeDist d = FlowSizeDist::pfabric_web_search();
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const auto s = d.sample(rng);
+    EXPECT_GE(s, 6000u);
+    EXPECT_LE(s, 30000000u);
+  }
+}
+
+TEST(FlowSizeTest, DataMiningIsHeavyTailed) {
+  // The hallmark of the data-mining workload: most flows are tiny, most
+  // bytes are in huge flows.
+  const FlowSizeDist d = FlowSizeDist::pfabric_data_mining();
+  Rng rng(3);
+  const int n = 20000;
+  int small_flows = 0;
+  double total_bytes = 0.0;
+  double big_bytes = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double s = static_cast<double>(d.sample(rng));
+    if (s <= 10e3) ++small_flows;
+    total_bytes += s;
+    if (s > 1e6) big_bytes += s;
+  }
+  EXPECT_GT(static_cast<double>(small_flows) / n, 0.7);
+  EXPECT_GT(big_bytes / total_bytes, 0.5);
+}
+
+TEST(FlowSizeTest, EmpiricalMeanMatchesAnalytic) {
+  const FlowSizeDist d = FlowSizeDist::pfabric_web_search();
+  Rng rng(4);
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(d.sample(rng));
+  const double empirical = sum / n;
+  EXPECT_NEAR(empirical / d.mean_bytes(), 1.0, 0.15);
+}
+
+TEST(FlowSizeTest, CdfIsMonotone) {
+  const FlowSizeDist d = FlowSizeDist::pfabric_web_search();
+  double prev = -1.0;
+  for (double b = 1e3; b < 1e8; b *= 1.5) {
+    const double c = d.cdf(b);
+    EXPECT_GE(c, prev);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(d.cdf(1e9), 1.0);
+}
+
+TEST(FlowSizeTest, ShortFlowShareRoughlyMatchesPaperAssumption) {
+  // Table 1 assumes a short-flow traffic share around 75% (median from a
+  // production trace). The data-mining CDF has ~80% of flows <= 10 KB.
+  const FlowSizeDist d = FlowSizeDist::pfabric_data_mining();
+  EXPECT_NEAR(d.short_flow_share(10e3), 0.8, 0.05);
+}
+
+TEST(FlowSizeTest, RejectsMalformedCdf) {
+  EXPECT_DEATH(FlowSizeDist("bad", {{10.0, 0.5}, {5.0, 1.0}}),
+               "strictly increasing");
+  EXPECT_DEATH(FlowSizeDist("bad", {{1.0, 0.0}, {2.0, 0.9}}),
+               "end at probability 1");
+}
+
+}  // namespace
+}  // namespace sorn

@@ -1,0 +1,63 @@
+#include "traffic/matrix_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "traffic/patterns.h"
+
+namespace sorn {
+namespace {
+
+TEST(MatrixIoTest, RoundTripPreservesValues) {
+  const auto cliques = CliqueAssignment::contiguous(8, 2);
+  const TrafficMatrix original = patterns::locality_mix(cliques, 0.6);
+  const auto parsed = matrix_from_csv(matrix_to_csv(original));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->node_count(), 8);
+  for (NodeId i = 0; i < 8; ++i)
+    for (NodeId j = 0; j < 8; ++j)
+      EXPECT_NEAR(parsed->at(i, j), original.at(i, j), 1e-12);
+}
+
+TEST(MatrixIoTest, FileRoundTrip) {
+  const TrafficMatrix original = patterns::uniform(5);
+  const std::string path = ::testing::TempDir() + "/tm_roundtrip.csv";
+  ASSERT_TRUE(save_matrix_csv(original, path));
+  const auto loaded = load_matrix_csv(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_NEAR(loaded->total(), original.total(), 1e-9);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIoTest, RejectsRaggedRows) {
+  EXPECT_FALSE(matrix_from_csv("0,1,2\n1,0\n2,1,0\n").has_value());
+}
+
+TEST(MatrixIoTest, RejectsNonSquare) {
+  EXPECT_FALSE(matrix_from_csv("0,1\n1,0\n0,1\n").has_value());
+}
+
+TEST(MatrixIoTest, RejectsNonNumeric) {
+  EXPECT_FALSE(matrix_from_csv("0,abc\n1,0\n").has_value());
+}
+
+TEST(MatrixIoTest, RejectsNegativeDemand) {
+  EXPECT_FALSE(matrix_from_csv("0,-1\n1,0\n").has_value());
+}
+
+TEST(MatrixIoTest, RejectsNonzeroDiagonal) {
+  EXPECT_FALSE(matrix_from_csv("5,1\n1,0\n").has_value());
+}
+
+TEST(MatrixIoTest, RejectsEmptyInput) {
+  EXPECT_FALSE(matrix_from_csv("").has_value());
+  EXPECT_FALSE(matrix_from_csv("\n\n").has_value());
+}
+
+TEST(MatrixIoTest, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(load_matrix_csv("/nonexistent/path/tm.csv").has_value());
+}
+
+}  // namespace
+}  // namespace sorn

@@ -1,0 +1,98 @@
+#include "traffic/patterns.h"
+
+#include <gtest/gtest.h>
+
+namespace sorn {
+namespace {
+
+TEST(PatternsTest, UniformHasUnitPeakLoad) {
+  const TrafficMatrix tm = patterns::uniform(8);
+  EXPECT_NEAR(tm.max_node_load(), 1.0, 1e-12);
+  // Every off-diagonal entry equal.
+  EXPECT_DOUBLE_EQ(tm.at(0, 1), tm.at(5, 2));
+}
+
+// Property sweep: the locality mix must reproduce its target x exactly.
+class LocalityMixSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LocalityMixSweep, RecoversTargetLocality) {
+  const double x = GetParam();
+  const auto cliques = CliqueAssignment::contiguous(32, 4);
+  const TrafficMatrix tm = patterns::locality_mix(cliques, x);
+  EXPECT_NEAR(tm.locality_ratio(cliques), x, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(X, LocalityMixSweep,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.56, 0.75,
+                                           0.9, 1.0));
+
+TEST(PatternsTest, LocalityMixSingletonCliquesAllInter) {
+  const auto cliques = CliqueAssignment::flat(8);
+  const TrafficMatrix tm = patterns::locality_mix(cliques, 0.8);
+  EXPECT_DOUBLE_EQ(tm.locality_ratio(cliques), 0.0);
+  EXPECT_GT(tm.total(), 0.0);
+}
+
+TEST(PatternsTest, PermutationHasOneDestinationPerSource) {
+  Rng rng(5);
+  const TrafficMatrix tm = patterns::permutation(10, rng);
+  for (NodeId i = 0; i < 10; ++i) {
+    int dsts = 0;
+    for (NodeId j = 0; j < 10; ++j)
+      if (tm.at(i, j) > 0.0) ++dsts;
+    EXPECT_EQ(dsts, 1);
+    EXPECT_DOUBLE_EQ(tm.row_sum(i), 1.0);
+  }
+  // Permutation: every node also receives exactly once.
+  for (NodeId j = 0; j < 10; ++j) EXPECT_DOUBLE_EQ(tm.col_sum(j), 1.0);
+}
+
+TEST(PatternsTest, HotspotElevatesSomePairs) {
+  Rng rng(6);
+  const TrafficMatrix uni = patterns::uniform(16);
+  const TrafficMatrix hot = patterns::hotspot(16, 4, 50.0, rng);
+  // After renormalization the max entry must exceed the uniform entry.
+  double max_hot = 0.0;
+  for (NodeId i = 0; i < 16; ++i)
+    for (NodeId j = 0; j < 16; ++j) max_hot = std::max(max_hot, hot.at(i, j));
+  EXPECT_GT(max_hot, uni.at(0, 1) * 5.0);
+}
+
+TEST(PatternsTest, GravityProportionalToWeights) {
+  const auto cliques = CliqueAssignment::contiguous(8, 4);
+  const TrafficMatrix tm = patterns::gravity(cliques, {1.0, 2.0, 1.0, 1.0});
+  // Demand clique0 -> clique1 should be double clique0 -> clique2 per pair.
+  EXPECT_NEAR(tm.at(0, 2) / tm.at(0, 4), 2.0, 1e-9);
+}
+
+TEST(PatternsTest, CliqueRingBalancesNodeLoads) {
+  const auto cliques = CliqueAssignment::contiguous(32, 4);
+  const TrafficMatrix tm = patterns::clique_ring(cliques, 0.4, 0.9);
+  // Every node sends and receives exactly the same total.
+  for (NodeId i = 0; i < 32; ++i) {
+    EXPECT_NEAR(tm.row_sum(i), 1.0, 1e-9);
+    EXPECT_NEAR(tm.col_sum(i), 1.0, 1e-9);
+  }
+  EXPECT_NEAR(tm.locality_ratio(cliques), 0.4, 1e-9);
+}
+
+TEST(PatternsTest, CliqueRingSkewsPairStructure) {
+  const auto cliques = CliqueAssignment::contiguous(32, 4);
+  const TrafficMatrix tm = patterns::clique_ring(cliques, 0.4, 0.9);
+  const auto agg = tm.aggregate(cliques);
+  // Clique 0 -> 1 (ring neighbor) dominates clique 0 -> 2.
+  EXPECT_GT(agg[0 * 4 + 1], agg[0 * 4 + 2] * 5.0);
+}
+
+TEST(PatternsTest, CliqueRingRejectsTooFewCliques) {
+  const auto cliques = CliqueAssignment::contiguous(8, 2);
+  EXPECT_DEATH(patterns::clique_ring(cliques, 0.4, 0.9), "three cliques");
+}
+
+TEST(PatternsTest, GravityRejectsWrongWeightCount) {
+  const auto cliques = CliqueAssignment::contiguous(8, 4);
+  EXPECT_DEATH(patterns::gravity(cliques, {1.0, 2.0}), "one weight per clique");
+}
+
+}  // namespace
+}  // namespace sorn

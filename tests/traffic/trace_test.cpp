@@ -1,0 +1,88 @@
+#include "traffic/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace sorn {
+namespace {
+
+SyntheticTrace::Config small_config() {
+  SyntheticTrace::Config c;
+  c.nodes = 64;
+  c.group_size = 8;
+  c.seed = 11;
+  return c;
+}
+
+TEST(TraceTest, MacroMatrixIsStable) {
+  SyntheticTrace trace(small_config());
+  const TrafficMatrix a = trace.macro_matrix();
+  const TrafficMatrix b = trace.macro_matrix();
+  for (NodeId i = 0; i < 64; ++i)
+    for (NodeId j = 0; j < 64; ++j) EXPECT_DOUBLE_EQ(a.at(i, j), b.at(i, j));
+}
+
+TEST(TraceTest, GroundTruthGroupingHasElevatedLocality) {
+  SyntheticTrace trace(small_config());
+  const TrafficMatrix macro = trace.macro_matrix();
+  const auto truth = trace.ground_truth_cliques();
+  const double x_truth = macro.locality_ratio(truth);
+  // Uniform traffic over 8 groups of 8 would give x = 7/63 = 0.111; the
+  // co-location boost must push locality well above that.
+  EXPECT_GT(x_truth, 0.25);
+}
+
+TEST(TraceTest, EpochNoisePerturbssPairsButNotMacroStructure) {
+  SyntheticTrace trace(small_config());
+  const TrafficMatrix macro = trace.macro_matrix();
+  TrafficMatrix epoch = trace.epoch_matrix();
+  // Micro scale: individual pairs deviate noticeably.
+  int deviating = 0;
+  for (NodeId i = 0; i < 64; ++i)
+    for (NodeId j = 0; j < 64; ++j)
+      if (i != j &&
+          std::abs(epoch.at(i, j) - macro.at(i, j)) > 0.2 * macro.at(i, j))
+        ++deviating;
+  EXPECT_GT(deviating, 500);
+  // Macro scale: clique-aggregated structure stays close.
+  const auto truth = trace.ground_truth_cliques();
+  const auto agg_macro = macro.aggregate(truth);
+  const auto agg_epoch = epoch.aggregate(truth);
+  double diff = 0.0;
+  double total = 0.0;
+  for (std::size_t k = 0; k < agg_macro.size(); ++k) {
+    diff += std::abs(agg_macro[k] - agg_epoch[k]);
+    total += agg_macro[k];
+  }
+  EXPECT_LT(diff / total, 0.25);
+}
+
+TEST(TraceTest, ShuffleRolesChangesMacroPattern) {
+  SyntheticTrace trace(small_config());
+  const auto truth = trace.ground_truth_cliques();
+  const auto before = trace.macro_matrix().aggregate(truth);
+  trace.shuffle_roles();
+  const auto after = trace.macro_matrix().aggregate(truth);
+  double diff = 0.0;
+  for (std::size_t k = 0; k < before.size(); ++k)
+    diff += std::abs(before[k] - after[k]);
+  EXPECT_GT(diff, 0.0);
+}
+
+TEST(TraceTest, RoleAffinityShape) {
+  // Web's strongest partner is cache; hadoop is self-affine.
+  EXPECT_GT(role_affinity(ServiceRole::kWeb, ServiceRole::kCache),
+            role_affinity(ServiceRole::kWeb, ServiceRole::kHadoop));
+  EXPECT_GE(role_affinity(ServiceRole::kHadoop, ServiceRole::kHadoop),
+            role_affinity(ServiceRole::kHadoop, ServiceRole::kWeb));
+  EXPECT_STREQ(service_role_name(ServiceRole::kStorage), "storage");
+}
+
+TEST(TraceTest, RejectsIndivisibleGroups) {
+  SyntheticTrace::Config c;
+  c.nodes = 10;
+  c.group_size = 4;
+  EXPECT_DEATH(SyntheticTrace{c}, "equal groups");
+}
+
+}  // namespace
+}  // namespace sorn

@@ -1,0 +1,93 @@
+#include "traffic/traffic_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace sorn {
+namespace {
+
+TEST(TrafficMatrixTest, DiagonalStaysZero) {
+  TrafficMatrix tm(4);
+  tm.set(1, 1, 5.0);
+  tm.add(2, 2, 3.0);
+  EXPECT_DOUBLE_EQ(tm.at(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(tm.at(2, 2), 0.0);
+}
+
+TEST(TrafficMatrixTest, SumsAndLoads) {
+  TrafficMatrix tm(3);
+  tm.set(0, 1, 1.0);
+  tm.set(0, 2, 2.0);
+  tm.set(1, 2, 4.0);
+  EXPECT_DOUBLE_EQ(tm.total(), 7.0);
+  EXPECT_DOUBLE_EQ(tm.row_sum(0), 3.0);
+  EXPECT_DOUBLE_EQ(tm.col_sum(2), 6.0);
+  EXPECT_DOUBLE_EQ(tm.max_node_load(), 6.0);  // node 2 receives 6
+}
+
+TEST(TrafficMatrixTest, NormalizeNodeLoad) {
+  TrafficMatrix tm(3);
+  tm.set(0, 1, 4.0);
+  tm.set(2, 1, 4.0);
+  tm.normalize_node_load();
+  EXPECT_DOUBLE_EQ(tm.max_node_load(), 1.0);
+  EXPECT_DOUBLE_EQ(tm.at(0, 1), 0.5);
+}
+
+TEST(TrafficMatrixTest, NormalizeEmptyIsNoop) {
+  TrafficMatrix tm(3);
+  tm.normalize_node_load();
+  EXPECT_DOUBLE_EQ(tm.total(), 0.0);
+}
+
+TEST(TrafficMatrixTest, LocalityRatio) {
+  const auto cliques = CliqueAssignment::contiguous(4, 2);
+  TrafficMatrix tm(4);
+  tm.set(0, 1, 3.0);  // intra (clique {0,1})
+  tm.set(0, 2, 1.0);  // inter
+  EXPECT_DOUBLE_EQ(tm.locality_ratio(cliques), 0.75);
+}
+
+TEST(TrafficMatrixTest, AggregateByClique) {
+  const auto cliques = CliqueAssignment::contiguous(4, 2);
+  TrafficMatrix tm(4);
+  tm.set(0, 1, 3.0);
+  tm.set(0, 2, 1.0);
+  tm.set(3, 0, 2.0);
+  const auto agg = tm.aggregate(cliques);
+  EXPECT_DOUBLE_EQ(agg[0 * 2 + 0], 3.0);
+  EXPECT_DOUBLE_EQ(agg[0 * 2 + 1], 1.0);
+  EXPECT_DOUBLE_EQ(agg[1 * 2 + 0], 2.0);
+  EXPECT_DOUBLE_EQ(agg[1 * 2 + 1], 0.0);
+}
+
+TEST(TrafficMatrixTest, SamplePairFollowsWeights) {
+  TrafficMatrix tm(3);
+  tm.set(0, 1, 9.0);
+  tm.set(1, 2, 1.0);
+  Rng rng(1);
+  int heavy = 0;
+  const int draws = 10000;
+  for (int i = 0; i < draws; ++i) {
+    const auto [s, d] = tm.sample_pair(rng);
+    EXPECT_NE(s, d);
+    if (s == 0 && d == 1) ++heavy;
+  }
+  EXPECT_NEAR(static_cast<double>(heavy) / draws, 0.9, 0.02);
+}
+
+TEST(TrafficMatrixTest, SamplePairAfterMutationUsesNewWeights) {
+  TrafficMatrix tm(3);
+  tm.set(0, 1, 1.0);
+  Rng rng(2);
+  (void)tm.sample_pair(rng);  // builds the CDF cache
+  tm.set(0, 1, 0.0);
+  tm.set(2, 0, 1.0);
+  for (int i = 0; i < 100; ++i) {
+    const auto [s, d] = tm.sample_pair(rng);
+    EXPECT_EQ(s, 2);
+    EXPECT_EQ(d, 0);
+  }
+}
+
+}  // namespace
+}  // namespace sorn
