@@ -11,10 +11,17 @@
 // SORN's win is holding ~1/(3-x) with an intrinsic latency an order of
 // magnitude lower (delta_m printed at the end), and adaptation is what
 // keeps it there across shifts.
+// With `--json <file>` the table is also written machine-readably; with
+// `--trace <file.jsonl>` the control plane's replan decisions (with
+// trigger reasons) and the network's reconfigure events are traced.
 #include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
 
 #include "control/control_plane.h"
 #include "core/sorn.h"
+#include "obs/export.h"
 #include "routing/vlb.h"
 #include "sim/saturation.h"
 #include "traffic/patterns.h"
@@ -36,8 +43,24 @@ double sat_throughput(sorn::SlottedNetwork& net,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sorn;
+  std::string json_path, trace_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
+  }
+  Telemetry telemetry;
+  std::unique_ptr<FileTraceSink> trace_sink;
+  if (!trace_path.empty()) {
+    trace_sink = std::make_unique<FileTraceSink>(trace_path);
+    if (!trace_sink->ok()) {
+      std::fprintf(stderr, "cannot open %s\n", trace_path.c_str());
+      return 1;
+    }
+    telemetry.set_trace_sink(trace_sink.get());
+  }
+
   SyntheticTrace::Config tcfg;
   tcfg.nodes = kNodes;
   tcfg.group_size = 8;
@@ -50,6 +73,7 @@ int main() {
   opts.optimizer.max_q_denominator = 6;
   opts.replan_threshold = 0.3;
   ControlPlane cp(kNodes, opts);
+  cp.set_tracer(&telemetry.tracer());
 
   // The demand the fabric must carry: locality-mix over the current
   // ground-truth placement (the paper's analysis workload). The control
@@ -80,6 +104,7 @@ int main() {
                                                        cp.last_plan().cliques);
   net.adapt(cp.last_plan().cliques, cp.last_plan().q);
   SlottedNetwork sim = net.make_network();
+  sim.set_telemetry(&telemetry);
 
   TablePrinter table({"Phase", "locality under plan", "throughput r"});
 
@@ -114,6 +139,18 @@ int main() {
                  format("%.4f", sat_throughput(flat, after))});
 
   table.print();
+  if (!json_path.empty()) {
+    const std::string doc =
+        "{\"bench\": \"bench_adaptation\", \"rows\": " + table.to_json() +
+        "}\n";
+    if (!write_text_file(json_path, doc)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  if (!trace_path.empty())
+    std::printf("\nwrote event trace %s\n", trace_path.c_str());
   std::printf(
       "\nShape check: the shift collapses the locality the plan assumed and\n"
       "throughput drops toward the 1/((1-x)(q+1)) inter-link bound;\n"

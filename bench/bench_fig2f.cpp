@@ -7,18 +7,26 @@
 //            (the paper's simulation scale), traffic drawn from a locality
 //            mix whose flow population follows the pFabric web-search
 //            workload [2] (cells are sprayed per flow; see DESIGN.md).
+// With `--json <file>` the table is additionally written as a JSON array
+// of row objects (machine-readable BENCH_*.json trajectories).
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "analysis/models.h"
 #include "core/sorn.h"
+#include "obs/export.h"
 #include "sim/saturation.h"
 #include "traffic/flow_size.h"
 #include "traffic/patterns.h"
 #include "util/stats.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sorn;
+  std::string json_path;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
   const NodeId kNodes = 128;
   const CliqueId kCliques = 8;
 
@@ -69,6 +77,15 @@ int main() {
                    format("%.3f", r_sim.mean() / r_theory)});
   }
   table.print();
+  if (!json_path.empty()) {
+    const std::string doc =
+        "{\"bench\": \"bench_fig2f\", \"rows\": " + table.to_json() + "}\n";
+    if (!write_text_file(json_path, doc)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
   std::printf(
       "\nShape check: r rises from ~1/3 at x=0 to ~1/2 at x=1 "
       "(paper Sec. 4: \"r is bounded between 1/3 and 1/2\").\n");

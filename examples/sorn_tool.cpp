@@ -10,18 +10,24 @@
 //
 //   sorn_tool simulate --nodes 64 --cliques 8 --locality 0.56
 //                      [--load 0.3] [--slots 30000]
+//                      [--trace run.jsonl] [--metrics-json run.json]
+//                      [--timeseries-csv run.csv] [--sample-every 10]
 //       Run an open-loop pFabric workload on a SORN fabric and print
-//       throughput/FCT metrics.
+//       throughput/FCT metrics. The telemetry flags additionally write a
+//       JSONL event trace, a full-run JSON summary, and/or a per-slot
+//       time-series CSV (decimated to every k-th slot).
 //
 // Run without arguments for usage.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "analysis/models.h"
+#include "obs/export.h"
 #include "control/hier_optimizer.h"
 #include "control/optimizer.h"
 #include "core/sorn.h"
@@ -193,6 +199,34 @@ int cmd_simulate(const std::map<std::string, std::string>& flags) {
 
   const SornNetwork net = SornNetwork::build(cfg);
   SlottedNetwork sim = net.make_network();
+
+  // Telemetry: any of the export flags attaches the facade; tracing and
+  // time-series sampling are each enabled only when asked for.
+  const bool want_trace = flags.count("trace") != 0;
+  const bool want_json = flags.count("metrics-json") != 0;
+  const bool want_csv = flags.count("timeseries-csv") != 0;
+  TelemetryOptions topts;
+  if (want_csv || want_json) {
+    const long every = flag_long(flags, "sample-every", 1);
+    if (every < 1) {
+      std::fprintf(stderr, "--sample-every must be >= 1 (got %ld)\n", every);
+      return 1;
+    }
+    topts.sample_every = static_cast<Slot>(every);
+  }
+  Telemetry telemetry(topts);
+  std::unique_ptr<FileTraceSink> trace_sink;
+  if (want_trace) {
+    trace_sink = std::make_unique<FileTraceSink>(flags.at("trace"));
+    if (!trace_sink->ok()) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   flags.at("trace").c_str());
+      return 1;
+    }
+    telemetry.set_trace_sink(trace_sink.get());
+  }
+  if (want_trace || want_json || want_csv) sim.set_telemetry(&telemetry);
+
   const TrafficMatrix tm =
       patterns::locality_mix(net.cliques(), cfg.locality_x);
   const FlowSizeDist sizes = FlowSizeDist::pfabric_web_search();
@@ -222,6 +256,32 @@ int cmd_simulate(const std::map<std::string, std::string>& flags) {
               sim.metrics().fct_ps().percentile(99.0) / 1e6);
   std::printf("  predicted r:      %.4f (1/(3-x))\n",
               net.predicted_throughput());
+
+  if (want_json) {
+    ExportOptions eopts;
+    eopts.nodes = cfg.nodes;
+    eopts.lanes = sim.config().lanes;
+    const std::string json = run_to_json(sim.metrics(), &telemetry, eopts);
+    if (!write_text_file(flags.at("metrics-json"), json)) {
+      std::fprintf(stderr, "cannot write %s\n",
+                   flags.at("metrics-json").c_str());
+      return 1;
+    }
+    std::printf("  metrics JSON:     %s\n", flags.at("metrics-json").c_str());
+  }
+  if (want_csv) {
+    const std::string csv = timeseries_to_csv(*telemetry.timeseries());
+    if (!write_text_file(flags.at("timeseries-csv"), csv)) {
+      std::fprintf(stderr, "cannot write %s\n",
+                   flags.at("timeseries-csv").c_str());
+      return 1;
+    }
+    std::printf("  time series CSV:  %s (%zu samples)\n",
+                flags.at("timeseries-csv").c_str(),
+                telemetry.timeseries()->samples().size());
+  }
+  if (want_trace)
+    std::printf("  event trace:      %s\n", flags.at("trace").c_str());
   return 0;
 }
 
@@ -233,7 +293,9 @@ int usage() {
       "  sorn_tool hier-plan --matrix tm.csv [--clusters 4] [--pods 4]\n"
       "  sorn_tool schedule --nodes 16 --cliques 4 --qnum 3 --qden 1\n"
       "  sorn_tool simulate --nodes 64 --cliques 8 --locality 0.56\n"
-      "                     [--load 0.3] [--slots 30000]\n");
+      "                     [--load 0.3] [--slots 30000]\n"
+      "                     [--trace run.jsonl] [--metrics-json run.json]\n"
+      "                     [--timeseries-csv run.csv] [--sample-every 10]\n");
   return 2;
 }
 

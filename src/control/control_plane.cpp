@@ -11,10 +11,12 @@ ControlPlane::ControlPlane(NodeId nodes, Options options)
 bool ControlPlane::on_epoch(const TrafficMatrix& observed, Slot now) {
   estimator_.observe(observed);
   const bool first = !has_plan_;
-  const bool drifted =
-      estimator_.macro_change().value_or(0.0) > options_.replan_threshold;
+  const double macro_change = estimator_.macro_change().value_or(0.0);
+  const bool drifted = macro_change > options_.replan_threshold;
+  const double locality_estimate =
+      has_plan_ ? estimator_.locality(last_plan_.cliques) : 0.0;
   const bool degraded =
-      has_plan_ && estimator_.locality(last_plan_.cliques) <
+      has_plan_ && locality_estimate <
                        last_plan_.locality_x - options_.locality_degradation;
   if (!first && !drifted && !degraded) return false;
 
@@ -27,6 +29,14 @@ bool ControlPlane::on_epoch(const TrafficMatrix& observed, Slot now) {
   last_plan_ = plan;
   has_plan_ = true;
   ++replans_;
+  if (tracer_ != nullptr) {
+    tracer_->replan(now,
+                    drifted ? "threshold"
+                    : degraded ? "locality_degradation"
+                               : "first_observation",
+                    macro_change, locality_estimate, plan.locality_x,
+                    plan.cliques.clique_count(), plan.q.value(), replans_);
+  }
   reconfig_.request_swap(std::move(plan), now);
   return true;
 }

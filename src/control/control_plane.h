@@ -44,6 +44,13 @@ class ControlPlane {
   const SornPlan& last_plan() const { return last_plan_; }
   std::uint64_t replans() const { return replans_; }
 
+  // Borrowed tracer for replan decisions (with trigger reason) and the
+  // reconfiguration manager's staged/applied events; nullptr disables.
+  void set_tracer(Tracer* tracer) {
+    tracer_ = tracer;
+    reconfig_.set_tracer(tracer);
+  }
+
  private:
   Options options_;
   TrafficEstimator estimator_;
@@ -52,6 +59,7 @@ class ControlPlane {
   SornPlan last_plan_;
   bool has_plan_ = false;
   std::uint64_t replans_ = 0;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace sorn

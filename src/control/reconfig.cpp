@@ -21,6 +21,11 @@ void ReconfigManager::request_swap(SornPlan plan, Slot now) {
                                              options_.lb_mode);
   pending_ = std::move(gen);
   swap_due_ = now + options_.update_delay_slots;
+  if (tracer_ != nullptr) {
+    tracer_->reconfig_staged(now, swap_due_,
+                             pending_->cliques->clique_count(),
+                             plan.q.value(), !plan.inter_weights.empty());
+  }
 }
 
 bool ReconfigManager::tick(SlottedNetwork& network, Slot now) {
@@ -40,6 +45,7 @@ bool ReconfigManager::tick(SlottedNetwork& network, Slot now) {
   }
   network.reconfigure(current_.schedule.get(), current_.router.get());
   ++swaps_applied_;
+  if (tracer_ != nullptr) tracer_->reconfig_applied(now, swaps_applied_);
   return true;
 }
 

@@ -12,6 +12,7 @@
 #include <memory>
 #include <optional>
 
+#include "obs/trace.h"
 #include "control/nic_state.h"
 #include "control/optimizer.h"
 #include "routing/sorn_routing.h"
@@ -50,6 +51,10 @@ class ReconfigManager {
   bool swap_pending() const { return pending_ != nullptr; }
   std::uint64_t swaps_applied() const { return swaps_applied_; }
 
+  // Borrowed tracer for reconfig_staged/reconfig_applied events; nullptr
+  // disables.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
   // NIC rollout cost of the most recent applied swap; nullopt until a
   // swap happened with track_nic_rollout enabled.
   const std::optional<UpdateCoordinator::Report>& last_rollout() const {
@@ -76,6 +81,7 @@ class ReconfigManager {
   std::uint64_t swaps_applied_ = 0;
   std::vector<NicState> nics_;
   std::optional<UpdateCoordinator::Report> last_rollout_;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace sorn

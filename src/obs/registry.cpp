@@ -1,0 +1,36 @@
+#include "obs/registry.h"
+
+namespace sorn {
+
+Counter* CounterRegistry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return &it->second;
+  return &counters_.emplace(std::string(name), Counter()).first->second;
+}
+
+Gauge* CounterRegistry::gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return &it->second;
+  return &gauges_.emplace(std::string(name), Gauge()).first->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> CounterRegistry::counters()
+    const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c.value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> CounterRegistry::gauges() const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g.value());
+  return out;
+}
+
+void CounterRegistry::reset() {
+  for (auto& [name, c] : counters_) c.reset();
+}
+
+}  // namespace sorn

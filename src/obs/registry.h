@@ -1,0 +1,59 @@
+// Named counter/gauge registry.
+//
+// Hot paths obtain a Counter*/Gauge* once at setup and bump it with a
+// single add on a stable address — std::map node storage guarantees
+// pointers survive later registrations. The registry itself is only
+// walked at export time; iteration is in name order, so exports are
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sorn {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_ += n; }
+  std::uint64_t value() const { return v_; }
+  void reset() { v_ = 0; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_ = v; }
+  double value() const { return v_; }
+
+ private:
+  double v_ = 0.0;
+};
+
+class CounterRegistry {
+ public:
+  // Returns the counter/gauge registered under `name`, creating it on
+  // first use. The pointer stays valid for the registry's lifetime.
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+
+  // Name-sorted snapshots for export.
+  std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+  std::vector<std::pair<std::string, double>> gauges() const;
+
+  std::size_t counter_count() const { return counters_.size(); }
+
+  // Zero every counter (gauges keep their last value).
+  void reset();
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+};
+
+}  // namespace sorn

@@ -1,0 +1,14 @@
+#include "obs/telemetry.h"
+
+namespace sorn {
+
+Telemetry::Telemetry(TelemetryOptions options) {
+  if (options.sample_every >= 1)
+    sampler_.emplace(options.sample_every);
+  c_flows_injected_ = registry_.counter("sim.flows_injected");
+  c_cells_dropped_ = registry_.counter("sim.cells_dropped");
+  c_reconfigures_ = registry_.counter("sim.reconfigures");
+  c_failures_ = registry_.counter("sim.failures");
+}
+
+}  // namespace sorn

@@ -1,0 +1,66 @@
+#include "obs/timeseries.h"
+
+#include <cstdio>
+
+#include "util/assert.h"
+
+namespace sorn {
+
+TimeSeriesSampler::TimeSeriesSampler(Slot sample_every)
+    : every_(sample_every) {
+  SORN_ASSERT(sample_every >= 1, "sampling interval must be at least 1 slot");
+}
+
+void TimeSeriesSampler::record(Slot slot, std::uint64_t injected_total,
+                               std::uint64_t delivered_total,
+                               std::uint64_t dropped_total,
+                               std::uint64_t forwarded_total,
+                               std::uint64_t queued_cells,
+                               std::uint64_t max_voq_depth,
+                               std::uint64_t open_flows) {
+  SlotSample s;
+  s.slot = slot;
+  s.injected = injected_total - last_injected_;
+  s.delivered = delivered_total - last_delivered_;
+  s.dropped = dropped_total - last_dropped_;
+  s.forwarded = forwarded_total - last_forwarded_;
+  s.queued_cells = queued_cells;
+  s.max_voq_depth = max_voq_depth;
+  s.open_flows = open_flows;
+  samples_.push_back(s);
+  last_injected_ = injected_total;
+  last_delivered_ = delivered_total;
+  last_dropped_ = dropped_total;
+  last_forwarded_ = forwarded_total;
+}
+
+const char* TimeSeriesSampler::csv_header() {
+  return "slot,injected,delivered,dropped,forwarded,queued_cells,"
+         "max_voq_depth,open_flows";
+}
+
+std::string TimeSeriesSampler::to_csv() const {
+  std::string out = csv_header();
+  out += '\n';
+  char buf[192];
+  for (const SlotSample& s : samples_) {
+    std::snprintf(buf, sizeof(buf), "%lld,%llu,%llu,%llu,%llu,%llu,%llu,%llu\n",
+                  static_cast<long long>(s.slot),
+                  static_cast<unsigned long long>(s.injected),
+                  static_cast<unsigned long long>(s.delivered),
+                  static_cast<unsigned long long>(s.dropped),
+                  static_cast<unsigned long long>(s.forwarded),
+                  static_cast<unsigned long long>(s.queued_cells),
+                  static_cast<unsigned long long>(s.max_voq_depth),
+                  static_cast<unsigned long long>(s.open_flows));
+    out += buf;
+  }
+  return out;
+}
+
+void TimeSeriesSampler::clear() {
+  samples_.clear();
+  last_injected_ = last_delivered_ = last_dropped_ = last_forwarded_ = 0;
+}
+
+}  // namespace sorn

@@ -1,0 +1,65 @@
+// Per-slot time-series sampling with decimation.
+//
+// The simulator exposes cumulative counters (SimMetrics) and instantaneous
+// gauges (VOQ occupancy); the sampler turns them into a bounded trajectory
+// by recording every k-th slot and differencing the cumulative counters
+// between consecutive samples. With k = 1 the deltas are exact per-slot
+// rates; with k > 1 each row covers the k slots since the previous row, so
+// million-slot runs stay at a few thousand rows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace sorn {
+
+struct SlotSample {
+  Slot slot = 0;
+  // Deltas of the cumulative counters since the previous sample (or since
+  // zero for the first sample).
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t forwarded = 0;
+  // Gauges at the sample instant.
+  std::uint64_t queued_cells = 0;
+  std::uint64_t max_voq_depth = 0;
+  std::uint64_t open_flows = 0;
+};
+
+class TimeSeriesSampler {
+ public:
+  // sample_every = k records slots 0, k, 2k, ... (k >= 1).
+  explicit TimeSeriesSampler(Slot sample_every = 1);
+
+  Slot sample_every() const { return every_; }
+  bool due(Slot slot) const { return slot % every_ == 0; }
+
+  // Record one sample. The counter arguments are cumulative; the sampler
+  // stores deltas against the previous record() call.
+  void record(Slot slot, std::uint64_t injected_total,
+              std::uint64_t delivered_total, std::uint64_t dropped_total,
+              std::uint64_t forwarded_total, std::uint64_t queued_cells,
+              std::uint64_t max_voq_depth, std::uint64_t open_flows);
+
+  const std::vector<SlotSample>& samples() const { return samples_; }
+
+  // CSV rendering: header line then one row per sample.
+  static const char* csv_header();
+  std::string to_csv() const;
+
+  void clear();
+
+ private:
+  Slot every_;
+  std::vector<SlotSample> samples_;
+  std::uint64_t last_injected_ = 0;
+  std::uint64_t last_delivered_ = 0;
+  std::uint64_t last_dropped_ = 0;
+  std::uint64_t last_forwarded_ = 0;
+};
+
+}  // namespace sorn

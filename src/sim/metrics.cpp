@@ -1,5 +1,7 @@
 #include "sim/metrics.h"
 
+#include <algorithm>
+
 #include "util/assert.h"
 
 namespace sorn {
@@ -44,6 +46,8 @@ void SimMetrics::on_deliver(const Cell& cell, Slot now) {
     fct_ps_.add(static_cast<double>(fct));
     fct_by_class_[it->second.flow_class].add(static_cast<double>(fct));
     ++completed_flows_;
+    if (tracer_ != nullptr)
+      tracer_->flow_complete(now, cell.flow, fct, it->second.flow_class);
     open_flows_.erase(it);
   }
 }
@@ -52,6 +56,28 @@ const Percentiles& SimMetrics::fct_ps_class(int flow_class) const {
   static const Percentiles kEmpty;
   const auto it = fct_by_class_.find(flow_class);
   return it == fct_by_class_.end() ? kEmpty : it->second;
+}
+
+std::vector<int> SimMetrics::flow_classes() const {
+  std::vector<int> classes;
+  classes.reserve(fct_by_class_.size());
+  for (const auto& [cls, ps] : fct_by_class_) classes.push_back(cls);
+  std::sort(classes.begin(), classes.end());
+  return classes;
+}
+
+void SimMetrics::reset_counters() {
+  injected_cells_ = 0;
+  delivered_cells_ = 0;
+  forwarded_cells_ = 0;
+  dropped_cells_ = 0;
+  slots_run_ = 0;
+  completed_flows_ = 0;
+  delivered_hops_ = 0;
+  cell_latency_ps_ = Percentiles();
+  fct_ps_ = Percentiles();
+  fct_by_class_.clear();
+  queue_occupancy_ = RunningStats();
 }
 
 void SimMetrics::on_slot(std::uint64_t queued_cells) {

@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
+#include "obs/trace.h"
 #include "sim/cell.h"
 #include "util/stats.h"
 #include "util/time.h"
@@ -38,6 +40,8 @@ class SimMetrics {
   std::uint64_t dropped_cells() const { return dropped_cells_; }
   std::uint64_t slots_run() const { return slots_run_; }
   std::uint64_t completed_flows() const { return completed_flows_; }
+  // Flows injected but not yet fully delivered.
+  std::uint64_t open_flows() const { return open_flows_.size(); }
 
   // Average hops each delivered cell took (the bandwidth-tax measure).
   double mean_hops() const;
@@ -53,7 +57,18 @@ class SimMetrics {
   const Percentiles& fct_ps() const { return fct_ps_; }
   // FCTs of one flow class only (empty Percentiles if the class is unseen).
   const Percentiles& fct_ps_class(int flow_class) const;
+  // The classes with at least one completed flow, ascending (deterministic
+  // export order).
+  std::vector<int> flow_classes() const;
   const RunningStats& queue_occupancy() const { return queue_occupancy_; }
+
+  // Zero all counters and distributions but keep the open-flow records:
+  // flows in flight across a warmup boundary still complete and count
+  // (their FCT spans the reset). The attached tracer also survives.
+  void reset_counters();
+
+  // Borrowed tracer for flow_complete events; nullptr disables.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
  private:
   Picoseconds slot_duration_;
@@ -72,6 +87,7 @@ class SimMetrics {
   std::unordered_map<int, Percentiles> fct_by_class_;
   RunningStats queue_occupancy_;
   std::unordered_map<FlowId, FlowRecord> open_flows_;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace sorn

@@ -34,6 +34,8 @@ void SlottedNetwork::inject_flow_with(const Router& router, FlowId flow,
   SORN_ASSERT(src != dst, "flow endpoints must differ");
   const std::uint64_t cells =
       (bytes + config_.cell_bytes - 1) / config_.cell_bytes;
+  if (telemetry_ != nullptr)
+    telemetry_->on_flow_inject(now_, flow, src, dst, bytes, flow_class);
   for (std::uint64_t c = 0; c < cells; ++c) {
     Cell cell;
     cell.flow = flow;
@@ -49,7 +51,7 @@ void SlottedNetwork::inject_flow_with(const Router& router, FlowId flow,
     cell.inject_slot = now_;
     cell.ready_slot = now_;
     metrics_.on_inject(cell, cells, bytes, flow_class);
-    if (!voqs_.try_push(cell, config_.max_queue_cells)) metrics_.on_drop();
+    if (!voqs_.try_push(cell, config_.max_queue_cells)) drop(cell);
   }
 }
 
@@ -62,7 +64,13 @@ void SlottedNetwork::inject_cell(NodeId src, NodeId dst) {
   cell.inject_slot = now_;
   cell.ready_slot = now_;
   metrics_.on_inject(cell, 1, config_.cell_bytes);
-  if (!voqs_.try_push(cell, config_.max_queue_cells)) metrics_.on_drop();
+  if (!voqs_.try_push(cell, config_.max_queue_cells)) drop(cell);
+}
+
+void SlottedNetwork::drop(const Cell& cell) {
+  metrics_.on_drop();
+  if (telemetry_ != nullptr)
+    telemetry_->on_cell_drop(now_, cell.current(), cell.next_hop(), cell.flow);
 }
 
 void SlottedNetwork::transmit(NodeId node, NodeId peer) {
@@ -89,7 +97,7 @@ void SlottedNetwork::transmit(NodeId node, NodeId peer) {
       (config_.propagation_per_hop + config_.slot_duration - 1) /
       config_.slot_duration;
   cell.ready_slot = now_ + 1 + prop_slots;
-  if (!voqs_.try_push(cell, config_.max_queue_cells)) metrics_.on_drop();
+  if (!voqs_.try_push(cell, config_.max_queue_cells)) drop(cell);
 }
 
 void SlottedNetwork::step() {
@@ -103,6 +111,14 @@ void SlottedNetwork::step() {
     }
   }
   metrics_.on_slot(voqs_.total_queued());
+  // Sample before advancing: the row is stamped with the slot it covers.
+  // The max-VOQ-depth scan is only paid on sampled slots.
+  if (telemetry_ != nullptr && telemetry_->sample_due(now_)) {
+    telemetry_->sample(now_, metrics_.injected_cells(),
+                       metrics_.delivered_cells(), metrics_.dropped_cells(),
+                       metrics_.forwarded_cells(), voqs_.total_queued(),
+                       voqs_.max_queue_depth(), metrics_.open_flows());
+  }
   ++now_;
 }
 
@@ -118,28 +134,36 @@ void SlottedNetwork::reconfigure(const CircuitSchedule* schedule,
               "reconfiguration must preserve the node count");
   schedule_ = schedule;
   router_ = router;
+  if (telemetry_ != nullptr) telemetry_->on_reconfigure(now_);
 }
 
-void SlottedNetwork::reset_metrics() {
-  metrics_ = SimMetrics(config_.slot_duration, config_.propagation_per_hop);
+void SlottedNetwork::reset_metrics() { metrics_.reset_counters(); }
+
+void SlottedNetwork::set_telemetry(Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  metrics_.set_tracer(telemetry != nullptr ? &telemetry->tracer() : nullptr);
 }
 
 void SlottedNetwork::fail_node(NodeId node) {
   failed_nodes_[static_cast<std::size_t>(node)] = true;
   any_failures_ = true;
+  if (telemetry_ != nullptr) telemetry_->on_node_fail(now_, node);
 }
 
 void SlottedNetwork::heal_node(NodeId node) {
   failed_nodes_[static_cast<std::size_t>(node)] = false;
+  if (telemetry_ != nullptr) telemetry_->on_node_heal(now_, node);
 }
 
 void SlottedNetwork::fail_circuit(NodeId src, NodeId dst) {
   failed_circuits_[edge_index(src, dst)] = true;
   any_failures_ = true;
+  if (telemetry_ != nullptr) telemetry_->on_circuit_fail(now_, src, dst);
 }
 
 void SlottedNetwork::heal_circuit(NodeId src, NodeId dst) {
   failed_circuits_[edge_index(src, dst)] = false;
+  if (telemetry_ != nullptr) telemetry_->on_circuit_heal(now_, src, dst);
 }
 
 }  // namespace sorn

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "obs/telemetry.h"
 #include "routing/router.h"
 #include "sim/cell.h"
 #include "sim/metrics.h"
@@ -86,11 +87,24 @@ class SlottedNetwork {
     return failed_nodes_[static_cast<std::size_t>(node)];
   }
 
-  // Reset counters but keep queued cells (used to exclude warmup).
+  // Reset counters but keep queued cells and open-flow records (used to
+  // exclude warmup; flows straddling the boundary still complete and are
+  // counted, with FCTs measured from their true inject slot).
   void reset_metrics();
+
+  // ---- Telemetry (src/obs) ----
+  // Attach a borrowed telemetry facade: events (flow inject/complete,
+  // drops, reconfigure, fail/heal) flow to its tracer and counters, and
+  // its sampler — when enabled — records the per-slot time series. Pass
+  // nullptr to detach. With nothing attached every instrumentation site
+  // is one predictable null check (see bench_obs_overhead).
+  void set_telemetry(Telemetry* telemetry);
+  Telemetry* telemetry() const { return telemetry_; }
 
  private:
   void transmit(NodeId node, NodeId peer);
+  // Tail-drop accounting + telemetry for a cell that failed to enqueue.
+  void drop(const Cell& cell);
   std::size_t edge_index(NodeId src, NodeId dst) const {
     return static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
            static_cast<std::size_t>(dst);
@@ -108,6 +122,7 @@ class SlottedNetwork {
   std::vector<bool> failed_nodes_;
   std::vector<bool> failed_circuits_;
   bool any_failures_ = false;
+  Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace sorn

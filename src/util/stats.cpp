@@ -53,6 +53,14 @@ double Percentiles::percentile(double p) const {
   return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
 }
 
+const std::vector<double>& Percentiles::sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  return samples_;
+}
+
 double Percentiles::mean() const {
   if (samples_.empty()) return 0.0;
   double s = 0.0;

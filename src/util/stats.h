@@ -43,6 +43,9 @@ class Percentiles {
   double median() const { return percentile(50.0); }
   double mean() const;
 
+  // The samples in ascending order (sorts lazily, like percentile()).
+  const std::vector<double>& sorted() const;
+
  private:
   mutable std::vector<double> samples_;
   mutable bool sorted_ = false;

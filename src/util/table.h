@@ -23,6 +23,11 @@ class TablePrinter {
   // Render as CSV (no alignment) for machine consumption.
   std::string to_csv() const;
 
+  // Render as a JSON array of objects, one per row, keyed by header —
+  // cells stay the pre-formatted strings they were added as. Lets bench
+  // tables be exported machine-readably without reformatting.
+  std::string to_json() const;
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -1,0 +1,62 @@
+#include "obs/registry.h"
+
+#include <gtest/gtest.h>
+
+namespace sorn {
+namespace {
+
+TEST(CounterRegistryTest, CreatesOnFirstUseAndReturnsSameCounter) {
+  CounterRegistry reg;
+  Counter* a = reg.counter("cells.dropped");
+  Counter* b = reg.counter("cells.dropped");
+  EXPECT_EQ(a, b);
+  a->inc();
+  b->inc(3);
+  EXPECT_EQ(reg.counter("cells.dropped")->value(), 4u);
+}
+
+TEST(CounterRegistryTest, PointersSurviveLaterRegistrations) {
+  CounterRegistry reg;
+  Counter* first = reg.counter("a");
+  // Force rebalancing / new node allocations.
+  for (int i = 0; i < 100; ++i)
+    reg.counter(("c" + std::to_string(i)).c_str())->inc();
+  first->inc(7);
+  EXPECT_EQ(reg.counter("a")->value(), 7u);
+}
+
+TEST(CounterRegistryTest, SnapshotIsNameSorted) {
+  CounterRegistry reg;
+  reg.counter("zebra")->inc(1);
+  reg.counter("alpha")->inc(2);
+  reg.counter("mid")->inc(3);
+  const auto snap = reg.counters();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].first, "alpha");
+  EXPECT_EQ(snap[0].second, 2u);
+  EXPECT_EQ(snap[1].first, "mid");
+  EXPECT_EQ(snap[2].first, "zebra");
+}
+
+TEST(CounterRegistryTest, GaugesKeepLastValue) {
+  CounterRegistry reg;
+  Gauge* g = reg.gauge("queue.depth");
+  g->set(1.5);
+  g->set(4.25);
+  EXPECT_DOUBLE_EQ(reg.gauge("queue.depth")->value(), 4.25);
+  const auto snap = reg.gauges();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].first, "queue.depth");
+}
+
+TEST(CounterRegistryTest, ResetZeroesCountersOnly) {
+  CounterRegistry reg;
+  reg.counter("n")->inc(9);
+  reg.gauge("g")->set(2.0);
+  reg.reset();
+  EXPECT_EQ(reg.counter("n")->value(), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge("g")->value(), 2.0);
+}
+
+}  // namespace
+}  // namespace sorn

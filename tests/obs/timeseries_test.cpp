@@ -1,0 +1,54 @@
+#include "obs/timeseries.h"
+
+#include <gtest/gtest.h>
+
+namespace sorn {
+namespace {
+
+TEST(TimeSeriesTest, DecimationGatesSamples) {
+  TimeSeriesSampler s(10);
+  EXPECT_TRUE(s.due(0));
+  EXPECT_FALSE(s.due(1));
+  EXPECT_FALSE(s.due(9));
+  EXPECT_TRUE(s.due(10));
+  EXPECT_TRUE(s.due(2000));
+}
+
+TEST(TimeSeriesTest, RecordsDeltasOfCumulativeCounters) {
+  TimeSeriesSampler s(1);
+  s.record(0, /*injected*/ 10, /*delivered*/ 5, /*dropped*/ 1,
+           /*forwarded*/ 2, /*queued*/ 4, /*max_voq*/ 3, /*open*/ 1);
+  s.record(1, 25, 20, 1, 6, 5, 2, 0);
+  ASSERT_EQ(s.samples().size(), 2u);
+  EXPECT_EQ(s.samples()[0].injected, 10u);
+  EXPECT_EQ(s.samples()[0].delivered, 5u);
+  EXPECT_EQ(s.samples()[1].injected, 15u);   // 25 - 10
+  EXPECT_EQ(s.samples()[1].delivered, 15u);  // 20 - 5
+  EXPECT_EQ(s.samples()[1].dropped, 0u);     // unchanged counter
+  EXPECT_EQ(s.samples()[1].forwarded, 4u);
+  // Gauges are instantaneous, not differenced.
+  EXPECT_EQ(s.samples()[1].queued_cells, 5u);
+  EXPECT_EQ(s.samples()[1].max_voq_depth, 2u);
+  EXPECT_EQ(s.samples()[1].open_flows, 0u);
+}
+
+TEST(TimeSeriesTest, CsvRendering) {
+  TimeSeriesSampler s(5);
+  s.record(0, 1, 2, 3, 4, 5, 6, 7);
+  EXPECT_EQ(s.to_csv(),
+            "slot,injected,delivered,dropped,forwarded,queued_cells,"
+            "max_voq_depth,open_flows\n"
+            "0,1,2,3,4,5,6,7\n");
+}
+
+TEST(TimeSeriesTest, ClearResetsDeltaBaseline) {
+  TimeSeriesSampler s(1);
+  s.record(0, 100, 100, 0, 0, 0, 0, 0);
+  s.clear();
+  EXPECT_TRUE(s.samples().empty());
+  s.record(5, 10, 10, 0, 0, 0, 0, 0);
+  EXPECT_EQ(s.samples()[0].injected, 10u);
+}
+
+}  // namespace
+}  // namespace sorn

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace sorn {
 namespace {
 
@@ -10,6 +12,18 @@ TEST(RunningStatsTest, EmptyDefaults) {
   EXPECT_EQ(s.count(), 0u);
   EXPECT_DOUBLE_EQ(s.mean(), 0.0);
   EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, EmptyExtremaAreInfinitiesAsDocumented) {
+  // stats.h documents min() -> +inf and max() -> -inf on the empty
+  // object (the identity elements of min/max); lock the behavior in.
+  RunningStats s;
+  EXPECT_EQ(s.min(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(s.max(), -std::numeric_limits<double>::infinity());
+  // The first sample replaces both extrema, even when negative.
+  s.add(-3.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), -3.0);
 }
 
 TEST(RunningStatsTest, KnownValues) {
@@ -49,6 +63,12 @@ TEST(PercentilesTest, TailPercentile) {
   for (int i = 1; i <= 100; ++i) p.add(static_cast<double>(i));
   EXPECT_NEAR(p.percentile(99.0), 99.01, 0.011);
   EXPECT_DOUBLE_EQ(p.mean(), 50.5);
+}
+
+TEST(PercentilesTest, SortedSamplesAccessor) {
+  Percentiles p;
+  for (double x : {3.0, 1.0, 2.0}) p.add(x);
+  EXPECT_EQ(p.sorted(), (std::vector<double>{1.0, 2.0, 3.0}));
 }
 
 TEST(PercentilesTest, AddAfterQueryStaysConsistent) {
