@@ -25,15 +25,20 @@
 int main(int argc, char** argv) {
   using namespace sorn;
   std::string json_path;
-  for (int i = 1; i + 1 < argc; ++i)
+  int threads = ThreadPool::default_threads();
+  for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--threads") == 0)
+      threads = std::atoi(argv[i + 1]);
+  }
+  if (threads < 1) threads = 1;
   const NodeId kNodes = 128;
   const CliqueId kCliques = 8;
 
   std::printf(
       "Fig. 2(f): worst-case throughput vs locality ratio "
-      "(%d nodes, %d cliques, q = q*(x))\n\n",
-      kNodes, kCliques);
+      "(%d nodes, %d cliques, q = q*(x), %d engine threads)\n\n",
+      kNodes, kCliques, threads);
 
   const FlowSizeDist sizes = FlowSizeDist::pfabric_web_search();
   std::printf("flow sizes: %s (mean %.1f KB)\n\n", sizes.name().c_str(),
@@ -59,6 +64,7 @@ int main(int argc, char** argv) {
     RunningStats r_sim;
     for (int seed = 0; seed < kSeeds; ++seed) {
       SlottedNetwork sim = net.make_network(42 + seed);
+      sim.set_threads(threads);
       SaturationConfig sat;
       sat.seed = 7 + static_cast<std::uint64_t>(seed);
       SaturationSource source(&tm, sat);
@@ -68,6 +74,7 @@ int main(int argc, char** argv) {
     // Flow-granular variant: sizes from the pFabric CDF; bursty per-pair
     // demand, the matrix only in aggregate.
     SlottedNetwork flow_sim = net.make_network(4242);
+    flow_sim.set_threads(threads);
     FlowSaturationSource flow_source(&tm, &sizes, SaturationConfig{});
     const double r_flows = flow_source.measure(flow_sim, 5000, 10000);
 

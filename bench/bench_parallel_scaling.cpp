@@ -1,0 +1,186 @@
+// Parallel slot-engine scaling: slots/sec at 1/2/4/8 threads.
+//
+// Scenario: the Fig. 2(f) scale — a 128-node, 8-clique SORN fabric under
+// saturation (closed-loop backlogged sources). Each slot, sources are
+// pumped outside the timer and only SlottedNetwork::step() is timed, so
+// the number reported is engine throughput, not workload-generation
+// speed. The engine is byte-equivalent at every thread count, so the
+// bench doubles as an equivalence check: delivered-cell counts must match
+// across all thread counts or the bench fails.
+//
+//   bench_parallel_scaling [--json out.json] [--threads 1,2,4,8]
+//                          [--slots 20000] [--warmup 2000] [--reps 3]
+//                          [--nodes 128] [--cliques 8]
+//                          [--min-speedup 1.3] [--gate-threads 4]
+//
+// With --min-speedup, exits nonzero unless the --gate-threads row reaches
+// that speedup over the single-thread row (the CI scaling gate; the
+// generous 1.3x floor at 4 threads absorbs shared-runner noise).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/sorn.h"
+#include "obs/export.h"
+#include "sim/parallel.h"
+#include "sim/saturation.h"
+#include "traffic/patterns.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace sorn;
+
+struct Row {
+  int threads = 1;
+  double slots_per_sec = 0.0;
+  double speedup = 1.0;
+  std::uint64_t delivered = 0;
+};
+
+std::vector<int> parse_int_list(const char* csv) {
+  std::vector<int> out;
+  const char* p = csv;
+  while (*p != '\0') {
+    out.push_back(std::atoi(p));
+    const char* comma = std::strchr(p, ',');
+    if (comma == nullptr) break;
+    p = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<int> thread_counts{1, 2, 4, 8};
+  Slot slots = 20000;
+  Slot warmup = 2000;
+  int reps = 3;
+  NodeId nodes = 128;
+  CliqueId cliques = 8;
+  double min_speedup = 0.0;
+  int gate_threads = 4;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--threads") == 0)
+      thread_counts = parse_int_list(argv[i + 1]);
+    if (std::strcmp(argv[i], "--slots") == 0) slots = std::atol(argv[i + 1]);
+    if (std::strcmp(argv[i], "--warmup") == 0) warmup = std::atol(argv[i + 1]);
+    if (std::strcmp(argv[i], "--reps") == 0) reps = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--nodes") == 0)
+      nodes = static_cast<NodeId>(std::atol(argv[i + 1]));
+    if (std::strcmp(argv[i], "--cliques") == 0)
+      cliques = static_cast<CliqueId>(std::atol(argv[i + 1]));
+    if (std::strcmp(argv[i], "--min-speedup") == 0)
+      min_speedup = std::atof(argv[i + 1]);
+    if (std::strcmp(argv[i], "--gate-threads") == 0)
+      gate_threads = std::atoi(argv[i + 1]);
+  }
+  if (thread_counts.empty() || thread_counts.front() != 1) {
+    std::fprintf(stderr, "--threads list must start with 1 (the baseline)\n");
+    return 2;
+  }
+
+  SornConfig cfg;
+  cfg.nodes = nodes;
+  cfg.cliques = cliques;
+  cfg.locality_x = 0.6;
+  cfg.propagation_per_hop = 0;
+  const SornNetwork net = SornNetwork::build(cfg);
+  const TrafficMatrix tm = patterns::locality_mix(net.cliques(), 0.6);
+
+  std::printf(
+      "Parallel slot-engine scaling: %d nodes, %d cliques, saturated, "
+      "%lld timed slots, best of %d (host reports %d hardware threads)\n\n",
+      nodes, cliques, static_cast<long long>(slots), reps,
+      ThreadPool::default_threads());
+
+  std::vector<Row> rows;
+  for (const int t : thread_counts) {
+    if (t < 1) {
+      std::fprintf(stderr, "thread counts must be >= 1\n");
+      return 2;
+    }
+    double best_ns = 1e18;
+    std::uint64_t delivered = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      SlottedNetwork sim = net.make_network();
+      sim.set_threads(t);
+      SaturationSource source(&tm, SaturationConfig{});
+      for (Slot s = 0; s < warmup; ++s) {
+        source.pump(sim);
+        sim.step();
+      }
+      // Pump outside the timer: only the slot engine is measured.
+      double ns = 0.0;
+      for (Slot s = 0; s < slots; ++s) {
+        source.pump(sim);
+        const auto t0 = std::chrono::steady_clock::now();
+        sim.step();
+        const auto t1 = std::chrono::steady_clock::now();
+        ns += static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count());
+      }
+      if (ns < best_ns) best_ns = ns;
+      delivered = sim.metrics().delivered_cells();
+    }
+    Row row;
+    row.threads = t;
+    row.slots_per_sec = static_cast<double>(slots) / (best_ns * 1e-9);
+    row.delivered = delivered;
+    row.speedup = rows.empty() ? 1.0
+                               : row.slots_per_sec / rows.front().slots_per_sec;
+    rows.push_back(row);
+  }
+
+  // Byte-equivalence spot check: the same seed must deliver the same
+  // cells at every thread count.
+  bool equivalent = true;
+  for (const Row& row : rows)
+    if (row.delivered != rows.front().delivered) equivalent = false;
+
+  TablePrinter table({"threads", "slots/sec", "speedup vs 1", "delivered"});
+  for (const Row& row : rows) {
+    table.add_row({format("%d", row.threads),
+                   format("%.0f", row.slots_per_sec),
+                   format("%.2fx", row.speedup),
+                   format("%llu",
+                          static_cast<unsigned long long>(row.delivered))});
+  }
+  table.print();
+  std::printf("\nequivalence across thread counts: %s\n",
+              equivalent ? "OK (identical delivered counts)" : "FAILED");
+
+  if (!json_path.empty()) {
+    const std::string doc =
+        "{\"bench\": \"bench_parallel_scaling\", \"nodes\": " +
+        format("%d", nodes) + ", \"cliques\": " + format("%d", cliques) +
+        ", \"slots\": " + format("%lld", static_cast<long long>(slots)) +
+        ", \"equivalent\": " + (equivalent ? "true" : "false") +
+        ", \"rows\": " + table.to_json() + "}\n";
+    if (!write_text_file(json_path, doc)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!equivalent) return 1;
+  if (min_speedup > 0.0) {
+    const Row* gate = nullptr;
+    for (const Row& row : rows)
+      if (row.threads == gate_threads) gate = &row;
+    if (gate == nullptr) gate = &rows.back();
+    std::printf("gate: %.2fx at %d threads (floor %.2fx) — %s\n",
+                gate->speedup, gate->threads, min_speedup,
+                gate->speedup >= min_speedup ? "PASS" : "FAIL");
+    if (gate->speedup < min_speedup) return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Validate sorn_tool simulate artifacts: JSONL trace, metrics JSON, CSV.
+
+Usage: check_trace.py <trace.jsonl> <metrics.json> <timeseries.csv>
+"""
+import csv
+import json
+import sys
+
+
+def main() -> None:
+    trace_path, metrics_path, csv_path = sys.argv[1:4]
+
+    events = [json.loads(line) for line in open(trace_path)]
+    assert events, "trace is empty"
+    assert all("ev" in e and "slot" in e for e in events), \
+        "malformed trace event"
+    assert any(e["ev"] == "flow_inject" for e in events), \
+        "no flow_inject events"
+
+    metrics = json.load(open(metrics_path))
+    for key in ("counters", "fct_ps", "timeseries", "registry"):
+        assert key in metrics, f"metrics JSON missing {key!r}"
+    assert metrics["counters"]["delivered_cells"] > 0
+
+    rows = list(csv.DictReader(open(csv_path)))
+    assert rows and "queued_cells" in rows[0], "bad time-series CSV"
+    print(f"trace OK: {len(events)} events, "
+          f"{len(rows)} time-series samples")
+
+
+if __name__ == "__main__":
+    main()

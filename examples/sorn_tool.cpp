@@ -9,13 +9,15 @@
 //       Print one period of the SORN circuit schedule.
 //
 //   sorn_tool simulate --nodes 64 --cliques 8 --locality 0.56
-//                      [--load 0.3] [--slots 30000]
+//                      [--load 0.3] [--slots 30000] [--threads N]
 //                      [--trace run.jsonl] [--metrics-json run.json]
 //                      [--timeseries-csv run.csv] [--sample-every 10]
 //       Run an open-loop pFabric workload on a SORN fabric and print
-//       throughput/FCT metrics. The telemetry flags additionally write a
-//       JSONL event trace, a full-run JSON summary, and/or a per-slot
-//       time-series CSV (decimated to every k-th slot).
+//       throughput/FCT metrics. --threads shards the slot engine across
+//       N workers (default: hardware threads) with byte-identical output
+//       at any N. The telemetry flags additionally write a JSONL event
+//       trace, a full-run JSON summary, and/or a per-slot time-series CSV
+//       (decimated to every k-th slot).
 //
 // Run without arguments for usage.
 #include <cstdio>
@@ -196,9 +198,18 @@ int cmd_simulate(const std::map<std::string, std::string>& flags) {
   cfg.propagation_per_hop = 0;
   const double load = flag_double(flags, "load", 0.3);
   const auto slots = static_cast<Slot>(flag_long(flags, "slots", 30000));
+  const long threads =
+      flag_long(flags, "threads", ThreadPool::default_threads());
+  if (threads < 1) {
+    std::fprintf(stderr, "--threads must be >= 1 (got %ld)\n", threads);
+    return 1;
+  }
 
   const SornNetwork net = SornNetwork::build(cfg);
   SlottedNetwork sim = net.make_network();
+  // Same seed => same bytes at any thread count (the parallel engine is
+  // byte-equivalent to the sequential one; see DESIGN.md).
+  sim.set_threads(static_cast<int>(threads));
 
   // Telemetry: any of the export flags attaches the facade; tracing and
   // time-series sampling are each enabled only when asked for.
@@ -239,9 +250,9 @@ int cmd_simulate(const std::map<std::string, std::string>& flags) {
 
   std::printf(
       "simulated %lld slots, %d nodes, %d cliques, x=%.2f, q=%.3f, "
-      "load=%.2f\n",
+      "load=%.2f, threads=%d\n",
       static_cast<long long>(sim.metrics().slots_run()), cfg.nodes,
-      cfg.cliques, cfg.locality_x, net.q().value(), load);
+      cfg.cliques, cfg.locality_x, net.q().value(), load, sim.threads());
   std::printf("  flows injected:   %llu (completed %llu)\n",
               static_cast<unsigned long long>(driver.flows_injected()),
               static_cast<unsigned long long>(sim.metrics().completed_flows()));
@@ -294,6 +305,8 @@ int usage() {
       "  sorn_tool schedule --nodes 16 --cliques 4 --qnum 3 --qden 1\n"
       "  sorn_tool simulate --nodes 64 --cliques 8 --locality 0.56\n"
       "                     [--load 0.3] [--slots 30000]\n"
+      "                     [--threads N]  (default: hardware threads;\n"
+      "                      same seed => same bytes at any N)\n"
       "                     [--trace run.jsonl] [--metrics-json run.json]\n"
       "                     [--timeseries-csv run.csv] [--sample-every 10]\n");
   return 2;

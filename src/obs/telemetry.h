@@ -7,6 +7,14 @@
 // (bench_obs_overhead measures this at well under the 2% budget). The
 // hook methods below both bump the standard counters and forward to the
 // tracer, so attaching a Telemetry with no sink still yields counts.
+//
+// Threading contract: Telemetry is not thread-safe and does not need to
+// be. The parallel slot engine never calls hooks from worker threads —
+// shards stage their results in per-shard buffers, and the coordinating
+// thread invokes every hook during the merge phase, replaying events in
+// the exact order the sequential sweep would have produced them. That is
+// what keeps traces and time series byte-identical across thread counts
+// (see src/sim/network.cpp, step_lane_parallel).
 #pragma once
 
 #include <memory>

@@ -1,5 +1,7 @@
 #include "sim/network.h"
 
+#include <algorithm>
+
 #include "util/assert.h"
 
 namespace sorn {
@@ -32,6 +34,9 @@ void SlottedNetwork::inject_flow_with(const Router& router, FlowId flow,
                                       NodeId src, NodeId dst,
                                       std::uint64_t bytes, int flow_class) {
   SORN_ASSERT(src != dst, "flow endpoints must differ");
+  // Routing draws from rng_; a draw inside the parallel sweep would make
+  // the stream depend on thread scheduling (see DESIGN.md).
+  SORN_ASSERT(!in_parallel_sweep_, "inject during parallel sweep");
   const std::uint64_t cells =
       (bytes + config_.cell_bytes - 1) / config_.cell_bytes;
   if (telemetry_ != nullptr)
@@ -57,6 +62,7 @@ void SlottedNetwork::inject_flow_with(const Router& router, FlowId flow,
 
 void SlottedNetwork::inject_cell(NodeId src, NodeId dst) {
   SORN_ASSERT(src != dst, "cell endpoints must differ");
+  SORN_ASSERT(!in_parallel_sweep_, "inject during parallel sweep");
   Cell cell;
   cell.flow = kNoFlow;
   cell.path = router_->route(src, dst, now_, rng_);
@@ -100,14 +106,106 @@ void SlottedNetwork::transmit(NodeId node, NodeId peer) {
   if (!voqs_.try_push(cell, config_.max_queue_cells)) drop(cell);
 }
 
+void SlottedNetwork::step_lane_sequential(const Matching& m) {
+  for (NodeId i = 0; i < n_; ++i) {
+    const NodeId peer = m.dst_of(i);
+    if (peer != i) transmit(i, peer);
+  }
+}
+
+// One lane's sweep, sharded across the pool. Phase 1 (parallel): each
+// shard scans its contiguous node range in order, popping transmittable
+// heads — node i only ever pops its own queues, so pops are disjoint
+// across shards — and staging the advanced cells. Phase 2 (sequential):
+// stages are merged in shard order, which is node order, so every side
+// effect with observable ordering (metrics, trace events, pushes, drops)
+// replays in exactly the sequence the sequential sweep would produce.
+//
+// The one way deferred pushes could diverge from the interleaved
+// sequential sweep is the bounded-queue capacity check: sequentially,
+// node i pushes into its peer's queue *before* nodes j > i pop, and a
+// pushed cell is never transmittable in the same slot (ready_slot > now),
+// so only queue *sizes* can differ, never heads. The merge reconstructs
+// the sequential-order size from the popped_ marks below.
+void SlottedNetwork::step_lane_parallel(const Matching& m) {
+  const bool capped = config_.max_queue_cells > 0;
+  if (capped) std::fill(popped_.begin(), popped_.end(), std::uint8_t{0});
+  const Slot prop_slots =
+      (config_.propagation_per_hop + config_.slot_duration - 1) /
+      config_.slot_duration;
+  in_parallel_sweep_ = true;
+  pool_->run_shards(
+      static_cast<int>(shard_plan_.size()), [&, this](int s) {
+        const ShardRange range = shard_plan_[static_cast<std::size_t>(s)];
+        ShardStage& stage = stages_[static_cast<std::size_t>(s)];
+        stage.events.clear();
+        stage.pops = 0;
+        for (NodeId i = range.begin; i < range.end; ++i) {
+          const NodeId peer = m.dst_of(i);
+          if (peer == i) continue;
+          if (any_failures_ &&
+              (failed_nodes_[static_cast<std::size_t>(i)] ||
+               failed_nodes_[static_cast<std::size_t>(peer)] ||
+               failed_circuits_[edge_index(i, peer)])) {
+            continue;
+          }
+          const Cell* head = voqs_.peek(i, peer, now_);
+          if (head == nullptr) continue;
+          StagedEvent ev;
+          ev.cell = *head;
+          voqs_.pop_sharded(i, peer);
+          ++stage.pops;
+          if (capped) popped_[static_cast<std::size_t>(i)] = 1;
+          ++ev.cell.hop;
+          ev.deliver = ev.cell.at_destination();
+          if (!ev.deliver) ev.cell.ready_slot = now_ + 1 + prop_slots;
+          stage.events.push_back(ev);
+        }
+      });
+  in_parallel_sweep_ = false;
+  std::uint64_t pops = 0;
+  for (const ShardStage& stage : stages_) {
+    pops += stage.pops;
+    for (const StagedEvent& ev : stage.events) {
+      if (ev.deliver) {
+        metrics_.on_deliver(ev.cell, now_ + 1);  // arrives at end of slot
+        continue;
+      }
+      metrics_.on_forward();
+      if (capped) {
+        const NodeId src = ev.cell.path.at(ev.cell.hop - 1);
+        const NodeId at = ev.cell.current();
+        const NodeId next = ev.cell.next_hop();
+        // Sequentially, node `at`'s own pop this lane happens after the
+        // push from src when at > src; the parallel phase already popped,
+        // so add that cell back when sizing the capacity check. (`at` is
+        // the only node popping queue (at, next), and src the only node
+        // pushing into it this lane — the matching is a permutation.)
+        const std::uint64_t adj =
+            (at > src && popped_[static_cast<std::size_t>(at)] &&
+             m.dst_of(at) == next)
+                ? 1
+                : 0;
+        if (voqs_.size_of(at, next) + adj >= config_.max_queue_cells) {
+          drop(ev.cell);
+          continue;
+        }
+      }
+      voqs_.push(ev.cell);
+    }
+  }
+  voqs_.settle_total(pops);
+}
+
 void SlottedNetwork::step() {
   const Slot period = schedule_->period();
   for (int lane = 0; lane < config_.lanes; ++lane) {
     const Slot t = now_ + lane_phase(period, config_.lanes, lane);
     const Matching& m = schedule_->matching_at(t);
-    for (NodeId i = 0; i < n_; ++i) {
-      const NodeId peer = m.dst_of(i);
-      if (peer != i) transmit(i, peer);
+    if (pool_ != nullptr) {
+      step_lane_parallel(m);
+    } else {
+      step_lane_sequential(m);
     }
   }
   metrics_.on_slot(voqs_.total_queued());
@@ -138,6 +236,21 @@ void SlottedNetwork::reconfigure(const CircuitSchedule* schedule,
 }
 
 void SlottedNetwork::reset_metrics() { metrics_.reset_counters(); }
+
+void SlottedNetwork::set_threads(int threads) {
+  SORN_ASSERT(threads >= 1, "need at least one engine thread");
+  if (threads <= 1) {
+    pool_.reset();
+    shard_plan_.clear();
+    stages_.clear();
+    popped_.clear();
+    return;
+  }
+  pool_ = std::make_unique<ThreadPool>(threads);
+  shard_plan_ = shard_ranges(n_, threads);
+  stages_.assign(shard_plan_.size(), ShardStage{});
+  popped_.assign(static_cast<std::size_t>(n_), 0);
+}
 
 void SlottedNetwork::set_telemetry(Telemetry* telemetry) {
   telemetry_ = telemetry;

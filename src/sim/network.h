@@ -15,6 +15,7 @@
 #include "routing/router.h"
 #include "sim/cell.h"
 #include "sim/metrics.h"
+#include "sim/parallel.h"
 #include "sim/voq.h"
 #include "topo/schedule.h"
 #include "util/rng.h"
@@ -69,6 +70,18 @@ class SlottedNetwork {
   void step();
   void run(Slot slots);
 
+  // ---- Parallel slot engine ----
+  // Shard each lane's node sweep across `threads` persistent workers.
+  // Results — metrics, traces, time-series rows — are byte-identical to
+  // the sequential engine for the same seed at any thread count: shards
+  // stage their transmit outcomes in node order and the merge replays
+  // every side effect (metrics, pushes, drops, telemetry) in exactly the
+  // sequential sweep's order (see DESIGN.md, "Parallel slot engine").
+  // threads <= 1 tears the pool down and restores the plain sequential
+  // path, which is the default every caller starts with.
+  void set_threads(int threads);
+  int threads() const { return pool_ != nullptr ? pool_->thread_count() : 1; }
+
   // Swap in a new schedule/router (the control plane's epoch-synchronous
   // update, paper Sec. 5). In-flight cells keep their old paths; this is
   // safe because every schedule built in this library keeps the full
@@ -102,7 +115,21 @@ class SlottedNetwork {
   Telemetry* telemetry() const { return telemetry_; }
 
  private:
+  // Staged outcome of one transmit, produced by the parallel sweep and
+  // replayed in node order by the merge phase. The cell is already
+  // advanced (hop incremented, ready_slot set for forwards).
+  struct StagedEvent {
+    Cell cell;
+    bool deliver = false;
+  };
+  struct ShardStage {
+    std::vector<StagedEvent> events;  // in ascending node order
+    std::uint64_t pops = 0;           // settled into VoqSet::total_ at merge
+  };
+
   void transmit(NodeId node, NodeId peer);
+  void step_lane_sequential(const Matching& m);
+  void step_lane_parallel(const Matching& m);
   // Tail-drop accounting + telemetry for a cell that failed to enqueue.
   void drop(const Cell& cell);
   std::size_t edge_index(NodeId src, NodeId dst) const {
@@ -123,6 +150,17 @@ class SlottedNetwork {
   std::vector<bool> failed_circuits_;
   bool any_failures_ = false;
   Telemetry* telemetry_ = nullptr;
+
+  // Parallel engine state. rng_ must never be drawn inside the parallel
+  // sweep (injection — the only RNG consumer — happens between slots);
+  // in_parallel_sweep_ guards against that ever regressing.
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<ShardRange> shard_plan_;
+  std::vector<ShardStage> stages_;
+  // Per-node "popped its VOQ head this lane" marks, used by the merge to
+  // reconstruct the sequential-order queue size for capacity checks.
+  std::vector<std::uint8_t> popped_;
+  bool in_parallel_sweep_ = false;
 };
 
 }  // namespace sorn

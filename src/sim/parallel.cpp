@@ -1,0 +1,207 @@
+#include "sim/parallel.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace sorn {
+
+namespace {
+
+// How long an idle worker (or the waiting caller) polls before parking on
+// the condition variable. At the slot cadence of a large sweep (~10 us)
+// the next batch almost always arrives well inside the spin window.
+constexpr int kSpinIters = 1 << 14;
+
+inline void cpu_relax(int spins) {
+  // Yield the timeslice periodically so oversubscribed configurations
+  // (more threads than cores, sanitizer runs) make progress instead of
+  // burning a quantum per poll.
+  if ((spins & 1023) == 0) {
+    std::this_thread::yield();
+    return;
+  }
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+}  // namespace
+
+std::vector<ShardRange> shard_ranges(NodeId n, int shards) {
+  std::vector<ShardRange> out;
+  if (n <= 0 || shards <= 0) return out;
+  const NodeId k = std::min<NodeId>(n, static_cast<NodeId>(shards));
+  const NodeId base = n / k;
+  const NodeId rem = n % k;
+  out.reserve(static_cast<std::size_t>(k));
+  NodeId begin = 0;
+  for (NodeId s = 0; s < k; ++s) {
+    const NodeId len = base + (s < rem ? 1 : 0);
+    out.push_back(ShardRange{begin, begin + len});
+    begin += len;
+  }
+  return out;
+}
+
+ThreadPool::ThreadPool(int threads) : threads_(threads) {
+  SORN_ASSERT(threads >= 1, "thread pool needs at least one thread");
+  if (threads_ == 1) return;
+  workers_.reserve(static_cast<std::size_t>(threads_));
+  for (int t = 0; t < threads_; ++t)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  // Drain a batch begun but never waited for; its exceptions (if any)
+  // have nowhere to go and are dropped.
+  if (batch_active_) {
+    try {
+      wait();
+    } catch (...) {
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_.store(true, std::memory_order_release);
+    work_cv_.notify_all();
+  }
+  for (std::thread& w : workers_) w.join();
+}
+
+int ThreadPool::default_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ThreadPool::begin(int shards, std::function<void(int)> fn) {
+  SORN_ASSERT(!batch_active_, "previous batch not waited for");
+  SORN_ASSERT(shards >= 0, "negative shard count");
+  batch_active_ = true;
+  errors_.assign(static_cast<std::size_t>(shards), nullptr);
+  if (workers_.empty()) {
+    // Inline pool: run the whole batch here; wait() only rethrows.
+    for (int s = 0; s < shards; ++s) {
+      try {
+        fn(s);
+      } catch (...) {
+        errors_[static_cast<std::size_t>(s)] = std::current_exception();
+      }
+    }
+    return;
+  }
+  // Leave headroom in the shard field: every worker can burn at most one
+  // stray ticket per batch, and the shard bits must never overflow into
+  // the generation tag.
+  SORN_ASSERT(shards < (1 << kShardBits) - threads_ - 1,
+              "shard count exceeds ticket space");
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    fn_ = std::move(fn);
+    shards_.store(shards, std::memory_order_relaxed);
+    remaining_.store(shards, std::memory_order_relaxed);
+    batch_done_ = (shards == 0);
+    const std::uint64_t gen =
+        (ticket_.load(std::memory_order_relaxed) >> kShardBits) + 1;
+    // The release store publishes fn_/shards_/errors_ to any worker whose
+    // first contact with this batch is a ticket claim.
+    ticket_.store(gen << kShardBits, std::memory_order_release);
+    work_cv_.notify_all();
+  }
+}
+
+void ThreadPool::wait() {
+  if (!batch_active_) return;
+  if (!workers_.empty()) {
+    // Poll for completion inside the spin window, then park.
+    bool done = false;
+    for (int i = 0; i < kSpinIters; ++i) {
+      if (remaining_.load(std::memory_order_acquire) == 0) {
+        done = true;
+        break;
+      }
+      cpu_relax(i);
+    }
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      if (!done) done_cv_.wait(lk, [this] { return batch_done_; });
+      batch_done_ = false;
+    }
+  }
+  batch_active_ = false;
+  rethrow_first_error();
+}
+
+void ThreadPool::run_shards(int shards, const std::function<void(int)>& fn) {
+  begin(shards, fn);
+  wait();
+}
+
+void ThreadPool::rethrow_first_error() {
+  for (std::exception_ptr& e : errors_) {
+    if (e != nullptr) {
+      std::exception_ptr first = e;
+      e = nullptr;
+      std::rethrow_exception(first);
+    }
+  }
+}
+
+void ThreadPool::execute_shards() {
+  for (;;) {
+    const std::uint64_t t = ticket_.fetch_add(1, std::memory_order_acq_rel);
+    const std::uint64_t ticket_gen = t >> kShardBits;
+    const int s = static_cast<int>(t & ((1ULL << kShardBits) - 1));
+    // Validate against the counter's *current* generation bits. A valid
+    // claim pins its batch (remaining_ cannot hit zero, so no new batch
+    // can begin, until the shard executes), hence a same-generation
+    // re-read. A claim raced against a begin() reset reads the newer
+    // generation and is discarded.
+    if (ticket_gen != (ticket_.load(std::memory_order_acquire) >> kShardBits) ||
+        s >= shards_.load(std::memory_order_acquire))
+      return;
+    try {
+      fn_(s);
+    } catch (...) {
+      errors_[static_cast<std::size_t>(s)] = std::current_exception();
+    }
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lk(m_);
+      batch_done_ = true;
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;  // generation this worker has fully drained
+  const auto current_gen = [this] {
+    return ticket_.load(std::memory_order_acquire) >> kShardBits;
+  };
+  for (;;) {
+    std::uint64_t gen = current_gen();
+    int spins = 0;
+    while (gen == seen && !stop_.load(std::memory_order_acquire)) {
+      if (++spins >= kSpinIters) {
+        std::unique_lock<std::mutex> lk(m_);
+        work_cv_.wait(lk, [&] {
+          return current_gen() != seen ||
+                 stop_.load(std::memory_order_acquire);
+        });
+        spins = 0;
+      } else {
+        cpu_relax(spins);
+      }
+      gen = current_gen();
+    }
+    if (gen == seen) return;  // stopped with no newer batch
+    seen = gen;
+    execute_shards();
+  }
+}
+
+}  // namespace sorn

@@ -1,0 +1,98 @@
+// Persistent worker pool and deterministic sharding for the slot engine.
+//
+// The pool executes one "batch" at a time: run_shards(k, fn) calls
+// fn(0..k-1) across the workers and returns when every shard finished.
+// Shards are claimed dynamically (an atomic ticket counter), which is safe
+// for determinism because the engine never lets execution order leak into
+// results: each shard writes only shard-local staging buffers that the
+// caller merges in fixed shard order afterwards (see network.cpp).
+//
+// Dispatch latency matters more than fairness here — a 128-node lane sweep
+// is only a few microseconds of work — so idle workers spin briefly before
+// parking on a condition variable.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/types.h"
+
+namespace sorn {
+
+// A contiguous slice [begin, end) of the node index space.
+struct ShardRange {
+  NodeId begin = 0;
+  NodeId end = 0;
+};
+
+// Split [0, n) into at most `shards` near-equal contiguous ranges (never
+// an empty range; fewer ranges when n < shards). Depends only on
+// (n, shards), so a given thread count always produces the same plan.
+std::vector<ShardRange> shard_ranges(NodeId n, int shards);
+
+class ThreadPool {
+ public:
+  // threads >= 1. A pool of 1 owns no workers: batches run inline on the
+  // calling thread, so the single-threaded engine pays no synchronization.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const { return threads_; }
+
+  // Dispatch a batch without blocking (inline pools run it right here).
+  // A previous batch must have been wait()ed for. fn may be called
+  // concurrently from several workers with distinct shard indices.
+  void begin(int shards, std::function<void(int)> fn);
+
+  // Block until the current batch completes. If any shard threw, rethrows
+  // the exception of the lowest-indexed throwing shard (deterministic
+  // regardless of scheduling). No-op when no batch is active.
+  void wait();
+
+  // begin() + wait().
+  void run_shards(int shards, const std::function<void(int)>& fn);
+
+  // std::thread::hardware_concurrency with a floor of 1 (the standard
+  // allows it to return 0).
+  static int default_threads();
+
+ private:
+  void worker_loop();
+  // Claim and run shards of the current batch until none remain.
+  void execute_shards();
+  void rethrow_first_error();
+
+  const int threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex m_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool batch_active_ = false;  // owner-thread bookkeeping (begin/wait/dtor)
+  bool batch_done_ = false;    // guarded by m_
+
+  // Batch state. Written in begin() before the ticket store releases it
+  // to the workers. ticket_ is the single source of truth: it packs
+  // (batch generation << kShardBits) | next shard, so one counter both
+  // wakes idle workers (generation bits changed) and hands out claims
+  // (fetch_add). A straggler's claim from a drained batch carries a stale
+  // generation tag and is discarded, so it can never collide with — or
+  // be double-executed against — a claim on the current batch.
+  static constexpr int kShardBits = 20;
+  std::function<void(int)> fn_;
+  std::atomic<int> shards_{0};
+  std::atomic<int> remaining_{0};
+  std::atomic<std::uint64_t> ticket_{0};
+  std::atomic<bool> stop_{false};
+  std::vector<std::exception_ptr> errors_;  // one slot per shard
+};
+
+}  // namespace sorn

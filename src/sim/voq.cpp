@@ -36,11 +36,15 @@ const Cell* VoqSet::peek(NodeId node, NodeId next_hop, Slot now) const {
 }
 
 void VoqSet::pop(NodeId node, NodeId next_hop) {
+  pop_sharded(node, next_hop);
+  --total_;
+}
+
+void VoqSet::pop_sharded(NodeId node, NodeId next_hop) {
   auto& q = queues_[index(node, next_hop)];
   SORN_ASSERT(!q.empty(), "pop from empty VOQ");
   q.pop_front();
   --per_node_count_[static_cast<std::size_t>(node)];
-  --total_;
 }
 
 std::uint64_t VoqSet::max_queue_depth() const {

@@ -31,6 +31,17 @@ class VoqSet {
   const Cell* peek(NodeId node, NodeId next_hop, Slot now) const;
   void pop(NodeId node, NodeId next_hop);
 
+  // ---- Parallel-shard variants (sim/parallel.h) ----
+  // Pop without touching the global total. Shards pop only their own
+  // nodes' queues — disjoint state — but total_ is shared, so each shard
+  // counts its pops locally and the engine settles once per lane.
+  void pop_sharded(NodeId node, NodeId next_hop);
+  void settle_total(std::uint64_t pops) { total_ -= pops; }
+  // Raw FIFO depth, for the merge phase's sequential-order capacity check.
+  std::uint64_t size_of(NodeId node, NodeId next_hop) const {
+    return queues_[index(node, next_hop)].size();
+  }
+
   std::uint64_t queued_at(NodeId node) const {
     return per_node_count_[static_cast<std::size_t>(node)];
   }

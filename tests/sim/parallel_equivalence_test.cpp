@@ -1,0 +1,226 @@
+// Parallel engine equivalence: for the same seed, the sharded slot engine
+// must produce byte-identical artifacts — metrics JSON, per-slot
+// time-series CSV, JSONL trace — at any thread count, including thread
+// counts that do not divide the node count and exceed the host's cores.
+//
+// Scenarios deliberately cover the paths where parallel execution could
+// diverge from the sequential sweep: multi-hop relaying (deferred pushes),
+// bounded queues with tail drops (the merge's sequential-order capacity
+// reconstruction), multiple lanes, failures, and a full open-loop
+// workload with telemetry attached.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/sorn.h"
+#include "obs/export.h"
+#include "routing/vlb.h"
+#include "sim/workload_driver.h"
+#include "topo/schedule_builder.h"
+#include "traffic/flow_size.h"
+#include "traffic/patterns.h"
+
+namespace sorn {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 7};
+
+struct Artifacts {
+  std::string metrics_json;
+  std::string timeseries_csv;
+  std::vector<std::string> trace_lines;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t in_flight = 0;
+};
+
+// Full pipeline: SORN fabric, open-loop pFabric workload, telemetry with
+// trace + time series, exported artifacts.
+Artifacts run_workload(int threads) {
+  SornConfig cfg;
+  cfg.nodes = 32;
+  cfg.cliques = 8;
+  cfg.locality_x = 0.5;
+  cfg.propagation_per_hop = 0;
+  const SornNetwork net = SornNetwork::build(cfg);
+  SlottedNetwork sim = net.make_network();
+  sim.set_threads(threads);
+
+  Telemetry telemetry(TelemetryOptions{.sample_every = 5});
+  MemoryTraceSink sink;
+  telemetry.set_trace_sink(&sink);
+  sim.set_telemetry(&telemetry);
+
+  const TrafficMatrix tm = patterns::locality_mix(net.cliques(), 0.5);
+  const FlowSizeDist sizes = FlowSizeDist::pfabric_web_search();
+  const double node_bw =
+      static_cast<double>(sim.config().cell_bytes) * 8.0 /
+      (static_cast<double>(sim.config().slot_duration) * 1e-12);
+  FlowArrivals arrivals(&tm, &sizes, node_bw, /*load=*/0.4, Rng(1));
+  WorkloadDriver driver(&arrivals);
+  driver.run_until(sim, 2500 * sim.config().slot_duration, 2000);
+
+  Artifacts out;
+  ExportOptions eopts;
+  eopts.nodes = cfg.nodes;
+  out.metrics_json = run_to_json(sim.metrics(), &telemetry, eopts);
+  out.timeseries_csv = telemetry.timeseries()->to_csv();
+  out.trace_lines = sink.lines();
+  out.delivered = sim.metrics().delivered_cells();
+  out.dropped = sim.metrics().dropped_cells();
+  out.forwarded = sim.metrics().forwarded_cells();
+  out.in_flight = sim.cells_in_flight();
+  return out;
+}
+
+// Bounded queues under sustained overload: relays tail-drop, so the merge
+// phase's capacity reconstruction (not just its event replay) is on the
+// line. Two lanes shift the schedule per lane.
+Artifacts run_capped(int threads) {
+  const CircuitSchedule s = ScheduleBuilder::round_robin(16);
+  const VlbRouter router(&s, LbMode::kRandom);
+  NetworkConfig config;
+  config.lanes = 2;
+  config.propagation_per_hop = 0;
+  config.max_queue_cells = 2;
+  SlottedNetwork net(&s, &router, config);
+  net.set_threads(threads);
+
+  Telemetry telemetry;
+  MemoryTraceSink sink;
+  telemetry.set_trace_sink(&sink);
+  net.set_telemetry(&telemetry);
+
+  Rng rng(99);
+  for (int round = 0; round < 400; ++round) {
+    for (int k = 0; k < 6; ++k) {
+      const auto src = static_cast<NodeId>(rng.next_below(16));
+      auto dst = static_cast<NodeId>(rng.next_below(16));
+      if (dst == src) dst = (dst + 1) % 16;
+      net.inject_cell(src, dst);
+    }
+    net.step();
+  }
+  net.run(64);
+
+  Artifacts out;
+  ExportOptions eopts;
+  eopts.nodes = 16;
+  eopts.lanes = config.lanes;
+  out.metrics_json = run_to_json(net.metrics(), &telemetry, eopts);
+  out.trace_lines = sink.lines();
+  out.delivered = net.metrics().delivered_cells();
+  out.dropped = net.metrics().dropped_cells();
+  out.forwarded = net.metrics().forwarded_cells();
+  out.in_flight = net.cells_in_flight();
+  return out;
+}
+
+// Failure injection mid-run: failed nodes/circuits skip transmits, which
+// must shard identically.
+Artifacts run_failures(int threads) {
+  const CircuitSchedule s = ScheduleBuilder::round_robin(12);
+  const VlbRouter router(&s, LbMode::kRandom);
+  NetworkConfig config;
+  config.propagation_per_hop = 0;
+  SlottedNetwork net(&s, &router, config);
+  net.set_threads(threads);
+
+  Rng rng(7);
+  auto pump = [&](int cells) {
+    for (int k = 0; k < cells; ++k) {
+      const auto src = static_cast<NodeId>(rng.next_below(12));
+      auto dst = static_cast<NodeId>(rng.next_below(12));
+      if (dst == src) dst = (dst + 1) % 12;
+      net.inject_cell(src, dst);
+    }
+  };
+  pump(200);
+  net.run(10);
+  net.fail_node(3);
+  net.fail_circuit(1, 5);
+  pump(100);
+  net.run(30);
+  net.heal_node(3);
+  net.heal_circuit(1, 5);
+  net.run(200);
+
+  Artifacts out;
+  out.delivered = net.metrics().delivered_cells();
+  out.dropped = net.metrics().dropped_cells();
+  out.forwarded = net.metrics().forwarded_cells();
+  out.in_flight = net.cells_in_flight();
+  return out;
+}
+
+void expect_identical(const Artifacts& base, const Artifacts& other,
+                      int threads) {
+  EXPECT_EQ(base.metrics_json, other.metrics_json) << "threads=" << threads;
+  EXPECT_EQ(base.timeseries_csv, other.timeseries_csv)
+      << "threads=" << threads;
+  EXPECT_EQ(base.trace_lines, other.trace_lines) << "threads=" << threads;
+  EXPECT_EQ(base.delivered, other.delivered) << "threads=" << threads;
+  EXPECT_EQ(base.dropped, other.dropped) << "threads=" << threads;
+  EXPECT_EQ(base.forwarded, other.forwarded) << "threads=" << threads;
+  EXPECT_EQ(base.in_flight, other.in_flight) << "threads=" << threads;
+}
+
+TEST(ParallelEquivalenceTest, WorkloadArtifactsAreByteIdentical) {
+  const Artifacts base = run_workload(1);
+  ASSERT_GT(base.delivered, 0u);
+  ASSERT_GT(base.forwarded, 0u);  // relayed cells exercise deferred pushes
+  ASSERT_FALSE(base.trace_lines.empty());
+  for (const int threads : kThreadCounts) {
+    if (threads == 1) continue;
+    expect_identical(base, run_workload(threads), threads);
+  }
+}
+
+TEST(ParallelEquivalenceTest, CappedQueuesDropIdentically) {
+  const Artifacts base = run_capped(1);
+  ASSERT_GT(base.dropped, 0u) << "scenario must exercise tail drops";
+  ASSERT_GT(base.forwarded, 0u);
+  for (const int threads : kThreadCounts) {
+    if (threads == 1) continue;
+    expect_identical(base, run_capped(threads), threads);
+  }
+}
+
+TEST(ParallelEquivalenceTest, FailuresShardIdentically) {
+  const Artifacts base = run_failures(1);
+  ASSERT_GT(base.delivered, 0u);
+  for (const int threads : kThreadCounts) {
+    if (threads == 1) continue;
+    expect_identical(base, run_failures(threads), threads);
+  }
+}
+
+TEST(ParallelEquivalenceTest, SwitchingThreadCountsMidRunIsSeamless) {
+  // One network, thread count changed between (not within) slots: the
+  // trajectory must match an all-sequential run.
+  const CircuitSchedule s = ScheduleBuilder::round_robin(8);
+  const VlbRouter router(&s, LbMode::kRandom);
+  NetworkConfig config;
+  config.propagation_per_hop = 0;
+
+  auto run = [&](bool reshard) {
+    SlottedNetwork net(&s, &router, config);
+    Rng rng(5);
+    for (int round = 0; round < 120; ++round) {
+      if (reshard && round % 30 == 0) net.set_threads(1 + (round / 30) % 4);
+      const auto src = static_cast<NodeId>(rng.next_below(8));
+      auto dst = static_cast<NodeId>(rng.next_below(8));
+      if (dst == src) dst = (dst + 1) % 8;
+      net.inject_cell(src, dst);
+      net.step();
+    }
+    net.run(50);
+    return net.metrics().delivered_cells();
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+}  // namespace
+}  // namespace sorn
