@@ -10,6 +10,7 @@
 // With `--json <file>` the table is additionally written as a JSON array
 // of row objects (machine-readable BENCH_*.json trajectories).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -26,12 +27,22 @@ int main(int argc, char** argv) {
   using namespace sorn;
   std::string json_path;
   int threads = ThreadPool::default_threads();
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
-    if (std::strcmp(argv[i], "--threads") == 0)
-      threads = std::atoi(argv[i + 1]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      const long v = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || v < 1) {
+        std::fprintf(stderr, "--threads must be >= 1 (got %s)\n", argv[i]);
+        return 2;
+      }
+      threads = static_cast<int>(v);
+    } else {
+      std::fprintf(stderr, "unknown or incomplete argument: %s\n", argv[i]);
+      return 2;
+    }
   }
-  if (threads < 1) threads = 1;
   const NodeId kNodes = 128;
   const CliqueId kCliques = 8;
 

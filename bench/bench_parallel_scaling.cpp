@@ -65,21 +65,35 @@ int main(int argc, char** argv) {
   CliqueId cliques = 8;
   double min_speedup = 0.0;
   int gate_threads = 4;
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
-    if (std::strcmp(argv[i], "--threads") == 0)
-      thread_counts = parse_int_list(argv[i + 1]);
-    if (std::strcmp(argv[i], "--slots") == 0) slots = std::atol(argv[i + 1]);
-    if (std::strcmp(argv[i], "--warmup") == 0) warmup = std::atol(argv[i + 1]);
-    if (std::strcmp(argv[i], "--reps") == 0) reps = std::atoi(argv[i + 1]);
-    if (std::strcmp(argv[i], "--nodes") == 0)
-      nodes = static_cast<NodeId>(std::atol(argv[i + 1]));
-    if (std::strcmp(argv[i], "--cliques") == 0)
-      cliques = static_cast<CliqueId>(std::atol(argv[i + 1]));
-    if (std::strcmp(argv[i], "--min-speedup") == 0)
-      min_speedup = std::atof(argv[i + 1]);
-    if (std::strcmp(argv[i], "--gate-threads") == 0)
-      gate_threads = std::atoi(argv[i + 1]);
+  for (int i = 1; i < argc; ++i) {
+    const char* flag = argv[i];
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", flag);
+      return 2;
+    }
+    const char* val = argv[++i];
+    if (std::strcmp(flag, "--json") == 0) {
+      json_path = val;
+    } else if (std::strcmp(flag, "--threads") == 0) {
+      thread_counts = parse_int_list(val);
+    } else if (std::strcmp(flag, "--slots") == 0) {
+      slots = std::atol(val);
+    } else if (std::strcmp(flag, "--warmup") == 0) {
+      warmup = std::atol(val);
+    } else if (std::strcmp(flag, "--reps") == 0) {
+      reps = std::atoi(val);
+    } else if (std::strcmp(flag, "--nodes") == 0) {
+      nodes = static_cast<NodeId>(std::atol(val));
+    } else if (std::strcmp(flag, "--cliques") == 0) {
+      cliques = static_cast<CliqueId>(std::atol(val));
+    } else if (std::strcmp(flag, "--min-speedup") == 0) {
+      min_speedup = std::atof(val);
+    } else if (std::strcmp(flag, "--gate-threads") == 0) {
+      gate_threads = std::atoi(val);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", flag);
+      return 2;
+    }
   }
   if (thread_counts.empty() || thread_counts.front() != 1) {
     std::fprintf(stderr, "--threads list must start with 1 (the baseline)\n");

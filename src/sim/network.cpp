@@ -134,34 +134,46 @@ void SlottedNetwork::step_lane_parallel(const Matching& m) {
       (config_.propagation_per_hop + config_.slot_duration - 1) /
       config_.slot_duration;
   in_parallel_sweep_ = true;
-  pool_->run_shards(
-      static_cast<int>(shard_plan_.size()), [&, this](int s) {
-        const ShardRange range = shard_plan_[static_cast<std::size_t>(s)];
-        ShardStage& stage = stages_[static_cast<std::size_t>(s)];
-        stage.events.clear();
-        stage.pops = 0;
-        for (NodeId i = range.begin; i < range.end; ++i) {
-          const NodeId peer = m.dst_of(i);
-          if (peer == i) continue;
-          if (any_failures_ &&
-              (failed_nodes_[static_cast<std::size_t>(i)] ||
-               failed_nodes_[static_cast<std::size_t>(peer)] ||
-               failed_circuits_[edge_index(i, peer)])) {
-            continue;
+  try {
+    pool_->run_shards(
+        static_cast<int>(shard_plan_.size()), [&, this](int s) {
+          const ShardRange range = shard_plan_[static_cast<std::size_t>(s)];
+          ShardStage& stage = stages_[static_cast<std::size_t>(s)];
+          stage.events.clear();
+          stage.pops = 0;
+          for (NodeId i = range.begin; i < range.end; ++i) {
+            const NodeId peer = m.dst_of(i);
+            if (peer == i) continue;
+            if (any_failures_ &&
+                (failed_nodes_[static_cast<std::size_t>(i)] ||
+                 failed_nodes_[static_cast<std::size_t>(peer)] ||
+                 failed_circuits_[edge_index(i, peer)])) {
+              continue;
+            }
+            const Cell* head = voqs_.peek(i, peer, now_);
+            if (head == nullptr) continue;
+            StagedEvent ev;
+            ev.cell = *head;
+            voqs_.pop_sharded(i, peer);
+            ++stage.pops;
+            if (capped) popped_[static_cast<std::size_t>(i)] = 1;
+            ++ev.cell.hop;
+            ev.deliver = ev.cell.at_destination();
+            if (!ev.deliver) ev.cell.ready_slot = now_ + 1 + prop_slots;
+            stage.events.push_back(ev);
           }
-          const Cell* head = voqs_.peek(i, peer, now_);
-          if (head == nullptr) continue;
-          StagedEvent ev;
-          ev.cell = *head;
-          voqs_.pop_sharded(i, peer);
-          ++stage.pops;
-          if (capped) popped_[static_cast<std::size_t>(i)] = 1;
-          ++ev.cell.hop;
-          ev.deliver = ev.cell.at_destination();
-          if (!ev.deliver) ev.cell.ready_slot = now_ + 1 + prop_slots;
-          stage.events.push_back(ev);
-        }
-      });
+        });
+  } catch (...) {
+    // A throwing shard increments stage.pops before the statement that can
+    // throw, so summing the stages restores the VoqSet size invariant even
+    // for the partial sweep. The cells staged this sweep are discarded —
+    // the network stays usable but this slot under-delivers.
+    in_parallel_sweep_ = false;
+    std::uint64_t pops = 0;
+    for (const ShardStage& stage : stages_) pops += stage.pops;
+    voqs_.settle_total(pops);
+    throw;
+  }
   in_parallel_sweep_ = false;
   std::uint64_t pops = 0;
   for (const ShardStage& stage : stages_) {

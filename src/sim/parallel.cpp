@@ -104,7 +104,6 @@ void ThreadPool::begin(int shards, std::function<void(int)> fn) {
     fn_ = std::move(fn);
     shards_.store(shards, std::memory_order_relaxed);
     remaining_.store(shards, std::memory_order_relaxed);
-    batch_done_ = (shards == 0);
     const std::uint64_t gen =
         (ticket_.load(std::memory_order_relaxed) >> kShardBits) + 1;
     // The release store publishes fn_/shards_/errors_ to any worker whose
@@ -117,7 +116,11 @@ void ThreadPool::begin(int shards, std::function<void(int)> fn) {
 void ThreadPool::wait() {
   if (!batch_active_) return;
   if (!workers_.empty()) {
-    // Poll for completion inside the spin window, then park.
+    // Poll for completion inside the spin window, then park. remaining_
+    // itself is the predicate: it is reset only by the owner's next
+    // begin(), so unlike a done flag it cannot carry a stale completion
+    // mark from one batch into the next (the finishing worker notifies
+    // under the lock, so the wakeup cannot be lost either).
     bool done = false;
     for (int i = 0; i < kSpinIters; ++i) {
       if (remaining_.load(std::memory_order_acquire) == 0) {
@@ -126,10 +129,11 @@ void ThreadPool::wait() {
       }
       cpu_relax(i);
     }
-    {
+    if (!done) {
       std::unique_lock<std::mutex> lk(m_);
-      if (!done) done_cv_.wait(lk, [this] { return batch_done_; });
-      batch_done_ = false;
+      done_cv_.wait(lk, [this] {
+        return remaining_.load(std::memory_order_acquire) == 0;
+      });
     }
   }
   batch_active_ = false;
@@ -170,8 +174,12 @@ void ThreadPool::execute_shards() {
       errors_[static_cast<std::size_t>(s)] = std::current_exception();
     }
     if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Taking the lock before notifying closes the window between the
+      // owner's predicate check and its park — a bare notify there could
+      // be lost. If the owner already left via the spin path this notify
+      // is harmless: the next wait() re-checks remaining_, which begin()
+      // will have reset, so a straggler cannot signal the wrong batch.
       std::lock_guard<std::mutex> lk(m_);
-      batch_done_ = true;
       done_cv_.notify_all();
     }
   }

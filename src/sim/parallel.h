@@ -77,7 +77,6 @@ class ThreadPool {
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   bool batch_active_ = false;  // owner-thread bookkeeping (begin/wait/dtor)
-  bool batch_done_ = false;    // guarded by m_
 
   // Batch state. Written in begin() before the ticket store releases it
   // to the workers. ticket_ is the single source of truth: it packs
@@ -89,6 +88,11 @@ class ThreadPool {
   static constexpr int kShardBits = 20;
   std::function<void(int)> fn_;
   std::atomic<int> shards_{0};
+  // remaining_ == 0 is the batch-completion signal wait() observes; it is
+  // deliberately the *only* one. A boolean "done" flag set by the last
+  // worker would race: the owner can exit wait() through the spin path and
+  // begin() the next batch before that worker gets around to setting it,
+  // leaving a stale done mark that ends the next wait() early.
   std::atomic<int> remaining_{0};
   std::atomic<std::uint64_t> ticket_{0};
   std::atomic<bool> stop_{false};

@@ -81,6 +81,28 @@ TEST(ThreadPoolTest, ReusableAcrossManyBatches) {
   EXPECT_EQ(total.load(), 1000);
 }
 
+// Regression for a stale-completion race: when wait() exits through its
+// spin path, the finishing worker may only reach the mutex after the next
+// batch has already begun. A completion flag set there would mark the
+// *new* batch done and let its wait() return (via the cv path) while
+// shards are still running. Alternate instant batches (spin-path exit)
+// with slow batches (cv-path wait, forced by a shard that outlasts the
+// spin window) and check no wait() ever returns before its batch drains.
+TEST(ThreadPoolTest, SlowBatchAfterFastBatchWaitsForAllShards) {
+  ThreadPool pool(4);
+  for (int rep = 0; rep < 50; ++rep) {
+    std::atomic<int> fast{0};
+    pool.run_shards(4, [&](int) { fast.fetch_add(1); });
+    EXPECT_EQ(fast.load(), 4);
+    std::atomic<int> slow{0};
+    pool.run_shards(4, [&](int s) {
+      if (s == 0) std::this_thread::sleep_for(std::chrono::milliseconds(3));
+      slow.fetch_add(1);
+    });
+    EXPECT_EQ(slow.load(), 4) << "wait() returned with shards in flight";
+  }
+}
+
 TEST(ThreadPoolTest, WorkerExceptionPropagatesToWait) {
   ThreadPool pool(4);
   EXPECT_THROW(pool.run_shards(8,
