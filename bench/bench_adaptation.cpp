@@ -15,10 +15,10 @@
 // `--trace <file.jsonl>` the control plane's replan decisions (with
 // trigger reasons) and the network's reconfigure events are traced.
 #include <cstdio>
-#include <cstring>
 #include <memory>
 #include <string>
 
+#include "bench_args.h"
 #include "control/control_plane.h"
 #include "core/sorn.h"
 #include "obs/export.h"
@@ -45,11 +45,10 @@ double sat_throughput(sorn::SlottedNetwork& net,
 
 int main(int argc, char** argv) {
   using namespace sorn;
-  std::string json_path, trace_path;
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
-    if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
-  }
+  bench::ArgParser args(argc, argv);
+  const std::string json_path = args.get_string("--json", "");
+  const std::string trace_path = args.get_string("--trace", "");
+  args.finish();
   Telemetry telemetry;
   std::unique_ptr<FileTraceSink> trace_sink;
   if (!trace_path.empty()) {

@@ -1,0 +1,229 @@
+// Fault blast and recovery: throughput dip depth and time-to-recover.
+//
+// Scenario: a SORN fabric carries an open-loop pFabric workload with
+// failure-aware routing and end-host retransmission enabled. At
+// --fail-slot a scripted blast fails --fail-frac of the nodes (spread
+// across cliques); at --heal-slot they all come back. Delivered cells are
+// sampled in fixed windows, giving a throughput trajectory with three
+// phases: steady pre-fault, degraded outage, and post-heal recovery.
+//
+// Reported:
+//   pre-fault throughput — mean delivered cells/window before the blast
+//   dip depth            — worst outage window as a fraction of pre-fault
+//   time-to-recover      — slots from the heal until delivered throughput
+//                          holds >= 90% of pre-fault for two consecutive
+//                          windows
+//
+// Exits nonzero if throughput never recovers or any flow is left
+// permanently stalled (open at the end of the drain) — the acceptance
+// gate for the fault-injection subsystem. With --json the summary is
+// written machine-readably.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_args.h"
+#include "core/sorn.h"
+#include "fault/fault_injector.h"
+#include "obs/export.h"
+#include "sim/workload_driver.h"
+#include "traffic/arrivals.h"
+#include "traffic/flow_size.h"
+#include "traffic/patterns.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace sorn;
+  bench::ArgParser args(argc, argv);
+  const std::string json_path = args.get_string("--json", "");
+  const auto nodes = static_cast<NodeId>(args.get_long("--nodes", 64, 4));
+  const auto cliques =
+      static_cast<CliqueId>(args.get_long("--cliques", 8, 1));
+  const double locality = args.get_double("--locality", 0.6, 0.0, 1.0);
+  const double load = args.get_double("--load", 0.4, 0.01, 1.0);
+  const Slot slots = args.get_long("--slots", 24000, 1000);
+  const Slot fail_slot = args.get_long("--fail-slot", 8000, 1);
+  const Slot heal_slot = args.get_long("--heal-slot", 12000, 2);
+  const double fail_frac = args.get_double("--fail-frac", 0.05, 0.0, 0.9);
+  const Slot window = args.get_long("--window", 500, 10);
+  const Slot timeout = args.get_long("--retransmit-timeout", 512, 1);
+  const int threads = static_cast<int>(
+      args.get_long("--threads", ThreadPool::default_threads(), 1));
+  args.finish();
+  if (heal_slot <= fail_slot || slots <= heal_slot) {
+    std::fprintf(stderr,
+                 "need --fail-slot < --heal-slot < --slots "
+                 "(got %lld / %lld / %lld)\n",
+                 static_cast<long long>(fail_slot),
+                 static_cast<long long>(heal_slot),
+                 static_cast<long long>(slots));
+    return 2;
+  }
+
+  SornConfig cfg;
+  cfg.nodes = nodes;
+  cfg.cliques = cliques;
+  cfg.locality_x = locality;
+  cfg.propagation_per_hop = 0;
+  SornNetwork net = SornNetwork::build(cfg);
+  SlottedNetwork sim = net.make_network();
+  sim.set_threads(threads);
+  // Routers consult the live failure state: detours avoid failed
+  // intermediates while the blast is active.
+  net.set_failure_view(&sim.failure_view());
+
+  // The blast: fail_frac of the nodes, spread evenly so every clique
+  // takes a proportional hit, all down at fail_slot and back at heal_slot.
+  const int blast =
+      std::max(1, static_cast<int>(fail_frac * static_cast<double>(nodes)));
+  const NodeId stride = std::max<NodeId>(1, nodes / blast);
+  std::vector<FaultEvent> events;
+  std::vector<NodeId> victims;
+  for (int i = 0; i < blast; ++i) {
+    const NodeId victim = static_cast<NodeId>(i) * stride % nodes;
+    victims.push_back(victim);
+    events.push_back({fail_slot, FaultKind::kFailNode, victim, 0});
+    events.push_back({heal_slot, FaultKind::kHealNode, victim, 0});
+  }
+  FaultInjector injector(FaultScript::from_events(events));
+
+  const TrafficMatrix tm = patterns::locality_mix(net.cliques(), locality);
+  const FlowSizeDist sizes = FlowSizeDist::pfabric_web_search();
+  const double node_bw =
+      static_cast<double>(sim.config().cell_bytes) * 8.0 /
+      (static_cast<double>(sim.config().slot_duration) * 1e-12);
+  FlowArrivals arrivals(&tm, &sizes, node_bw, load, Rng(1));
+  WorkloadDriver driver(&arrivals);
+  WorkloadDriver::RetransmitOptions ropts;
+  ropts.timeout_slots = timeout;
+  driver.set_retransmit(ropts);
+
+  // Windowed delivered-cell trajectory, sampled on the coordinating
+  // thread just before each window's first slot. The fault injector ticks
+  // from the same hook, so fault RNG stays off the parallel sweep.
+  std::vector<std::uint64_t> cumulative;
+  Slot last_boundary = -1;
+  driver.set_slot_hook([&](SlottedNetwork& n, Slot now) {
+    if (now % window == 0 && now != last_boundary) {
+      last_boundary = now;
+      cumulative.push_back(n.metrics().delivered_cells());
+    }
+    injector.tick(n);
+  });
+
+  driver.run_until(sim, slots * sim.config().slot_duration, 200000);
+
+  std::vector<double> per_window;  // delivered cells in window i
+  for (std::size_t i = 1; i < cumulative.size(); ++i)
+    per_window.push_back(
+        static_cast<double>(cumulative[i] - cumulative[i - 1]));
+  auto window_start = [&](std::size_t i) {
+    return static_cast<Slot>(i) * window;
+  };
+
+  // Pre-fault throughput: windows entirely inside [warmup, fail_slot).
+  const Slot warmup = std::min<Slot>(2000, fail_slot / 4);
+  double pre_fault = 0.0;
+  int pre_windows = 0;
+  for (std::size_t i = 0; i < per_window.size(); ++i) {
+    if (window_start(i) < warmup || window_start(i) + window > fail_slot)
+      continue;
+    pre_fault += per_window[i];
+    ++pre_windows;
+  }
+  if (pre_windows == 0) {
+    std::fprintf(stderr, "no full pre-fault window; lower --window\n");
+    return 2;
+  }
+  pre_fault /= pre_windows;
+
+  // Dip depth: worst outage window relative to pre-fault.
+  double dip = pre_fault;
+  for (std::size_t i = 0; i < per_window.size(); ++i)
+    if (window_start(i) >= fail_slot && window_start(i) < heal_slot)
+      dip = std::min(dip, per_window[i]);
+  const double dip_frac = pre_fault > 0.0 ? dip / pre_fault : 0.0;
+
+  // Time-to-recover: first post-heal window that opens a run of two
+  // consecutive windows at >= 90% of pre-fault (while arrivals are still
+  // flowing — drain windows decay by construction).
+  const double floor_cells = 0.9 * pre_fault;
+  Slot recovered_at = -1;
+  for (std::size_t i = 0; i + 1 < per_window.size(); ++i) {
+    if (window_start(i) < heal_slot || window_start(i + 1) + window > slots)
+      continue;
+    if (per_window[i] >= floor_cells && per_window[i + 1] >= floor_cells) {
+      recovered_at = window_start(i) + window;  // end of the first window
+      break;
+    }
+  }
+  const bool recovered = recovered_at >= 0;
+  const Slot time_to_recover = recovered ? recovered_at - heal_slot : -1;
+  const std::uint64_t open = sim.metrics().open_flows();
+
+  std::printf(
+      "Fault recovery: %d nodes, %d cliques, x=%.2f, load=%.2f, "
+      "%d-node blast [%lld, %lld), %d threads\n\n",
+      nodes, cliques, locality, load, blast,
+      static_cast<long long>(fail_slot), static_cast<long long>(heal_slot),
+      threads);
+
+  TablePrinter table({"metric", "value"});
+  table.add_row({"pre-fault throughput (cells/window)",
+                 format("%.1f", pre_fault)});
+  table.add_row({"dip depth (worst outage window)",
+                 format("%.1f (%.1f%% of pre-fault)", dip, dip_frac * 100.0)});
+  table.add_row({"time-to-recover (slots after heal)",
+                 recovered ? format("%lld",
+                                    static_cast<long long>(time_to_recover))
+                           : "never"});
+  table.add_row({"retransmit events",
+                 format("%llu", static_cast<unsigned long long>(
+                                    sim.metrics().retransmit_events()))});
+  table.add_row({"retransmitted cells",
+                 format("%llu", static_cast<unsigned long long>(
+                                    sim.metrics().retransmitted_cells()))});
+  table.add_row({"duplicate deliveries",
+                 format("%llu", static_cast<unsigned long long>(
+                                    sim.metrics().duplicate_cells()))});
+  table.add_row({"flows recovered from stall",
+                 format("%llu (mean %.0f slots stalled)",
+                        static_cast<unsigned long long>(
+                            sim.metrics().recovered_flows()),
+                        sim.metrics().mean_recovery_slots())});
+  table.add_row({"flows still open after drain",
+                 format("%llu", static_cast<unsigned long long>(open))});
+  table.print();
+
+  if (!json_path.empty()) {
+    const std::string doc = format(
+        "{\"bench\": \"bench_fault_recovery\", \"nodes\": %d, "
+        "\"blast_nodes\": %d, \"fail_slot\": %lld, \"heal_slot\": %lld, "
+        "\"pre_fault_cells_per_window\": %.2f, \"dip_frac\": %.4f, "
+        "\"recovered\": %s, \"time_to_recover_slots\": %lld, "
+        "\"retransmit_events\": %llu, \"retransmitted_cells\": %llu, "
+        "\"duplicate_cells\": %llu, \"recovered_flows\": %llu, "
+        "\"open_flows\": %llu}\n",
+        nodes, blast, static_cast<long long>(fail_slot),
+        static_cast<long long>(heal_slot), pre_fault, dip_frac,
+        recovered ? "true" : "false",
+        static_cast<long long>(time_to_recover),
+        static_cast<unsigned long long>(sim.metrics().retransmit_events()),
+        static_cast<unsigned long long>(sim.metrics().retransmitted_cells()),
+        static_cast<unsigned long long>(sim.metrics().duplicate_cells()),
+        static_cast<unsigned long long>(sim.metrics().recovered_flows()),
+        static_cast<unsigned long long>(open));
+    if (!write_text_file(json_path, doc)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+
+  std::printf("\ngate: recovered %s, open flows %llu — %s\n",
+              recovered ? "yes" : "NO",
+              static_cast<unsigned long long>(open),
+              recovered && open == 0 ? "PASS" : "FAIL");
+  return recovered && open == 0 ? 0 : 1;
+}

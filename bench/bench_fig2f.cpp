@@ -10,11 +10,10 @@
 // With `--json <file>` the table is additionally written as a JSON array
 // of row objects (machine-readable BENCH_*.json trajectories).
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 
 #include "analysis/models.h"
+#include "bench_args.h"
 #include "core/sorn.h"
 #include "obs/export.h"
 #include "sim/saturation.h"
@@ -25,24 +24,11 @@
 
 int main(int argc, char** argv) {
   using namespace sorn;
-  std::string json_path;
-  int threads = ThreadPool::default_threads();
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      char* end = nullptr;
-      const long v = std::strtol(argv[++i], &end, 10);
-      if (end == argv[i] || *end != '\0' || v < 1) {
-        std::fprintf(stderr, "--threads must be >= 1 (got %s)\n", argv[i]);
-        return 2;
-      }
-      threads = static_cast<int>(v);
-    } else {
-      std::fprintf(stderr, "unknown or incomplete argument: %s\n", argv[i]);
-      return 2;
-    }
-  }
+  bench::ArgParser args(argc, argv);
+  const std::string json_path = args.get_string("--json", "");
+  const int threads = static_cast<int>(
+      args.get_long("--threads", ThreadPool::default_threads(), 1));
+  args.finish();
   const NodeId kNodes = 128;
   const CliqueId kCliques = 8;
 

@@ -19,6 +19,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_args.h"
 #include "core/sorn.h"
 #include "obs/telemetry.h"
 #include "sim/saturation.h"
@@ -30,9 +31,9 @@ namespace {
 using namespace sorn;
 
 constexpr NodeId kNodes = 64;
-constexpr Slot kWarmupSlots = 2000;
-constexpr Slot kSlots = 20000;
-constexpr int kReps = 5;
+Slot g_warmup_slots = 2000;
+Slot g_slots = 20000;
+int g_reps = 5;
 
 double run_once(Telemetry* telemetry) {
   SornConfig cfg;
@@ -45,24 +46,24 @@ double run_once(Telemetry* telemetry) {
   if (telemetry != nullptr) sim.set_telemetry(telemetry);
   const TrafficMatrix tm = patterns::locality_mix(net.cliques(), 0.6);
   SaturationSource source(&tm, SaturationConfig{});
-  for (Slot s = 0; s < kWarmupSlots; ++s) {
+  for (Slot s = 0; s < g_warmup_slots; ++s) {
     source.pump(sim);
     sim.step();
   }
   const auto t0 = std::chrono::steady_clock::now();
-  for (Slot s = 0; s < kSlots; ++s) {
+  for (Slot s = 0; s < g_slots; ++s) {
     source.pump(sim);
     sim.step();
   }
   const auto t1 = std::chrono::steady_clock::now();
   const double ns =
       std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
-  return ns / static_cast<double>(kSlots);
+  return ns / static_cast<double>(g_slots);
 }
 
 double best_of(Telemetry* (*make)(), void (*destroy)(Telemetry*)) {
   double best = 1e18;
-  for (int r = 0; r < kReps; ++r) {
+  for (int r = 0; r < g_reps; ++r) {
     Telemetry* t = make();
     const double ns = run_once(t);
     destroy(t);
@@ -75,11 +76,16 @@ NullTraceSink null_sink;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ArgParser args(argc, argv);
+  g_slots = args.get_long("--slots", g_slots, 1);
+  g_warmup_slots = args.get_long("--warmup", g_warmup_slots, 0);
+  g_reps = static_cast<int>(args.get_long("--reps", g_reps, 1));
+  args.finish();
   std::printf(
       "Telemetry overhead, %d-node saturated SORN fabric, %lld slots/run, "
       "best of %d:\n\n",
-      kNodes, static_cast<long long>(kSlots), kReps);
+      kNodes, static_cast<long long>(g_slots), g_reps);
 
   const double detached = best_of(
       [] { return static_cast<Telemetry*>(nullptr); }, [](Telemetry*) {});

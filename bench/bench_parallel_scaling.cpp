@@ -18,11 +18,10 @@
 // generous 1.3x floor at 4 threads absorbs shared-runner noise).
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
+#include "bench_args.h"
 #include "core/sorn.h"
 #include "obs/export.h"
 #include "sim/parallel.h"
@@ -41,60 +40,23 @@ struct Row {
   std::uint64_t delivered = 0;
 };
 
-std::vector<int> parse_int_list(const char* csv) {
-  std::vector<int> out;
-  const char* p = csv;
-  while (*p != '\0') {
-    out.push_back(std::atoi(p));
-    const char* comma = std::strchr(p, ',');
-    if (comma == nullptr) break;
-    p = comma + 1;
-  }
-  return out;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string json_path;
-  std::vector<int> thread_counts{1, 2, 4, 8};
-  Slot slots = 20000;
-  Slot warmup = 2000;
-  int reps = 3;
-  NodeId nodes = 128;
-  CliqueId cliques = 8;
-  double min_speedup = 0.0;
-  int gate_threads = 4;
-  for (int i = 1; i < argc; ++i) {
-    const char* flag = argv[i];
-    if (i + 1 >= argc) {
-      std::fprintf(stderr, "missing value for %s\n", flag);
-      return 2;
-    }
-    const char* val = argv[++i];
-    if (std::strcmp(flag, "--json") == 0) {
-      json_path = val;
-    } else if (std::strcmp(flag, "--threads") == 0) {
-      thread_counts = parse_int_list(val);
-    } else if (std::strcmp(flag, "--slots") == 0) {
-      slots = std::atol(val);
-    } else if (std::strcmp(flag, "--warmup") == 0) {
-      warmup = std::atol(val);
-    } else if (std::strcmp(flag, "--reps") == 0) {
-      reps = std::atoi(val);
-    } else if (std::strcmp(flag, "--nodes") == 0) {
-      nodes = static_cast<NodeId>(std::atol(val));
-    } else if (std::strcmp(flag, "--cliques") == 0) {
-      cliques = static_cast<CliqueId>(std::atol(val));
-    } else if (std::strcmp(flag, "--min-speedup") == 0) {
-      min_speedup = std::atof(val);
-    } else if (std::strcmp(flag, "--gate-threads") == 0) {
-      gate_threads = std::atoi(val);
-    } else {
-      std::fprintf(stderr, "unknown argument: %s\n", flag);
-      return 2;
-    }
-  }
+  bench::ArgParser args(argc, argv);
+  const std::string json_path = args.get_string("--json", "");
+  const std::vector<int> thread_counts =
+      args.get_int_list("--threads", {1, 2, 4, 8}, 1);
+  const Slot slots = args.get_long("--slots", 20000, 1);
+  const Slot warmup = args.get_long("--warmup", 2000, 0);
+  const int reps = static_cast<int>(args.get_long("--reps", 3, 1));
+  const auto nodes = static_cast<NodeId>(args.get_long("--nodes", 128, 2));
+  const auto cliques =
+      static_cast<CliqueId>(args.get_long("--cliques", 8, 1));
+  const double min_speedup = args.get_double("--min-speedup", 0.0, 0.0);
+  const int gate_threads =
+      static_cast<int>(args.get_long("--gate-threads", 4, 1));
+  args.finish();
   if (thread_counts.empty() || thread_counts.front() != 1) {
     std::fprintf(stderr, "--threads list must start with 1 (the baseline)\n");
     return 2;

@@ -2,6 +2,10 @@
 """Validate sorn_tool simulate artifacts: JSONL trace, metrics JSON, CSV.
 
 Usage: check_trace.py <trace.jsonl> <metrics.json> <timeseries.csv>
+                      [--expect-faults]
+
+With --expect-faults the trace must additionally contain the fault
+pipeline's events: node_fail, node_heal, and retransmit.
 """
 import csv
 import json
@@ -9,7 +13,11 @@ import sys
 
 
 def main() -> None:
-    trace_path, metrics_path, csv_path = sys.argv[1:4]
+    args = sys.argv[1:]
+    expect_faults = "--expect-faults" in args
+    if expect_faults:
+        args.remove("--expect-faults")
+    trace_path, metrics_path, csv_path = args[:3]
 
     events = [json.loads(line) for line in open(trace_path)]
     assert events, "trace is empty"
@@ -17,6 +25,15 @@ def main() -> None:
         "malformed trace event"
     assert any(e["ev"] == "flow_inject" for e in events), \
         "no flow_inject events"
+
+    if expect_faults:
+        kinds = {e["ev"] for e in events}
+        for needed in ("node_fail", "node_heal", "retransmit"):
+            assert needed in kinds, f"no {needed} events in trace"
+        heals = [e for e in events if e["ev"] == "node_heal"]
+        fails = [e for e in events if e["ev"] == "node_fail"]
+        assert len(heals) == len(fails), \
+            "every scripted blast victim must heal"
 
     metrics = json.load(open(metrics_path))
     for key in ("counters", "fct_ps", "timeseries", "registry"):

@@ -10,14 +10,23 @@
 //
 //   sorn_tool simulate --nodes 64 --cliques 8 --locality 0.56
 //                      [--load 0.3] [--slots 30000] [--threads N]
+//                      [--seed 42]
 //                      [--trace run.jsonl] [--metrics-json run.json]
 //                      [--timeseries-csv run.csv] [--sample-every 10]
+//                      [--fault-script faults.txt]
+//                      [--mtbf S --mttr S] [--circuit-mtbf S --circuit-mttr S]
+//                      [--fault-seed 1]
+//                      [--retransmit-timeout S] [--retransmit-max-attempts 8]
 //       Run an open-loop pFabric workload on a SORN fabric and print
 //       throughput/FCT metrics. --threads shards the slot engine across
 //       N workers (default: hardware threads) with byte-identical output
 //       at any N. The telemetry flags additionally write a JSONL event
 //       trace, a full-run JSON summary, and/or a per-slot time-series CSV
-//       (decimated to every k-th slot).
+//       (decimated to every k-th slot). The fault flags inject a scripted
+//       and/or stochastic (MTBF/MTTR, in slots) failure timeline; with
+//       --retransmit-timeout, stalled flows re-admit their missing cells
+//       with exponential backoff. Fault RNG lives on the coordinating
+//       thread, so faulted runs stay byte-identical at any --threads.
 //
 // Run without arguments for usage.
 #include <cstdio>
@@ -29,6 +38,7 @@
 #include <vector>
 
 #include "analysis/models.h"
+#include "fault/fault_injector.h"
 #include "obs/export.h"
 #include "control/hier_optimizer.h"
 #include "control/optimizer.h"
@@ -198,6 +208,7 @@ int cmd_simulate(const std::map<std::string, std::string>& flags) {
   cfg.propagation_per_hop = 0;
   const double load = flag_double(flags, "load", 0.3);
   const auto slots = static_cast<Slot>(flag_long(flags, "slots", 30000));
+  const auto seed = static_cast<std::uint64_t>(flag_long(flags, "seed", 42));
   const long threads =
       flag_long(flags, "threads", ThreadPool::default_threads());
   if (threads < 1) {
@@ -205,11 +216,39 @@ int cmd_simulate(const std::map<std::string, std::string>& flags) {
     return 1;
   }
 
-  const SornNetwork net = SornNetwork::build(cfg);
-  SlottedNetwork sim = net.make_network();
+  SornNetwork net = SornNetwork::build(cfg);
+  SlottedNetwork sim = net.make_network(seed);
   // Same seed => same bytes at any thread count (the parallel engine is
   // byte-equivalent to the sequential one; see DESIGN.md).
   sim.set_threads(static_cast<int>(threads));
+
+  // Fault injection: scripted timeline and/or stochastic MTBF/MTTR model.
+  // Routing always consults the live failure state; with no faults the
+  // view stays empty and the fast path is untouched.
+  net.set_failure_view(&sim.failure_view());
+  FaultScript script;
+  if (flags.count("fault-script") != 0) {
+    std::string error;
+    if (!FaultScript::load(flags.at("fault-script"), &script, &error)) {
+      std::fprintf(stderr, "--fault-script: %s\n", error.c_str());
+      return 1;
+    }
+  }
+  FaultInjectorOptions fopts;
+  fopts.node_mtbf_slots = flag_double(flags, "mtbf", 0.0);
+  fopts.node_mttr_slots = flag_double(flags, "mttr", 0.0);
+  fopts.circuit_mtbf_slots = flag_double(flags, "circuit-mtbf", 0.0);
+  fopts.circuit_mttr_slots = flag_double(flags, "circuit-mttr", 0.0);
+  fopts.seed = static_cast<std::uint64_t>(flag_long(flags, "fault-seed", 1));
+  if ((fopts.node_mtbf_slots > 0.0 && fopts.node_mttr_slots <= 0.0) ||
+      (fopts.circuit_mtbf_slots > 0.0 && fopts.circuit_mttr_slots <= 0.0)) {
+    std::fprintf(stderr, "an MTBF needs a matching positive MTTR\n");
+    return 1;
+  }
+  const bool want_faults =
+      !script.empty() || fopts.node_mtbf_slots > 0.0 ||
+      fopts.circuit_mtbf_slots > 0.0;
+  FaultInjector injector(std::move(script), fopts);
 
   // Telemetry: any of the export flags attaches the facade; tracing and
   // time-series sampling are each enabled only when asked for.
@@ -246,6 +285,21 @@ int cmd_simulate(const std::map<std::string, std::string>& flags) {
       (static_cast<double>(sim.config().slot_duration) * 1e-12);
   FlowArrivals arrivals(&tm, &sizes, node_bw, load, Rng(1));
   WorkloadDriver driver(&arrivals);
+  if (want_faults)
+    driver.set_slot_hook(
+        [&injector](SlottedNetwork& n, Slot) { injector.tick(n); });
+  const long rto = flag_long(flags, "retransmit-timeout", 0);
+  if (rto < 0) {
+    std::fprintf(stderr, "--retransmit-timeout must be >= 0\n");
+    return 1;
+  }
+  if (rto > 0) {
+    WorkloadDriver::RetransmitOptions ropts;
+    ropts.timeout_slots = static_cast<Slot>(rto);
+    ropts.max_attempts = static_cast<std::uint32_t>(
+        flag_long(flags, "retransmit-max-attempts", 8));
+    driver.set_retransmit(ropts);
+  }
   driver.run_until(sim, slots * sim.config().slot_duration, 200000);
 
   std::printf(
@@ -267,6 +321,35 @@ int cmd_simulate(const std::map<std::string, std::string>& flags) {
               sim.metrics().fct_ps().percentile(99.0) / 1e6);
   std::printf("  predicted r:      %.4f (1/(3-x))\n",
               net.predicted_throughput());
+  if (want_faults) {
+    std::printf(
+        "  faults applied:   %llu (scripted %llu, stochastic %llu fail / "
+        "%llu heal; first at slot %lld)\n",
+        static_cast<unsigned long long>(injector.faults_applied()),
+        static_cast<unsigned long long>(injector.scripted_applied()),
+        static_cast<unsigned long long>(injector.stochastic_failures()),
+        static_cast<unsigned long long>(injector.stochastic_heals()),
+        static_cast<long long>(injector.first_fault_slot()));
+    std::printf("  failed at end:    %llu nodes, %llu circuits\n",
+                static_cast<unsigned long long>(
+                    sim.failure_view().failed_node_count()),
+                static_cast<unsigned long long>(
+                    sim.failure_view().failed_circuit_count()));
+  }
+  if (rto > 0 || sim.metrics().retransmit_events() > 0) {
+    std::printf(
+        "  retransmits:      %llu events, %llu cells (%llu duplicate "
+        "deliveries)\n",
+        static_cast<unsigned long long>(sim.metrics().retransmit_events()),
+        static_cast<unsigned long long>(sim.metrics().retransmitted_cells()),
+        static_cast<unsigned long long>(sim.metrics().duplicate_cells()));
+    std::printf(
+        "  stall recovery:   %llu flows recovered, mean %.0f slots "
+        "stalled; %llu flows still open\n",
+        static_cast<unsigned long long>(sim.metrics().recovered_flows()),
+        sim.metrics().mean_recovery_slots(),
+        static_cast<unsigned long long>(sim.metrics().open_flows()));
+  }
 
   if (want_json) {
     ExportOptions eopts;
@@ -304,11 +387,17 @@ int usage() {
       "  sorn_tool hier-plan --matrix tm.csv [--clusters 4] [--pods 4]\n"
       "  sorn_tool schedule --nodes 16 --cliques 4 --qnum 3 --qden 1\n"
       "  sorn_tool simulate --nodes 64 --cliques 8 --locality 0.56\n"
-      "                     [--load 0.3] [--slots 30000]\n"
+      "                     [--load 0.3] [--slots 30000] [--seed 42]\n"
       "                     [--threads N]  (default: hardware threads;\n"
       "                      same seed => same bytes at any N)\n"
       "                     [--trace run.jsonl] [--metrics-json run.json]\n"
-      "                     [--timeseries-csv run.csv] [--sample-every 10]\n");
+      "                     [--timeseries-csv run.csv] [--sample-every 10]\n"
+      "                     [--fault-script faults.txt]\n"
+      "                     [--mtbf S --mttr S]\n"
+      "                     [--circuit-mtbf S --circuit-mttr S]\n"
+      "                     [--fault-seed 1]\n"
+      "                     [--retransmit-timeout S]\n"
+      "                     [--retransmit-max-attempts 8]\n");
   return 2;
 }
 

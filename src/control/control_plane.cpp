@@ -1,5 +1,7 @@
 #include "control/control_plane.h"
 
+#include <optional>
+
 namespace sorn {
 
 ControlPlane::ControlPlane(NodeId nodes, Options options)
@@ -18,22 +20,48 @@ bool ControlPlane::on_epoch(const TrafficMatrix& observed, Slot now) {
   const bool degraded =
       has_plan_ && locality_estimate <
                        last_plan_.locality_x - options_.locality_degradation;
-  if (!first && !drifted && !degraded) return false;
+  // The failure set changed since the plan was made (nodes/circuits failed
+  // or healed): the current clique structure routes around it suboptimally
+  // — or wastes slots on a dead node — so re-plan even if traffic is
+  // steady.
+  const bool failure_changed =
+      failures_ != nullptr && failures_->version() != planned_failure_version_;
+  if (!first && !drifted && !degraded && !failure_changed) return false;
 
   // After a detected shift the smoothed history describes a dead pattern;
   // restart the estimate from the freshest observation.
   if (drifted || degraded) estimator_.reset_to_latest();
 
-  SornPlan plan = optimizer_.plan(estimator_.estimate());
+  // Mask failed nodes out of the demand before clustering: a dead node
+  // carries no traffic, so letting its stale rows/columns steer the
+  // clusterer would keep granting it clique slots.
+  const TrafficMatrix* demand = &estimator_.estimate();
+  std::optional<TrafficMatrix> masked;
+  if (failures_ != nullptr && failures_->failed_node_count() > 0) {
+    masked.emplace(estimator_.estimate());
+    const NodeId n = masked->node_count();
+    for (NodeId i = 0; i < n; ++i) {
+      if (!failures_->is_node_failed(i)) continue;
+      for (NodeId j = 0; j < n; ++j) {
+        masked->set(i, j, 0.0);
+        masked->set(j, i, 0.0);
+      }
+    }
+    demand = &*masked;
+  }
+
+  SornPlan plan = optimizer_.plan(*demand);
   estimator_.set_reference_grouping(plan.cliques);
   last_plan_ = plan;
   has_plan_ = true;
+  if (failures_ != nullptr) planned_failure_version_ = failures_->version();
   ++replans_;
   if (tracer_ != nullptr) {
     tracer_->replan(now,
-                    drifted ? "threshold"
-                    : degraded ? "locality_degradation"
-                               : "first_observation",
+                    drifted      ? "threshold"
+                    : degraded   ? "locality_degradation"
+                    : first      ? "first_observation"
+                                 : "failure",
                     macro_change, locality_estimate, plan.locality_x,
                     plan.cliques.clique_count(), plan.q.value(), replans_);
   }

@@ -28,6 +28,18 @@ class ControlPlane {
     double locality_degradation = 0.15;
   };
 
+  // Borrowed failure state (usually &network.failure_view()). Two effects:
+  // on_epoch re-plans whenever the failure set changed since the last plan
+  // (traced with reason "failure"), and failed nodes are masked out of the
+  // demand the optimizer clusters — a dead node stops attracting clique
+  // slots at the next epoch instead of owning them forever. The view is
+  // also forwarded to the reconfiguration manager so every generation's
+  // router routes around the live failure set.
+  void set_failure_view(const FailureView* view) {
+    failures_ = view;
+    reconfig_.set_failure_view(view);
+  }
+
   ControlPlane(NodeId nodes, Options options);
 
   // Feed one epoch of observed traffic; stages a swap if warranted.
@@ -60,6 +72,10 @@ class ControlPlane {
   bool has_plan_ = false;
   std::uint64_t replans_ = 0;
   Tracer* tracer_ = nullptr;
+  const FailureView* failures_ = nullptr;
+  // FailureView::version() at the time of the last plan; a mismatch at
+  // the next epoch triggers a failure re-plan.
+  std::uint64_t planned_failure_version_ = 0;
 };
 
 }  // namespace sorn

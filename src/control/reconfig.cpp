@@ -6,6 +6,14 @@ namespace sorn {
 
 ReconfigManager::ReconfigManager(Options options) : options_(options) {}
 
+void ReconfigManager::set_failure_view(const FailureView* view) {
+  failures_ = view;
+  if (current_.router != nullptr) current_.router->set_failure_view(view);
+  if (previous_.router != nullptr) previous_.router->set_failure_view(view);
+  if (pending_ != nullptr && pending_->router != nullptr)
+    pending_->router->set_failure_view(view);
+}
+
 void ReconfigManager::request_swap(SornPlan plan, Slot now) {
   auto gen = std::make_unique<Generation>();
   gen->cliques = std::make_unique<CliqueAssignment>(std::move(plan.cliques));
@@ -19,6 +27,7 @@ void ReconfigManager::request_swap(SornPlan plan, Slot now) {
   gen->router = std::make_unique<SornRouter>(gen->schedule.get(),
                                              gen->cliques.get(),
                                              options_.lb_mode);
+  gen->router->set_failure_view(failures_);
   pending_ = std::move(gen);
   swap_due_ = now + options_.update_delay_slots;
   if (tracer_ != nullptr) {

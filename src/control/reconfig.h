@@ -55,6 +55,11 @@ class ReconfigManager {
   // disables.
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
+  // Borrowed failure state (usually &network.failure_view()): every
+  // generation's router — current, pending, and all future ones — routes
+  // around it (Router::set_failure_view). nullptr detaches.
+  void set_failure_view(const FailureView* view);
+
   // NIC rollout cost of the most recent applied swap; nullopt until a
   // swap happened with track_nic_rollout enabled.
   const std::optional<UpdateCoordinator::Report>& last_rollout() const {
@@ -74,6 +79,7 @@ class ReconfigManager {
   };
 
   Options options_;
+  const FailureView* failures_ = nullptr;
   Generation current_;
   Generation previous_;  // kept alive for in-flight traffic
   std::unique_ptr<Generation> pending_;

@@ -66,6 +66,7 @@ void SornNetwork::adapt(CliqueAssignment new_assignment, Rational new_q,
                 config_.weighted_options, config_.max_period));
   router_ = std::make_unique<SornRouter>(schedule_.get(), cliques_.get(),
                                          config_.lb_mode);
+  router_->set_failure_view(failure_view_);
   config_.cliques = cliques_->clique_count();
 }
 

@@ -73,6 +73,15 @@ class SornNetwork {
   const Router& router() const { return *router_; }
   Rational q() const { return q_; }
 
+  // Make this network's router failure-aware: pass a simulator's
+  // &sim.failure_view() (the sim must outlive this SornNetwork's routing
+  // use) and load-balancing spray detours around failed nodes/circuits.
+  // nullptr restores oblivious routing. Survives adapt().
+  void set_failure_view(const FailureView* view) {
+    failure_view_ = view;
+    router_->set_failure_view(view);
+  }
+
   // Rebuild the macro-configuration in place (new cliques and/or q, and
   // optionally new inter-clique weights). The old schedule/router are
   // destroyed; when a live SlottedNetwork points at them, call
@@ -107,6 +116,7 @@ class SornNetwork {
   std::unique_ptr<CliqueAssignment> cliques_;
   std::unique_ptr<CircuitSchedule> schedule_;
   std::unique_ptr<SornRouter> router_;
+  const FailureView* failure_view_ = nullptr;
 };
 
 }  // namespace sorn

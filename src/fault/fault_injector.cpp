@@ -1,0 +1,344 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/assert.h"
+
+namespace sorn {
+
+namespace {
+
+// Strict whole-token integer parse; rejects sign-only, trailing garbage.
+bool parse_int(std::string_view token, long long* out) {
+  if (token.empty()) return false;
+  char buf[32];
+  if (token.size() >= sizeof(buf)) return false;
+  token.copy(buf, token.size());
+  buf[token.size()] = '\0';
+  char* end = nullptr;
+  const long long v = std::strtoll(buf, &end, 10);
+  if (end == buf || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+std::vector<std::string_view> split_ws(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    const std::size_t start = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+bool fail_line(std::string* error, int line_no, const std::string& message) {
+  if (error != nullptr) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "fault script line %d: %s", line_no,
+                  message.c_str());
+    *error = buf;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool FaultScript::parse(std::string_view text, FaultScript* out,
+                        std::string* error) {
+  SORN_ASSERT(out != nullptr, "parse needs an output script");
+  std::vector<FaultEvent> events;
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    const std::vector<std::string_view> tokens = split_ws(line);
+    if (tokens.empty()) continue;
+    if (tokens.size() < 3)
+      return fail_line(error, line_no, "expected '<slot> <action> <args>'");
+    long long slot = 0;
+    if (!parse_int(tokens[0], &slot) || slot < 0)
+      return fail_line(error, line_no,
+                       "slot must be a nonnegative integer, got '" +
+                           std::string(tokens[0]) + "'");
+    FaultEvent ev;
+    ev.slot = static_cast<Slot>(slot);
+    const std::string_view action = tokens[1];
+    const bool node_action = action == "fail-node" || action == "heal-node";
+    const bool circuit_action =
+        action == "fail-circuit" || action == "heal-circuit";
+    if (!node_action && !circuit_action)
+      return fail_line(error, line_no,
+                       "unknown action '" + std::string(action) + "'");
+    const std::size_t want = node_action ? 3 : 4;
+    if (tokens.size() != want)
+      return fail_line(error, line_no,
+                       node_action
+                           ? "expected '<slot> " + std::string(action) +
+                                 " <node>'"
+                           : "expected '<slot> " + std::string(action) +
+                                 " <src> <dst>'");
+    long long a = 0;
+    if (!parse_int(tokens[2], &a) || a < 0)
+      return fail_line(error, line_no,
+                       "node id must be a nonnegative integer, got '" +
+                           std::string(tokens[2]) + "'");
+    ev.a = static_cast<NodeId>(a);
+    if (node_action) {
+      ev.kind = action == "fail-node" ? FaultKind::kFailNode
+                                      : FaultKind::kHealNode;
+    } else {
+      long long b = 0;
+      if (!parse_int(tokens[3], &b) || b < 0)
+        return fail_line(error, line_no,
+                         "node id must be a nonnegative integer, got '" +
+                             std::string(tokens[3]) + "'");
+      if (a == b)
+        return fail_line(error, line_no,
+                         "circuit endpoints must differ");
+      ev.b = static_cast<NodeId>(b);
+      ev.kind = action == "fail-circuit" ? FaultKind::kFailCircuit
+                                         : FaultKind::kHealCircuit;
+    }
+    events.push_back(ev);
+  }
+  *out = from_events(std::move(events));
+  return true;
+}
+
+bool FaultScript::load(const std::string& path, FaultScript* out,
+                       std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open fault script: " + path;
+    return false;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(f);
+  return parse(text, out, error);
+}
+
+FaultScript FaultScript::from_events(std::vector<FaultEvent> events) {
+  // Stable: same-slot events keep their given order.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& x, const FaultEvent& y) {
+                     return x.slot < y.slot;
+                   });
+  FaultScript script;
+  script.events_ = std::move(events);
+  return script;
+}
+
+FaultInjector::FaultInjector(FaultScript script, FaultInjectorOptions options)
+    : script_(std::move(script)), opt_(options), rng_(options.seed) {
+  SORN_ASSERT(opt_.node_mtbf_slots >= 0 && opt_.circuit_mtbf_slots >= 0,
+              "MTBF must be nonnegative");
+  SORN_ASSERT(opt_.node_mtbf_slots <= 0 || opt_.node_mttr_slots > 0,
+              "node faults need a positive MTTR");
+  SORN_ASSERT(opt_.circuit_mtbf_slots <= 0 || opt_.circuit_mttr_slots > 0,
+              "circuit faults need a positive MTTR");
+}
+
+bool FaultInjector::stochastic() const {
+  return opt_.node_mtbf_slots > 0 || opt_.circuit_mtbf_slots > 0;
+}
+
+void FaultInjector::note_applied(Slot slot) {
+  if (first_fault_slot_ == kNone) first_fault_slot_ = slot;
+}
+
+bool FaultInjector::apply(SlottedNetwork& net, const FaultEvent& ev) {
+  const NodeId n = net.node_count();
+  SORN_ASSERT(ev.a >= 0 && ev.a < n, "fault event node out of range");
+  switch (ev.kind) {
+    case FaultKind::kFailNode:
+      return net.fail_node(ev.a);
+    case FaultKind::kHealNode:
+      return net.heal_node(ev.a);
+    case FaultKind::kFailCircuit:
+      SORN_ASSERT(ev.b >= 0 && ev.b < n, "fault event node out of range");
+      return net.fail_circuit(ev.a, ev.b);
+    case FaultKind::kHealCircuit:
+      SORN_ASSERT(ev.b >= 0 && ev.b < n, "fault event node out of range");
+      return net.heal_circuit(ev.a, ev.b);
+  }
+  return false;
+}
+
+double FaultInjector::total_rate(const SlottedNetwork& net) const {
+  const FailureView& view = net.failure_view();
+  const auto n = static_cast<double>(net.node_count());
+  double rate = 0.0;
+  if (opt_.node_mtbf_slots > 0) {
+    const auto failed = static_cast<double>(view.failed_node_count());
+    rate += (n - failed) / opt_.node_mtbf_slots;
+    rate += failed / opt_.node_mttr_slots;
+  }
+  if (opt_.circuit_mtbf_slots > 0) {
+    const double circuits = n * (n - 1.0);
+    const auto failed = static_cast<double>(view.failed_circuit_count());
+    rate += (circuits - failed) / opt_.circuit_mtbf_slots;
+    rate += failed / opt_.circuit_mttr_slots;
+  }
+  return rate;
+}
+
+void FaultInjector::schedule_next(const SlottedNetwork& net, Slot now) {
+  const double rate = total_rate(net);
+  if (rate <= 0.0) {
+    pending_slot_ = kNone;
+    return;
+  }
+  const double delta = rng_.next_exponential(1.0 / rate);
+  const double ceiled = std::ceil(delta);
+  pending_slot_ =
+      now + std::max<Slot>(1, static_cast<Slot>(ceiled));
+}
+
+NodeId FaultInjector::pick_node(const SlottedNetwork& net, bool failed) {
+  const FailureView& view = net.failure_view();
+  const NodeId n = net.node_count();
+  const std::uint64_t pool =
+      failed ? view.failed_node_count()
+             : static_cast<std::uint64_t>(n) - view.failed_node_count();
+  SORN_ASSERT(pool > 0, "no eligible node for stochastic fault");
+  std::uint64_t k = rng_.next_below(pool);
+  for (NodeId i = 0; i < n; ++i) {
+    if (view.is_node_failed(i) != failed) continue;
+    if (k == 0) return i;
+    --k;
+  }
+  SORN_ASSERT(false, "stochastic node pick out of sync with failure view");
+  return 0;
+}
+
+void FaultInjector::pick_circuit(const SlottedNetwork& net, bool failed,
+                                 NodeId* src, NodeId* dst) {
+  const FailureView& view = net.failure_view();
+  const NodeId n = net.node_count();
+  const std::uint64_t circuits = static_cast<std::uint64_t>(n) *
+                                 static_cast<std::uint64_t>(n - 1);
+  const std::uint64_t pool = failed
+                                 ? view.failed_circuit_count()
+                                 : circuits - view.failed_circuit_count();
+  SORN_ASSERT(pool > 0, "no eligible circuit for stochastic fault");
+  std::uint64_t k = rng_.next_below(pool);
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId d = 0; d < n; ++d) {
+      if (s == d) continue;
+      if (view.is_circuit_failed(s, d) != failed) continue;
+      if (k == 0) {
+        *src = s;
+        *dst = d;
+        return;
+      }
+      --k;
+    }
+  }
+  SORN_ASSERT(false, "stochastic circuit pick out of sync with failure view");
+}
+
+void FaultInjector::apply_stochastic(SlottedNetwork& net) {
+  const FailureView& view = net.failure_view();
+  const auto n = static_cast<double>(net.node_count());
+  double node_fail_rate = 0.0, node_heal_rate = 0.0;
+  double circuit_fail_rate = 0.0, circuit_heal_rate = 0.0;
+  if (opt_.node_mtbf_slots > 0) {
+    const auto failed = static_cast<double>(view.failed_node_count());
+    node_fail_rate = (n - failed) / opt_.node_mtbf_slots;
+    node_heal_rate = failed / opt_.node_mttr_slots;
+  }
+  if (opt_.circuit_mtbf_slots > 0) {
+    const double circuits = n * (n - 1.0);
+    const auto failed = static_cast<double>(view.failed_circuit_count());
+    circuit_fail_rate = (circuits - failed) / opt_.circuit_mtbf_slots;
+    circuit_heal_rate = failed / opt_.circuit_mttr_slots;
+  }
+  const double total = node_fail_rate + node_heal_rate + circuit_fail_rate +
+                       circuit_heal_rate;
+  if (total <= 0.0) return;
+  double r = rng_.next_double() * total;
+  const Slot now = net.now();
+  if (r < node_fail_rate) {
+    if (net.fail_node(pick_node(net, /*failed=*/false))) {
+      ++stochastic_failures_;
+      note_applied(now);
+    }
+    return;
+  }
+  r -= node_fail_rate;
+  if (r < node_heal_rate) {
+    if (net.heal_node(pick_node(net, /*failed=*/true))) {
+      ++stochastic_heals_;
+      note_applied(now);
+    }
+    return;
+  }
+  r -= node_heal_rate;
+  NodeId src = 0, dst = 0;
+  if (r < circuit_fail_rate) {
+    pick_circuit(net, /*failed=*/false, &src, &dst);
+    if (net.fail_circuit(src, dst)) {
+      ++stochastic_failures_;
+      note_applied(now);
+    }
+    return;
+  }
+  pick_circuit(net, /*failed=*/true, &src, &dst);
+  if (net.heal_circuit(src, dst)) {
+    ++stochastic_heals_;
+    note_applied(now);
+  }
+}
+
+void FaultInjector::tick(SlottedNetwork& net) {
+  // All fault RNG and fail/heal mutation happens here, between slots on
+  // the coordinating thread — that is what keeps --threads N runs
+  // byte-identical under stochastic fault injection.
+  SORN_ASSERT(!net.in_parallel_sweep(), "fault tick during parallel sweep");
+  const Slot now = net.now();
+  bool changed = false;
+  const std::vector<FaultEvent>& events = script_.events();
+  while (next_event_ < events.size() && events[next_event_].slot <= now) {
+    const FaultEvent& ev = events[next_event_++];
+    if (apply(net, ev)) {
+      ++scripted_applied_;
+      note_applied(now);
+      changed = true;
+    }
+  }
+  if (!stochastic()) return;
+  // Transition rates change with the failure state; the exponential is
+  // memoryless, so redrawing the pending transition after any state
+  // change keeps the model exact.
+  if (pending_slot_ == kNone || changed) schedule_next(net, now);
+  while (pending_slot_ != kNone && pending_slot_ <= now) {
+    apply_stochastic(net);
+    schedule_next(net, now);
+  }
+}
+
+}  // namespace sorn

@@ -65,6 +65,12 @@ std::string run_to_json(const SimMetrics& metrics, const Telemetry* telemetry,
       .field("dropped_cells", metrics.dropped_cells())
       .field("completed_flows", metrics.completed_flows())
       .field("open_flows", metrics.open_flows())
+      .field("retransmitted_cells", metrics.retransmitted_cells())
+      .field("retransmit_events", metrics.retransmit_events())
+      .field("duplicate_cells", metrics.duplicate_cells())
+      .field("stalled_flow_slots", metrics.stalled_flow_slots())
+      .field("recovered_flows", metrics.recovered_flows())
+      .field("mean_recovery_slots", metrics.mean_recovery_slots())
       .field("mean_hops", metrics.mean_hops());
   if (options.nodes > 0) {
     w.field("delivered_per_slot",

@@ -9,6 +9,7 @@ Telemetry::Telemetry(TelemetryOptions options) {
   c_cells_dropped_ = registry_.counter("sim.cells_dropped");
   c_reconfigures_ = registry_.counter("sim.reconfigures");
   c_failures_ = registry_.counter("sim.failures");
+  c_retransmits_ = registry_.counter("sim.retransmits");
 }
 
 }  // namespace sorn

@@ -89,6 +89,13 @@ class Telemetry {
   void on_circuit_heal(Slot slot, NodeId src, NodeId dst) {
     tracer_.circuit_heal(slot, src, dst);
   }
+  // One stall-detector firing: `cells` undelivered cells of `flow` were
+  // re-admitted on backoff round `attempt`.
+  void on_retransmit(Slot slot, std::uint64_t flow, std::uint64_t cells,
+                     std::uint32_t attempt) {
+    c_retransmits_->inc();
+    tracer_.retransmit(slot, flow, cells, attempt);
+  }
 
  private:
   CounterRegistry registry_;
@@ -99,6 +106,7 @@ class Telemetry {
   Counter* c_cells_dropped_;
   Counter* c_reconfigures_;
   Counter* c_failures_;
+  Counter* c_retransmits_;
 };
 
 }  // namespace sorn

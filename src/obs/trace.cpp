@@ -95,6 +95,17 @@ void Tracer::circuit_heal(Slot slot, NodeId src, NodeId dst) {
   sink_->write(w.str());
 }
 
+void Tracer::retransmit(Slot slot, std::uint64_t flow, std::uint64_t cells,
+                        std::uint32_t attempt) {
+  if (!enabled()) return;
+  JsonWriter w = event("retransmit", slot);
+  w.field("flow", flow)
+      .field("cells", cells)
+      .field("attempt", static_cast<std::int64_t>(attempt))
+      .end_object();
+  sink_->write(w.str());
+}
+
 void Tracer::replan(Slot slot, std::string_view reason, double macro_change,
                     double locality_estimate, double planned_locality,
                     int cliques, double q, std::uint64_t replans) {

@@ -86,6 +86,10 @@ class Tracer {
   void node_heal(Slot slot, NodeId node);
   void circuit_fail(Slot slot, NodeId src, NodeId dst);
   void circuit_heal(Slot slot, NodeId src, NodeId dst);
+  // The stall detector re-admitted `cells` undelivered cells of `flow`
+  // (backoff round `attempt`, 1-based).
+  void retransmit(Slot slot, std::uint64_t flow, std::uint64_t cells,
+                  std::uint32_t attempt);
 
   // ---- Control-plane events ----
   // A re-plan decision. reason is one of "first_observation", "threshold"

@@ -1,0 +1,129 @@
+// Shared failure state: which nodes and directed circuits are down.
+//
+// One FailureView is owned by the SlottedNetwork (the data plane consults
+// it on every transmit) and borrowed by routers (to keep failed
+// intermediates out of load-balancing spray) and by the control plane (to
+// mask dead nodes out of clique planning and to trigger failure re-plans).
+// It sits in the routing layer because routers are the lowest layer that
+// must read it; everything above borrows a const pointer.
+//
+// Semantics match the simulator's outage model: a failed node neither
+// transmits nor receives on any circuit; a failed circuit disables one
+// directed virtual edge. Cells already queued toward a failed element stay
+// queued and resume on heal — failures never drop cells by themselves.
+//
+// Mutators are idempotent and return whether the state actually changed,
+// so callers (telemetry, fault injectors) can suppress duplicate events.
+// version() increments on every real change; consumers that cache derived
+// state (the control plane's "have I planned around this failure set yet")
+// compare versions instead of diffing bitmaps.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/types.h"
+
+namespace sorn {
+
+class FailureView {
+ public:
+  FailureView() = default;
+  explicit FailureView(NodeId nodes)
+      : n_(nodes),
+        failed_nodes_(static_cast<std::size_t>(nodes), 0),
+        failed_circuits_(static_cast<std::size_t>(nodes) *
+                             static_cast<std::size_t>(nodes),
+                         0) {
+    SORN_ASSERT(nodes >= 0, "node count must be nonnegative");
+  }
+
+  NodeId node_count() const { return n_; }
+
+  // ---- Hot-path queries ----
+  bool any_failures() const {
+    return failed_node_count_ + failed_circuit_count_ > 0;
+  }
+  bool is_node_failed(NodeId node) const {
+    return failed_nodes_[static_cast<std::size_t>(node)] != 0;
+  }
+  bool is_circuit_failed(NodeId src, NodeId dst) const {
+    return failed_circuits_[edge_index(src, dst)] != 0;
+  }
+  // True when a cell can actually cross src -> dst this slot: neither
+  // endpoint is down and the directed circuit is up.
+  bool usable(NodeId src, NodeId dst) const {
+    return failed_nodes_[static_cast<std::size_t>(src)] == 0 &&
+           failed_nodes_[static_cast<std::size_t>(dst)] == 0 &&
+           failed_circuits_[edge_index(src, dst)] == 0;
+  }
+
+  std::uint64_t failed_node_count() const { return failed_node_count_; }
+  std::uint64_t failed_circuit_count() const { return failed_circuit_count_; }
+  // Monotonic change counter; bumps once per state-changing mutation.
+  std::uint64_t version() const { return version_; }
+
+  // ---- Mutators (idempotent; return true when state changed) ----
+  bool fail_node(NodeId node) {
+    std::uint8_t& f = failed_nodes_[static_cast<std::size_t>(node)];
+    if (f != 0) return false;
+    f = 1;
+    ++failed_node_count_;
+    ++version_;
+    return true;
+  }
+  bool heal_node(NodeId node) {
+    std::uint8_t& f = failed_nodes_[static_cast<std::size_t>(node)];
+    if (f == 0) return false;
+    f = 0;
+    --failed_node_count_;
+    ++version_;
+    return true;
+  }
+  bool fail_circuit(NodeId src, NodeId dst) {
+    std::uint8_t& f = failed_circuits_[edge_index(src, dst)];
+    if (f != 0) return false;
+    f = 1;
+    ++failed_circuit_count_;
+    ++version_;
+    return true;
+  }
+  bool heal_circuit(NodeId src, NodeId dst) {
+    std::uint8_t& f = failed_circuits_[edge_index(src, dst)];
+    if (f == 0) return false;
+    f = 0;
+    --failed_circuit_count_;
+    ++version_;
+    return true;
+  }
+
+  // Heal everything at once; returns the number of entities healed.
+  std::uint64_t heal_all() {
+    const std::uint64_t healed = failed_node_count_ + failed_circuit_count_;
+    if (healed == 0) return 0;
+    std::fill(failed_nodes_.begin(), failed_nodes_.end(), std::uint8_t{0});
+    std::fill(failed_circuits_.begin(), failed_circuits_.end(),
+              std::uint8_t{0});
+    failed_node_count_ = 0;
+    failed_circuit_count_ = 0;
+    ++version_;
+    return healed;
+  }
+
+ private:
+  std::size_t edge_index(NodeId src, NodeId dst) const {
+    return static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(dst);
+  }
+
+  NodeId n_ = 0;
+  std::vector<std::uint8_t> failed_nodes_;
+  std::vector<std::uint8_t> failed_circuits_;
+  std::uint64_t failed_node_count_ = 0;
+  std::uint64_t failed_circuit_count_ = 0;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace sorn

@@ -6,6 +6,7 @@
 // the defining property of the (semi-)oblivious designs studied here.
 #pragma once
 
+#include "routing/failure_view.h"
 #include "routing/path.h"
 #include "util/rng.h"
 #include "util/time.h"
@@ -32,6 +33,25 @@ class Router {
 
   // Upper bound on hop_count() of any returned path.
   virtual int max_hops() const = 0;
+
+  // ---- Failure awareness ----
+  // Borrow the network's failure state: a router with a view attached
+  // keeps failed intermediates out of its load-balancing spray and detours
+  // around staged next hops that are down, falling back to the oblivious
+  // choice only when no healthy alternative exists. With no view attached
+  // (the default) routing is exactly the legacy oblivious behavior —
+  // including its RNG consumption, so seeded runs stay byte-identical.
+  void set_failure_view(const FailureView* view) { failures_ = view; }
+  const FailureView* failure_view() const { return failures_; }
+
+ protected:
+  // True when there is something to route around; routers gate the
+  // failure-aware code path on this so the healthy fast path is unchanged.
+  bool avoid_failures() const {
+    return failures_ != nullptr && failures_->any_failures();
+  }
+
+  const FailureView* failures_ = nullptr;
 };
 
 }  // namespace sorn

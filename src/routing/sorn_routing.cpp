@@ -4,6 +4,13 @@
 
 namespace sorn {
 
+namespace {
+
+// Bounded rejection for failure-aware random picks (see vlb.cpp).
+constexpr int kMaxRandomTries = 64;
+
+}  // namespace
+
 SornRouter::SornRouter(const CircuitSchedule* schedule,
                        const CliqueAssignment* cliques, LbMode mode)
     : schedule_(schedule), cliques_(cliques), mode_(mode) {
@@ -17,26 +24,56 @@ NodeId SornRouter::pick_intra_intermediate(NodeId src, Slot now,
                                            Rng& rng) const {
   const CliqueId c = cliques_->clique_of(src);
   if (cliques_->clique_size(c) < 2) return src;  // singleton: no intra hop
+  const bool avoid = avoid_failures();
   if (mode_ == LbMode::kFirstAvailable) {
     for (Slot t = now; t < now + schedule_->period(); ++t) {
       if (schedule_->kind_at(t) != SlotKind::kIntra) continue;
       const NodeId peer = schedule_->dst_of(src, t);
-      if (peer != src) return peer;
+      if (peer == src) continue;
+      if (avoid && !failures_->usable(src, peer)) continue;
+      return peer;
     }
-    return src;  // no intra slots in the schedule
+    // No (healthy) intra link: collapse to the direct path rather than
+    // spraying into a dead intermediate.
+    return src;
   }
   const auto& members = cliques_->members(c);
-  NodeId peer = src;
-  do {
-    peer = members[static_cast<std::size_t>(
-        rng.next_below(members.size()))];
-  } while (peer == src);
-  return peer;
+  if (!avoid) {
+    NodeId peer = src;
+    do {
+      peer = members[static_cast<std::size_t>(
+          rng.next_below(members.size()))];
+    } while (peer == src);
+    return peer;
+  }
+  for (int tries = 0; tries < kMaxRandomTries; ++tries) {
+    const NodeId peer =
+        members[static_cast<std::size_t>(rng.next_below(members.size()))];
+    if (peer == src) continue;
+    if (!failures_->usable(src, peer)) continue;
+    return peer;
+  }
+  return src;  // whole clique looks down: skip the load-balancing hop
 }
 
 NodeId SornRouter::pick_landing_node(NodeId from, CliqueId target, Slot now,
                                      Rng& rng) const {
+  const bool avoid = avoid_failures();
   if (mode_ == LbMode::kFirstAvailable) {
+    if (avoid) {
+      // First pass: the next inter circuit whose landing node (and the
+      // circuit itself) is up.
+      for (Slot t = now; t < now + schedule_->period(); ++t) {
+        if (schedule_->kind_at(t) != SlotKind::kInter) continue;
+        const NodeId peer = schedule_->dst_of(from, t);
+        if (peer == from || cliques_->clique_of(peer) != target) continue;
+        if (!failures_->usable(from, peer)) continue;
+        return peer;
+      }
+      // Every inter circuit toward the target clique is down: fall through
+      // to the oblivious pick so the cell queues behind the outage (and
+      // resumes on heal) instead of asserting.
+    }
     for (Slot t = now; t < now + schedule_->period(); ++t) {
       if (schedule_->kind_at(t) != SlotKind::kInter) continue;
       const NodeId peer = schedule_->dst_of(from, t);
@@ -45,6 +82,13 @@ NodeId SornRouter::pick_landing_node(NodeId from, CliqueId target, Slot now,
     SORN_ASSERT(false, "no inter-clique circuit to the target clique");
   }
   const auto& members = cliques_->members(target);
+  if (avoid) {
+    for (int tries = 0; tries < kMaxRandomTries; ++tries) {
+      const NodeId peer =
+          members[static_cast<std::size_t>(rng.next_below(members.size()))];
+      if (failures_->usable(from, peer)) return peer;
+    }
+  }
   return members[static_cast<std::size_t>(rng.next_below(members.size()))];
 }
 

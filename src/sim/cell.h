@@ -19,6 +19,9 @@ constexpr FlowId kNoFlow = ~FlowId{0};
 struct Cell {
   FlowId flow = kNoFlow;
   Path path;
+  // Position of this cell within its flow (0-based). Lets the receiver
+  // deduplicate retransmitted copies; always 0 for anonymous cells.
+  std::uint32_t seq = 0;
   // Index into path of the node currently buffering the cell.
   std::int32_t hop = 0;
   // Slot at which the cell entered the source queue.

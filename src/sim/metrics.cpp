@@ -24,6 +24,10 @@ void SimMetrics::on_inject(const Cell& cell, std::uint64_t flow_cells,
     it->second.cells_remaining = flow_cells;
     it->second.bytes = flow_bytes;
     it->second.flow_class = flow_class;
+    it->second.src = cell.path.src();
+    it->second.dst = cell.path.dst();
+    it->second.delivered.assign(static_cast<std::size_t>(flow_cells), false);
+    it->second.last_progress_slot = cell.inject_slot;
   }
 }
 
@@ -37,19 +41,79 @@ void SimMetrics::on_deliver(const Cell& cell, Slot now) {
   cell_latency_ps_.add(static_cast<double>(latency));
   if (cell.flow == kNoFlow) return;
   const auto it = open_flows_.find(cell.flow);
-  if (it == open_flows_.end()) return;
-  SORN_ASSERT(it->second.cells_remaining > 0, "flow over-delivered");
-  if (--it->second.cells_remaining == 0) {
+  if (it == open_flows_.end()) {
+    // A retransmitted copy arriving after its flow already completed.
+    ++duplicate_cells_;
+    return;
+  }
+  FlowRecord& rec = it->second;
+  if (cell.seq < rec.delivered.size()) {
+    if (rec.delivered[cell.seq]) {
+      // The original and a retransmission both made it; keep the first.
+      ++duplicate_cells_;
+      return;
+    }
+    rec.delivered[cell.seq] = true;
+  }
+  rec.last_progress_slot = now;
+  SORN_ASSERT(rec.cells_remaining > 0, "flow over-delivered");
+  if (--rec.cells_remaining == 0) {
     const Picoseconds fct =
-        (now - it->second.inject_slot) * slot_duration_ +
+        (now - rec.inject_slot) * slot_duration_ +
         static_cast<Picoseconds>(hops) * propagation_per_hop_;
     fct_ps_.add(static_cast<double>(fct));
-    fct_by_class_[it->second.flow_class].add(static_cast<double>(fct));
+    fct_by_class_[rec.flow_class].add(static_cast<double>(fct));
     ++completed_flows_;
+    if (rec.stalled) {
+      ++recovered_flows_;
+      recovery_slots_total_ +=
+          static_cast<std::uint64_t>(now - rec.first_stall_slot);
+    }
     if (tracer_ != nullptr)
-      tracer_->flow_complete(now, cell.flow, fct, it->second.flow_class);
+      tracer_->flow_complete(now, cell.flow, fct, rec.flow_class);
     open_flows_.erase(it);
   }
+}
+
+std::vector<SimMetrics::StalledFlow> SimMetrics::collect_retransmits(
+    Slot now, Slot timeout_slots, std::uint32_t max_attempts) {
+  std::vector<StalledFlow> out;
+  if (timeout_slots <= 0) return out;
+  for (auto& [flow, rec] : open_flows_) {
+    if (rec.attempts >= max_attempts) continue;
+    const Slot wait = timeout_slots
+                      << std::min<std::uint32_t>(rec.attempts, 30);
+    if (now - rec.last_progress_slot < wait) continue;
+    StalledFlow sf;
+    sf.flow = flow;
+    sf.src = rec.src;
+    sf.dst = rec.dst;
+    sf.flow_class = rec.flow_class;
+    for (std::size_t s = 0; s < rec.delivered.size(); ++s) {
+      if (!rec.delivered[s])
+        sf.missing.push_back(static_cast<std::uint32_t>(s));
+    }
+    if (sf.missing.empty()) continue;  // all copies in flight already landed
+    sf.attempt = ++rec.attempts;
+    stalled_flow_slots_ +=
+        static_cast<std::uint64_t>(now - rec.last_progress_slot);
+    if (!rec.stalled) {
+      rec.stalled = true;
+      rec.first_stall_slot = rec.last_progress_slot;
+    }
+    // Restart the clock: the next round waits timeout * 2^attempts from
+    // this re-admission.
+    rec.last_progress_slot = now;
+    ++retransmit_events_;
+    out.push_back(std::move(sf));
+  }
+  // open_flows_ iteration order is unspecified; sort so re-admission (and
+  // the RNG draws it triggers) is deterministic across platforms and runs.
+  std::sort(out.begin(), out.end(),
+            [](const StalledFlow& a, const StalledFlow& b) {
+              return a.flow < b.flow;
+            });
+  return out;
 }
 
 const Percentiles& SimMetrics::fct_ps_class(int flow_class) const {
@@ -74,6 +138,12 @@ void SimMetrics::reset_counters() {
   slots_run_ = 0;
   completed_flows_ = 0;
   delivered_hops_ = 0;
+  retransmitted_cells_ = 0;
+  retransmit_events_ = 0;
+  duplicate_cells_ = 0;
+  stalled_flow_slots_ = 0;
+  recovered_flows_ = 0;
+  recovery_slots_total_ = 0;
   cell_latency_ps_ = Percentiles();
   fct_ps_ = Percentiles();
   fct_by_class_.clear();

@@ -20,10 +20,39 @@ struct FlowRecord {
   // Caller-defined class (e.g. intra/inter-clique, short/bulk) used to
   // split FCT percentiles.
   int flow_class = 0;
+
+  // ---- End-host retransmission state ----
+  NodeId src = 0;
+  NodeId dst = 0;
+  // Per-seq delivery marks: lets the receiver drop duplicate copies when
+  // both an original and its retransmission eventually arrive (outage
+  // semantics never lose the original).
+  std::vector<bool> delivered;
+  // Slot of the last first-copy delivery (or the last retransmission
+  // re-admission); the stall detector compares against this.
+  Slot last_progress_slot = 0;
+  // Slot progress stopped before the first stall was detected; time-to-
+  // recover for the flow is completion - first_stall_slot.
+  Slot first_stall_slot = 0;
+  bool stalled = false;
+  // Retransmission rounds already spent on this flow (exponential backoff
+  // doubles the timeout each round).
+  std::uint32_t attempts = 0;
 };
 
 class SimMetrics {
  public:
+  // A flow the stall detector flagged: its undelivered cell seqs, for the
+  // source to re-admit.
+  struct StalledFlow {
+    FlowId flow = kNoFlow;
+    NodeId src = 0;
+    NodeId dst = 0;
+    int flow_class = 0;
+    std::uint32_t attempt = 0;  // 1 on the first retransmission
+    std::vector<std::uint32_t> missing;
+  };
+
   // slot_duration and per-hop propagation convert slot counts to wall time.
   SimMetrics(Picoseconds slot_duration, Picoseconds propagation_per_hop);
 
@@ -33,6 +62,22 @@ class SimMetrics {
   void on_deliver(const Cell& cell, Slot now);
   void on_drop() { ++dropped_cells_; }
   void on_slot(std::uint64_t queued_cells);
+  // A retransmitted copy entered the source queue: counts as an injected
+  // cell (so the injected = delivered + dropped + in-flight invariant
+  // holds) and is tallied separately.
+  void on_retransmit_cell() {
+    ++injected_cells_;
+    ++retransmitted_cells_;
+  }
+
+  // Scan open flows for stalls: a flow whose last progress is at least
+  // timeout * 2^attempts slots old (and under max_attempts rounds) is
+  // flagged, its backoff advanced, and its missing cell seqs returned,
+  // sorted by flow id so re-admission order is deterministic. Mutates the
+  // flow records (attempts, stall bookkeeping); call once per check
+  // interval, on the coordinating thread.
+  std::vector<StalledFlow> collect_retransmits(Slot now, Slot timeout_slots,
+                                               std::uint32_t max_attempts);
 
   std::uint64_t injected_cells() const { return injected_cells_; }
   std::uint64_t delivered_cells() const { return delivered_cells_; }
@@ -42,6 +87,27 @@ class SimMetrics {
   std::uint64_t completed_flows() const { return completed_flows_; }
   // Flows injected but not yet fully delivered.
   std::uint64_t open_flows() const { return open_flows_.size(); }
+
+  // ---- Retransmission / recovery counters ----
+  // Cells re-admitted by the retransmission policy (subset of injected).
+  std::uint64_t retransmitted_cells() const { return retransmitted_cells_; }
+  // Stall-detector firings (one per flow per backoff round).
+  std::uint64_t retransmit_events() const { return retransmit_events_; }
+  // Delivered copies discarded by receiver dedup (also counted in
+  // delivered_cells — both sides of the invariant see them).
+  std::uint64_t duplicate_cells() const { return duplicate_cells_; }
+  // Sum over stall detections of slots-since-last-progress.
+  std::uint64_t stalled_flow_slots() const { return stalled_flow_slots_; }
+  // Flows that stalled at least once and later completed.
+  std::uint64_t recovered_flows() const { return recovered_flows_; }
+  // Sum over recovered flows of completion - first_stall (slots).
+  std::uint64_t recovery_slots_total() const { return recovery_slots_total_; }
+  double mean_recovery_slots() const {
+    return recovered_flows_ == 0
+               ? 0.0
+               : static_cast<double>(recovery_slots_total_) /
+                     static_cast<double>(recovered_flows_);
+  }
 
   // Average hops each delivered cell took (the bandwidth-tax measure).
   double mean_hops() const;
@@ -81,6 +147,12 @@ class SimMetrics {
   std::uint64_t slots_run_ = 0;
   std::uint64_t completed_flows_ = 0;
   std::uint64_t delivered_hops_ = 0;
+  std::uint64_t retransmitted_cells_ = 0;
+  std::uint64_t retransmit_events_ = 0;
+  std::uint64_t duplicate_cells_ = 0;
+  std::uint64_t stalled_flow_slots_ = 0;
+  std::uint64_t recovered_flows_ = 0;
+  std::uint64_t recovery_slots_total_ = 0;
 
   Percentiles cell_latency_ps_;
   Percentiles fct_ps_;

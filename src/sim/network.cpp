@@ -15,10 +15,7 @@ SlottedNetwork::SlottedNetwork(const CircuitSchedule* schedule,
       voqs_(n_),
       metrics_(config.slot_duration, config.propagation_per_hop),
       rng_(config.seed),
-      failed_nodes_(static_cast<std::size_t>(n_), false),
-      failed_circuits_(
-          static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_),
-          false) {
+      failures_(n_) {
   SORN_ASSERT(schedule_ != nullptr && router_ != nullptr,
               "network needs a schedule and a router");
   SORN_ASSERT(config_.lanes >= 1, "need at least one uplink lane");
@@ -44,6 +41,7 @@ void SlottedNetwork::inject_flow_with(const Router& router, FlowId flow,
   for (std::uint64_t c = 0; c < cells; ++c) {
     Cell cell;
     cell.flow = flow;
+    cell.seq = static_cast<std::uint32_t>(c);
     // Stagger the routing reference slot across the flow's cells: cell c
     // will leave the source no earlier than c/lanes slots from now, and
     // "first available link" load balancing must be evaluated at each
@@ -80,12 +78,7 @@ void SlottedNetwork::drop(const Cell& cell) {
 }
 
 void SlottedNetwork::transmit(NodeId node, NodeId peer) {
-  if (any_failures_ &&
-      (failed_nodes_[static_cast<std::size_t>(node)] ||
-       failed_nodes_[static_cast<std::size_t>(peer)] ||
-       failed_circuits_[edge_index(node, peer)])) {
-    return;
-  }
+  if (failures_.any_failures() && !failures_.usable(node, peer)) return;
   const Cell* head = voqs_.peek(node, peer, now_);
   if (head == nullptr) return;
   Cell cell = *head;
@@ -144,12 +137,8 @@ void SlottedNetwork::step_lane_parallel(const Matching& m) {
           for (NodeId i = range.begin; i < range.end; ++i) {
             const NodeId peer = m.dst_of(i);
             if (peer == i) continue;
-            if (any_failures_ &&
-                (failed_nodes_[static_cast<std::size_t>(i)] ||
-                 failed_nodes_[static_cast<std::size_t>(peer)] ||
-                 failed_circuits_[edge_index(i, peer)])) {
+            if (failures_.any_failures() && !failures_.usable(i, peer))
               continue;
-            }
             const Cell* head = voqs_.peek(i, peer, now_);
             if (head == nullptr) continue;
             StagedEvent ev;
@@ -269,26 +258,72 @@ void SlottedNetwork::set_telemetry(Telemetry* telemetry) {
   metrics_.set_tracer(telemetry != nullptr ? &telemetry->tracer() : nullptr);
 }
 
-void SlottedNetwork::fail_node(NodeId node) {
-  failed_nodes_[static_cast<std::size_t>(node)] = true;
-  any_failures_ = true;
+bool SlottedNetwork::fail_node(NodeId node) {
+  if (!failures_.fail_node(node)) return false;
   if (telemetry_ != nullptr) telemetry_->on_node_fail(now_, node);
+  return true;
 }
 
-void SlottedNetwork::heal_node(NodeId node) {
-  failed_nodes_[static_cast<std::size_t>(node)] = false;
+bool SlottedNetwork::heal_node(NodeId node) {
+  if (!failures_.heal_node(node)) return false;
   if (telemetry_ != nullptr) telemetry_->on_node_heal(now_, node);
+  return true;
 }
 
-void SlottedNetwork::fail_circuit(NodeId src, NodeId dst) {
-  failed_circuits_[edge_index(src, dst)] = true;
-  any_failures_ = true;
+bool SlottedNetwork::fail_circuit(NodeId src, NodeId dst) {
+  if (!failures_.fail_circuit(src, dst)) return false;
   if (telemetry_ != nullptr) telemetry_->on_circuit_fail(now_, src, dst);
+  return true;
 }
 
-void SlottedNetwork::heal_circuit(NodeId src, NodeId dst) {
-  failed_circuits_[edge_index(src, dst)] = false;
+bool SlottedNetwork::heal_circuit(NodeId src, NodeId dst) {
+  if (!failures_.heal_circuit(src, dst)) return false;
   if (telemetry_ != nullptr) telemetry_->on_circuit_heal(now_, src, dst);
+  return true;
+}
+
+std::uint64_t SlottedNetwork::heal_all() {
+  std::uint64_t healed = 0;
+  for (NodeId i = 0; i < n_; ++i)
+    if (failures_.is_node_failed(i)) healed += heal_node(i) ? 1 : 0;
+  if (failures_.failed_circuit_count() > 0) {
+    for (NodeId s = 0; s < n_; ++s)
+      for (NodeId d = 0; d < n_; ++d)
+        if (failures_.is_circuit_failed(s, d))
+          healed += heal_circuit(s, d) ? 1 : 0;
+  }
+  return healed;
+}
+
+std::uint64_t SlottedNetwork::retransmit_stalled(
+    const RetransmitPolicy& policy) {
+  if (policy.timeout_slots <= 0) return 0;
+  // Re-admission routes with rng_; a draw inside the parallel sweep would
+  // break cross-thread-count determinism (same contract as injection).
+  SORN_ASSERT(!in_parallel_sweep_, "retransmit during parallel sweep");
+  const std::vector<SimMetrics::StalledFlow> stalled =
+      metrics_.collect_retransmits(now_, policy.timeout_slots,
+                                   policy.max_attempts);
+  std::uint64_t cells = 0;
+  for (const SimMetrics::StalledFlow& sf : stalled) {
+    for (const std::uint32_t seq : sf.missing) {
+      Cell cell;
+      cell.flow = sf.flow;
+      cell.seq = seq;
+      cell.path = router_->route(sf.src, sf.dst, now_, rng_);
+      cell.hop = 0;
+      cell.inject_slot = now_;  // copy latency; FCT uses the flow record
+      cell.ready_slot = now_;
+      metrics_.on_retransmit_cell();
+      ++cells;
+      if (!voqs_.try_push(cell, config_.max_queue_cells)) drop(cell);
+    }
+    if (telemetry_ != nullptr) {
+      telemetry_->on_retransmit(now_, sf.flow, sf.missing.size(),
+                                sf.attempt);
+    }
+  }
+  return cells;
 }
 
 }  // namespace sorn

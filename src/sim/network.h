@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "obs/telemetry.h"
+#include "routing/failure_view.h"
 #include "routing/router.h"
 #include "sim/cell.h"
 #include "sim/metrics.h"
@@ -91,14 +92,44 @@ class SlottedNetwork {
   // ---- Failure injection (paper Sec. 6, blast radius) ----
   // A failed node neither transmits nor receives; a failed circuit
   // disables one directed virtual edge. Cells whose next hop is failed
-  // stay queued (outage semantics) and resume after heal_*.
-  void fail_node(NodeId node);
-  void heal_node(NodeId node);
-  void fail_circuit(NodeId src, NodeId dst);
-  void heal_circuit(NodeId src, NodeId dst);
+  // stay queued (outage semantics) and resume after heal_*. Mutators are
+  // idempotent — repeated fail/heal of the same entity is a no-op and
+  // emits no duplicate telemetry; the return value reports whether the
+  // state actually changed.
+  bool fail_node(NodeId node);
+  bool heal_node(NodeId node);
+  bool fail_circuit(NodeId src, NodeId dst);
+  bool heal_circuit(NodeId src, NodeId dst);
+  // Heal every failed node and circuit (telemetry fires per entity);
+  // returns the number of entities healed.
+  std::uint64_t heal_all();
   bool is_failed(NodeId node) const {
-    return failed_nodes_[static_cast<std::size_t>(node)];
+    return failures_.is_node_failed(node);
   }
+  bool is_circuit_failed(NodeId src, NodeId dst) const {
+    return failures_.is_circuit_failed(src, dst);
+  }
+  // The live failure state; routers and the control plane borrow this
+  // (Router::set_failure_view, ControlPlane::set_failure_view) to route
+  // and plan around outages. Valid for the network's lifetime.
+  const FailureView& failure_view() const { return failures_; }
+
+  // ---- End-host retransmission ----
+  // A stalled flow (no delivery progress for timeout_slots * 2^attempts)
+  // has its undelivered cells re-admitted at the source, routed by the
+  // current router — which, if failure-aware, detours around the outage
+  // that stranded the originals. Duplicate copies are discarded at the
+  // receiver (Cell::seq), so FCT accounting stays exact. Call between
+  // slots from the coordinating thread; returns cells re-admitted.
+  struct RetransmitPolicy {
+    Slot timeout_slots = 0;  // 0 disables
+    std::uint32_t max_attempts = 8;
+  };
+  std::uint64_t retransmit_stalled(const RetransmitPolicy& policy);
+
+  // True while the parallel sweep is running; anything that draws rng_ or
+  // mutates shared state (injection, fault ticks) must see false.
+  bool in_parallel_sweep() const { return in_parallel_sweep_; }
 
   // Reset counters but keep queued cells and open-flow records (used to
   // exclude warmup; flows straddling the boundary still complete and are
@@ -132,10 +163,6 @@ class SlottedNetwork {
   void step_lane_parallel(const Matching& m);
   // Tail-drop accounting + telemetry for a cell that failed to enqueue.
   void drop(const Cell& cell);
-  std::size_t edge_index(NodeId src, NodeId dst) const {
-    return static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
-           static_cast<std::size_t>(dst);
-  }
 
   const CircuitSchedule* schedule_;
   const Router* router_;
@@ -146,9 +173,7 @@ class SlottedNetwork {
   SimMetrics metrics_;
   Rng rng_;
   FlowId next_anonymous_flow_ = 1ULL << 62;
-  std::vector<bool> failed_nodes_;
-  std::vector<bool> failed_circuits_;
-  bool any_failures_ = false;
+  FailureView failures_;
   Telemetry* telemetry_ = nullptr;
 
   // Parallel engine state. rng_ must never be drawn inside the parallel

@@ -1,5 +1,7 @@
 #include "sim/workload_driver.h"
 
+#include <algorithm>
+
 #include "util/assert.h"
 
 namespace sorn {
@@ -9,11 +11,31 @@ WorkloadDriver::WorkloadDriver(FlowArrivals* arrivals, Classifier classifier)
   SORN_ASSERT(arrivals_ != nullptr, "driver needs an arrival stream");
 }
 
+void WorkloadDriver::set_retransmit(RetransmitOptions options) {
+  SORN_ASSERT(options.timeout_slots >= 0, "timeout must be nonnegative");
+  retransmit_ = options;
+  retransmit_every_ = options.check_every > 0
+                          ? options.check_every
+                          : std::max<Slot>(1, options.timeout_slots / 4);
+}
+
+void WorkloadDriver::before_step(SlottedNetwork& network) {
+  const Slot now = network.now();
+  if (slot_hook_) slot_hook_(network, now);
+  if (retransmit_.timeout_slots > 0 && now % retransmit_every_ == 0) {
+    SlottedNetwork::RetransmitPolicy policy;
+    policy.timeout_slots = retransmit_.timeout_slots;
+    policy.max_attempts = retransmit_.max_attempts;
+    network.retransmit_stalled(policy);
+  }
+}
+
 void WorkloadDriver::run_until(SlottedNetwork& network, Picoseconds horizon,
                                Slot drain_slots) {
   const Picoseconds slot_ps = network.config().slot_duration;
   while (network.now() * slot_ps < horizon) {
     const Picoseconds slot_start = network.now() * slot_ps;
+    before_step(network);
     // Inject every flow that arrives before the end of this slot.
     for (;;) {
       if (!has_pending_) {
@@ -30,8 +52,15 @@ void WorkloadDriver::run_until(SlottedNetwork& network, Picoseconds horizon,
     }
     network.step();
   }
-  for (Slot s = 0; s < drain_slots && network.cells_in_flight() > 0; ++s)
+  const bool wait_on_flows = retransmit_.timeout_slots > 0;
+  for (Slot s = 0; s < drain_slots; ++s) {
+    if (network.cells_in_flight() == 0 &&
+        !(wait_on_flows && network.metrics().open_flows() > 0)) {
+      break;
+    }
+    before_step(network);
     network.step();
+  }
 }
 
 }  // namespace sorn

@@ -14,10 +14,31 @@ class WorkloadDriver {
  public:
   // Maps an arrival to a flow class for split FCT percentiles.
   using Classifier = std::function<int(const FlowArrival&)>;
+  // Called once per slot on the coordinating thread, before that slot's
+  // arrivals are injected and before step(). Fault injectors hook in here
+  // (FaultInjector::tick), keeping all fault RNG off the parallel sweep.
+  using SlotHook = std::function<void(SlottedNetwork&, Slot)>;
+
+  // End-host retransmission: when timeout_slots > 0, the driver checks
+  // every check_every slots for flows that made no delivery progress for
+  // timeout_slots * 2^attempts slots and re-admits their missing cells
+  // (SlottedNetwork::retransmit_stalled). The check keeps running through
+  // the drain phase, and the drain also waits on open flows — a flow whose
+  // every queued cell was tail-dropped has nothing in flight but is still
+  // completable by retransmission.
+  struct RetransmitOptions {
+    Slot timeout_slots = 0;  // 0 disables
+    std::uint32_t max_attempts = 8;
+    // 0 = timeout_slots / 4 (at least 1).
+    Slot check_every = 0;
+  };
 
   // arrivals must outlive the driver.
   explicit WorkloadDriver(FlowArrivals* arrivals,
                           Classifier classifier = nullptr);
+
+  void set_retransmit(RetransmitOptions options);
+  void set_slot_hook(SlotHook hook) { slot_hook_ = std::move(hook); }
 
   // Run the network until `horizon`; flows whose arrival time falls in a
   // slot are injected at that slot's start. Optionally keep running
@@ -29,8 +50,14 @@ class WorkloadDriver {
   std::uint64_t flows_injected() const { return flows_injected_; }
 
  private:
+  // Hook + retransmission work for one slot; called before network.step().
+  void before_step(SlottedNetwork& network);
+
   FlowArrivals* arrivals_;
   Classifier classifier_;
+  SlotHook slot_hook_;
+  RetransmitOptions retransmit_{};
+  Slot retransmit_every_ = 0;
   FlowArrival pending_{};
   bool has_pending_ = false;
   std::uint64_t flows_injected_ = 0;

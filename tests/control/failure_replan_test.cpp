@@ -1,0 +1,130 @@
+// Control-plane recovery: a change in the failure set triggers a re-plan
+// (traced with reason "failure"), failed nodes are masked out of the
+// demand the optimizer sees, and the reconfiguration manager hands the
+// failure view to every router generation it builds.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "control/control_plane.h"
+#include "obs/trace.h"
+#include "routing/failure_view.h"
+#include "routing/vlb.h"
+#include "sim/network.h"
+#include "topo/schedule_builder.h"
+#include "traffic/patterns.h"
+
+namespace sorn {
+namespace {
+
+ControlPlane::Options quiet_options() {
+  ControlPlane::Options opts;
+  opts.optimizer.candidate_nc = {4};
+  // Thresholds high enough that only the failure trigger can fire after
+  // the first plan.
+  opts.replan_threshold = 10.0;
+  opts.locality_degradation = 5.0;
+  return opts;
+}
+
+TEST(FailureReplanTest, FailureSetChangeTriggersReplanWithReason) {
+  const auto cliques = CliqueAssignment::contiguous(32, 4);
+  const TrafficMatrix tm = patterns::locality_mix(cliques, 0.7);
+  FailureView view(32);
+
+  ControlPlane cp(32, quiet_options());
+  cp.set_failure_view(&view);
+  Tracer tracer;
+  MemoryTraceSink sink;
+  tracer.set_sink(&sink);
+  cp.set_tracer(&tracer);
+
+  EXPECT_TRUE(cp.on_epoch(tm, 0));  // first observation
+  EXPECT_FALSE(cp.on_epoch(tm, 1));
+  EXPECT_EQ(cp.replans(), 1u);
+
+  view.fail_node(5);
+  EXPECT_TRUE(cp.on_epoch(tm, 2)) << "failure-set change must re-plan";
+  EXPECT_EQ(cp.replans(), 2u);
+  bool saw_failure_reason = false;
+  for (const std::string& line : sink.lines())
+    if (line.find("\"ev\":\"replan\"") != std::string::npos &&
+        line.find("\"reason\":\"failure\"") != std::string::npos)
+      saw_failure_reason = true;
+  EXPECT_TRUE(saw_failure_reason) << "replan must be traced as \"failure\"";
+
+  // Steady state with the failure in place: no further re-plans...
+  EXPECT_FALSE(cp.on_epoch(tm, 3));
+  // ...until the heal changes the set again.
+  view.heal_node(5);
+  EXPECT_TRUE(cp.on_epoch(tm, 4));
+  EXPECT_EQ(cp.replans(), 3u);
+}
+
+TEST(FailureReplanTest, WithoutViewFailureTriggerIsInert) {
+  const auto cliques = CliqueAssignment::contiguous(32, 4);
+  const TrafficMatrix tm = patterns::locality_mix(cliques, 0.7);
+  ControlPlane cp(32, quiet_options());
+  cp.on_epoch(tm, 0);
+  for (int e = 1; e < 5; ++e) EXPECT_FALSE(cp.on_epoch(tm, e));
+  EXPECT_EQ(cp.replans(), 1u);
+}
+
+TEST(FailureReplanTest, FailedNodesAreMaskedOutOfTheDemand) {
+  // A hot node dominates the matrix. After it fails, the re-plan must see
+  // zero demand for it — the plan's locality is computed over the masked
+  // matrix, so the hot row/column no longer shapes the cliques.
+  const auto cliques = CliqueAssignment::contiguous(32, 4);
+  TrafficMatrix tm = patterns::locality_mix(cliques, 0.7);
+  const NodeId hot = 3;
+  for (NodeId j = 0; j < 32; ++j) {
+    if (j == hot) continue;
+    tm.set(hot, j, tm.at(hot, j) + 100.0);
+    tm.set(j, hot, tm.at(j, hot) + 100.0);
+  }
+  FailureView view(32);
+
+  ControlPlane cp(32, quiet_options());
+  cp.set_failure_view(&view);
+  cp.on_epoch(tm, 0);
+  view.fail_node(hot);
+  ASSERT_TRUE(cp.on_epoch(tm, 1));
+  // The plan is still a valid full partition (masking changes the demand,
+  // not the node set — a healed node must have a clique to return to).
+  EXPECT_EQ(cp.last_plan().cliques.node_count(), 32);
+  EXPECT_EQ(cp.last_plan().cliques.clique_count(), 4);
+}
+
+TEST(FailureReplanTest, ReconfigHandsViewToEveryRouterGeneration) {
+  const CircuitSchedule rr = ScheduleBuilder::round_robin(32);
+  const VlbRouter vlb(&rr, LbMode::kRandom);
+  NetworkConfig ncfg;
+  ncfg.propagation_per_hop = 0;
+  SlottedNetwork net(&rr, &vlb, ncfg);
+
+  FailureView view(32);
+  ReconfigManager::Options ropts;
+  ropts.update_delay_slots = 0;
+  ReconfigManager reconfig(ropts);
+  reconfig.set_failure_view(&view);
+
+  SornPlan plan;
+  plan.cliques = CliqueAssignment::contiguous(32, 4);
+  plan.q = Rational{2, 1};
+  plan.locality_x = 0.7;
+  reconfig.request_swap(plan, /*now=*/0);
+  ASSERT_TRUE(reconfig.swap_pending());
+  ASSERT_TRUE(reconfig.tick(net, 0)) << "zero-delay swap applies at once";
+  ASSERT_NE(reconfig.router(), nullptr);
+  // Every generation's router is born failure-aware.
+  EXPECT_EQ(reconfig.router()->failure_view(), &view);
+
+  // The next generation too.
+  plan.cliques = CliqueAssignment::contiguous(32, 8);
+  reconfig.request_swap(plan, /*now=*/1);
+  ASSERT_TRUE(reconfig.tick(net, 1));
+  EXPECT_EQ(reconfig.router()->failure_view(), &view);
+}
+
+}  // namespace
+}  // namespace sorn

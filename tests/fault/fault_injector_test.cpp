@@ -1,0 +1,180 @@
+// Fault-injection harness: script grammar, scripted timeline application,
+// and the determinism of the stochastic MTBF/MTTR model.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/fault_injector.h"
+#include "routing/vlb.h"
+#include "sim/network.h"
+#include "topo/schedule_builder.h"
+
+namespace sorn {
+namespace {
+
+NetworkConfig fast_config() {
+  NetworkConfig c;
+  c.propagation_per_hop = 0;
+  return c;
+}
+
+TEST(FaultScriptTest, ParsesAllEventKindsAndSortsBySlot) {
+  const char* text =
+      "# blast at 100, heal later\n"
+      "200 heal-node 3\n"
+      "\n"
+      "100 fail-node 3\n"
+      "100 fail-circuit 1 5\n"
+      "250 heal-circuit 1 5\n";
+  FaultScript script;
+  std::string error;
+  ASSERT_TRUE(FaultScript::parse(text, &script, &error)) << error;
+  ASSERT_EQ(script.events().size(), 4u);
+  // Stable-sorted by slot; same-slot events keep file order.
+  EXPECT_EQ(script.events()[0].slot, 100);
+  EXPECT_EQ(script.events()[0].kind, FaultKind::kFailNode);
+  EXPECT_EQ(script.events()[0].a, 3);
+  EXPECT_EQ(script.events()[1].kind, FaultKind::kFailCircuit);
+  EXPECT_EQ(script.events()[1].a, 1);
+  EXPECT_EQ(script.events()[1].b, 5);
+  EXPECT_EQ(script.events()[2].slot, 200);
+  EXPECT_EQ(script.events()[2].kind, FaultKind::kHealNode);
+  EXPECT_EQ(script.events()[3].slot, 250);
+  EXPECT_EQ(script.events()[3].kind, FaultKind::kHealCircuit);
+}
+
+TEST(FaultScriptTest, RejectsMalformedLinesNamingTheLine) {
+  const struct {
+    const char* text;
+    const char* line;  // expected substring of the error
+  } cases[] = {
+      {"10 melt-node 3\n", "line 1"},          // unknown action
+      {"\n10 fail-node\n", "line 2"},          // missing argument
+      {"10 fail-node 3 4\n", "line 1"},        // extra argument
+      {"ten fail-node 3\n", "line 1"},         // non-numeric slot
+      {"-5 fail-node 3\n", "line 1"},          // negative slot
+      {"10 fail-circuit 2 2\n", "line 1"},     // degenerate circuit
+      {"10 fail-node 3x\n", "line 1"},         // trailing garbage
+  };
+  for (const auto& c : cases) {
+    FaultScript script;
+    std::string error;
+    EXPECT_FALSE(FaultScript::parse(c.text, &script, &error)) << c.text;
+    EXPECT_NE(error.find(c.line), std::string::npos)
+        << "error for \"" << c.text << "\" was: " << error;
+    EXPECT_TRUE(script.empty()) << "out must be untouched on failure";
+  }
+}
+
+TEST(FaultInjectorTest, ScriptedTimelineAppliesAtTheRightSlots) {
+  const CircuitSchedule s = ScheduleBuilder::round_robin(8);
+  const VlbRouter router(&s, LbMode::kFirstAvailable);
+  SlottedNetwork net(&s, &router, fast_config());
+
+  FaultScript script;
+  std::string error;
+  ASSERT_TRUE(FaultScript::parse(
+      "5 fail-node 2\n5 fail-circuit 0 4\n12 heal-node 2\n", &script,
+      &error))
+      << error;
+  FaultInjector injector(std::move(script));
+
+  for (Slot t = 0; t < 20; ++t) {
+    injector.tick(net);
+    if (t < 5) {
+      EXPECT_FALSE(net.is_failed(2)) << "slot " << t;
+    } else if (t < 12) {
+      EXPECT_TRUE(net.is_failed(2)) << "slot " << t;
+      EXPECT_TRUE(net.is_circuit_failed(0, 4)) << "slot " << t;
+    } else {
+      EXPECT_FALSE(net.is_failed(2)) << "slot " << t;
+      EXPECT_TRUE(net.is_circuit_failed(0, 4)) << "never healed";
+    }
+    net.step();
+  }
+  EXPECT_EQ(injector.scripted_applied(), 3u);
+  EXPECT_EQ(injector.first_fault_slot(), 5);
+  EXPECT_FALSE(injector.stochastic());
+}
+
+TEST(FaultInjectorTest, RedundantScriptedEventsAreSilentNoOps) {
+  const CircuitSchedule s = ScheduleBuilder::round_robin(4);
+  const VlbRouter router(&s, LbMode::kFirstAvailable);
+  SlottedNetwork net(&s, &router, fast_config());
+
+  FaultScript script;
+  std::string error;
+  ASSERT_TRUE(FaultScript::parse("1 fail-node 0\n2 fail-node 0\n", &script,
+                                 &error));
+  FaultInjector injector(std::move(script));
+  for (Slot t = 0; t < 5; ++t) {
+    injector.tick(net);
+    net.step();
+  }
+  // Only the first event changed state.
+  EXPECT_EQ(injector.scripted_applied(), 1u);
+  EXPECT_TRUE(net.is_failed(0));
+}
+
+// The stochastic model's timeline is a function of the injector seed
+// alone: two runs with the same seed produce the identical failure-state
+// trajectory, a different seed a different one.
+std::vector<std::pair<std::uint64_t, std::uint64_t>> stochastic_trajectory(
+    std::uint64_t seed) {
+  const CircuitSchedule s = ScheduleBuilder::round_robin(16);
+  const VlbRouter router(&s, LbMode::kFirstAvailable);
+  SlottedNetwork net(&s, &router, fast_config());
+  FaultInjectorOptions opts;
+  opts.node_mtbf_slots = 400.0;
+  opts.node_mttr_slots = 100.0;
+  opts.circuit_mtbf_slots = 40000.0;
+  opts.circuit_mttr_slots = 200.0;
+  opts.seed = seed;
+  FaultInjector injector(FaultScript{}, opts);
+  EXPECT_TRUE(injector.stochastic());
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> trajectory;
+  for (Slot t = 0; t < 4000; ++t) {
+    injector.tick(net);
+    trajectory.emplace_back(net.failure_view().failed_node_count(),
+                            net.failure_view().failed_circuit_count());
+    net.step();
+  }
+  // The MTBF/MTTR above make both directions near-certain in 4000 slots.
+  EXPECT_GT(injector.stochastic_failures(), 0u);
+  EXPECT_GT(injector.stochastic_heals(), 0u);
+  return trajectory;
+}
+
+TEST(FaultInjectorTest, StochasticTimelineIsSeedDeterministic) {
+  const auto a = stochastic_trajectory(7);
+  const auto b = stochastic_trajectory(7);
+  EXPECT_EQ(a, b);
+  const auto c = stochastic_trajectory(8);
+  EXPECT_NE(a, c) << "different seeds should yield different timelines";
+}
+
+TEST(FaultInjectorTest, MttrHealsWhatMtbfBreaks) {
+  const CircuitSchedule s = ScheduleBuilder::round_robin(8);
+  const VlbRouter router(&s, LbMode::kFirstAvailable);
+  SlottedNetwork net(&s, &router, fast_config());
+  FaultInjectorOptions opts;
+  opts.node_mtbf_slots = 200.0;
+  opts.node_mttr_slots = 50.0;
+  opts.seed = 3;
+  FaultInjector injector(FaultScript{}, opts);
+  for (Slot t = 0; t < 20000; ++t) {
+    injector.tick(net);
+    net.step();
+  }
+  // Steady state: MTTR/(MTBF+MTTR) = 20% of nodes down on average, so
+  // over 20k slots the fleet cannot be entirely dead or entirely pristine.
+  EXPECT_GT(injector.stochastic_failures(), 10u);
+  EXPECT_GT(injector.stochastic_heals(), 10u);
+  EXPECT_LT(net.failure_view().failed_node_count(), 8u);
+}
+
+}  // namespace
+}  // namespace sorn

@@ -49,7 +49,8 @@ TEST(SimMetricsTest, ResetCountersKeepsOpenFlows) {
   SimMetrics m(kSlot, 0);
   // A two-cell flow: one cell delivered before the reset, one after.
   const Cell a = make_cell(5, {0, 1}, 0);
-  const Cell b = make_cell(5, {0, 1}, 0);
+  Cell b = make_cell(5, {0, 1}, 0);
+  b.seq = 1;  // distinct cell of the same flow, not a retransmitted copy
   m.on_inject(a, 2, 512, /*flow_class=*/1);
   m.on_inject(b, 2, 512, /*flow_class=*/1);
   m.on_deliver(a, 1);

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/sorn.h"
+#include "fault/fault_injector.h"
 #include "obs/export.h"
 #include "routing/vlb.h"
 #include "sim/workload_driver.h"
@@ -155,6 +156,63 @@ Artifacts run_failures(int threads) {
   return out;
 }
 
+// Stochastic fault injection + failure-aware routing + end-host
+// retransmission, the full fault pipeline of this PR. All fault RNG is
+// drawn on the coordinating thread (FaultInjector::tick via the driver's
+// slot hook), so the artifacts must stay byte-identical at any thread
+// count even with faults firing mid-run.
+Artifacts run_faulted_workload(int threads) {
+  SornConfig cfg;
+  cfg.nodes = 32;
+  cfg.cliques = 8;
+  cfg.locality_x = 0.5;
+  cfg.propagation_per_hop = 0;
+  SornNetwork net = SornNetwork::build(cfg);
+  SlottedNetwork sim = net.make_network();
+  sim.set_threads(threads);
+  net.set_failure_view(&sim.failure_view());
+
+  Telemetry telemetry(TelemetryOptions{.sample_every = 5});
+  MemoryTraceSink sink;
+  telemetry.set_trace_sink(&sink);
+  sim.set_telemetry(&telemetry);
+
+  FaultInjectorOptions fopts;
+  fopts.node_mtbf_slots = 900.0;
+  fopts.node_mttr_slots = 300.0;
+  fopts.seed = 17;
+  FaultInjector injector(FaultScript{}, fopts);
+
+  const TrafficMatrix tm = patterns::locality_mix(net.cliques(), 0.5);
+  const FlowSizeDist sizes = FlowSizeDist::pfabric_web_search();
+  const double node_bw =
+      static_cast<double>(sim.config().cell_bytes) * 8.0 /
+      (static_cast<double>(sim.config().slot_duration) * 1e-12);
+  FlowArrivals arrivals(&tm, &sizes, node_bw, /*load=*/0.4, Rng(1));
+  WorkloadDriver driver(&arrivals);
+  driver.set_slot_hook(
+      [&injector](SlottedNetwork& n, Slot) { injector.tick(n); });
+  WorkloadDriver::RetransmitOptions ropts;
+  ropts.timeout_slots = 64;
+  driver.set_retransmit(ropts);
+  driver.run_until(sim, 2500 * sim.config().slot_duration, 2000);
+
+  EXPECT_GT(injector.faults_applied(), 0u)
+      << "the scenario must actually fault (threads=" << threads << ")";
+
+  Artifacts out;
+  ExportOptions eopts;
+  eopts.nodes = cfg.nodes;
+  out.metrics_json = run_to_json(sim.metrics(), &telemetry, eopts);
+  out.timeseries_csv = telemetry.timeseries()->to_csv();
+  out.trace_lines = sink.lines();
+  out.delivered = sim.metrics().delivered_cells();
+  out.dropped = sim.metrics().dropped_cells();
+  out.forwarded = sim.metrics().forwarded_cells();
+  out.in_flight = sim.cells_in_flight();
+  return out;
+}
+
 void expect_identical(const Artifacts& base, const Artifacts& other,
                       int threads) {
   EXPECT_EQ(base.metrics_json, other.metrics_json) << "threads=" << threads;
@@ -186,6 +244,22 @@ TEST(ParallelEquivalenceTest, CappedQueuesDropIdentically) {
     if (threads == 1) continue;
     expect_identical(base, run_capped(threads), threads);
   }
+}
+
+// Acceptance criterion of the fault-injection PR: stochastic faults plus
+// retransmission, byte-identical at 1 vs 4 threads (and a non-dividing
+// count for good measure).
+TEST(ParallelEquivalenceTest, FaultInjectionArtifactsAreByteIdentical) {
+  const Artifacts base = run_faulted_workload(1);
+  ASSERT_GT(base.delivered, 0u);
+  ASSERT_FALSE(base.trace_lines.empty());
+  bool saw_fault_event = false;
+  for (const std::string& line : base.trace_lines)
+    if (line.find("\"ev\":\"node_fail\"") != std::string::npos)
+      saw_fault_event = true;
+  EXPECT_TRUE(saw_fault_event) << "faults must appear in the trace";
+  for (const int threads : {4, 7})
+    expect_identical(base, run_faulted_workload(threads), threads);
 }
 
 TEST(ParallelEquivalenceTest, FailuresShardIdentically) {

@@ -1,0 +1,174 @@
+// End-host retransmission and outage recovery semantics.
+//
+// Regression suite for the fault-injection PR's acceptance criteria:
+// cells queued behind a failed node resume after heal with FCT measured
+// from the true inject slot (including across a mid-outage reconfig
+// swap); flows whose cells were lost outright complete via retransmission
+// with exponential backoff; and receiver dedup keeps the accounting exact
+// when both an original and its retransmitted copy arrive.
+#include <gtest/gtest.h>
+
+#include "routing/sorn_routing.h"
+#include "routing/vlb.h"
+#include "sim/network.h"
+#include "topo/schedule_builder.h"
+
+namespace sorn {
+namespace {
+
+NetworkConfig fast_config() {
+  NetworkConfig c;
+  c.propagation_per_hop = 0;
+  return c;
+}
+
+class DirectRouter : public Router {
+ public:
+  Path route(NodeId src, NodeId dst, Slot, Rng&) const override {
+    return Path::of({src, dst});
+  }
+  int max_hops() const override { return 1; }
+};
+
+// Step `slots` slots, running the stall detector every `check` slots.
+void run_with_retransmit(SlottedNetwork& net, Slot slots, Slot timeout,
+                         Slot check) {
+  for (Slot t = 0; t < slots; ++t) {
+    if (net.now() % check == 0)
+      net.retransmit_stalled({timeout, /*max_attempts=*/8});
+    net.step();
+  }
+}
+
+TEST(RetransmitTest, QueuedCellsResumeAfterHealWithTrueFct) {
+  const CircuitSchedule s = ScheduleBuilder::round_robin(4);
+  const DirectRouter router;
+  SlottedNetwork net(&s, &router, fast_config());
+
+  net.fail_node(2);
+  net.inject_flow(/*flow=*/1, /*src=*/0, /*dst=*/2, /*bytes=*/512);  // 2 cells
+  constexpr Slot kOutage = 200;
+  net.run(kOutage);
+  EXPECT_EQ(net.metrics().delivered_cells(), 0u);
+  EXPECT_EQ(net.metrics().completed_flows(), 0u);
+  EXPECT_EQ(net.cells_in_flight(), 2u) << "outage queues, never drops";
+
+  net.heal_node(2);
+  net.run(50);
+  EXPECT_EQ(net.metrics().completed_flows(), 1u);
+  EXPECT_EQ(net.cells_in_flight(), 0u);
+  // FCT spans the outage: at least kOutage slots of wall time, measured
+  // from the true inject slot, not from the heal.
+  const double fct = net.metrics().fct_ps().percentile(50.0);
+  EXPECT_GE(fct, static_cast<double>(kOutage) *
+                     static_cast<double>(net.config().slot_duration));
+}
+
+TEST(RetransmitTest, MidOutageReconfigSwapKeepsFctAccounting) {
+  // The flow is injected, the destination fails, and while it is down the
+  // control plane swaps the schedule/router generation. The stranded
+  // cells keep their old paths; after the heal they deliver under the new
+  // generation and the FCT still spans the whole episode.
+  const CircuitSchedule rr = ScheduleBuilder::round_robin(8);
+  const VlbRouter vlb(&rr, LbMode::kFirstAvailable);
+  SlottedNetwork net(&rr, &vlb, fast_config());
+
+  net.inject_flow(/*flow=*/9, /*src=*/0, /*dst=*/5, /*bytes=*/1024);
+  net.fail_node(5);
+  constexpr Slot kOutage = 300;
+  net.run(kOutage);
+  EXPECT_EQ(net.metrics().completed_flows(), 0u);
+
+  const auto cliques = CliqueAssignment::contiguous(8, 2);
+  const CircuitSchedule sorn_sched = ScheduleBuilder::sorn(cliques, {3, 1});
+  const SornRouter sorn_router(&sorn_sched, &cliques, LbMode::kRandom);
+  net.reconfigure(&sorn_sched, &sorn_router);
+
+  net.heal_node(5);
+  net.run(400);
+  EXPECT_EQ(net.metrics().completed_flows(), 1u);
+  EXPECT_EQ(net.metrics().open_flows(), 0u);
+  const double fct = net.metrics().fct_ps().percentile(50.0);
+  EXPECT_GE(fct, static_cast<double>(kOutage) *
+                     static_cast<double>(net.config().slot_duration));
+}
+
+TEST(RetransmitTest, RetransmissionRecoversCellsLostToDrops) {
+  // A bounded source queue tail-drops most of a burst at injection: those
+  // cells are gone, not queued, so only retransmission can complete the
+  // flow. The stall detector must fire (with backoff) until every missing
+  // seq has been re-admitted and delivered.
+  const CircuitSchedule s = ScheduleBuilder::round_robin(4);
+  const DirectRouter router;
+  NetworkConfig config = fast_config();
+  config.max_queue_cells = 4;
+  SlottedNetwork net(&s, &router, config);
+
+  net.inject_flow(/*flow=*/3, /*src=*/0, /*dst=*/1, /*bytes=*/20 * 256);
+  EXPECT_GT(net.metrics().dropped_cells(), 0u) << "burst must overflow";
+
+  run_with_retransmit(net, /*slots=*/4000, /*timeout=*/16, /*check=*/4);
+  EXPECT_EQ(net.metrics().completed_flows(), 1u);
+  EXPECT_EQ(net.metrics().open_flows(), 0u);
+  EXPECT_GT(net.metrics().retransmit_events(), 0u);
+  EXPECT_GT(net.metrics().retransmitted_cells(), 0u);
+  EXPECT_EQ(net.metrics().recovered_flows(), 1u);
+  EXPECT_GT(net.metrics().mean_recovery_slots(), 0.0);
+  // Conservation: every injected cell (originals + retransmitted copies)
+  // is accounted for.
+  EXPECT_EQ(net.metrics().injected_cells(),
+            net.metrics().delivered_cells() + net.metrics().dropped_cells() +
+                net.cells_in_flight());
+}
+
+TEST(RetransmitTest, ReceiverDedupKeepsFlowAccountingExact) {
+  // Outage semantics keep the originals queued; retransmission re-admits
+  // copies of the same seqs. After the heal both generations deliver —
+  // the receiver must count the flow complete exactly once and tally the
+  // surplus as duplicates.
+  const CircuitSchedule s = ScheduleBuilder::round_robin(4);
+  const DirectRouter router;
+  SlottedNetwork net(&s, &router, fast_config());
+
+  net.fail_node(2);
+  net.inject_flow(/*flow=*/5, /*src=*/0, /*dst=*/2, /*bytes=*/4 * 256);
+  // Let the stall detector fire at least once while the originals are
+  // stuck: copies pile up behind the same failed node.
+  run_with_retransmit(net, /*slots=*/200, /*timeout=*/32, /*check=*/8);
+  EXPECT_GT(net.metrics().retransmitted_cells(), 0u);
+
+  net.heal_node(2);
+  run_with_retransmit(net, /*slots=*/400, /*timeout=*/32, /*check=*/8);
+  EXPECT_EQ(net.metrics().completed_flows(), 1u);
+  EXPECT_EQ(net.metrics().open_flows(), 0u);
+  EXPECT_GT(net.metrics().duplicate_cells(), 0u)
+      << "both the original and the copy of some seq must have arrived";
+  // delivered counts every arriving copy; exactly 4 of them were firsts.
+  EXPECT_EQ(net.metrics().delivered_cells(),
+            4u + net.metrics().duplicate_cells());
+  EXPECT_EQ(net.metrics().injected_cells(),
+            net.metrics().delivered_cells() + net.metrics().dropped_cells() +
+                net.cells_in_flight());
+}
+
+TEST(RetransmitTest, BackoffCapsAttempts) {
+  // An unhealable outage: the destination stays down forever. The stall
+  // detector must stop re-admitting after max_attempts rounds instead of
+  // flooding the queues.
+  const CircuitSchedule s = ScheduleBuilder::round_robin(4);
+  const DirectRouter router;
+  SlottedNetwork net(&s, &router, fast_config());
+
+  net.fail_node(2);
+  net.inject_flow(/*flow=*/7, /*src=*/0, /*dst=*/2, /*bytes=*/256);
+  for (Slot t = 0; t < 3000; ++t) {
+    net.retransmit_stalled({/*timeout_slots=*/4, /*max_attempts=*/3});
+    net.step();
+  }
+  EXPECT_EQ(net.metrics().retransmit_events(), 3u);
+  EXPECT_EQ(net.metrics().completed_flows(), 0u);
+  EXPECT_EQ(net.metrics().open_flows(), 1u);
+}
+
+}  // namespace
+}  // namespace sorn
