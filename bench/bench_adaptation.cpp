@@ -6,11 +6,17 @@
 // macro pattern the old cliques were built for is gone. The control plane
 // detects the shift from clique-level aggregates and swaps the schedule.
 //
-// Reported: saturation throughput in each phase, plus a flat 1D ORN
-// baseline. Per the paper, the flat ORN's 50% is the throughput ceiling —
-// SORN's win is holding ~1/(3-x) with an intrinsic latency an order of
-// magnitude lower (delta_m printed at the end), and adaptation is what
-// keeps it there across shifts.
+// The fabrics come from the scenario layer: the SORN is built through a
+// ScenarioRunner with the control plane's clique assignment as an
+// override (then adapted live via the runner's SornNetwork handle), and
+// the flat 1D ORN baseline is the registry's "vlb" design driven through
+// a full saturation scenario.
+//
+// Reported: saturation throughput in each phase, plus the flat baseline.
+// Per the paper, the flat ORN's 50% is the throughput ceiling — SORN's
+// win is holding ~1/(3-x) with an intrinsic latency an order of magnitude
+// lower (delta_m printed at the end), and adaptation is what keeps it
+// there across shifts.
 // With `--json <file>` the table is also written machine-readably; with
 // `--trace <file.jsonl>` the control plane's replan decisions (with
 // trigger reasons) and the network's reconfigure events are traced.
@@ -18,11 +24,13 @@
 #include <memory>
 #include <string>
 
+#include "analysis/models.h"
 #include "bench_args.h"
 #include "control/control_plane.h"
 #include "core/sorn.h"
 #include "obs/export.h"
-#include "routing/vlb.h"
+#include "obs/telemetry.h"
+#include "scenario/scenario_runner.h"
 #include "sim/saturation.h"
 #include "traffic/patterns.h"
 #include "traffic/trace.h"
@@ -96,13 +104,21 @@ int main(int argc, char** argv) {
   };
 
   observe_epochs(3);
-  SornConfig cfg;
-  cfg.nodes = kNodes;
-  cfg.propagation_per_hop = 0;
-  SornNetwork net = SornNetwork::build_with_assignment(cfg,
-                                                       cp.last_plan().cliques);
+  ScenarioConfig scfg;
+  scfg.design = "sorn";
+  scfg.nodes = kNodes;
+  scfg.propagation_ns = 0;
+  scfg.overrides.cliques = &cp.last_plan().cliques;
+  std::string error;
+  auto runner = ScenarioRunner::create(scfg, &error);
+  if (runner == nullptr) {
+    std::fprintf(stderr, "scenario failed: %s\n", error.c_str());
+    return 1;
+  }
+  SornNetwork& net = *runner->design().sorn_network;
+  SlottedNetwork& sim = runner->network();
   net.adapt(cp.last_plan().cliques, cp.last_plan().q);
-  SlottedNetwork sim = net.make_network();
+  sim.reconfigure(&net.schedule(), &net.router());
   sim.set_telemetry(&telemetry);
 
   TablePrinter table({"Phase", "locality under plan", "throughput r"});
@@ -129,13 +145,22 @@ int main(int argc, char** argv) {
                  format("%.3f", after.locality_ratio(net.cliques())),
                  format("%.4f", sat_throughput(sim, after))});
 
-  const CircuitSchedule rr = ScheduleBuilder::round_robin(kNodes);
-  const VlbRouter vlb(&rr, LbMode::kRandom);
-  NetworkConfig ncfg;
-  ncfg.propagation_per_hop = 0;
-  SlottedNetwork flat(&rr, &vlb, ncfg);
+  // Flat 1D ORN baseline, driven end to end through the scenario layer.
+  ScenarioConfig fcfg;
+  fcfg.design = "vlb";
+  fcfg.nodes = kNodes;
+  fcfg.propagation_ns = 0;
+  fcfg.workload = WorkloadKind::kSaturation;
+  fcfg.warmup_slots = 25000;
+  fcfg.measure_slots = 10000;
+  fcfg.overrides.traffic = &after;
+  auto flat = ScenarioRunner::create(fcfg, &error);
+  if (flat == nullptr || !flat->run(&error)) {
+    std::fprintf(stderr, "scenario failed: %s\n", error.c_str());
+    return 1;
+  }
   table.add_row({"1D ORN baseline (oblivious)", "-",
-                 format("%.4f", sat_throughput(flat, after))});
+                 format("%.4f", flat->saturation_r())});
 
   table.print();
   if (!json_path.empty()) {

@@ -7,6 +7,10 @@
 // sampled in fixed windows, giving a throughput trajectory with three
 // phases: steady pre-fault, degraded outage, and post-heal recovery.
 //
+// The fabric, workload, fault injection and retransmission all run
+// through one ScenarioRunner (the blast timeline is handed over as a
+// fault-script override; the window sampler is the runner's slot hook).
+//
 // Reported:
 //   pre-fault throughput — mean delivered cells/window before the blast
 //   dip depth            — worst outage window as a fraction of pre-fault
@@ -24,13 +28,10 @@
 #include <vector>
 
 #include "bench_args.h"
-#include "core/sorn.h"
 #include "fault/fault_injector.h"
 #include "obs/export.h"
-#include "sim/workload_driver.h"
-#include "traffic/arrivals.h"
-#include "traffic/flow_size.h"
-#include "traffic/patterns.h"
+#include "scenario/scenario_runner.h"
+#include "sim/parallel.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
@@ -61,18 +62,6 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  SornConfig cfg;
-  cfg.nodes = nodes;
-  cfg.cliques = cliques;
-  cfg.locality_x = locality;
-  cfg.propagation_per_hop = 0;
-  SornNetwork net = SornNetwork::build(cfg);
-  SlottedNetwork sim = net.make_network();
-  sim.set_threads(threads);
-  // Routers consult the live failure state: detours avoid failed
-  // intermediates while the blast is active.
-  net.set_failure_view(&sim.failure_view());
-
   // The blast: fail_frac of the nodes, spread evenly so every clique
   // takes a proportional hit, all down at fail_slot and back at heal_slot.
   const int blast =
@@ -86,33 +75,45 @@ int main(int argc, char** argv) {
     events.push_back({fail_slot, FaultKind::kFailNode, victim, 0});
     events.push_back({heal_slot, FaultKind::kHealNode, victim, 0});
   }
-  FaultInjector injector(FaultScript::from_events(events));
+  const FaultScript script = FaultScript::from_events(events);
 
-  const TrafficMatrix tm = patterns::locality_mix(net.cliques(), locality);
-  const FlowSizeDist sizes = FlowSizeDist::pfabric_web_search();
-  const double node_bw =
-      static_cast<double>(sim.config().cell_bytes) * 8.0 /
-      (static_cast<double>(sim.config().slot_duration) * 1e-12);
-  FlowArrivals arrivals(&tm, &sizes, node_bw, load, Rng(1));
-  WorkloadDriver driver(&arrivals);
-  WorkloadDriver::RetransmitOptions ropts;
-  ropts.timeout_slots = timeout;
-  driver.set_retransmit(ropts);
+  ScenarioConfig cfg;
+  cfg.design = "sorn";
+  cfg.nodes = nodes;
+  cfg.cliques = cliques;
+  cfg.locality_x = locality;
+  cfg.propagation_ns = 0;
+  cfg.threads = threads;
+  cfg.load = load;
+  cfg.slots = slots;
+  cfg.retransmit_timeout = timeout;
+  cfg.overrides.fault_script = &script;
+
+  std::string error;
+  auto runner = ScenarioRunner::create(cfg, &error);
+  if (runner == nullptr) {
+    std::fprintf(stderr, "scenario failed: %s\n", error.c_str());
+    return 1;
+  }
 
   // Windowed delivered-cell trajectory, sampled on the coordinating
-  // thread just before each window's first slot. The fault injector ticks
-  // from the same hook, so fault RNG stays off the parallel sweep.
+  // thread just before each window's first slot. The runner ticks the
+  // fault injector from the same hook (after this sampler), so fault RNG
+  // stays off the parallel sweep.
   std::vector<std::uint64_t> cumulative;
   Slot last_boundary = -1;
-  driver.set_slot_hook([&](SlottedNetwork& n, Slot now) {
+  runner->set_slot_hook([&](SlottedNetwork& n, Slot now) {
     if (now % window == 0 && now != last_boundary) {
       last_boundary = now;
       cumulative.push_back(n.metrics().delivered_cells());
     }
-    injector.tick(n);
   });
 
-  driver.run_until(sim, slots * sim.config().slot_duration, 200000);
+  if (!runner->run(&error)) {
+    std::fprintf(stderr, "scenario failed: %s\n", error.c_str());
+    return 1;
+  }
+  const SimMetrics& metrics = runner->metrics();
 
   std::vector<double> per_window;  // delivered cells in window i
   for (std::size_t i = 1; i < cumulative.size(); ++i)
@@ -160,7 +161,7 @@ int main(int argc, char** argv) {
   }
   const bool recovered = recovered_at >= 0;
   const Slot time_to_recover = recovered ? recovered_at - heal_slot : -1;
-  const std::uint64_t open = sim.metrics().open_flows();
+  const std::uint64_t open = metrics.open_flows();
 
   std::printf(
       "Fault recovery: %d nodes, %d cliques, x=%.2f, load=%.2f, "
@@ -180,18 +181,18 @@ int main(int argc, char** argv) {
                            : "never"});
   table.add_row({"retransmit events",
                  format("%llu", static_cast<unsigned long long>(
-                                    sim.metrics().retransmit_events()))});
+                                    metrics.retransmit_events()))});
   table.add_row({"retransmitted cells",
                  format("%llu", static_cast<unsigned long long>(
-                                    sim.metrics().retransmitted_cells()))});
+                                    metrics.retransmitted_cells()))});
   table.add_row({"duplicate deliveries",
                  format("%llu", static_cast<unsigned long long>(
-                                    sim.metrics().duplicate_cells()))});
+                                    metrics.duplicate_cells()))});
   table.add_row({"flows recovered from stall",
                  format("%llu (mean %.0f slots stalled)",
                         static_cast<unsigned long long>(
-                            sim.metrics().recovered_flows()),
-                        sim.metrics().mean_recovery_slots())});
+                            metrics.recovered_flows()),
+                        metrics.mean_recovery_slots())});
   table.add_row({"flows still open after drain",
                  format("%llu", static_cast<unsigned long long>(open))});
   table.print();
@@ -209,10 +210,10 @@ int main(int argc, char** argv) {
         static_cast<long long>(heal_slot), pre_fault, dip_frac,
         recovered ? "true" : "false",
         static_cast<long long>(time_to_recover),
-        static_cast<unsigned long long>(sim.metrics().retransmit_events()),
-        static_cast<unsigned long long>(sim.metrics().retransmitted_cells()),
-        static_cast<unsigned long long>(sim.metrics().duplicate_cells()),
-        static_cast<unsigned long long>(sim.metrics().recovered_flows()),
+        static_cast<unsigned long long>(metrics.retransmit_events()),
+        static_cast<unsigned long long>(metrics.retransmitted_cells()),
+        static_cast<unsigned long long>(metrics.duplicate_cells()),
+        static_cast<unsigned long long>(metrics.recovered_flows()),
         static_cast<unsigned long long>(open));
     if (!write_text_file(json_path, doc)) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());

@@ -7,20 +7,42 @@
 //            (the paper's simulation scale), traffic drawn from a locality
 //            mix whose flow population follows the pFabric web-search
 //            workload [2] (cells are sprayed per flow; see DESIGN.md).
+// Each measurement point is one ScenarioConfig driven through the
+// ScenarioRunner, so this bench exercises the exact code path of
+// `sorn_tool simulate --design sorn`.
 // With `--json <file>` the table is additionally written as a JSON array
 // of row objects (machine-readable BENCH_*.json trajectories).
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "analysis/models.h"
 #include "bench_args.h"
-#include "core/sorn.h"
 #include "obs/export.h"
-#include "sim/saturation.h"
+#include "scenario/scenario_runner.h"
+#include "sim/parallel.h"
+#include "topo/schedule_builder.h"
 #include "traffic/flow_size.h"
-#include "traffic/patterns.h"
 #include "util/stats.h"
 #include "util/table.h"
+
+namespace {
+
+using namespace sorn;
+
+// One saturation measurement through the scenario layer; exits on a
+// config/build error (a bug in the bench, not a runtime condition).
+double measure_scenario(const ScenarioConfig& cfg) {
+  std::string error;
+  auto runner = ScenarioRunner::create(cfg, &error);
+  if (runner == nullptr || !runner->run(&error)) {
+    std::fprintf(stderr, "scenario failed: %s\n", error.c_str());
+    std::exit(1);
+  }
+  return runner->saturation_r();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace sorn;
@@ -48,34 +70,39 @@ int main(int argc, char** argv) {
     const double x = step / 10.0;
     const double r_theory = analysis::sorn_throughput(x);
     const double q_star = analysis::sorn_optimal_q(x, 64.0);
+    const Rational q = Rational::approximate(q_star, 8);
 
-    SornConfig cfg;
+    ScenarioConfig cfg;
+    cfg.design = "sorn";
     cfg.nodes = kNodes;
     cfg.cliques = kCliques;
     cfg.locality_x = x;
-    cfg.q = Rational::approximate(q_star, 8);
-    cfg.propagation_per_hop = 0;  // throughput is propagation-independent
-    const SornNetwork net = SornNetwork::build(cfg);
-    const TrafficMatrix tm = patterns::locality_mix(net.cliques(), x);
+    cfg.q_num = q.num;
+    cfg.q_den = q.den;
+    cfg.propagation_ns = 0;  // throughput is propagation-independent
+    cfg.threads = threads;
+    cfg.workload = WorkloadKind::kSaturation;
+    cfg.warmup_slots = 4000;
+    cfg.measure_slots = 8000;
 
     RunningStats r_sim;
     for (int seed = 0; seed < kSeeds; ++seed) {
-      SlottedNetwork sim = net.make_network(42 + seed);
-      sim.set_threads(threads);
-      SaturationConfig sat;
-      sat.seed = 7 + static_cast<std::uint64_t>(seed);
-      SaturationSource source(&tm, sat);
-      r_sim.add(source.measure(sim, 4000, 8000));
+      ScenarioConfig run = cfg;
+      run.seed = 42 + static_cast<std::uint64_t>(seed);
+      run.workload_seed = 7 + static_cast<std::uint64_t>(seed);
+      r_sim.add(measure_scenario(run));
     }
 
     // Flow-granular variant: sizes from the pFabric CDF; bursty per-pair
     // demand, the matrix only in aggregate.
-    SlottedNetwork flow_sim = net.make_network(4242);
-    flow_sim.set_threads(threads);
-    FlowSaturationSource flow_source(&tm, &sizes, SaturationConfig{});
-    const double r_flows = flow_source.measure(flow_sim, 5000, 10000);
+    ScenarioConfig flow_cfg = cfg;
+    flow_cfg.seed = 4242;
+    flow_cfg.workload = WorkloadKind::kFlowSaturation;
+    flow_cfg.warmup_slots = 5000;
+    flow_cfg.measure_slots = 10000;
+    const double r_flows = measure_scenario(flow_cfg);
 
-    table.add_row({format("%.1f", x), format("%.2f", cfg.q.value()),
+    table.add_row({format("%.1f", x), format("%.2f", q.value()),
                    format("%.4f", r_theory), format("%.4f", r_sim.mean()),
                    format("%.4f", r_sim.stddev()), format("%.4f", r_flows),
                    format("%.3f", r_sim.mean() / r_theory)});

@@ -8,6 +8,10 @@
 // bench doubles as an equivalence check: delivered-cell counts must match
 // across all thread counts or the bench fails.
 //
+// The fabric and traffic come from the scenario layer (one ScenarioConfig
+// per rep); the timing loop itself stays hand-rolled because only
+// SlottedNetwork::step() may sit inside the timer.
+//
 //   bench_parallel_scaling [--json out.json] [--threads 1,2,4,8]
 //                          [--slots 20000] [--warmup 2000] [--reps 3]
 //                          [--nodes 128] [--cliques 8]
@@ -22,11 +26,10 @@
 #include <vector>
 
 #include "bench_args.h"
-#include "core/sorn.h"
 #include "obs/export.h"
+#include "scenario/scenario_runner.h"
 #include "sim/parallel.h"
 #include "sim/saturation.h"
-#include "traffic/patterns.h"
 #include "util/table.h"
 
 namespace {
@@ -62,13 +65,13 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  SornConfig cfg;
+  ScenarioConfig cfg;
+  cfg.design = "sorn";
   cfg.nodes = nodes;
   cfg.cliques = cliques;
   cfg.locality_x = 0.6;
-  cfg.propagation_per_hop = 0;
-  const SornNetwork net = SornNetwork::build(cfg);
-  const TrafficMatrix tm = patterns::locality_mix(net.cliques(), 0.6);
+  cfg.propagation_ns = 0;
+  cfg.workload = WorkloadKind::kSaturation;
 
   std::printf(
       "Parallel slot-engine scaling: %d nodes, %d cliques, saturated, "
@@ -85,9 +88,16 @@ int main(int argc, char** argv) {
     double best_ns = 1e18;
     std::uint64_t delivered = 0;
     for (int rep = 0; rep < reps; ++rep) {
-      SlottedNetwork sim = net.make_network();
-      sim.set_threads(t);
-      SaturationSource source(&tm, SaturationConfig{});
+      ScenarioConfig run = cfg;
+      run.threads = t;
+      std::string error;
+      auto runner = ScenarioRunner::create(run, &error);
+      if (runner == nullptr) {
+        std::fprintf(stderr, "scenario failed: %s\n", error.c_str());
+        return 1;
+      }
+      SlottedNetwork& sim = runner->network();
+      SaturationSource source(&runner->traffic(), SaturationConfig{});
       for (Slot s = 0; s < warmup; ++s) {
         source.pump(sim);
         sim.step();

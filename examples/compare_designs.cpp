@@ -3,16 +3,17 @@
 // paper's Table 1): flat 1D ORN + VLB, 2D optimal ORN, and SORN with
 // q = q*(x). Reports simulated saturation throughput, mean hops (the
 // bandwidth tax) and median/99p cell latency at moderate load.
+//
+// Each design is driven through the scenario layer twice — one saturation
+// scenario and one open-loop latency scenario at 60% of its own capacity
+// — so all three share the exact `sorn_tool simulate` code path.
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "analysis/models.h"
-#include "core/sorn.h"
-#include "routing/orn_hd_routing.h"
-#include "routing/vlb.h"
-#include "sim/saturation.h"
-#include "sim/workload_driver.h"
-#include "topo/schedule_builder.h"
-#include "traffic/patterns.h"
+#include "scenario/scenario_runner.h"
 #include "util/table.h"
 
 namespace {
@@ -31,66 +32,81 @@ struct Row {
   double lat_p99_us;
 };
 
-Row evaluate(const std::string& name, const CircuitSchedule& sched,
-             const Router& router, const TrafficMatrix& tm,
-             double r_theory) {
-  NetworkConfig cfg;
-  cfg.propagation_per_hop = 0;
-  // Saturation throughput.
-  SlottedNetwork sat_net(&sched, &router, cfg);
-  SaturationSource source(&tm, SaturationConfig{});
-  const double r_sim = source.measure(sat_net, 4000, 8000);
-  const double hops = sat_net.metrics().mean_hops();
+std::unique_ptr<ScenarioRunner> run_or_die(const ScenarioConfig& cfg) {
+  std::string error;
+  auto runner = ScenarioRunner::create(cfg, &error);
+  if (runner == nullptr || !runner->run(&error)) {
+    std::fprintf(stderr, "scenario failed: %s\n", error.c_str());
+    std::exit(1);
+  }
+  return runner;
+}
 
-  // Latency at 60% of each design's own capacity (fair comparison: all
-  // designs moderately loaded relative to what they can carry).
-  SlottedNetwork lat_net(&sched, &router, cfg);
-  const FlowSizeDist sizes = FlowSizeDist::fixed(2560);
-  const double node_bw = 256.0 * 8.0 / 100e-9;
-  FlowArrivals arrivals(&tm, &sizes, node_bw, 0.6 * r_theory, Rng(5));
-  WorkloadDriver driver(&arrivals);
-  driver.run_until(lat_net, 150 * 1000 * 1000, 200000);
+// `base` selects the design; saturation throughput and hops come from a
+// closed-loop scenario, latency from an open-loop one at 60% of the
+// design's own capacity (fair comparison: all designs moderately loaded
+// relative to what they can carry). r_theory defaults to the registry's
+// prediction; the SORN row passes the uncapped closed form 1/(3-x).
+Row evaluate(const std::string& name, const ScenarioConfig& base,
+             double r_theory_override = 0.0) {
+  ScenarioConfig sat = base;
+  sat.workload = WorkloadKind::kSaturation;
+  sat.warmup_slots = 4000;
+  sat.measure_slots = 8000;
+  auto sat_run = run_or_die(sat);
+  const double r_theory = r_theory_override > 0.0
+                              ? r_theory_override
+                              : sat_run->design().predicted_throughput;
+
+  ScenarioConfig lat = base;
+  lat.workload = WorkloadKind::kFlows;
+  lat.flow_size = FlowSizeKind::kFixed;
+  lat.fixed_flow_bytes = 2560;
+  lat.load = 0.6 * r_theory;
+  lat.slots = 1500;  // 150 us horizon at the 100 ns slot
+  lat.arrival_seed = 5;
+  auto lat_run = run_or_die(lat);
+
   return Row{name,
-             r_sim,
+             sat_run->saturation_r(),
              r_theory,
-             hops,
-             lat_net.metrics().cell_latency_ps().percentile(50.0) / 1e6,
-             lat_net.metrics().cell_latency_ps().percentile(99.0) / 1e6};
+             sat_run->metrics().mean_hops(),
+             lat_run->metrics().cell_latency_ps().percentile(50.0) / 1e6,
+             lat_run->metrics().cell_latency_ps().percentile(99.0) / 1e6};
 }
 
 }  // namespace
 
 int main() {
-  const auto cliques = CliqueAssignment::contiguous(kNodes, 8);
-  const TrafficMatrix tm = patterns::locality_mix(cliques, kLocality);
-
   std::printf(
       "Design comparison: %d nodes, locality x=%.2f, identical workload\n\n",
       kNodes, kLocality);
 
+  ScenarioConfig base;
+  base.nodes = kNodes;
+  base.cliques = 8;
+  base.locality_x = kLocality;
+  base.propagation_ns = 0;
+
   std::vector<Row> rows;
 
-  const CircuitSchedule rr = ScheduleBuilder::round_robin(kNodes);
-  const VlbRouter vlb(&rr, LbMode::kRandom);
-  rows.push_back(evaluate("1D ORN + VLB (Sirius-like)", rr, vlb, tm, 0.5));
+  ScenarioConfig vlb = base;
+  vlb.design = "vlb";
+  rows.push_back(evaluate("1D ORN + VLB (Sirius-like)", vlb));
 
-  const CircuitSchedule hd = ScheduleBuilder::orn_hd(kNodes, 2);
-  const OrnHdRouter hd_router(kNodes, 2);
-  rows.push_back(evaluate("2D optimal ORN", hd, hd_router, tm, 0.25));
+  ScenarioConfig hd = base;
+  hd.design = "orn-hd";
+  hd.orn_dims = 2;
+  rows.push_back(evaluate("2D optimal ORN", hd));
 
-  SornConfig cfg;
-  cfg.nodes = kNodes;
-  cfg.cliques = 8;
-  cfg.locality_x = kLocality;
-  cfg.max_q_denominator = 6;
+  ScenarioConfig sorn = base;
+  sorn.design = "sorn";
+  sorn.max_q_denominator = 6;
   // First-available load balancing: the paper's latency semantics (the
   // inter hop rides the next circuit into the target clique).
-  cfg.lb_mode = LbMode::kFirstAvailable;
-  const SornNetwork net = SornNetwork::build(cfg);
-  const Row sorn_row =
-      evaluate("SORN (8 cliques, q=q*)", net.schedule(), net.router(), tm,
-               analysis::sorn_throughput(kLocality));
-  rows.push_back(sorn_row);
+  sorn.lb_first_available = true;
+  rows.push_back(evaluate("SORN (8 cliques, q=q*)", sorn,
+                          analysis::sorn_throughput(kLocality)));
 
   TablePrinter table({"Design", "r sim", "r theory", "mean hops",
                       "cell lat p50 (us)", "cell lat p99 (us)"});

@@ -5,13 +5,18 @@
 // workload measures flow completion times against a flat 1D ORN — split
 // into intra-clique and inter-clique flows, the two classes the paper's
 // latency analysis distinguishes.
-#include <algorithm>
+//
+// Both fabrics run the same ScenarioRunner flow scenario: the inferred
+// cliques ride in as an override (they also label the flow classes), the
+// measured demand as a traffic override, and the 64 KB size cap and
+// clique classifier are plain config fields.
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "control/control_plane.h"
 #include "core/sorn.h"
-#include "routing/vlb.h"
-#include "sim/workload_driver.h"
+#include "scenario/scenario_runner.h"
 #include "traffic/trace.h"
 #include "util/table.h"
 
@@ -21,7 +26,7 @@ using namespace sorn;
 
 constexpr NodeId kNodes = 128;
 constexpr double kLoad = 0.3;
-constexpr Picoseconds kHorizon = 1500 * 1000 * 1000;  // 1.5 ms fabric time
+constexpr Slot kHorizonSlots = 15000;  // 1.5 ms fabric time at 100 ns slots
 // pFabric web-search sizes, truncated at 64 KB so elephants don't dominate
 // this short demo run (documented demo-scale concession).
 constexpr std::uint64_t kSizeCap = 64 * 1024;
@@ -37,47 +42,31 @@ struct RunResult {
   double mean_hops;
 };
 
-RunResult run_workload(const CircuitSchedule& sched, const Router& router,
-                       const TrafficMatrix& tm,
-                       const CliqueAssignment& cliques) {
-  NetworkConfig cfg;
-  cfg.cell_bytes = 256;
-  SlottedNetwork net(&sched, &router, cfg);
-  FlowSizeDist sizes = FlowSizeDist::pfabric_web_search();
-  const double node_bw = 256.0 * 8.0 / 100e-9;  // one cell per 100 ns slot
-  FlowArrivals arrivals(&tm, &sizes, node_bw, kLoad, Rng(77));
-
-  // Drive manually (instead of via WorkloadDriver) so sizes can be capped
-  // and flows classified at injection.
-  const Picoseconds slot_ps = net.config().slot_duration;
-  FlowArrival pending = arrivals.next();
-  pending.bytes = std::min(pending.bytes, kSizeCap);
-  FlowId next_id = 1;
-  std::uint64_t flows = 0;
-  while (net.now() * slot_ps < kHorizon) {
-    const Picoseconds slot_start = net.now() * slot_ps;
-    while (pending.time <= slot_start + slot_ps && pending.time <= kHorizon) {
-      const int cls = cliques.same_clique(pending.src, pending.dst)
-                          ? kIntraClique
-                          : kInterClique;
-      net.inject_flow(next_id++, pending.src, pending.dst, pending.bytes,
-                      cls);
-      ++flows;
-      pending = arrivals.next();
-      pending.bytes = std::min(pending.bytes, kSizeCap);
-    }
-    net.step();
+std::unique_ptr<ScenarioRunner> create_or_die(const ScenarioConfig& cfg) {
+  std::string error;
+  auto runner = ScenarioRunner::create(cfg, &error);
+  if (runner == nullptr) {
+    std::fprintf(stderr, "scenario failed: %s\n", error.c_str());
+    std::exit(1);
   }
-  for (Slot s = 0; s < 500000 && net.cells_in_flight() > 0; ++s) net.step();
+  return runner;
+}
 
-  const auto& intra = net.metrics().fct_ps_class(kIntraClique);
-  const auto& inter = net.metrics().fct_ps_class(kInterClique);
-  return RunResult{flows,
+RunResult run_workload(ScenarioRunner& runner) {
+  std::string error;
+  if (!runner.run(&error)) {
+    std::fprintf(stderr, "scenario failed: %s\n", error.c_str());
+    std::exit(1);
+  }
+  const SimMetrics& m = runner.metrics();
+  const auto& intra = m.fct_ps_class(kIntraClique);
+  const auto& inter = m.fct_ps_class(kInterClique);
+  return RunResult{runner.flows_injected(),
                    intra.percentile(50.0) / 1e6,
                    intra.percentile(99.0) / 1e6,
                    inter.percentile(50.0) / 1e6,
-                   net.metrics().fct_ps().percentile(50.0) / 1e6,
-                   net.metrics().mean_hops()};
+                   m.fct_ps().percentile(50.0) / 1e6,
+                   m.mean_hops()};
 }
 
 }  // namespace
@@ -110,20 +99,36 @@ int main() {
       plan.cliques.clique_count(), plan.q.value(), plan.locality_x,
       plan.predicted_throughput);
 
-  // Build SORN for the plan; compare against a flat 1D ORN.
-  SornConfig cfg;
-  cfg.nodes = kNodes;
-  cfg.locality_x = plan.locality_x;
-  cfg.q = plan.q;
-  cfg.lb_mode = LbMode::kFirstAvailable;  // latency-oriented LB choice
-  SornNetwork sorn_net = SornNetwork::build_with_assignment(cfg, plan.cliques);
-
+  // One scenario, two designs: SORN on the inferred cliques vs a flat
+  // 1D ORN, both carrying the measured macro demand.
   const TrafficMatrix demand = trace.macro_matrix();
-  const RunResult s = run_workload(sorn_net.schedule(), sorn_net.router(),
-                                   demand, sorn_net.cliques());
-  const CircuitSchedule rr = ScheduleBuilder::round_robin(kNodes);
-  const VlbRouter vlb(&rr, LbMode::kRandom);
-  const RunResult o = run_workload(rr, vlb, demand, sorn_net.cliques());
+  ScenarioConfig base;
+  base.nodes = kNodes;
+  base.propagation_ns = 500;  // Table 1 fabric, propagation included
+  base.load = kLoad;
+  base.slots = kHorizonSlots;
+  base.drain_slots = 500000;
+  base.flow_size_cap = kSizeCap;
+  base.classify = ClassifyKind::kClique;
+  base.arrival_seed = 77;
+  base.overrides.cliques = &plan.cliques;
+  base.overrides.traffic = &demand;
+
+  ScenarioConfig scfg = base;
+  scfg.design = "sorn";
+  scfg.locality_x = plan.locality_x;
+  scfg.q_num = plan.q.num;
+  scfg.q_den = plan.q.den;
+  scfg.lb_first_available = true;  // latency-oriented LB choice
+  auto sorn_runner = create_or_die(scfg);
+  const double delta_m_intra =
+      sorn_runner->design().sorn_network->delta_m_intra();
+  const RunResult s = run_workload(*sorn_runner);
+
+  ScenarioConfig ocfg = base;
+  ocfg.design = "vlb";
+  auto flat_runner = create_or_die(ocfg);
+  const RunResult o = run_workload(*flat_runner);
 
   TablePrinter table({"Design", "flows", "intra FCT p50 (us)",
                       "intra FCT p99 (us)", "inter FCT p50 (us)",
@@ -144,6 +149,6 @@ int main() {
       "\nIntra-clique flows ride circuits that recur every ~%.0f slots on\n"
       "SORN vs %d on the flat schedule, so their completion times drop;\n"
       "inter-clique flows pay the third hop (SORN mean hops %.2f vs %.2f).\n",
-      sorn_net.delta_m_intra(), kNodes - 1, s.mean_hops, o.mean_hops);
+      delta_m_intra, kNodes - 1, s.mean_hops, o.mean_hops);
   return 0;
 }

@@ -8,7 +8,12 @@
 //   sorn_tool schedule --nodes 16 --cliques 4 --qnum 3 --qden 1
 //       Print one period of the SORN circuit schedule.
 //
-//   sorn_tool simulate --nodes 64 --cliques 8 --locality 0.56
+//   sorn_tool designs
+//       List the designs registered in the DesignRegistry.
+//
+//   sorn_tool simulate [--design sorn] [--scenario file.json]
+//                      [--save-scenario out.json]
+//                      [--nodes 64] [--cliques 8] [--locality 0.56]
 //                      [--load 0.3] [--slots 30000] [--threads N]
 //                      [--seed 42]
 //                      [--trace run.jsonl] [--metrics-json run.json]
@@ -17,8 +22,11 @@
 //                      [--mtbf S --mttr S] [--circuit-mtbf S --circuit-mttr S]
 //                      [--fault-seed 1]
 //                      [--retransmit-timeout S] [--retransmit-max-attempts 8]
-//       Run an open-loop pFabric workload on a SORN fabric and print
-//       throughput/FCT metrics. --threads shards the slot engine across
+//       Run an open-loop pFabric workload on the chosen design and print
+//       throughput/FCT metrics. --scenario loads a full ScenarioConfig
+//       JSON first; explicit flags then override individual fields, and
+//       --save-scenario writes the effective config back out (the
+//       reproducible artifact). --threads shards the slot engine across
 //       N workers (default: hardware threads) with byte-identical output
 //       at any N. The telemetry flags additionally write a JSONL event
 //       trace, a full-run JSON summary, and/or a per-slot time-series CSV
@@ -28,90 +36,58 @@
 //       with exponential backoff. Fault RNG lives on the coordinating
 //       thread, so faulted runs stay byte-identical at any --threads.
 //
+//   sorn_tool compare [--designs sorn,vlb,...] [--nodes 64] [--cliques 8]
+//                     [--locality 0.56] [--threads N]
+//       Run every named design on the same fabric scale and traffic:
+//       closed-loop saturation throughput, then FCT at 60% of each
+//       design's own predicted capacity (one ScenarioRunner per run).
+//
 // Run without arguments for usage.
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "analysis/models.h"
-#include "fault/fault_injector.h"
-#include "obs/export.h"
 #include "control/hier_optimizer.h"
 #include "control/optimizer.h"
 #include "core/sorn.h"
-#include "sim/workload_driver.h"
+#include "fault/fault_injector.h"
+#include "obs/export.h"
+#include "obs/telemetry.h"
+#include "obs/timeseries.h"
+#include "scenario/scenario_runner.h"
+#include "topo/schedule_builder.h"
 #include "traffic/matrix_io.h"
-#include "traffic/patterns.h"
+#include "util/args.h"
 #include "util/table.h"
 
 namespace {
 
 using namespace sorn;
 
-// Minimal --key value parser; flags without a value store "1".
-std::map<std::string, std::string> parse_flags(int argc, char** argv,
-                                               int first) {
-  std::map<std::string, std::string> flags;
-  for (int i = first; i < argc; ++i) {
-    std::string key = argv[i];
-    if (key.rfind("--", 0) != 0) {
-      std::fprintf(stderr, "unexpected argument: %s\n", key.c_str());
-      std::exit(2);
-    }
-    key = key.substr(2);
-    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-      flags[key] = argv[++i];
-    } else {
-      flags[key] = "1";
-    }
-  }
-  return flags;
-}
-
-long flag_long(const std::map<std::string, std::string>& flags,
-               const std::string& key, long fallback) {
-  const auto it = flags.find(key);
-  return it == flags.end() ? fallback : std::atol(it->second.c_str());
-}
-
-double flag_double(const std::map<std::string, std::string>& flags,
-                   const std::string& key, double fallback) {
-  const auto it = flags.find(key);
-  return it == flags.end() ? fallback : std::atof(it->second.c_str());
-}
-
-std::vector<CliqueId> parse_nc_list(const std::string& csv) {
-  std::vector<CliqueId> out;
-  std::size_t pos = 0;
-  while (pos < csv.size()) {
-    out.push_back(static_cast<CliqueId>(std::atol(csv.c_str() + pos)));
-    const std::size_t comma = csv.find(',', pos);
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
-  }
-  return out;
-}
-
-int cmd_plan(const std::map<std::string, std::string>& flags) {
-  const auto it = flags.find("matrix");
-  if (it == flags.end()) {
+int cmd_plan(ArgParser& args) {
+  const std::string matrix = args.get_string("--matrix", "");
+  const std::vector<int> nc = args.get_int_list("--nc", {}, 1);
+  const bool weighted = args.get_flag("--weighted");
+  args.finish();
+  if (matrix.empty()) {
     std::fprintf(stderr, "plan requires --matrix <file.csv>\n");
     return 2;
   }
-  const auto tm = load_matrix_csv(it->second);
+  const auto tm = load_matrix_csv(matrix);
   if (!tm.has_value()) {
     std::fprintf(stderr, "could not read a traffic matrix from %s\n",
-                 it->second.c_str());
+                 matrix.c_str());
     return 1;
   }
   SornOptimizer::Options opts;
-  if (flags.count("nc") != 0)
-    opts.candidate_nc = parse_nc_list(flags.at("nc"));
-  opts.weighted_inter = flags.count("weighted") != 0;
+  if (!nc.empty()) {
+    opts.candidate_nc.clear();
+    for (const int c : nc)
+      opts.candidate_nc.push_back(static_cast<CliqueId>(c));
+  }
+  opts.weighted_inter = weighted;
   const SornOptimizer optimizer(opts);
   const SornPlan plan = optimizer.plan(*tm);
 
@@ -137,21 +113,22 @@ int cmd_plan(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-int cmd_hier_plan(const std::map<std::string, std::string>& flags) {
-  const auto it = flags.find("matrix");
-  if (it == flags.end()) {
+int cmd_hier_plan(ArgParser& args) {
+  const std::string matrix = args.get_string("--matrix", "");
+  HierOptimizer::Options opts;
+  opts.clusters = static_cast<CliqueId>(args.get_long("--clusters", 4, 1));
+  opts.pods_per_cluster = static_cast<CliqueId>(args.get_long("--pods", 4, 1));
+  args.finish();
+  if (matrix.empty()) {
     std::fprintf(stderr, "hier-plan requires --matrix <file.csv>\n");
     return 2;
   }
-  const auto tm = load_matrix_csv(it->second);
+  const auto tm = load_matrix_csv(matrix);
   if (!tm.has_value()) {
     std::fprintf(stderr, "could not read a traffic matrix from %s\n",
-                 it->second.c_str());
+                 matrix.c_str());
     return 1;
   }
-  HierOptimizer::Options opts;
-  opts.clusters = static_cast<CliqueId>(flag_long(flags, "clusters", 4));
-  opts.pods_per_cluster = static_cast<CliqueId>(flag_long(flags, "pods", 4));
   const HierOptimizer optimizer(opts);
   const HierPlan plan = optimizer.plan(*tm);
   std::printf("hierarchical plan for %d nodes:\n", tm->node_count());
@@ -175,10 +152,11 @@ int cmd_hier_plan(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-int cmd_schedule(const std::map<std::string, std::string>& flags) {
-  const auto nodes = static_cast<NodeId>(flag_long(flags, "nodes", 16));
-  const auto cliques = static_cast<CliqueId>(flag_long(flags, "cliques", 4));
-  Rational q{flag_long(flags, "qnum", 2), flag_long(flags, "qden", 1)};
+int cmd_schedule(ArgParser& args) {
+  const auto nodes = static_cast<NodeId>(args.get_long("--nodes", 16, 2));
+  const auto cliques = static_cast<CliqueId>(args.get_long("--cliques", 4, 1));
+  Rational q{args.get_long("--qnum", 2, 0), args.get_long("--qden", 1, 1)};
+  args.finish();
   const auto assignment = CliqueAssignment::contiguous(nodes, cliques);
   const CircuitSchedule sched = ScheduleBuilder::sorn(assignment, q);
   std::printf("SORN schedule: %d nodes, %d cliques, q = %.3f, period %lld\n\n",
@@ -199,183 +177,257 @@ int cmd_schedule(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-int cmd_simulate(const std::map<std::string, std::string>& flags) {
-  SornConfig cfg;
-  cfg.nodes = static_cast<NodeId>(flag_long(flags, "nodes", 64));
-  cfg.cliques = static_cast<CliqueId>(flag_long(flags, "cliques", 8));
-  cfg.locality_x = flag_double(flags, "locality", 0.56);
+int cmd_designs(ArgParser& args) {
+  args.finish();
+  const DesignRegistry& registry = DesignRegistry::instance();
+  TablePrinter table({"design", "description"});
+  for (const std::string& name : registry.names())
+    table.add_row({name, registry.find(name)->description()});
+  table.print();
+  return 0;
+}
+
+// Scenario fields the simulate/compare flags can set, applied on top of
+// whatever --scenario loaded (a flag's fallback is the loaded value, so
+// absent flags change nothing).
+void apply_fabric_flags(ArgParser& args, ScenarioConfig& cfg) {
+  cfg.design = args.get_string("--design", cfg.design);
+  cfg.nodes = static_cast<NodeId>(
+      args.get_long("--nodes", cfg.nodes, 2));
+  cfg.cliques = static_cast<CliqueId>(
+      args.get_long("--cliques", cfg.cliques, 1));
+  cfg.locality_x = args.get_double("--locality", cfg.locality_x, 0.0, 1.0);
+  cfg.seed =
+      static_cast<std::uint64_t>(args.get_long("--seed", cfg.seed, 0));
+  cfg.threads =
+      static_cast<int>(args.get_long("--threads", cfg.threads, 1));
+}
+
+int cmd_simulate(ArgParser& args) {
+  ScenarioConfig cfg;
+  // The open-loop default the tool has always run; a --scenario file can
+  // reconfigure everything, including the workload kind.
   cfg.max_q_denominator = 6;
-  cfg.propagation_per_hop = 0;
-  const double load = flag_double(flags, "load", 0.3);
-  const auto slots = static_cast<Slot>(flag_long(flags, "slots", 30000));
-  const auto seed = static_cast<std::uint64_t>(flag_long(flags, "seed", 42));
-  const long threads =
-      flag_long(flags, "threads", ThreadPool::default_threads());
-  if (threads < 1) {
-    std::fprintf(stderr, "--threads must be >= 1 (got %ld)\n", threads);
-    return 1;
-  }
-
-  SornNetwork net = SornNetwork::build(cfg);
-  SlottedNetwork sim = net.make_network(seed);
-  // Same seed => same bytes at any thread count (the parallel engine is
-  // byte-equivalent to the sequential one; see DESIGN.md).
-  sim.set_threads(static_cast<int>(threads));
-
-  // Fault injection: scripted timeline and/or stochastic MTBF/MTTR model.
-  // Routing always consults the live failure state; with no faults the
-  // view stays empty and the fast path is untouched.
-  net.set_failure_view(&sim.failure_view());
-  FaultScript script;
-  if (flags.count("fault-script") != 0) {
+  cfg.propagation_ns = 0;
+  const std::string scenario_path = args.get_string("--scenario", "");
+  if (!scenario_path.empty()) {
     std::string error;
-    if (!FaultScript::load(flags.at("fault-script"), &script, &error)) {
-      std::fprintf(stderr, "--fault-script: %s\n", error.c_str());
+    if (!ScenarioConfig::load_file(scenario_path, &cfg, &error)) {
+      std::fprintf(stderr, "--scenario: %s\n", error.c_str());
       return 1;
     }
   }
-  FaultInjectorOptions fopts;
-  fopts.node_mtbf_slots = flag_double(flags, "mtbf", 0.0);
-  fopts.node_mttr_slots = flag_double(flags, "mttr", 0.0);
-  fopts.circuit_mtbf_slots = flag_double(flags, "circuit-mtbf", 0.0);
-  fopts.circuit_mttr_slots = flag_double(flags, "circuit-mttr", 0.0);
-  fopts.seed = static_cast<std::uint64_t>(flag_long(flags, "fault-seed", 1));
-  if ((fopts.node_mtbf_slots > 0.0 && fopts.node_mttr_slots <= 0.0) ||
-      (fopts.circuit_mtbf_slots > 0.0 && fopts.circuit_mttr_slots <= 0.0)) {
-    std::fprintf(stderr, "an MTBF needs a matching positive MTTR\n");
+  apply_fabric_flags(args, cfg);
+  cfg.load = args.get_double("--load", cfg.load, 0.0);
+  cfg.slots = args.get_long("--slots", cfg.slots, 1);
+  cfg.trace_path = args.get_string("--trace", cfg.trace_path);
+  cfg.metrics_json_path =
+      args.get_string("--metrics-json", cfg.metrics_json_path);
+  cfg.timeseries_csv_path =
+      args.get_string("--timeseries-csv", cfg.timeseries_csv_path);
+  cfg.sample_every = args.get_long("--sample-every", cfg.sample_every, 1);
+  cfg.fault_script_path =
+      args.get_string("--fault-script", cfg.fault_script_path);
+  cfg.node_mtbf_slots = args.get_double("--mtbf", cfg.node_mtbf_slots, 0.0);
+  cfg.node_mttr_slots = args.get_double("--mttr", cfg.node_mttr_slots, 0.0);
+  cfg.circuit_mtbf_slots =
+      args.get_double("--circuit-mtbf", cfg.circuit_mtbf_slots, 0.0);
+  cfg.circuit_mttr_slots =
+      args.get_double("--circuit-mttr", cfg.circuit_mttr_slots, 0.0);
+  cfg.fault_seed = static_cast<std::uint64_t>(
+      args.get_long("--fault-seed", cfg.fault_seed, 0));
+  cfg.retransmit_timeout =
+      args.get_long("--retransmit-timeout", cfg.retransmit_timeout, 0);
+  cfg.retransmit_max_attempts = static_cast<std::uint32_t>(
+      args.get_long("--retransmit-max-attempts", cfg.retransmit_max_attempts,
+                    1));
+  const std::string save_path = args.get_string("--save-scenario", "");
+  args.finish();
+
+  if (!save_path.empty() &&
+      !write_text_file(save_path, cfg.to_json())) {
+    std::fprintf(stderr, "cannot write %s\n", save_path.c_str());
     return 1;
   }
-  const bool want_faults =
-      !script.empty() || fopts.node_mtbf_slots > 0.0 ||
-      fopts.circuit_mtbf_slots > 0.0;
-  FaultInjector injector(std::move(script), fopts);
 
-  // Telemetry: any of the export flags attaches the facade; tracing and
-  // time-series sampling are each enabled only when asked for.
-  const bool want_trace = flags.count("trace") != 0;
-  const bool want_json = flags.count("metrics-json") != 0;
-  const bool want_csv = flags.count("timeseries-csv") != 0;
-  TelemetryOptions topts;
-  if (want_csv || want_json) {
-    const long every = flag_long(flags, "sample-every", 1);
-    if (every < 1) {
-      std::fprintf(stderr, "--sample-every must be >= 1 (got %ld)\n", every);
-      return 1;
-    }
-    topts.sample_every = static_cast<Slot>(every);
-  }
-  Telemetry telemetry(topts);
-  std::unique_ptr<FileTraceSink> trace_sink;
-  if (want_trace) {
-    trace_sink = std::make_unique<FileTraceSink>(flags.at("trace"));
-    if (!trace_sink->ok()) {
-      std::fprintf(stderr, "cannot open %s for writing\n",
-                   flags.at("trace").c_str());
-      return 1;
-    }
-    telemetry.set_trace_sink(trace_sink.get());
-  }
-  if (want_trace || want_json || want_csv) sim.set_telemetry(&telemetry);
-
-  const TrafficMatrix tm =
-      patterns::locality_mix(net.cliques(), cfg.locality_x);
-  const FlowSizeDist sizes = FlowSizeDist::pfabric_web_search();
-  const double node_bw =
-      static_cast<double>(sim.config().cell_bytes) * 8.0 /
-      (static_cast<double>(sim.config().slot_duration) * 1e-12);
-  FlowArrivals arrivals(&tm, &sizes, node_bw, load, Rng(1));
-  WorkloadDriver driver(&arrivals);
-  if (want_faults)
-    driver.set_slot_hook(
-        [&injector](SlottedNetwork& n, Slot) { injector.tick(n); });
-  const long rto = flag_long(flags, "retransmit-timeout", 0);
-  if (rto < 0) {
-    std::fprintf(stderr, "--retransmit-timeout must be >= 0\n");
+  std::string error;
+  auto runner = ScenarioRunner::create(cfg, &error);
+  if (runner == nullptr) {
+    std::fprintf(stderr, "%s\n", error.c_str());
     return 1;
   }
-  if (rto > 0) {
-    WorkloadDriver::RetransmitOptions ropts;
-    ropts.timeout_slots = static_cast<Slot>(rto);
-    ropts.max_attempts = static_cast<std::uint32_t>(
-        flag_long(flags, "retransmit-max-attempts", 8));
-    driver.set_retransmit(ropts);
+  if (!runner->run(&error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
   }
-  driver.run_until(sim, slots * sim.config().slot_duration, 200000);
 
-  std::printf(
-      "simulated %lld slots, %d nodes, %d cliques, x=%.2f, q=%.3f, "
-      "load=%.2f, threads=%d\n",
-      static_cast<long long>(sim.metrics().slots_run()), cfg.nodes,
-      cfg.cliques, cfg.locality_x, net.q().value(), load, sim.threads());
-  std::printf("  flows injected:   %llu (completed %llu)\n",
-              static_cast<unsigned long long>(driver.flows_injected()),
-              static_cast<unsigned long long>(sim.metrics().completed_flows()));
+  const SimMetrics& metrics = runner->metrics();
+  const SlottedNetwork& sim = runner->network();
+  if (cfg.design == "sorn" && runner->design().sorn_network != nullptr) {
+    std::printf(
+        "simulated %lld slots, %d nodes, %d cliques, x=%.2f, q=%.3f, "
+        "load=%.2f, threads=%d\n",
+        static_cast<long long>(metrics.slots_run()), cfg.nodes, cfg.cliques,
+        cfg.locality_x, runner->design().sorn_network->q().value(), cfg.load,
+        sim.threads());
+  } else {
+    std::printf(
+        "simulated %lld slots, design %s (%s), %d nodes, load=%.2f, "
+        "threads=%d\n",
+        static_cast<long long>(metrics.slots_run()), cfg.design.c_str(),
+        runner->design().summary.c_str(), cfg.nodes, cfg.load,
+        sim.threads());
+  }
+  if (cfg.workload == WorkloadKind::kFlows) {
+    std::printf("  flows injected:   %llu (completed %llu)\n",
+                static_cast<unsigned long long>(runner->flows_injected()),
+                static_cast<unsigned long long>(metrics.completed_flows()));
+  } else {
+    std::printf("  saturation r:     %.4f (delivered per node-slot-lane)\n",
+                runner->saturation_r());
+  }
   std::printf("  cells delivered:  %llu (mean hops %.2f)\n",
-              static_cast<unsigned long long>(sim.metrics().delivered_cells()),
-              sim.metrics().mean_hops());
+              static_cast<unsigned long long>(metrics.delivered_cells()),
+              metrics.mean_hops());
   std::printf("  cell latency p50: %.2f us, p99 %.2f us\n",
-              sim.metrics().cell_latency_ps().percentile(50.0) / 1e6,
-              sim.metrics().cell_latency_ps().percentile(99.0) / 1e6);
-  std::printf("  FCT p50:          %.2f us, p99 %.2f us\n",
-              sim.metrics().fct_ps().percentile(50.0) / 1e6,
-              sim.metrics().fct_ps().percentile(99.0) / 1e6);
-  std::printf("  predicted r:      %.4f (1/(3-x))\n",
-              net.predicted_throughput());
-  if (want_faults) {
+              metrics.cell_latency_ps().percentile(50.0) / 1e6,
+              metrics.cell_latency_ps().percentile(99.0) / 1e6);
+  if (cfg.workload == WorkloadKind::kFlows) {
+    std::printf("  FCT p50:          %.2f us, p99 %.2f us\n",
+                metrics.fct_ps().percentile(50.0) / 1e6,
+                metrics.fct_ps().percentile(99.0) / 1e6);
+  }
+  if (cfg.design == "sorn") {
+    std::printf("  predicted r:      %.4f (1/(3-x))\n",
+                runner->design().predicted_throughput);
+  } else {
+    std::printf("  predicted r:      %.4f\n",
+                runner->design().predicted_throughput);
+  }
+  if (const FaultInjector* injector = runner->injector()) {
     std::printf(
         "  faults applied:   %llu (scripted %llu, stochastic %llu fail / "
         "%llu heal; first at slot %lld)\n",
-        static_cast<unsigned long long>(injector.faults_applied()),
-        static_cast<unsigned long long>(injector.scripted_applied()),
-        static_cast<unsigned long long>(injector.stochastic_failures()),
-        static_cast<unsigned long long>(injector.stochastic_heals()),
-        static_cast<long long>(injector.first_fault_slot()));
+        static_cast<unsigned long long>(injector->faults_applied()),
+        static_cast<unsigned long long>(injector->scripted_applied()),
+        static_cast<unsigned long long>(injector->stochastic_failures()),
+        static_cast<unsigned long long>(injector->stochastic_heals()),
+        static_cast<long long>(injector->first_fault_slot()));
     std::printf("  failed at end:    %llu nodes, %llu circuits\n",
                 static_cast<unsigned long long>(
                     sim.failure_view().failed_node_count()),
                 static_cast<unsigned long long>(
                     sim.failure_view().failed_circuit_count()));
   }
-  if (rto > 0 || sim.metrics().retransmit_events() > 0) {
+  if (cfg.retransmit_timeout > 0 || metrics.retransmit_events() > 0) {
     std::printf(
         "  retransmits:      %llu events, %llu cells (%llu duplicate "
         "deliveries)\n",
-        static_cast<unsigned long long>(sim.metrics().retransmit_events()),
-        static_cast<unsigned long long>(sim.metrics().retransmitted_cells()),
-        static_cast<unsigned long long>(sim.metrics().duplicate_cells()));
+        static_cast<unsigned long long>(metrics.retransmit_events()),
+        static_cast<unsigned long long>(metrics.retransmitted_cells()),
+        static_cast<unsigned long long>(metrics.duplicate_cells()));
     std::printf(
         "  stall recovery:   %llu flows recovered, mean %.0f slots "
         "stalled; %llu flows still open\n",
-        static_cast<unsigned long long>(sim.metrics().recovered_flows()),
-        sim.metrics().mean_recovery_slots(),
-        static_cast<unsigned long long>(sim.metrics().open_flows()));
+        static_cast<unsigned long long>(metrics.recovered_flows()),
+        metrics.mean_recovery_slots(),
+        static_cast<unsigned long long>(metrics.open_flows()));
   }
 
-  if (want_json) {
-    ExportOptions eopts;
-    eopts.nodes = cfg.nodes;
-    eopts.lanes = sim.config().lanes;
-    const std::string json = run_to_json(sim.metrics(), &telemetry, eopts);
-    if (!write_text_file(flags.at("metrics-json"), json)) {
-      std::fprintf(stderr, "cannot write %s\n",
-                   flags.at("metrics-json").c_str());
-      return 1;
-    }
-    std::printf("  metrics JSON:     %s\n", flags.at("metrics-json").c_str());
-  }
-  if (want_csv) {
-    const std::string csv = timeseries_to_csv(*telemetry.timeseries());
-    if (!write_text_file(flags.at("timeseries-csv"), csv)) {
-      std::fprintf(stderr, "cannot write %s\n",
-                   flags.at("timeseries-csv").c_str());
-      return 1;
-    }
+  if (!cfg.metrics_json_path.empty())
+    std::printf("  metrics JSON:     %s\n", cfg.metrics_json_path.c_str());
+  if (!cfg.timeseries_csv_path.empty()) {
     std::printf("  time series CSV:  %s (%zu samples)\n",
-                flags.at("timeseries-csv").c_str(),
-                telemetry.timeseries()->samples().size());
+                cfg.timeseries_csv_path.c_str(),
+                runner->telemetry() != nullptr &&
+                        runner->telemetry()->timeseries() != nullptr
+                    ? runner->telemetry()->timeseries()->samples().size()
+                    : 0);
   }
-  if (want_trace)
-    std::printf("  event trace:      %s\n", flags.at("trace").c_str());
+  if (!cfg.trace_path.empty())
+    std::printf("  event trace:      %s\n", cfg.trace_path.c_str());
+  if (!save_path.empty())
+    std::printf("  scenario JSON:    %s\n", save_path.c_str());
+  return 0;
+}
+
+int cmd_compare(ArgParser& args) {
+  ScenarioConfig base;
+  base.max_q_denominator = 6;
+  base.propagation_ns = 0;
+  base.lb_first_available = true;  // the paper's latency semantics
+  const std::string scenario_path = args.get_string("--scenario", "");
+  if (!scenario_path.empty()) {
+    std::string error;
+    if (!ScenarioConfig::load_file(scenario_path, &base, &error)) {
+      std::fprintf(stderr, "--scenario: %s\n", error.c_str());
+      return 1;
+    }
+  }
+  apply_fabric_flags(args, base);
+  std::string design_csv;
+  for (const std::string& name : DesignRegistry::instance().names()) {
+    if (!design_csv.empty()) design_csv += ",";
+    design_csv += name;
+  }
+  design_csv = args.get_string("--designs", design_csv);
+  args.finish();
+
+  std::vector<std::string> designs;
+  for (std::size_t pos = 0; pos <= design_csv.size();) {
+    std::size_t comma = design_csv.find(',', pos);
+    if (comma == std::string::npos) comma = design_csv.size();
+    if (comma > pos) designs.push_back(design_csv.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+
+  std::printf(
+      "design comparison: %d nodes, locality x=%.2f, identical workload\n\n",
+      base.nodes, base.locality_x);
+  TablePrinter table({"design", "r sim", "r theory", "mean hops",
+                      "FCT p50 (us)", "FCT p99 (us)"});
+  for (const std::string& name : designs) {
+    std::string error;
+    // Closed-loop saturation throughput.
+    ScenarioConfig sat = base;
+    sat.design = name;
+    sat.workload = WorkloadKind::kSaturation;
+    auto sat_runner = ScenarioRunner::create(sat, &error);
+    if (sat_runner == nullptr) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(), error.c_str());
+      return 1;
+    }
+    if (!sat_runner->run(&error)) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(), error.c_str());
+      return 1;
+    }
+    const double r_theory = sat_runner->design().predicted_throughput;
+
+    // FCT at 60% of the design's own predicted capacity (fair comparison:
+    // every design moderately loaded relative to what it can carry).
+    ScenarioConfig flows = base;
+    flows.design = name;
+    flows.workload = WorkloadKind::kFlows;
+    flows.flow_size = FlowSizeKind::kFixed;
+    flows.fixed_flow_bytes = 2560;
+    flows.load = 0.6 * r_theory;
+    flows.slots = 1500;
+    flows.arrival_seed = 5;
+    auto flow_runner = ScenarioRunner::create(flows, &error);
+    if (flow_runner == nullptr || !flow_runner->run(&error)) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(), error.c_str());
+      return 1;
+    }
+    table.add_row(
+        {name, format("%.4f", sat_runner->saturation_r()),
+         format("%.4f", r_theory),
+         format("%.2f", sat_runner->metrics().mean_hops()),
+         format("%.2f",
+                flow_runner->metrics().fct_ps().percentile(50.0) / 1e6),
+         format("%.2f",
+                flow_runner->metrics().fct_ps().percentile(99.0) / 1e6)});
+  }
+  table.print();
   return 0;
 }
 
@@ -386,7 +438,10 @@ int usage() {
       "  sorn_tool plan --matrix tm.csv [--nc 4,8,16] [--weighted]\n"
       "  sorn_tool hier-plan --matrix tm.csv [--clusters 4] [--pods 4]\n"
       "  sorn_tool schedule --nodes 16 --cliques 4 --qnum 3 --qden 1\n"
-      "  sorn_tool simulate --nodes 64 --cliques 8 --locality 0.56\n"
+      "  sorn_tool designs\n"
+      "  sorn_tool simulate [--design sorn] [--scenario file.json]\n"
+      "                     [--save-scenario out.json]\n"
+      "                     [--nodes 64] [--cliques 8] [--locality 0.56]\n"
       "                     [--load 0.3] [--slots 30000] [--seed 42]\n"
       "                     [--threads N]  (default: hardware threads;\n"
       "                      same seed => same bytes at any N)\n"
@@ -397,7 +452,9 @@ int usage() {
       "                     [--circuit-mtbf S --circuit-mttr S]\n"
       "                     [--fault-seed 1]\n"
       "                     [--retransmit-timeout S]\n"
-      "                     [--retransmit-max-attempts 8]\n");
+      "                     [--retransmit-max-attempts 8]\n"
+      "  sorn_tool compare [--designs sorn,vlb,...] [--nodes 64]\n"
+      "                    [--cliques 8] [--locality 0.56] [--threads N]\n");
   return 2;
 }
 
@@ -406,10 +463,12 @@ int usage() {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
-  const auto flags = parse_flags(argc, argv, 2);
-  if (cmd == "plan") return cmd_plan(flags);
-  if (cmd == "hier-plan") return cmd_hier_plan(flags);
-  if (cmd == "schedule") return cmd_schedule(flags);
-  if (cmd == "simulate") return cmd_simulate(flags);
+  ArgParser args(argc, argv, 2);
+  if (cmd == "plan") return cmd_plan(args);
+  if (cmd == "hier-plan") return cmd_hier_plan(args);
+  if (cmd == "schedule") return cmd_schedule(args);
+  if (cmd == "designs") return cmd_designs(args);
+  if (cmd == "simulate") return cmd_simulate(args);
+  if (cmd == "compare") return cmd_compare(args);
   return usage();
 }

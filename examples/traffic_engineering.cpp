@@ -4,11 +4,18 @@
 //   1. flat SORN (uniform inter-clique round robin),
 //   2. weighted SORN (BvN-provisioned inter slots),
 //   3. hierarchical SORN (pods in clusters).
+//
+// All three are registry designs run through the same ScenarioRunner
+// saturation scenario over one shared measured matrix (a traffic
+// override, since the fabrics must be compared on identical demand).
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
-#include "core/hier_sorn.h"
-#include "core/sorn.h"
-#include "sim/saturation.h"
+#include "analysis/models.h"
+#include "scenario/scenario_runner.h"
+#include "topo/hierarchy.h"
+#include "topo/schedule_builder.h"
 #include "traffic/patterns.h"
 #include "util/table.h"
 
@@ -19,9 +26,14 @@ using namespace sorn;
 constexpr NodeId kNodes = 64;
 constexpr CliqueId kCliques = 8;
 
-double measure(SlottedNetwork sim, const TrafficMatrix& tm) {
-  SaturationSource source(&tm, SaturationConfig{});
-  return source.measure(sim, 5000, 8000);
+double measure(const ScenarioConfig& cfg) {
+  std::string error;
+  auto runner = ScenarioRunner::create(cfg, &error);
+  if (runner == nullptr || !runner->run(&error)) {
+    std::fprintf(stderr, "scenario failed: %s\n", error.c_str());
+    std::exit(1);
+  }
+  return runner->saturation_r();
 }
 
 }  // namespace
@@ -36,49 +48,50 @@ int main() {
       "(%d nodes, x=%.2f, 85%% of inter demand to the ring neighbor)\n\n",
       kNodes, x);
 
+  ScenarioConfig base;
+  base.nodes = kNodes;
+  base.cliques = kCliques;
+  base.propagation_ns = 0;
+  base.workload = WorkloadKind::kSaturation;
+  base.warmup_slots = 5000;
+  base.measure_slots = 8000;
+  base.overrides.traffic = &tm;
+
   TablePrinter table({"fabric", "throughput r", "notes"});
 
   {
-    SornConfig cfg;
-    cfg.nodes = kNodes;
-    cfg.cliques = kCliques;
-    cfg.q = q;
-    cfg.propagation_per_hop = 0;
-    const SornNetwork net = SornNetwork::build(cfg);
-    table.add_row({"flat SORN, uniform inter",
-                   format("%.4f", measure(net.make_network(), tm)),
+    ScenarioConfig cfg = base;
+    cfg.design = "sorn";
+    cfg.q_num = q.num;
+    cfg.q_den = q.den;
+    table.add_row({"flat SORN, uniform inter", format("%.4f", measure(cfg)),
                    "inter slots split over all 7 clique pairs"});
   }
   {
-    SornConfig cfg;
-    cfg.nodes = kNodes;
-    cfg.cliques = kCliques;
-    cfg.q = q;
-    cfg.propagation_per_hop = 0;
+    ScenarioConfig cfg = base;
+    cfg.design = "sorn";
+    cfg.q_num = q.num;
+    cfg.q_den = q.den;
     cfg.inter_clique_weights = tm.aggregate(cliques);
-    cfg.weighted_options.demand_alpha = 0.85;
-    const SornNetwork net = SornNetwork::build(cfg);
-    table.add_row({"weighted SORN (BvN)",
-                   format("%.4f", measure(net.make_network(), tm)),
+    cfg.weighted_alpha = 0.85;
+    table.add_row({"weighted SORN (BvN)", format("%.4f", measure(cfg)),
                    "inter slots track the measured aggregate"});
   }
   {
     // Hierarchy aligned with the ring: 4 clusters of 2 pods. Ring
     // neighbors often share a cluster, capturing part of the skew
     // structurally.
-    HierSornConfig cfg;
-    cfg.nodes = kNodes;
+    ScenarioConfig cfg = base;
+    cfg.design = "hier";
     cfg.clusters = 4;
     cfg.pods_per_cluster = 2;
-    cfg.propagation_per_hop = 0;
     const Hierarchy h =
         Hierarchy::regular(kNodes, cfg.clusters, cfg.pods_per_cluster);
     const HierLocality loc = patterns::hier_locality(h, tm);
     cfg.pod_locality_x1 = loc.pod;
     cfg.cluster_locality_x2 = loc.cluster;
-    const HierSornNetwork net = HierSornNetwork::build(cfg);
     table.add_row({"hierarchical SORN (4x2 pods)",
-                   format("%.4f", measure(net.make_network(), tm)),
+                   format("%.4f", measure(cfg)),
                    format("x1=%.2f x2=%.2f x3=%.2f", loc.pod, loc.cluster,
                           loc.global())});
   }

@@ -42,6 +42,13 @@ class HierSornNetwork {
   const Router& router() const { return *router_; }
   ScheduleBuilder::HierShares shares() const { return shares_; }
 
+  // Mirror of SornNetwork::set_failure_view: make the hierarchical router
+  // spray around the given live failure state (nullptr restores oblivious
+  // routing).
+  void set_failure_view(const FailureView* view) {
+    router_->set_failure_view(view);
+  }
+
   // Closed-form predictions.
   double predicted_throughput() const;
   double delta_m_pod() const;

@@ -1,0 +1,74 @@
+// Minimal JSON parser, the read-side counterpart of obs/json.h.
+//
+// Hand-rolled for the same reasons the writer is: no third-party
+// dependency, and a small surface tailored to what the scenario layer
+// needs — parse a config document into a tree of JsonValue nodes and look
+// fields up by name. Numbers are kept as doubles (plus an exact int64
+// when the literal was integral), objects preserve insertion order so
+// error messages and round-trip diagnostics stay stable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sorn {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_double() const { return number_; }
+  // The integer value when the literal had no fraction/exponent; falls
+  // back to a cast of the double otherwise.
+  std::int64_t as_int() const {
+    return has_int_ ? int_ : static_cast<std::int64_t>(number_);
+  }
+  bool is_integer() const { return has_int_; }
+  const std::string& as_string() const { return string_; }
+
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& fields() const {
+    return fields_;
+  }
+  // Object member by key; nullptr when absent (or not an object).
+  const JsonValue* find(std::string_view key) const;
+
+  // ---- construction (parser + tests) ----
+  static JsonValue null();
+  static JsonValue boolean(bool v);
+  static JsonValue number(double v);
+  static JsonValue integer(std::int64_t v);
+  static JsonValue string(std::string v);
+  static JsonValue array(std::vector<JsonValue> items);
+  static JsonValue object(std::vector<std::pair<std::string, JsonValue>> f);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::int64_t int_ = 0;
+  bool has_int_ = false;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> fields_;
+};
+
+// Parse one JSON document. On success returns true and fills *out; on
+// failure returns false and *error names the position and problem.
+// Trailing non-whitespace after the document is an error.
+bool json_parse(std::string_view text, JsonValue* out, std::string* error);
+
+}  // namespace sorn

@@ -1,0 +1,184 @@
+// ScenarioConfig: one declarative description of a full experiment —
+// fabric design, scale, traffic, workload, telemetry sinks, faults and
+// retransmission — serializable to/from JSON so a scenario is a
+// reproducible artifact (`sorn_tool simulate --scenario file.json`).
+//
+// Determinism contract: two runs of the same config (same seeds) produce
+// byte-identical metrics/trace/CSV artifacts at any thread count; the
+// scenario smoke job in CI byte-diffs --threads 1 vs 4 to keep this true.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topo/clique.h"
+#include "traffic/traffic_matrix.h"
+#include "util/time.h"
+#include "util/types.h"
+
+namespace sorn {
+
+class FaultScript;
+
+// How the runner drives traffic.
+enum class WorkloadKind {
+  // Open-loop Poisson flow arrivals at `load`, run to `slots`, then drain.
+  kFlows,
+  // Closed-loop single-cell backlog (SaturationSource): warmup, then
+  // measure `measure_slots`; ScenarioRunner::saturation_r() reports r.
+  kSaturation,
+  // Closed-loop flow-granular backlog (FlowSaturationSource).
+  kFlowSaturation,
+};
+
+// Traffic matrix family (patterns.h) the scenario draws demand from.
+enum class TrafficKind {
+  kLocality,   // patterns::locality_mix(cliques, locality_x)
+  kUniform,    // patterns::uniform(nodes)
+  kRing,       // patterns::clique_ring(cliques, locality_x, ring_heavy_share)
+  kHierLocality,  // patterns::hier_locality_mix(hierarchy, x1, x2)
+};
+
+// Flow size population for flow-granular workloads.
+enum class FlowSizeKind {
+  kPfabricWebSearch,
+  kPfabricDataMining,
+  kFixed,  // every flow is fixed_flow_bytes
+};
+
+// How flows are labeled for split FCT percentiles.
+enum class ClassifyKind {
+  kNone,    // every flow is class 0
+  kClique,  // class 0 = intra-clique, class 1 = inter-clique
+  kSize,    // class 0 = bytes <= bulk_cutoff_bytes, class 1 = larger
+};
+
+struct ScenarioConfig {
+  // ---- fabric design ----
+  // A name registered in DesignRegistry: "sorn", "hier", "rotor",
+  // "opera", "orn-hd", "orn-mixed", "vlb".
+  std::string design = "sorn";
+  NodeId nodes = 64;
+  CliqueId cliques = 8;
+  double locality_x = 0.56;
+  // Explicit oversubscription ratio; {0, 1} derives q*(x) capped at
+  // max_q_denominator (sorn design only).
+  std::int64_t q_num = 0;
+  std::int64_t q_den = 1;
+  std::int64_t max_q_denominator = 6;
+  bool lb_first_available = false;  // LbMode for sorn/vlb/rotor designs
+  // Weighted-inter SORN: apportion inter slots to this cliques x cliques
+  // aggregate (empty = uniform round robin).
+  std::vector<double> inter_clique_weights;
+  double weighted_alpha = 0.7;
+
+  // hier design.
+  CliqueId clusters = 4;
+  CliqueId pods_per_cluster = 4;
+  double pod_locality_x1 = 0.5;
+  double cluster_locality_x2 = 0.3;
+
+  // rotor / opera designs.
+  Slot dwell_slots = 900;
+  std::uint64_t schedule_seed = 17;  // opera's random 1-factorization
+  int max_short_hops = 6;            // opera expander hop budget
+  // Flows larger than this ride the direct rotation circuit (opera's
+  // short/bulk split); 0 = no split, everything on the primary router.
+  std::uint64_t bulk_cutoff_bytes = 0;
+
+  // orn-hd / orn-mixed designs.
+  int orn_dims = 2;
+  std::vector<NodeId> radices;  // orn-mixed; empty = factor automatically
+
+  // ---- fabric parameters ----
+  int lanes = 1;
+  std::int64_t slot_ns = 100;
+  std::int64_t propagation_ns = 0;
+  std::uint64_t cell_bytes = 256;
+  std::uint64_t max_queue_cells = 0;  // 0 = unbounded
+  std::uint64_t seed = 42;            // network RNG (routing spray)
+  // Engine threads; 0 = hardware default. Artifacts are byte-identical
+  // at any value (parallel engine equivalence).
+  int threads = 0;
+
+  // ---- traffic ----
+  TrafficKind traffic = TrafficKind::kLocality;
+  double ring_heavy_share = 0.85;
+
+  // ---- workload ----
+  WorkloadKind workload = WorkloadKind::kFlows;
+  double load = 0.3;          // flows: fraction of node bandwidth
+  Slot slots = 30000;         // flows: arrival horizon in slots
+  Slot drain_slots = 200000;  // flows: post-horizon drain budget
+  Slot warmup_slots = 4000;   // saturation: slots before reset_metrics
+  Slot measure_slots = 8000;  // saturation: measured slots
+  FlowSizeKind flow_size = FlowSizeKind::kPfabricWebSearch;
+  std::uint64_t fixed_flow_bytes = 2560;
+  std::uint64_t flow_size_cap = 0;  // truncate sizes; 0 = no cap
+  ClassifyKind classify = ClassifyKind::kNone;
+  std::uint64_t arrival_seed = 1;   // flows: FlowArrivals RNG
+  std::uint64_t workload_seed = 7;  // saturation: SaturationConfig::seed
+
+  // ---- telemetry sinks ----
+  std::string trace_path;
+  std::string metrics_json_path;
+  std::string timeseries_csv_path;
+  Slot sample_every = 1;
+
+  // ---- faults ----
+  std::string fault_script;       // inline script text (trumps the path)
+  std::string fault_script_path;  // file with FaultScript grammar
+  double node_mtbf_slots = 0.0;
+  double node_mttr_slots = 0.0;
+  double circuit_mtbf_slots = 0.0;
+  double circuit_mttr_slots = 0.0;
+  std::uint64_t fault_seed = 1;
+
+  // ---- end-host retransmission ----
+  Slot retransmit_timeout = 0;  // 0 disables
+  std::uint32_t retransmit_max_attempts = 8;
+
+  // ---- programmatic overrides (never serialized) ----
+  // Borrowed pointers for callers that already hold richer objects than
+  // the config can describe (a control-plane clique assignment, a
+  // measured traffic matrix, a generated fault script). All optional;
+  // must outlive the runner.
+  struct Overrides {
+    const CliqueAssignment* cliques = nullptr;
+    const TrafficMatrix* traffic = nullptr;
+    const FaultScript* fault_script = nullptr;
+  };
+  Overrides overrides;
+
+  // ---- JSON round trip ----
+  // Every serializable field, in a fixed order, with enum fields as
+  // strings; byte-deterministic (obs/json.h writer).
+  std::string to_json() const;
+  // Parse a JSON object; unknown keys and type mismatches are errors
+  // (a typo must not silently fall back to a default). Fields absent
+  // from the document keep their defaults. On failure returns false and
+  // sets *error; *out is untouched.
+  static bool from_json(std::string_view text, ScenarioConfig* out,
+                        std::string* error);
+  // Same, reading the file at `path`.
+  static bool load_file(const std::string& path, ScenarioConfig* out,
+                        std::string* error);
+
+  // Basic cross-field validation shared by every entry point (positive
+  // counts, mtbf/mttr pairing, known design name not checked here — the
+  // registry owns that). Returns false and sets *error on problems.
+  bool validate(std::string* error) const;
+};
+
+// Enum <-> string helpers (shared by the JSON codec and CLI flags).
+const char* workload_kind_name(WorkloadKind k);
+const char* traffic_kind_name(TrafficKind k);
+const char* flow_size_kind_name(FlowSizeKind k);
+const char* classify_kind_name(ClassifyKind k);
+bool parse_workload_kind(std::string_view name, WorkloadKind* out);
+bool parse_traffic_kind(std::string_view name, TrafficKind* out);
+bool parse_flow_size_kind(std::string_view name, FlowSizeKind* out);
+bool parse_classify_kind(std::string_view name, ClassifyKind* out);
+
+}  // namespace sorn

@@ -1,0 +1,266 @@
+#include "scenario/scenario_runner.h"
+
+#include <utility>
+
+#include "fault/fault_injector.h"
+#include "obs/export.h"
+#include "obs/telemetry.h"
+#include "sim/parallel.h"
+#include "sim/saturation.h"
+#include "traffic/arrivals.h"
+#include "traffic/flow_size.h"
+#include "traffic/patterns.h"
+
+namespace sorn {
+namespace {
+
+bool fail(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+FlowSizeDist flow_sizes_of(const ScenarioConfig& config) {
+  switch (config.flow_size) {
+    case FlowSizeKind::kPfabricWebSearch:
+      return FlowSizeDist::pfabric_web_search();
+    case FlowSizeKind::kPfabricDataMining:
+      return FlowSizeDist::pfabric_data_mining();
+    case FlowSizeKind::kFixed:
+      break;
+  }
+  return FlowSizeDist::fixed(config.fixed_flow_bytes);
+}
+
+}  // namespace
+
+ScenarioRunner::~ScenarioRunner() = default;
+
+std::unique_ptr<ScenarioRunner> ScenarioRunner::create(
+    const ScenarioConfig& config, std::string* error) {
+  std::string local_error;
+  if (error == nullptr) error = &local_error;
+  if (!config.validate(error)) return nullptr;
+
+  auto runner = std::unique_ptr<ScenarioRunner>(new ScenarioRunner());
+  runner->config_ = config;
+
+  if (!DesignRegistry::instance().build(config.design, config,
+                                        &runner->design_, error)) {
+    return nullptr;
+  }
+
+  // Simulator, engine threads, failure-aware routing. Routing always
+  // consults the live failure state; with no faults the view stays empty
+  // and the fast path is untouched.
+  NetworkConfig net_cfg;
+  net_cfg.lanes = config.lanes;
+  net_cfg.slot_duration = config.slot_ns * 1000;
+  net_cfg.propagation_per_hop = config.propagation_ns * 1000;
+  net_cfg.cell_bytes = config.cell_bytes;
+  net_cfg.max_queue_cells = config.max_queue_cells;
+  net_cfg.seed = config.seed;
+  runner->network_ = std::make_unique<SlottedNetwork>(
+      runner->design_.schedule, runner->design_.router, net_cfg);
+  runner->network_->set_threads(config.threads > 0
+                                    ? config.threads
+                                    : ThreadPool::default_threads());
+  runner->design_.set_failure_view(&runner->network_->failure_view());
+
+  // Faults: scripted timeline (override > inline text > file) plus the
+  // stochastic MTBF/MTTR model.
+  FaultScript script;
+  if (config.overrides.fault_script != nullptr) {
+    script = *config.overrides.fault_script;
+  } else if (!config.fault_script.empty()) {
+    if (!FaultScript::parse(config.fault_script, &script, error)) {
+      *error = "fault_script: " + *error;
+      return nullptr;
+    }
+  } else if (!config.fault_script_path.empty()) {
+    if (!FaultScript::load(config.fault_script_path, &script, error))
+      return nullptr;
+  }
+  FaultInjectorOptions fopts;
+  fopts.node_mtbf_slots = config.node_mtbf_slots;
+  fopts.node_mttr_slots = config.node_mttr_slots;
+  fopts.circuit_mtbf_slots = config.circuit_mtbf_slots;
+  fopts.circuit_mttr_slots = config.circuit_mttr_slots;
+  fopts.seed = config.fault_seed;
+  runner->faults_enabled_ = !script.empty() ||
+                            fopts.node_mtbf_slots > 0.0 ||
+                            fopts.circuit_mtbf_slots > 0.0;
+  if (runner->faults_enabled_ && config.workload != WorkloadKind::kFlows) {
+    *error = "faults require the flows workload (the closed-loop "
+             "saturation sources do not tick the injector)";
+    return nullptr;
+  }
+  runner->injector_ =
+      std::make_unique<FaultInjector>(std::move(script), fopts);
+
+  // Telemetry: any export path attaches the facade; time-series sampling
+  // only when the CSV or the JSON summary (which embeds it) is wanted.
+  const bool want_trace = !config.trace_path.empty();
+  const bool want_json = !config.metrics_json_path.empty();
+  const bool want_csv = !config.timeseries_csv_path.empty();
+  TelemetryOptions topts;
+  if (want_csv || want_json) topts.sample_every = config.sample_every;
+  runner->telemetry_ = std::make_unique<Telemetry>(topts);
+  if (want_trace) {
+    runner->trace_sink_ = std::make_unique<FileTraceSink>(config.trace_path);
+    if (!runner->trace_sink_->ok()) {
+      *error = "cannot open " + config.trace_path + " for writing";
+      return nullptr;
+    }
+    runner->telemetry_->set_trace_sink(runner->trace_sink_.get());
+  }
+  if (want_trace || want_json || want_csv) {
+    runner->network_->set_telemetry(runner->telemetry_.get());
+    runner->telemetry_attached_ = true;
+  }
+
+  // Traffic: an override matrix wins; otherwise generate the configured
+  // pattern over the design's clique structure (or, for designs without
+  // one, the override assignment / a contiguous fallback). The same
+  // assignment labels flows under ClassifyKind::kClique.
+  runner->traffic_cliques_ =
+      runner->design_.cliques != nullptr ? *runner->design_.cliques
+      : config.overrides.cliques != nullptr
+          ? *config.overrides.cliques
+          : CliqueAssignment::contiguous(config.nodes, config.cliques);
+  if (config.overrides.traffic != nullptr) {
+    if (config.overrides.traffic->node_count() != config.nodes) {
+      *error = "override traffic matrix node count does not match the "
+               "scenario";
+      return nullptr;
+    }
+    runner->traffic_ = *config.overrides.traffic;
+  } else {
+    switch (config.traffic) {
+      case TrafficKind::kLocality:
+        runner->traffic_ = patterns::locality_mix(runner->traffic_cliques_,
+                                                  config.locality_x);
+        break;
+      case TrafficKind::kUniform:
+        runner->traffic_ = patterns::uniform(config.nodes);
+        break;
+      case TrafficKind::kRing:
+        runner->traffic_ = patterns::clique_ring(
+            runner->traffic_cliques_, config.locality_x,
+            config.ring_heavy_share);
+        break;
+      case TrafficKind::kHierLocality:
+        if (runner->design_.hierarchy == nullptr) {
+          *error = "hier-locality traffic requires a design with a "
+                   "hierarchy (hier)";
+          return nullptr;
+        }
+        runner->traffic_ = patterns::hier_locality_mix(
+            *runner->design_.hierarchy, config.pod_locality_x1,
+            config.cluster_locality_x2);
+        break;
+    }
+  }
+  return runner;
+}
+
+bool ScenarioRunner::run_flows(std::string* error) {
+  const FlowSizeDist sizes = flow_sizes_of(config_);
+  const double node_bw =
+      static_cast<double>(network_->config().cell_bytes) * 8.0 /
+      (static_cast<double>(network_->config().slot_duration) * 1e-12);
+  FlowArrivals arrivals(&traffic_, &sizes, node_bw, config_.load,
+                        Rng(config_.arrival_seed));
+
+  WorkloadDriver::Classifier classifier;
+  if (config_.classify == ClassifyKind::kClique) {
+    const CliqueAssignment* cliques = &traffic_cliques_;
+    classifier = [cliques](const FlowArrival& a) {
+      return cliques->same_clique(a.src, a.dst) ? 0 : 1;
+    };
+  } else if (config_.classify == ClassifyKind::kSize) {
+    const std::uint64_t cutoff = config_.bulk_cutoff_bytes;
+    classifier = [cutoff](const FlowArrival& a) {
+      return a.bytes > cutoff ? 1 : 0;
+    };
+  }
+  WorkloadDriver driver(&arrivals, std::move(classifier));
+  if (config_.flow_size_cap > 0)
+    driver.set_flow_size_cap(config_.flow_size_cap);
+  if (design_.bulk_router != nullptr && config_.bulk_cutoff_bytes > 0)
+    driver.set_bulk_router(design_.bulk_router, config_.bulk_cutoff_bytes);
+  if (user_hook_ || faults_enabled_) {
+    driver.set_slot_hook([this](SlottedNetwork& net, Slot slot) {
+      if (user_hook_) user_hook_(net, slot);
+      if (faults_enabled_) injector_->tick(net);
+    });
+  }
+  if (config_.retransmit_timeout > 0) {
+    WorkloadDriver::RetransmitOptions ropts;
+    ropts.timeout_slots = config_.retransmit_timeout;
+    ropts.max_attempts = config_.retransmit_max_attempts;
+    driver.set_retransmit(ropts);
+  }
+  driver.run_until(*network_,
+                   config_.slots * network_->config().slot_duration,
+                   config_.drain_slots);
+  flows_injected_ = driver.flows_injected();
+  (void)error;
+  return true;
+}
+
+void ScenarioRunner::run_saturation() {
+  SaturationConfig sat;
+  sat.seed = config_.workload_seed;
+  if (config_.workload == WorkloadKind::kSaturation) {
+    SaturationSource source(&traffic_, sat);
+    saturation_r_ = source.measure(*network_, config_.warmup_slots,
+                                   config_.measure_slots);
+  } else {
+    const FlowSizeDist sizes = flow_sizes_of(config_);
+    FlowSaturationSource source(&traffic_, &sizes, sat);
+    saturation_r_ = source.measure(*network_, config_.warmup_slots,
+                                   config_.measure_slots);
+  }
+}
+
+bool ScenarioRunner::run(std::string* error) {
+  if (ran_) return fail(error, "scenario already ran (one-shot)");
+  ran_ = true;
+
+  if (config_.workload == WorkloadKind::kFlows) {
+    if (!run_flows(error)) return false;
+  } else {
+    run_saturation();
+  }
+
+  // Flush artifacts. The trace sink is detached and closed first so the
+  // JSONL file is complete as soon as run() returns.
+  if (trace_sink_ != nullptr) {
+    telemetry_->set_trace_sink(nullptr);
+    trace_sink_.reset();
+  }
+  if (!config_.metrics_json_path.empty() &&
+      !write_text_file(config_.metrics_json_path, metrics_json())) {
+    return fail(error, "cannot write " + config_.metrics_json_path);
+  }
+  if (!config_.timeseries_csv_path.empty() &&
+      !write_text_file(config_.timeseries_csv_path, timeseries_csv())) {
+    return fail(error, "cannot write " + config_.timeseries_csv_path);
+  }
+  return true;
+}
+
+std::string ScenarioRunner::metrics_json() const {
+  ExportOptions eopts;
+  eopts.nodes = config_.nodes;
+  eopts.lanes = network_->config().lanes;
+  return run_to_json(network_->metrics(),
+                     telemetry_attached_ ? telemetry_.get() : nullptr, eopts);
+}
+
+std::string ScenarioRunner::timeseries_csv() const {
+  if (telemetry_ == nullptr || telemetry_->timeseries() == nullptr) return "";
+  return timeseries_to_csv(*telemetry_->timeseries());
+}
+
+}  // namespace sorn

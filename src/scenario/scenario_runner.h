@@ -1,0 +1,98 @@
+// ScenarioRunner: owns the full lifecycle of one scenario — build the
+// design through the registry, wire the simulator (threads, failure view,
+// telemetry sinks, fault injector, retransmission), generate traffic, run
+// the configured workload, and flush the artifacts — so every tool, bench
+// and example drives an experiment through one code path.
+//
+// Construction is separate from running: benches that need the raw
+// simulator (adaptation experiments stepping it by hand) call create()
+// and use network()/design() directly without run().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "scenario/design.h"
+#include "scenario/scenario_config.h"
+#include "sim/network.h"
+#include "sim/workload_driver.h"
+#include "traffic/traffic_matrix.h"
+
+namespace sorn {
+
+class FaultInjector;
+class FileTraceSink;
+class Telemetry;
+
+class ScenarioRunner {
+ public:
+  // Validate the config, build the design and wire the simulator, traffic,
+  // telemetry and faults. On failure returns null and sets *error.
+  static std::unique_ptr<ScenarioRunner> create(const ScenarioConfig& config,
+                                                std::string* error);
+  ~ScenarioRunner();
+
+  const ScenarioConfig& config() const { return config_; }
+  const BuiltDesign& design() const { return design_; }
+  SlottedNetwork& network() { return *network_; }
+  const SlottedNetwork& network() const { return *network_; }
+  const TrafficMatrix& traffic() const { return traffic_; }
+  // The clique structure traffic was generated over (the design's, or a
+  // contiguous fallback for designs without one).
+  const CliqueAssignment& traffic_cliques() const { return traffic_cliques_; }
+  // Non-null only when the config enables faults.
+  const FaultInjector* injector() const {
+    return faults_enabled_ ? injector_.get() : nullptr;
+  }
+  // Non-null only when a telemetry sink is configured.
+  Telemetry* telemetry() {
+    return telemetry_attached_ ? telemetry_.get() : nullptr;
+  }
+
+  // Runs on the coordinating thread at the start of every slot, before
+  // the fault injector's tick. Set before run().
+  void set_slot_hook(WorkloadDriver::SlotHook hook) {
+    user_hook_ = std::move(hook);
+  }
+
+  // Run the configured workload and write the configured artifacts.
+  // Returns false (and sets *error) when an artifact cannot be written;
+  // the simulation itself has no failure mode. One-shot.
+  bool run(std::string* error);
+
+  // ---- results (valid after run()) ----
+  const SimMetrics& metrics() const { return network_->metrics(); }
+  // Closed-loop delivered throughput r (saturation workloads; 0 for
+  // open-loop flows).
+  double saturation_r() const { return saturation_r_; }
+  std::uint64_t flows_injected() const { return flows_injected_; }
+
+  // Artifact bodies, regenerable on demand (run() writes these to the
+  // configured paths).
+  std::string metrics_json() const;
+  std::string timeseries_csv() const;
+
+ private:
+  ScenarioRunner() = default;
+
+  bool run_flows(std::string* error);
+  void run_saturation();
+
+  ScenarioConfig config_;
+  BuiltDesign design_;
+  std::unique_ptr<SlottedNetwork> network_;
+  TrafficMatrix traffic_{1};  // placeholder until create() generates it
+  CliqueAssignment traffic_cliques_;
+  std::unique_ptr<Telemetry> telemetry_;
+  std::unique_ptr<FileTraceSink> trace_sink_;
+  std::unique_ptr<FaultInjector> injector_;
+  WorkloadDriver::SlotHook user_hook_;
+  bool telemetry_attached_ = false;
+  bool faults_enabled_ = false;
+  bool ran_ = false;
+  double saturation_r_ = 0.0;
+  std::uint64_t flows_injected_ = 0;
+};
+
+}  // namespace sorn

@@ -44,9 +44,17 @@ void WorkloadDriver::run_until(SlottedNetwork& network, Picoseconds horizon,
       }
       if (pending_.time > slot_start + slot_ps || pending_.time > horizon)
         break;
-      const int cls = classifier_ ? classifier_(pending_) : 0;
-      network.inject_flow(next_flow_id_++, pending_.src, pending_.dst,
-                          pending_.bytes, cls);
+      FlowArrival arrival = pending_;
+      if (size_cap_ > 0)
+        arrival.bytes = std::min(arrival.bytes, size_cap_);
+      const int cls = classifier_ ? classifier_(arrival) : 0;
+      if (bulk_router_ != nullptr && arrival.bytes > bulk_cutoff_) {
+        network.inject_flow_with(*bulk_router_, next_flow_id_++, arrival.src,
+                                 arrival.dst, arrival.bytes, cls);
+      } else {
+        network.inject_flow(next_flow_id_++, arrival.src, arrival.dst,
+                            arrival.bytes, cls);
+      }
       ++flows_injected_;
       has_pending_ = false;
     }

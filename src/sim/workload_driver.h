@@ -40,6 +40,19 @@ class WorkloadDriver {
   void set_retransmit(RetransmitOptions options);
   void set_slot_hook(SlotHook hook) { slot_hook_ = std::move(hook); }
 
+  // Truncate every arrival to at most `cap` bytes before classification
+  // and injection (bounded-drain demos); 0 disables.
+  void set_flow_size_cap(std::uint64_t cap) { size_cap_ = cap; }
+
+  // Opera-style short/bulk split: flows strictly larger than
+  // `cutoff_bytes` (after the size cap) are injected through `bulk`
+  // instead of the network's primary router. bulk must outlive the
+  // driver; nullptr disables.
+  void set_bulk_router(const Router* bulk, std::uint64_t cutoff_bytes) {
+    bulk_router_ = bulk;
+    bulk_cutoff_ = cutoff_bytes;
+  }
+
   // Run the network until `horizon`; flows whose arrival time falls in a
   // slot are injected at that slot's start. Optionally keep running
   // (without new arrivals) until in-flight cells drain or `drain_slots`
@@ -58,6 +71,9 @@ class WorkloadDriver {
   SlotHook slot_hook_;
   RetransmitOptions retransmit_{};
   Slot retransmit_every_ = 0;
+  std::uint64_t size_cap_ = 0;
+  const Router* bulk_router_ = nullptr;
+  std::uint64_t bulk_cutoff_ = 0;
   FlowArrival pending_{};
   bool has_pending_ = false;
   std::uint64_t flows_injected_ = 0;

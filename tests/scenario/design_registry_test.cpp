@@ -1,0 +1,142 @@
+// DesignRegistry: every builtin design is listed and builds a working
+// schedule/router pair from a ScenarioConfig; unknown names fail with the
+// available set; private registries support custom designs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "scenario/design.h"
+#include "scenario/scenario_config.h"
+#include "topo/schedule.h"
+
+namespace sorn {
+namespace {
+
+// A config every builtin design can build: 16 nodes is even (opera),
+// 4^2 (orn-hd at 2 dims), 4x4 (orn-mixed), and divides into 4 cliques
+// (sorn) or 2 clusters x 2 pods (hier).
+ScenarioConfig small_config() {
+  ScenarioConfig cfg;
+  cfg.nodes = 16;
+  cfg.cliques = 4;
+  cfg.clusters = 2;
+  cfg.pods_per_cluster = 2;
+  cfg.orn_dims = 2;
+  return cfg;
+}
+
+TEST(DesignRegistryTest, ListsEveryBuiltinDesign) {
+  const std::vector<std::string> names = DesignRegistry::instance().names();
+  for (const char* expected :
+       {"hier", "opera", "orn-hd", "orn-mixed", "rotor", "sorn", "vlb"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing design " << expected;
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const std::string& name : names) {
+    const Design* design = DesignRegistry::instance().find(name);
+    ASSERT_NE(design, nullptr);
+    EXPECT_EQ(design->name(), name);
+    EXPECT_FALSE(design->description().empty());
+  }
+}
+
+TEST(DesignRegistryTest, BuildsEveryBuiltinDesign) {
+  const ScenarioConfig cfg = small_config();
+  for (const std::string& name : DesignRegistry::instance().names()) {
+    BuiltDesign built;
+    std::string error;
+    ASSERT_TRUE(
+        DesignRegistry::instance().build(name, cfg, &built, &error))
+        << name << ": " << error;
+    ASSERT_NE(built.schedule, nullptr) << name;
+    ASSERT_NE(built.router, nullptr) << name;
+    EXPECT_EQ(built.schedule->node_count(), cfg.nodes) << name;
+    EXPECT_GE(built.schedule->period(), 1) << name;
+    EXPECT_GT(built.predicted_throughput, 0.0) << name;
+    EXPECT_FALSE(built.summary.empty()) << name;
+    EXPECT_NE(built.owner, nullptr) << name;  // keepalive set
+  }
+}
+
+TEST(DesignRegistryTest, UnknownDesignListsAvailable) {
+  BuiltDesign built;
+  std::string error;
+  EXPECT_FALSE(DesignRegistry::instance().build("warp-drive", small_config(),
+                                                &built, &error));
+  EXPECT_NE(error.find("warp-drive"), std::string::npos) << error;
+  EXPECT_NE(error.find("sorn"), std::string::npos) << error;
+  EXPECT_EQ(DesignRegistry::instance().find("warp-drive"), nullptr);
+}
+
+TEST(DesignRegistryTest, InvalidGeometryFailsWithMessage) {
+  BuiltDesign built;
+  std::string error;
+
+  ScenarioConfig cfg = small_config();
+  cfg.nodes = 15;  // not divisible into 4 cliques
+  EXPECT_FALSE(DesignRegistry::instance().build("sorn", cfg, &built, &error));
+  EXPECT_FALSE(error.empty());
+
+  cfg = small_config();
+  cfg.nodes = 15;  // odd: opera needs a perfect matching per slot
+  EXPECT_FALSE(
+      DesignRegistry::instance().build("opera", cfg, &built, &error));
+
+  cfg = small_config();
+  cfg.nodes = 15;  // not r^2 for any integer r
+  EXPECT_FALSE(
+      DesignRegistry::instance().build("orn-hd", cfg, &built, &error));
+
+  cfg = small_config();
+  cfg.radices = {3, 4};  // product 12 != 16 nodes
+  EXPECT_FALSE(
+      DesignRegistry::instance().build("orn-mixed", cfg, &built, &error));
+}
+
+TEST(DesignRegistryTest, SornDesignExposesItsNetworkHandle) {
+  BuiltDesign built;
+  std::string error;
+  ASSERT_TRUE(DesignRegistry::instance().build("sorn", small_config(), &built,
+                                               &error))
+      << error;
+  ASSERT_NE(built.sorn_network, nullptr);
+  ASSERT_NE(built.cliques, nullptr);
+  EXPECT_EQ(built.cliques->clique_count(), 4);
+
+  ASSERT_TRUE(DesignRegistry::instance().build("vlb", small_config(), &built,
+                                               &error))
+      << error;
+  EXPECT_EQ(built.sorn_network, nullptr);
+}
+
+// Private registries let tests (and experiments) stage custom designs
+// without mutating the global one.
+class EchoDesign : public Design {
+ public:
+  std::string name() const override { return "echo"; }
+  std::string description() const override { return "test-only design"; }
+  bool build(const ScenarioConfig&, BuiltDesign*,
+             std::string* error) const override {
+    if (error != nullptr) *error = "echo cannot build";
+    return false;
+  }
+};
+
+TEST(DesignRegistryTest, PrivateRegistrySupportsCustomDesigns) {
+  DesignRegistry registry;
+  EXPECT_TRUE(registry.names().empty());
+  registry.add(std::make_unique<EchoDesign>());
+  ASSERT_EQ(registry.names(), std::vector<std::string>{"echo"});
+  BuiltDesign built;
+  std::string error;
+  EXPECT_FALSE(registry.build("echo", small_config(), &built, &error));
+  EXPECT_EQ(error, "echo cannot build");
+  // The global registry is untouched.
+  EXPECT_EQ(DesignRegistry::instance().find("echo"), nullptr);
+}
+
+}  // namespace
+}  // namespace sorn

@@ -1,0 +1,131 @@
+// Golden metrics: one small pinned scenario per registered design. The
+// exact flow counts, delivered cells, mean hops and median cell latency
+// are part of the determinism contract — any change to schedules,
+// routing, the slot engine or the scenario wiring that moves these
+// numbers must be intentional and update them here.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/sorn.h"
+#include "scenario/scenario_runner.h"
+#include "sim/saturation.h"
+#include "traffic/patterns.h"
+
+namespace sorn {
+namespace {
+
+// 16 nodes fits every design: even (opera), 4^2 (orn-hd), 4x4
+// (orn-mixed), 4 cliques (sorn), 2 clusters x 2 pods (hier).
+ScenarioConfig pinned_config(const std::string& design) {
+  ScenarioConfig cfg;
+  cfg.design = design;
+  cfg.nodes = 16;
+  cfg.cliques = 4;
+  cfg.clusters = 2;
+  cfg.pods_per_cluster = 2;
+  cfg.orn_dims = 2;
+  cfg.dwell_slots = 10;
+  cfg.slots = 2000;
+  cfg.load = 0.3;
+  cfg.flow_size = FlowSizeKind::kFixed;
+  cfg.fixed_flow_bytes = 2560;  // 10 cells per flow
+  cfg.threads = 1;
+  return cfg;
+}
+
+struct Golden {
+  const char* design;
+  std::uint64_t flows;
+  std::uint64_t delivered_cells;
+  double mean_hops;
+  double cell_lat_p50_ps;
+};
+
+// Captured from a --threads 1 run of pinned_config(); identical at any
+// thread count (parallel engine byte-equivalence).
+constexpr Golden kGolden[] = {
+    {"hier", 961u, 9610u, 2.256400, 4550000},
+    {"opera", 961u, 9610u, 1.000000, 13000000},
+    {"orn-hd", 961u, 9610u, 2.998231, 11100000},
+    {"orn-mixed", 961u, 9610u, 3.483247, 48900000},
+    {"rotor", 961u, 9610u, 1.934131, 14300000},
+    {"sorn", 961u, 9610u, 2.121228, 4200000},
+    {"vlb", 961u, 9610u, 1.934131, 4200000},
+};
+
+std::unique_ptr<ScenarioRunner> run_pinned(const ScenarioConfig& cfg) {
+  std::string error;
+  auto runner = ScenarioRunner::create(cfg, &error);
+  EXPECT_NE(runner, nullptr) << cfg.design << ": " << error;
+  if (runner == nullptr) return nullptr;
+  EXPECT_TRUE(runner->run(&error)) << cfg.design << ": " << error;
+  return runner;
+}
+
+TEST(GoldenMetricsTest, EveryDesignMatchesPinnedMetrics) {
+  // The golden table covers exactly the registered designs.
+  const std::vector<std::string> names = DesignRegistry::instance().names();
+  ASSERT_EQ(names.size(), std::size(kGolden));
+
+  for (const Golden& g : kGolden) {
+    auto runner = run_pinned(pinned_config(g.design));
+    ASSERT_NE(runner, nullptr);
+    EXPECT_EQ(runner->flows_injected(), g.flows) << g.design;
+    EXPECT_EQ(runner->metrics().delivered_cells(), g.delivered_cells)
+        << g.design;
+    EXPECT_NEAR(runner->metrics().mean_hops(), g.mean_hops, 1e-6) << g.design;
+    EXPECT_DOUBLE_EQ(runner->metrics().cell_latency_ps().percentile(50.0),
+                     g.cell_lat_p50_ps)
+        << g.design;
+    EXPECT_EQ(runner->metrics().dropped_cells(), 0u) << g.design;
+  }
+}
+
+TEST(GoldenMetricsTest, MetricsIdenticalAtFourThreads) {
+  for (const Golden& g : kGolden) {
+    ScenarioConfig cfg = pinned_config(g.design);
+    auto one = run_pinned(cfg);
+    cfg.threads = 4;
+    auto four = run_pinned(cfg);
+    ASSERT_NE(one, nullptr);
+    ASSERT_NE(four, nullptr);
+    // The full exported document — every counter, histogram and
+    // percentile — must be byte-identical across thread counts.
+    EXPECT_EQ(one->metrics_json(), four->metrics_json()) << g.design;
+  }
+}
+
+TEST(GoldenMetricsTest, RunnerMatchesHandBuiltSorn) {
+  // The scenario path must be observationally identical to building the
+  // same fabric by hand, the way pre-scenario callers did.
+  ScenarioConfig cfg = pinned_config("sorn");
+  cfg.workload = WorkloadKind::kSaturation;
+  cfg.warmup_slots = 1000;
+  cfg.measure_slots = 2000;
+  auto runner = run_pinned(cfg);
+  ASSERT_NE(runner, nullptr);
+
+  SornConfig scfg;
+  scfg.nodes = cfg.nodes;
+  scfg.cliques = cfg.cliques;
+  scfg.locality_x = cfg.locality_x;
+  scfg.max_q_denominator = cfg.max_q_denominator;
+  const SornNetwork net = SornNetwork::build(scfg);
+  NetworkConfig ncfg;
+  ncfg.slot_duration = cfg.slot_ns * 1000;
+  ncfg.propagation_per_hop = cfg.propagation_ns * 1000;
+  SlottedNetwork sim(&net.schedule(), &net.router(), ncfg);
+  sim.set_threads(1);
+  const TrafficMatrix tm = patterns::locality_mix(net.cliques(),
+                                                  cfg.locality_x);
+  SaturationSource source(&tm, SaturationConfig{});
+  const double by_hand = source.measure(sim, 1000, 2000);
+
+  EXPECT_DOUBLE_EQ(runner->saturation_r(), by_hand);
+  EXPECT_EQ(runner->metrics().delivered_cells(),
+            sim.metrics().delivered_cells());
+}
+
+}  // namespace
+}  // namespace sorn
