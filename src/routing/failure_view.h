@@ -21,6 +21,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "util/assert.h"
@@ -62,6 +63,13 @@ class FailureView {
 
   std::uint64_t failed_node_count() const { return failed_node_count_; }
   std::uint64_t failed_circuit_count() const { return failed_circuit_count_; }
+  // The currently failed directed circuits, sorted by (src, dst). Lets
+  // consumers (SlottedNetwork::heal_all, recovery sweeps) iterate exactly
+  // the failed set instead of scanning all N^2 pairs with
+  // is_circuit_failed — quadratic even when one circuit is down.
+  const std::vector<std::pair<NodeId, NodeId>>& failed_circuits() const {
+    return failed_circuit_list_;
+  }
   // Monotonic change counter; bumps once per state-changing mutation.
   std::uint64_t version() const { return version_; }
 
@@ -86,6 +94,11 @@ class FailureView {
     std::uint8_t& f = failed_circuits_[edge_index(src, dst)];
     if (f != 0) return false;
     f = 1;
+    const std::pair<NodeId, NodeId> edge{src, dst};
+    failed_circuit_list_.insert(
+        std::lower_bound(failed_circuit_list_.begin(),
+                         failed_circuit_list_.end(), edge),
+        edge);
     ++failed_circuit_count_;
     ++version_;
     return true;
@@ -94,6 +107,10 @@ class FailureView {
     std::uint8_t& f = failed_circuits_[edge_index(src, dst)];
     if (f == 0) return false;
     f = 0;
+    const std::pair<NodeId, NodeId> edge{src, dst};
+    failed_circuit_list_.erase(
+        std::lower_bound(failed_circuit_list_.begin(),
+                         failed_circuit_list_.end(), edge));
     --failed_circuit_count_;
     ++version_;
     return true;
@@ -106,6 +123,7 @@ class FailureView {
     std::fill(failed_nodes_.begin(), failed_nodes_.end(), std::uint8_t{0});
     std::fill(failed_circuits_.begin(), failed_circuits_.end(),
               std::uint8_t{0});
+    failed_circuit_list_.clear();
     failed_node_count_ = 0;
     failed_circuit_count_ = 0;
     ++version_;
@@ -121,6 +139,9 @@ class FailureView {
   NodeId n_ = 0;
   std::vector<std::uint8_t> failed_nodes_;
   std::vector<std::uint8_t> failed_circuits_;
+  // Sorted mirror of failed_circuits_ for O(failed) iteration; failures
+  // are rare, so the O(failed) sorted insert/erase never matters.
+  std::vector<std::pair<NodeId, NodeId>> failed_circuit_list_;
   std::uint64_t failed_node_count_ = 0;
   std::uint64_t failed_circuit_count_ = 0;
   std::uint64_t version_ = 0;

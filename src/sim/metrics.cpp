@@ -14,7 +14,8 @@ SimMetrics::SimMetrics(Picoseconds slot_duration,
 }
 
 void SimMetrics::on_inject(const Cell& cell, std::uint64_t flow_cells,
-                           std::uint64_t flow_bytes, int flow_class) {
+                           std::uint64_t flow_bytes, int flow_class,
+                           bool bulk) {
   ++injected_cells_;
   if (cell.flow == kNoFlow) return;
   auto [it, inserted] = open_flows_.try_emplace(cell.flow);
@@ -24,6 +25,7 @@ void SimMetrics::on_inject(const Cell& cell, std::uint64_t flow_cells,
     it->second.cells_remaining = flow_cells;
     it->second.bytes = flow_bytes;
     it->second.flow_class = flow_class;
+    it->second.bulk = bulk;
     it->second.src = cell.path.src();
     it->second.dst = cell.path.dst();
     it->second.delivered.assign(static_cast<std::size_t>(flow_cells), false);
@@ -89,6 +91,7 @@ std::vector<SimMetrics::StalledFlow> SimMetrics::collect_retransmits(
     sf.src = rec.src;
     sf.dst = rec.dst;
     sf.flow_class = rec.flow_class;
+    sf.bulk = rec.bulk;
     for (std::size_t s = 0; s < rec.delivered.size(); ++s) {
       if (!rec.delivered[s])
         sf.missing.push_back(static_cast<std::uint32_t>(s));

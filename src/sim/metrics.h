@@ -20,6 +20,10 @@ struct FlowRecord {
   // Caller-defined class (e.g. intra/inter-clique, short/bulk) used to
   // split FCT percentiles.
   int flow_class = 0;
+  // True when the flow was injected through the network's registered bulk
+  // router (SlottedNetwork::set_bulk_router); retransmissions must go back
+  // out through that router, not the primary path class.
+  bool bulk = false;
 
   // ---- End-host retransmission state ----
   NodeId src = 0;
@@ -49,6 +53,7 @@ class SimMetrics {
     NodeId src = 0;
     NodeId dst = 0;
     int flow_class = 0;
+    bool bulk = false;  // re-admit via the bulk router (FlowRecord::bulk)
     std::uint32_t attempt = 0;  // 1 on the first retransmission
     std::vector<std::uint32_t> missing;
   };
@@ -56,8 +61,11 @@ class SimMetrics {
   // slot_duration and per-hop propagation convert slot counts to wall time.
   SimMetrics(Picoseconds slot_duration, Picoseconds propagation_per_hop);
 
+  // `bulk` marks flows injected through the network's bulk router so
+  // their retransmissions can be routed back through it.
   void on_inject(const Cell& cell, std::uint64_t flow_cells,
-                 std::uint64_t flow_bytes, int flow_class = 0);
+                 std::uint64_t flow_bytes, int flow_class = 0,
+                 bool bulk = false);
   void on_forward() { ++forwarded_cells_; }
   void on_deliver(const Cell& cell, Slot now);
   void on_drop() { ++dropped_cells_; }

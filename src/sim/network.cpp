@@ -36,6 +36,10 @@ void SlottedNetwork::inject_flow_with(const Router& router, FlowId flow,
   SORN_ASSERT(!in_parallel_sweep_, "inject during parallel sweep");
   const std::uint64_t cells =
       (bytes + config_.cell_bytes - 1) / config_.cell_bytes;
+  // Remember which path class injected the flow: stalled cells must be
+  // retransmitted through the same router (a bulk flow re-routed onto the
+  // short-flow path class would jump queues and skew both path classes).
+  const bool bulk = bulk_router_ != nullptr && &router == bulk_router_;
   if (telemetry_ != nullptr)
     telemetry_->on_flow_inject(now_, flow, src, dst, bytes, flow_class);
   for (std::uint64_t c = 0; c < cells; ++c) {
@@ -53,7 +57,7 @@ void SlottedNetwork::inject_flow_with(const Router& router, FlowId flow,
     cell.hop = 0;
     cell.inject_slot = now_;
     cell.ready_slot = now_;
-    metrics_.on_inject(cell, cells, bytes, flow_class);
+    metrics_.on_inject(cell, cells, bytes, flow_class, bulk);
     if (!voqs_.try_push(cell, config_.max_queue_cells)) drop(cell);
   }
 }
@@ -286,12 +290,12 @@ std::uint64_t SlottedNetwork::heal_all() {
   std::uint64_t healed = 0;
   for (NodeId i = 0; i < n_; ++i)
     if (failures_.is_node_failed(i)) healed += heal_node(i) ? 1 : 0;
-  if (failures_.failed_circuit_count() > 0) {
-    for (NodeId s = 0; s < n_; ++s)
-      for (NodeId d = 0; d < n_; ++d)
-        if (failures_.is_circuit_failed(s, d))
-          healed += heal_circuit(s, d) ? 1 : 0;
-  }
+  // Iterate a copy of the failed set (heal_circuit mutates it). The set
+  // is sorted by (src, dst), so telemetry fires in the same order the old
+  // all-pairs scan produced — without the O(N^2) sweep.
+  const std::vector<std::pair<NodeId, NodeId>> failed =
+      failures_.failed_circuits();
+  for (const auto& [s, d] : failed) healed += heal_circuit(s, d) ? 1 : 0;
   return healed;
 }
 
@@ -306,11 +310,17 @@ std::uint64_t SlottedNetwork::retransmit_stalled(
                                    policy.max_attempts);
   std::uint64_t cells = 0;
   for (const SimMetrics::StalledFlow& sf : stalled) {
+    // Bulk-classified flows were injected via the bulk router
+    // (inject_flow_with) and must be re-admitted through it: the two
+    // routers are different path classes (Opera: bulk rides the direct
+    // rotation circuit), not interchangeable load-balancers.
+    const Router& router =
+        sf.bulk && bulk_router_ != nullptr ? *bulk_router_ : *router_;
     for (const std::uint32_t seq : sf.missing) {
       Cell cell;
       cell.flow = sf.flow;
       cell.seq = seq;
-      cell.path = router_->route(sf.src, sf.dst, now_, rng_);
+      cell.path = router.route(sf.src, sf.dst, now_, rng_);
       cell.hop = 0;
       cell.inject_slot = now_;  // copy latency; FCT uses the flow record
       cell.ready_slot = now_;

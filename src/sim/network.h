@@ -64,6 +64,15 @@ class SlottedNetwork {
   void inject_flow_with(const Router& router, FlowId flow, NodeId src,
                         NodeId dst, std::uint64_t bytes, int flow_class = 0);
 
+  // Register the secondary (bulk) router so the network can recognize
+  // bulk-class injections and retransmit their stalled cells through the
+  // same path class (retransmit_stalled). Callers that split traffic
+  // (WorkloadDriver::set_bulk_router) register it before injecting;
+  // nullptr disables the split. Borrowed; must outlive the network or be
+  // cleared first.
+  void set_bulk_router(const Router* bulk) { bulk_router_ = bulk; }
+  const Router* bulk_router() const { return bulk_router_; }
+
   // Inject a single anonymous cell (saturation sources).
   void inject_cell(NodeId src, NodeId dst);
 
@@ -166,6 +175,9 @@ class SlottedNetwork {
 
   const CircuitSchedule* schedule_;
   const Router* router_;
+  // Secondary path class for bulk-classified flows; flows injected
+  // through it retransmit through it (see retransmit_stalled).
+  const Router* bulk_router_ = nullptr;
   NetworkConfig config_;
   NodeId n_;
   Slot now_ = 0;

@@ -7,50 +7,89 @@
 namespace sorn {
 
 VoqSet::VoqSet(NodeId nodes)
-    : n_(nodes),
-      queues_(static_cast<std::size_t>(nodes) * static_cast<std::size_t>(nodes)),
-      per_node_count_(static_cast<std::size_t>(nodes), 0) {
+    : n_(nodes), nodes_(static_cast<std::size_t>(nodes)) {
   SORN_ASSERT(nodes > 0, "VOQ set needs at least one node");
 }
 
 void VoqSet::push(const Cell& cell) {
   SORN_ASSERT(!cell.at_destination(), "delivered cells must not be queued");
   const NodeId node = cell.current();
-  queues_[index(node, cell.next_hop())].push_back(cell);
-  ++per_node_count_[static_cast<std::size_t>(node)];
+  const NodeId hop = cell.next_hop();
+  NodeQueues& nq = nodes_[static_cast<std::size_t>(node)];
+  auto it = std::lower_bound(
+      nq.occupied.begin(), nq.occupied.end(), hop,
+      [](const Voq& v, NodeId key) { return v.next_hop < key; });
+  if (it == nq.occupied.end() || it->next_hop != hop) {
+    it = nq.occupied.insert(it, Voq{});
+    it->next_hop = hop;
+  }
+  it->fifo.push_back(cell);
+  ++nq.count;
   ++total_;
 }
 
 bool VoqSet::try_push(const Cell& cell, std::uint64_t cap) {
-  if (cap > 0 &&
-      queues_[index(cell.current(), cell.next_hop())].size() >= cap)
+  if (cap > 0 && size_of(cell.current(), cell.next_hop()) >= cap)
     return false;
   push(cell);
   return true;
 }
 
+const std::deque<Cell>* VoqSet::find(NodeId node, NodeId next_hop) const {
+  const NodeQueues& nq = nodes_[static_cast<std::size_t>(node)];
+  const auto it = std::lower_bound(
+      nq.occupied.begin(), nq.occupied.end(), next_hop,
+      [](const Voq& v, NodeId key) { return v.next_hop < key; });
+  if (it == nq.occupied.end() || it->next_hop != next_hop) return nullptr;
+  return &it->fifo;
+}
+
 const Cell* VoqSet::peek(NodeId node, NodeId next_hop, Slot now) const {
-  const auto& q = queues_[index(node, next_hop)];
-  if (q.empty() || q.front().ready_slot > now) return nullptr;
-  return &q.front();
+  const std::deque<Cell>* q = find(node, next_hop);
+  if (q == nullptr || q->front().ready_slot > now) return nullptr;
+  return &q->front();
+}
+
+std::uint64_t VoqSet::size_of(NodeId node, NodeId next_hop) const {
+  const std::deque<Cell>* q = find(node, next_hop);
+  return q == nullptr ? 0 : q->size();
+}
+
+void VoqSet::pop_impl(NodeId node, NodeId next_hop) {
+  NodeQueues& nq = nodes_[static_cast<std::size_t>(node)];
+  const auto it = std::lower_bound(
+      nq.occupied.begin(), nq.occupied.end(), next_hop,
+      [](const Voq& v, NodeId key) { return v.next_hop < key; });
+  SORN_ASSERT(it != nq.occupied.end() && it->next_hop == next_hop,
+              "pop from empty VOQ");
+  it->fifo.pop_front();
+  if (it->fifo.empty()) nq.occupied.erase(it);
+  --nq.count;
 }
 
 void VoqSet::pop(NodeId node, NodeId next_hop) {
-  pop_sharded(node, next_hop);
+  pop_impl(node, next_hop);
   --total_;
 }
 
 void VoqSet::pop_sharded(NodeId node, NodeId next_hop) {
-  auto& q = queues_[index(node, next_hop)];
-  SORN_ASSERT(!q.empty(), "pop from empty VOQ");
-  q.pop_front();
-  --per_node_count_[static_cast<std::size_t>(node)];
+  pop_impl(node, next_hop);
 }
 
 std::uint64_t VoqSet::max_queue_depth() const {
   std::uint64_t depth = 0;
-  for (const auto& q : queues_) depth = std::max<std::uint64_t>(depth, q.size());
+  for (const NodeQueues& nq : nodes_) {
+    if (nq.count == 0) continue;
+    for (const Voq& v : nq.occupied)
+      depth = std::max<std::uint64_t>(depth, v.fifo.size());
+  }
   return depth;
+}
+
+std::uint64_t VoqSet::occupied_queues() const {
+  std::uint64_t queues = 0;
+  for (const NodeQueues& nq : nodes_) queues += nq.occupied.size();
+  return queues;
 }
 
 }  // namespace sorn

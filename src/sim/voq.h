@@ -1,9 +1,25 @@
-// Per-node virtual output queues.
+// Per-node virtual output queues, stored sparsely.
 //
 // Each node keeps one FIFO per next-hop neighbor (the NIC state of the
 // paper's Fig. 2c). Cells are enqueued with a ready slot; because every
 // enqueue uses the same fixed delay, FIFO order coincides with ready order
 // and only the head needs checking.
+//
+// Storage is per-node and sparse: a node owns a small sorted index of its
+// *occupied* queues (next-hop -> FIFO), created on first push and erased
+// when drained. Memory is O(nodes + occupied queues) instead of the dense
+// N x N deque array the simulator started with — at the paper's Table-1
+// scale (N = 4096) the dense layout alone was ~16.7M empty deques, several
+// gigabytes of overhead before the first cell moved. total_queued() is O(1)
+// and max_queue_depth() scans only occupied queues (O(active)), so
+// telemetry sampling no longer pays an O(N^2) sweep per sample.
+//
+// Thread contract (sim/parallel.h): shards of the parallel sweep own
+// disjoint node ranges and only peek()/pop_sharded() their own nodes.
+// All state a pop touches — the node's queue index and its cell count —
+// is per-node, so sharded pops stay race-free; the one global, total_,
+// is deliberately NOT updated by pop_sharded and is settled once per lane
+// by the coordinating thread (settle_total).
 #pragma once
 
 #include <cstdint>
@@ -17,7 +33,8 @@ namespace sorn {
 
 class VoqSet {
  public:
-  // Queues for `nodes` nodes, one per possible next hop.
+  // Queues for `nodes` nodes, one per possible next hop, materialized
+  // lazily on first use.
   explicit VoqSet(NodeId nodes);
 
   void push(const Cell& cell);
@@ -27,7 +44,8 @@ class VoqSet {
   bool try_push(const Cell& cell, std::uint64_t cap);
 
   // Head cell queued at `node` for `next_hop` if transmittable at `now`,
-  // else nullptr. Does not pop.
+  // else nullptr. Does not pop. The pointer is valid until the next
+  // mutation of this (node, next_hop) queue.
   const Cell* peek(NodeId node, NodeId next_hop, Slot now) const;
   void pop(NodeId node, NodeId next_hop);
 
@@ -38,25 +56,38 @@ class VoqSet {
   void pop_sharded(NodeId node, NodeId next_hop);
   void settle_total(std::uint64_t pops) { total_ -= pops; }
   // Raw FIFO depth, for the merge phase's sequential-order capacity check.
-  std::uint64_t size_of(NodeId node, NodeId next_hop) const {
-    return queues_[index(node, next_hop)].size();
-  }
+  // 0 when the queue is not materialized.
+  std::uint64_t size_of(NodeId node, NodeId next_hop) const;
 
   std::uint64_t queued_at(NodeId node) const {
-    return per_node_count_[static_cast<std::size_t>(node)];
+    return nodes_[static_cast<std::size_t>(node)].count;
   }
   std::uint64_t total_queued() const { return total_; }
+  // Deepest occupied FIFO; O(occupied queues), not O(N^2).
   std::uint64_t max_queue_depth() const;
+  // Number of occupied (node, next-hop) queues right now; O(nodes).
+  std::uint64_t occupied_queues() const;
 
  private:
-  std::size_t index(NodeId node, NodeId next_hop) const {
-    return static_cast<std::size_t>(node) * static_cast<std::size_t>(n_) +
-           static_cast<std::size_t>(next_hop);
-  }
+  // One occupied queue of a node. The index stays sorted by next_hop and
+  // holds only non-empty FIFOs (entries are erased when drained), so a
+  // node's memory tracks its live fan-out, not the full N next hops.
+  struct Voq {
+    NodeId next_hop = 0;
+    std::deque<Cell> fifo;
+  };
+  struct NodeQueues {
+    std::vector<Voq> occupied;  // sorted by next_hop; every fifo non-empty
+    std::uint64_t count = 0;    // cells queued at this node
+  };
+
+  // Sorted-index lookup; nullptr when (node, next_hop) is unoccupied.
+  const std::deque<Cell>* find(NodeId node, NodeId next_hop) const;
+  // Shared pop path: FIFO head removal, erase-on-empty, per-node count.
+  void pop_impl(NodeId node, NodeId next_hop);
 
   NodeId n_;
-  std::vector<std::deque<Cell>> queues_;
-  std::vector<std::uint64_t> per_node_count_;
+  std::vector<NodeQueues> nodes_;
   std::uint64_t total_ = 0;
 };
 

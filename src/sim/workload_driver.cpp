@@ -32,6 +32,9 @@ void WorkloadDriver::before_step(SlottedNetwork& network) {
 
 void WorkloadDriver::run_until(SlottedNetwork& network, Picoseconds horizon,
                                Slot drain_slots) {
+  // Register the bulk router so bulk-class injections are flagged and
+  // retransmit_stalled re-routes them through the same path class.
+  network.set_bulk_router(bulk_router_);
   const Picoseconds slot_ps = network.config().slot_duration;
   while (network.now() * slot_ps < horizon) {
     const Picoseconds slot_start = network.now() * slot_ps;

@@ -6,14 +6,20 @@ namespace sorn {
 
 Matching::Matching(std::vector<NodeId> dst_map) : dst_(std::move(dst_map)) {
   const auto n = static_cast<NodeId>(dst_.size());
-  inv_.assign(dst_.size(), kNoNode);
+  std::vector<bool> seen(dst_.size(), false);
   for (NodeId i = 0; i < n; ++i) {
     const NodeId d = dst_[static_cast<std::size_t>(i)];
     SORN_ASSERT(d >= 0 && d < n, "matching destination out of range");
-    SORN_ASSERT(inv_[static_cast<std::size_t>(d)] == kNoNode,
+    SORN_ASSERT(!seen[static_cast<std::size_t>(d)],
                 "matching destination map is not a permutation");
-    inv_[static_cast<std::size_t>(d)] = i;
+    seen[static_cast<std::size_t>(d)] = true;
   }
+}
+
+NodeId Matching::src_of(NodeId dst) const {
+  for (NodeId i = 0; i < size(); ++i)
+    if (dst_of(i) == dst) return i;
+  return kNoNode;
 }
 
 Matching Matching::idle(NodeId n) {

@@ -30,7 +30,11 @@ class Matching {
 
   NodeId size() const { return static_cast<NodeId>(dst_.size()); }
   NodeId dst_of(NodeId src) const { return dst_[static_cast<std::size_t>(src)]; }
-  NodeId src_of(NodeId dst) const { return inv_[static_cast<std::size_t>(dst)]; }
+  // O(n) scan: the inverse permutation is not stored. A schedule keeps one
+  // Matching per slot, and at Table-1 scale (N = 4096, period ~24k slots)
+  // a stored inverse doubles hundreds of megabytes of schedule state for a
+  // lookup nothing on the simulator hot path needs.
+  NodeId src_of(NodeId dst) const;
   bool is_idle(NodeId node) const { return dst_of(node) == node; }
 
   // True when no node is idle (a perfect matching of transmitters to
@@ -44,7 +48,6 @@ class Matching {
 
  private:
   std::vector<NodeId> dst_;
-  std::vector<NodeId> inv_;
 };
 
 }  // namespace sorn

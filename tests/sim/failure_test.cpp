@@ -3,6 +3,9 @@
 // stranded cells.
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "routing/sorn_routing.h"
 #include "routing/vlb.h"
 #include "sim/network.h"
@@ -48,6 +51,59 @@ TEST(FailureTest, HealResumesStrandedCells) {
   net.heal_circuit(0, 2);
   net.run(10);
   EXPECT_EQ(net.metrics().delivered_cells(), 1u);
+}
+
+TEST(FailureTest, FailedCircuitListMirrorsBitmap) {
+  // FailureView keeps a sorted list of failed circuits alongside the dense
+  // bitmap so consumers (heal_all, recovery sweeps) can iterate exactly
+  // the failed set instead of scanning all N^2 pairs.
+  FailureView view(6);
+  EXPECT_TRUE(view.failed_circuits().empty());
+
+  // Insert out of sorted order; the list must come back sorted by (s, d).
+  view.fail_circuit(4, 1);
+  view.fail_circuit(0, 3);
+  view.fail_circuit(4, 0);
+  const std::vector<std::pair<NodeId, NodeId>> expected{
+      {0, 3}, {4, 0}, {4, 1}};
+  EXPECT_EQ(view.failed_circuits(), expected);
+
+  // Idempotent re-failure must not duplicate the entry.
+  EXPECT_FALSE(view.fail_circuit(0, 3));
+  EXPECT_EQ(view.failed_circuits().size(), 3u);
+
+  view.heal_circuit(4, 0);
+  const std::vector<std::pair<NodeId, NodeId>> after{{0, 3}, {4, 1}};
+  EXPECT_EQ(view.failed_circuits(), after);
+  EXPECT_FALSE(view.is_circuit_failed(4, 0));
+  EXPECT_TRUE(view.is_circuit_failed(4, 1));
+
+  view.heal_all();
+  EXPECT_TRUE(view.failed_circuits().empty());
+  EXPECT_FALSE(view.any_failures());
+}
+
+TEST(FailureTest, HealAllHealsEveryEntityAndResumesTraffic) {
+  const CircuitSchedule s = ScheduleBuilder::round_robin(6);
+  const DirectRouter router;
+  SlottedNetwork net(&s, &router, fast_config());
+  net.fail_node(3);
+  net.fail_circuit(0, 2);
+  net.fail_circuit(4, 5);
+  net.inject_cell(0, 2);
+  net.inject_cell(4, 5);
+  net.inject_cell(1, 3);
+  net.run(20);
+  EXPECT_EQ(net.metrics().delivered_cells(), 0u);
+  EXPECT_EQ(net.cells_in_flight(), 3u);
+
+  EXPECT_EQ(net.heal_all(), 3u) << "one node + two circuits";
+  EXPECT_FALSE(net.is_failed(3));
+  EXPECT_FALSE(net.is_circuit_failed(0, 2));
+  EXPECT_FALSE(net.is_circuit_failed(4, 5));
+  net.run(20);
+  EXPECT_EQ(net.metrics().delivered_cells(), 3u);
+  EXPECT_EQ(net.heal_all(), 0u) << "idempotent on a healthy network";
 }
 
 TEST(FailureTest, FailedNodeNeitherSendsNorReceives) {

@@ -156,6 +156,59 @@ Artifacts run_failures(int threads) {
   return out;
 }
 
+// Table-1-scale sharding: N = 1024 with bounded queues under a drop-heavy
+// load and a mid-run schedule/router swap. At this size every thread count
+// carves the node range into different shard boundaries than the small-N
+// scenarios, and the sparse VOQ layout (lazily materialized queues, erased
+// on drain) is hit with ~10^6 distinct (node, next-hop) queues — the merge
+// phase's capacity reconstruction must still replay the sequential order
+// exactly.
+Artifacts run_large_reconfigure(int threads) {
+  constexpr NodeId kNodes = 1024;
+  const CircuitSchedule rr = ScheduleBuilder::round_robin(kNodes);
+  const VlbRouter vlb(&rr, LbMode::kRandom);
+  const CircuitSchedule rotor =
+      ScheduleBuilder::rotor_random(kNodes, /*dwell_slots=*/1, /*seed=*/77);
+  const VlbRouter vlb_rotor(&rotor, LbMode::kRandom);
+  NetworkConfig config;
+  config.propagation_per_hop = 0;
+  config.max_queue_cells = 2;
+  SlottedNetwork net(&rr, &vlb, config);
+  net.set_threads(threads);
+
+  Telemetry telemetry(TelemetryOptions{.sample_every = 25});
+  MemoryTraceSink sink;
+  telemetry.set_trace_sink(&sink);
+  net.set_telemetry(&telemetry);
+
+  Rng rng(13);
+  for (int round = 0; round < 300; ++round) {
+    if (round == 150) net.reconfigure(&rotor, &vlb_rotor);
+    // 2x the per-slot service rate: queues build toward the cap and
+    // tail-drop, with circuits to any given next hop ~1000 slots apart.
+    for (int k = 0; k < 2048; ++k) {
+      const auto src = static_cast<NodeId>(rng.next_below(kNodes));
+      auto dst = static_cast<NodeId>(rng.next_below(kNodes));
+      if (dst == src) dst = (dst + 1) % kNodes;
+      net.inject_cell(src, dst);
+    }
+    net.step();
+  }
+  net.run(400);
+
+  Artifacts out;
+  ExportOptions eopts;
+  eopts.nodes = kNodes;
+  out.metrics_json = run_to_json(net.metrics(), &telemetry, eopts);
+  out.timeseries_csv = telemetry.timeseries()->to_csv();
+  out.trace_lines = sink.lines();
+  out.delivered = net.metrics().delivered_cells();
+  out.dropped = net.metrics().dropped_cells();
+  out.forwarded = net.metrics().forwarded_cells();
+  out.in_flight = net.cells_in_flight();
+  return out;
+}
+
 // Stochastic fault injection + failure-aware routing + end-host
 // retransmission, the full fault pipeline of this PR. All fault RNG is
 // drawn on the coordinating thread (FaultInjector::tick via the driver's
@@ -260,6 +313,19 @@ TEST(ParallelEquivalenceTest, FaultInjectionArtifactsAreByteIdentical) {
   EXPECT_TRUE(saw_fault_event) << "faults must appear in the trace";
   for (const int threads : {4, 7})
     expect_identical(base, run_faulted_workload(threads), threads);
+}
+
+// Acceptance criterion of the sparse-VOQ PR: large-N artifacts (drops +
+// mid-run reconfigure) byte-identical at 1 vs 2 vs 7 threads.
+TEST(ParallelEquivalenceTest, LargeNReconfigureArtifactsAreByteIdentical) {
+  const Artifacts base = run_large_reconfigure(1);
+  ASSERT_GT(base.dropped, 0u) << "scenario must exercise tail drops";
+  ASSERT_GT(base.forwarded, 0u);
+  ASSERT_GT(base.delivered, 0u);
+  for (const int threads : kThreadCounts) {
+    if (threads == 1) continue;
+    expect_identical(base, run_large_reconfigure(threads), threads);
+  }
 }
 
 TEST(ParallelEquivalenceTest, FailuresShardIdentically) {

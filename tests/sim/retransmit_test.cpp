@@ -8,10 +8,16 @@
 // when both an original and its retransmitted copy arrive.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "routing/sorn_routing.h"
 #include "routing/vlb.h"
 #include "sim/network.h"
+#include "sim/workload_driver.h"
 #include "topo/schedule_builder.h"
+#include "traffic/arrivals.h"
+#include "traffic/flow_size.h"
+#include "traffic/patterns.h"
 
 namespace sorn {
 namespace {
@@ -28,6 +34,23 @@ class DirectRouter : public Router {
     return Path::of({src, dst});
   }
   int max_hops() const override { return 1; }
+};
+
+// Delegates to an inner router and tallies route() calls, so tests can
+// prove which path class served an injection or a retransmission.
+class CountingRouter : public Router {
+ public:
+  explicit CountingRouter(const Router* inner) : inner_(inner) {}
+  Path route(NodeId src, NodeId dst, Slot now, Rng& rng) const override {
+    ++calls_;
+    return inner_->route(src, dst, now, rng);
+  }
+  int max_hops() const override { return inner_->max_hops(); }
+  std::uint64_t calls() const { return calls_; }
+
+ private:
+  const Router* inner_;
+  mutable std::uint64_t calls_ = 0;
 };
 
 // Step `slots` slots, running the stall detector every `check` slots.
@@ -149,6 +172,78 @@ TEST(RetransmitTest, ReceiverDedupKeepsFlowAccountingExact) {
   EXPECT_EQ(net.metrics().injected_cells(),
             net.metrics().delivered_cells() + net.metrics().dropped_cells() +
                 net.cells_in_flight());
+}
+
+TEST(RetransmitTest, BulkFlowsRetransmitThroughBulkRouter) {
+  // Regression: retransmit_stalled used to re-route every stalled flow
+  // through the primary router, even flows that were injected through the
+  // bulk router (Opera's short/bulk split). Bulk flows must retransmit
+  // through the bulk path class.
+  const CircuitSchedule s = ScheduleBuilder::round_robin(4);
+  const DirectRouter direct;
+  const CountingRouter primary(&direct);
+  const CountingRouter bulk(&direct);
+  SlottedNetwork net(&s, &primary, fast_config());
+  net.set_bulk_router(&bulk);
+
+  // Both destinations are down, so both flows stall and retransmit.
+  net.fail_node(2);
+  net.fail_node(3);
+  net.inject_flow_with(bulk, /*flow=*/1, /*src=*/0, /*dst=*/2,
+                       /*bytes=*/2 * 256);
+  net.inject_flow(/*flow=*/2, /*src=*/0, /*dst=*/3, /*bytes=*/2 * 256);
+  EXPECT_EQ(bulk.calls(), 2u);
+  EXPECT_EQ(primary.calls(), 2u);
+
+  // One retransmission round: 2 missing cells per flow re-routed.
+  net.run(64);
+  const std::uint64_t readmitted =
+      net.retransmit_stalled({/*timeout_slots=*/16, /*max_attempts=*/1});
+  EXPECT_EQ(readmitted, 4u);
+  EXPECT_EQ(bulk.calls(), 4u) << "bulk flow must re-route via bulk router";
+  EXPECT_EQ(primary.calls(), 4u)
+      << "short flow must re-route via primary router";
+}
+
+TEST(RetransmitTest, OperaSplitFaultBlastRetransmitsBulkViaBulkPaths) {
+  // Driver-level flavor of the same regression: an Opera-style split where
+  // every flow classifies as bulk (cutoff below the fixed flow size), plus
+  // a mid-run fault blast that strands traffic and triggers the stall
+  // detector. The primary router must never be consulted — not at
+  // injection, and (the regression) not at retransmission either.
+  const CircuitSchedule s = ScheduleBuilder::round_robin(8);
+  const VlbRouter vlb(&s, LbMode::kFirstAvailable);
+  const DirectRouter direct;
+  const CountingRouter primary(&vlb);
+  const CountingRouter bulk(&direct);
+  NetworkConfig config = fast_config();
+  SlottedNetwork net(&s, &primary, config);
+
+  const TrafficMatrix tm = patterns::uniform(8);
+  const FlowSizeDist sizes = FlowSizeDist::fixed(4 * 256);
+  const double node_bw =
+      static_cast<double>(config.cell_bytes) * 8.0 /
+      (static_cast<double>(config.slot_duration) * 1e-12);
+  FlowArrivals arrivals(&tm, &sizes, node_bw, /*load=*/0.2, Rng(11));
+  WorkloadDriver driver(&arrivals);
+  driver.set_bulk_router(&bulk, /*cutoff_bytes=*/1);
+  driver.set_retransmit({/*timeout_slots=*/32, /*max_attempts=*/8,
+                         /*check_every=*/8});
+  // Fault blast: node 5 dies early and heals late, so flows toward it
+  // stall long enough for at least one retransmission round.
+  driver.set_slot_hook([](SlottedNetwork& n, Slot now) {
+    if (now == 50) n.fail_node(5);
+    if (now == 800) n.heal_node(5);
+  });
+  driver.run_until(net, 1000 * config.slot_duration, 4000);
+
+  EXPECT_EQ(net.bulk_router(), &bulk) << "driver must register the split";
+  EXPECT_GT(net.metrics().retransmit_events(), 0u) << "blast must stall flows";
+  EXPECT_GT(bulk.calls(), 0u);
+  EXPECT_EQ(primary.calls(), 0u)
+      << "all-bulk traffic must never touch the primary router, including "
+         "retransmissions";
+  EXPECT_EQ(net.metrics().open_flows(), 0u) << "every flow recovers";
 }
 
 TEST(RetransmitTest, BackoffCapsAttempts) {

@@ -1,0 +1,126 @@
+// Golden N=128 metrics pinned across the VOQ storage migration.
+//
+// The values below were captured from the dense N x N VoqSet layout
+// (one deque per (node, next-hop) pair) immediately before it was
+// replaced by the sparse per-node layout. The sparse layout must be
+// observationally identical — same FIFO semantics, same capacity
+// checks, same max-depth gauge — so every number here is required to
+// survive the migration bit-for-bit. Any change to these values means
+// the VOQ storage changed simulator behavior, not just its memory
+// footprint.
+//
+// The scenario deliberately exercises every VoqSet entry point: two
+// lanes (phase-shifted sweeps), bounded queues under overload
+// (try_push refusals + the parallel merge's size_of reconstruction),
+// multi-hop relaying (push after pop), and decimated telemetry
+// sampling (max_queue_depth).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/sorn.h"
+#include "obs/export.h"
+#include "obs/telemetry.h"
+#include "sim/workload_driver.h"
+#include "traffic/flow_size.h"
+#include "traffic/patterns.h"
+
+namespace sorn {
+namespace {
+
+struct GoldenRun {
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t completed_flows = 0;
+  double mean_hops = 0.0;
+  double cell_lat_p50_ps = 0.0;
+  std::uint64_t max_depth_seen = 0;  // max over sampled max_voq_depth
+  std::vector<std::string> csv_rows;
+  std::string metrics_json;
+};
+
+GoldenRun run_n128(int threads) {
+  SornConfig cfg;
+  cfg.nodes = 128;
+  cfg.cliques = 8;
+  cfg.locality_x = 0.5;
+  cfg.propagation_per_hop = 0;
+  const SornNetwork net = SornNetwork::build(cfg);
+
+  NetworkConfig ncfg;
+  ncfg.lanes = 2;
+  ncfg.propagation_per_hop = 0;
+  ncfg.max_queue_cells = 8;  // overload must tail-drop
+  SlottedNetwork sim(&net.schedule(), &net.router(), ncfg);
+  sim.set_threads(threads);
+
+  Telemetry telemetry(TelemetryOptions{.sample_every = 25});
+  sim.set_telemetry(&telemetry);
+
+  const TrafficMatrix tm = patterns::locality_mix(net.cliques(), 0.5);
+  const FlowSizeDist sizes = FlowSizeDist::fixed(2560);  // 10 cells per flow
+  const double node_bw =
+      static_cast<double>(sim.config().cell_bytes) * 8.0 /
+      (static_cast<double>(sim.config().slot_duration) * 1e-12);
+  FlowArrivals arrivals(&tm, &sizes, node_bw, /*load=*/0.9, Rng(3));
+  WorkloadDriver driver(&arrivals);
+  driver.run_until(sim, 3000 * sim.config().slot_duration, 2000);
+
+  GoldenRun out;
+  out.injected = sim.metrics().injected_cells();
+  out.delivered = sim.metrics().delivered_cells();
+  out.dropped = sim.metrics().dropped_cells();
+  out.forwarded = sim.metrics().forwarded_cells();
+  out.completed_flows = sim.metrics().completed_flows();
+  out.mean_hops = sim.metrics().mean_hops();
+  out.cell_lat_p50_ps = sim.metrics().cell_latency_ps().percentile(50.0);
+  for (const SlotSample& s : telemetry.timeseries()->samples())
+    out.max_depth_seen = std::max(out.max_depth_seen, s.max_voq_depth);
+  const std::string csv = telemetry.timeseries()->to_csv();
+  std::size_t start = 0;
+  while (start < csv.size()) {
+    std::size_t end = csv.find('\n', start);
+    if (end == std::string::npos) end = csv.size();
+    out.csv_rows.push_back(csv.substr(start, end - start));
+    start = end + 1;
+  }
+  ExportOptions eopts;
+  eopts.nodes = cfg.nodes;
+  eopts.lanes = ncfg.lanes;
+  out.metrics_json = run_to_json(sim.metrics(), &telemetry, eopts);
+  return out;
+}
+
+TEST(VoqGoldenTest, N128MetricsMatchDenseLayoutCapture) {
+  const GoldenRun run = run_n128(1);
+  EXPECT_EQ(run.injected, 346690u);
+  EXPECT_EQ(run.delivered, 295880u);
+  EXPECT_EQ(run.dropped, 50480u);
+  EXPECT_EQ(run.forwarded, 452467u);
+  EXPECT_EQ(run.completed_flows, 10727u);
+  EXPECT_NEAR(run.mean_hops, 2.435937, 1e-6);
+  EXPECT_DOUBLE_EQ(run.cell_lat_p50_ps, 12600000.0);
+  EXPECT_EQ(run.max_depth_seen, 8u);  // queues saturate at the cap
+  // Two decimated telemetry rows pinned verbatim: the max_voq_depth
+  // column is the O(active)-scan gauge the migration reimplemented.
+  ASSERT_GT(run.csv_rows.size(), 60u);
+  EXPECT_EQ(run.csv_rows[40], "975,2810,2146,402,3499,26221,8,8448");
+  EXPECT_EQ(run.csv_rows[60], "1475,2800,2131,427,3610,32358,8,12922");
+}
+
+TEST(VoqGoldenTest, N128ArtifactsIdenticalAcrossThreadCounts) {
+  const GoldenRun one = run_n128(1);
+  ASSERT_GT(one.dropped, 0u) << "scenario must exercise tail drops";
+  ASSERT_GT(one.forwarded, 0u);
+  for (const int threads : {4, 7}) {
+    const GoldenRun other = run_n128(threads);
+    EXPECT_EQ(one.metrics_json, other.metrics_json) << threads;
+    EXPECT_EQ(one.csv_rows, other.csv_rows) << threads;
+  }
+}
+
+}  // namespace
+}  // namespace sorn
