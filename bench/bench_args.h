@@ -5,10 +5,35 @@
 // historical include path and namespace for the benches.
 #pragma once
 
+#include <string>
+
 #include "util/args.h"
 
 namespace sorn::bench {
 
 using ArgParser = ::sorn::ArgParser;
+
+// Shared --profile / --profile-json wiring (obs/prof). Every bench that
+// drives a ScenarioConfig parses these the same way; a non-empty
+// --profile-json implies --profile.
+struct ProfileOptions {
+  bool enabled = false;
+  std::string json_path;
+};
+
+inline ProfileOptions parse_profile_options(ArgParser& args) {
+  ProfileOptions p;
+  p.json_path = args.get_string("--profile-json", "");
+  p.enabled = args.get_flag("--profile") || !p.json_path.empty();
+  return p;
+}
+
+// Apply to any config with `profile` / `profile_json_path` members
+// (ScenarioConfig; templated so this header needs no scenario include).
+template <typename Config>
+inline void apply_profile(const ProfileOptions& p, Config& cfg) {
+  if (p.enabled) cfg.profile = true;
+  if (!p.json_path.empty()) cfg.profile_json_path = p.json_path;
+}
 
 }  // namespace sorn::bench

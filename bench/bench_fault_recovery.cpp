@@ -21,7 +21,9 @@
 // Exits nonzero if throughput never recovers or any flow is left
 // permanently stalled (open at the end of the drain) — the acceptance
 // gate for the fault-injection subsystem. With --json the summary is
-// written machine-readably.
+// written machine-readably. --profile / --profile-json attach the
+// self-profiler (phase timers land the fault tick under fault_tick and
+// the window sampler under slot_hook).
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -51,6 +53,7 @@ int main(int argc, char** argv) {
   const Slot timeout = args.get_long("--retransmit-timeout", 512, 1);
   const int threads = static_cast<int>(
       args.get_long("--threads", ThreadPool::default_threads(), 1));
+  const bench::ProfileOptions popts = bench::parse_profile_options(args);
   args.finish();
   if (heal_slot <= fail_slot || slots <= heal_slot) {
     std::fprintf(stderr,
@@ -88,6 +91,7 @@ int main(int argc, char** argv) {
   cfg.slots = slots;
   cfg.retransmit_timeout = timeout;
   cfg.overrides.fault_script = &script;
+  bench::apply_profile(popts, cfg);
 
   std::string error;
   auto runner = ScenarioRunner::create(cfg, &error);
@@ -198,6 +202,8 @@ int main(int argc, char** argv) {
   table.print();
 
   if (!json_path.empty()) {
+    // Everything in "metrics" here is simulator-deterministic (same seed,
+    // same windows), so check_bench.py compares it near-exactly.
     const std::string doc = format(
         "{\"bench\": \"bench_fault_recovery\", \"nodes\": %d, "
         "\"blast_nodes\": %d, \"fail_slot\": %lld, \"heal_slot\": %lld, "
@@ -205,7 +211,10 @@ int main(int argc, char** argv) {
         "\"recovered\": %s, \"time_to_recover_slots\": %lld, "
         "\"retransmit_events\": %llu, \"retransmitted_cells\": %llu, "
         "\"duplicate_cells\": %llu, \"recovered_flows\": %llu, "
-        "\"open_flows\": %llu}\n",
+        "\"open_flows\": %llu, \"metrics\": "
+        "{\"pre_fault_cells_per_window\": %.2f, \"dip_frac\": %.4f, "
+        "\"recovered\": %d, \"time_to_recover_slots\": %lld, "
+        "\"retransmitted_cells\": %llu, \"open_flows\": %llu}}\n",
         nodes, blast, static_cast<long long>(fail_slot),
         static_cast<long long>(heal_slot), pre_fault, dip_frac,
         recovered ? "true" : "false",
@@ -214,6 +223,9 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(metrics.retransmitted_cells()),
         static_cast<unsigned long long>(metrics.duplicate_cells()),
         static_cast<unsigned long long>(metrics.recovered_flows()),
+        static_cast<unsigned long long>(open), pre_fault, dip_frac,
+        recovered ? 1 : 0, static_cast<long long>(time_to_recover),
+        static_cast<unsigned long long>(metrics.retransmitted_cells()),
         static_cast<unsigned long long>(open));
     if (!write_text_file(json_path, doc)) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());

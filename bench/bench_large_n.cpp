@@ -13,13 +13,14 @@
 //                 [--lanes 16] [--slots 400] [--drain 4000] [--load 2.0]
 //                 [--flow-bytes 40960] [--threads 1,4]
 //                 [--max-rss-mb 2048] [--min-slots-per-sec 10]
+//                 [--profile] [--profile-json profile.json]
 //
 // With --max-rss-mb / --min-slots-per-sec, exits nonzero when peak RSS
 // exceeds the ceiling or the slowest thread count misses the floor (the
 // CI gates; 0 disables either). Load is relative to single-lane node
 // bandwidth, so 16 lanes leave plenty of headroom at the default 2.0.
-#include <sys/resource.h>
-
+// --profile-json is rewritten per thread count; the file left behind is
+// the last (most-threaded) run's profile, the one with pool utilization.
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -28,6 +29,7 @@
 #include "bench_args.h"
 #include "obs/export.h"
 #include "scenario/scenario_runner.h"
+#include "util/rusage.h"
 #include "util/table.h"
 
 namespace {
@@ -43,13 +45,6 @@ struct Row {
   std::uint64_t completed_flows = 0;
   std::string metrics_json;
 };
-
-double peak_rss_mb() {
-  rusage usage{};
-  getrusage(RUSAGE_SELF, &usage);
-  // Linux reports ru_maxrss in kilobytes.
-  return static_cast<double>(usage.ru_maxrss) / 1024.0;
-}
 
 }  // namespace
 
@@ -70,6 +65,7 @@ int main(int argc, char** argv) {
   const double max_rss_mb = args.get_double("--max-rss-mb", 0.0, 0.0);
   const double min_slots_per_sec =
       args.get_double("--min-slots-per-sec", 0.0, 0.0);
+  const bench::ProfileOptions popts = bench::parse_profile_options(args);
   args.finish();
 
   std::printf(
@@ -95,6 +91,7 @@ int main(int argc, char** argv) {
     cfg.drain_slots = drain;
     cfg.flow_size = FlowSizeKind::kFixed;
     cfg.fixed_flow_bytes = flow_bytes;
+    bench::apply_profile(popts, cfg);
 
     std::string error;
     auto runner = ScenarioRunner::create(cfg, &error);
@@ -150,6 +147,24 @@ int main(int argc, char** argv) {
               equivalent ? "OK (identical metrics JSON)" : "FAILED");
 
   if (!json_path.empty()) {
+    // "metrics" holds the flat numeric gates ci/check_bench.py compares
+    // against the committed BENCH_large_n.json baseline: deterministic
+    // sim counts (near-exact tolerance) plus timing/memory (loose ratio).
+    std::string metrics =
+        "{\"peak_rss_mb\": " + format("%.1f", rss_mb) +
+        ", \"equivalent\": " + (equivalent ? "1" : "0") +
+        ", \"delivered_cells\": " +
+        format("%llu",
+               static_cast<unsigned long long>(
+                   rows.empty() ? 0 : rows.front().delivered)) +
+        ", \"completed_flows\": " +
+        format("%llu",
+               static_cast<unsigned long long>(
+                   rows.empty() ? 0 : rows.front().completed_flows));
+    for (const Row& row : rows)
+      metrics += ", \"slots_per_sec_t" + format("%d", row.threads) +
+                 "\": " + format("%.1f", row.slots_per_sec);
+    metrics += "}";
     const std::string doc =
         "{\"bench\": \"bench_large_n\", \"nodes\": " + format("%d", nodes) +
         ", \"cliques\": " + format("%d", cliques) +
@@ -157,6 +172,7 @@ int main(int argc, char** argv) {
         ", \"slots\": " + format("%lld", static_cast<long long>(slots)) +
         ", \"peak_rss_mb\": " + format("%.1f", rss_mb) +
         ", \"equivalent\": " + (equivalent ? "true" : "false") +
+        ", \"metrics\": " + metrics +
         ", \"rows\": " + table.to_json() + "}\n";
     if (!write_text_file(json_path, doc)) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());

@@ -144,11 +144,27 @@ int main(int argc, char** argv) {
               equivalent ? "OK (identical delivered counts)" : "FAILED");
 
   if (!json_path.empty()) {
+    // Flat numeric gates for ci/check_bench.py: deterministic delivered
+    // count (near-exact) plus timing/speedup (loose ratio bounds).
+    std::string metrics =
+        "{\"equivalent\": " + std::string(equivalent ? "1" : "0") +
+        ", \"delivered_cells\": " +
+        format("%llu", static_cast<unsigned long long>(
+                           rows.front().delivered));
+    for (const Row& row : rows) {
+      metrics += ", \"slots_per_sec_t" + format("%d", row.threads) +
+                 "\": " + format("%.1f", row.slots_per_sec);
+      if (row.threads != 1)
+        metrics += ", \"speedup_t" + format("%d", row.threads) +
+                   "\": " + format("%.3f", row.speedup);
+    }
+    metrics += "}";
     const std::string doc =
         "{\"bench\": \"bench_parallel_scaling\", \"nodes\": " +
         format("%d", nodes) + ", \"cliques\": " + format("%d", cliques) +
         ", \"slots\": " + format("%lld", static_cast<long long>(slots)) +
         ", \"equivalent\": " + (equivalent ? "true" : "false") +
+        ", \"metrics\": " + metrics +
         ", \"rows\": " + table.to_json() + "}\n";
     if (!write_text_file(json_path, doc)) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());

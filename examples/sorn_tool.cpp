@@ -18,6 +18,7 @@
 //                      [--seed 42]
 //                      [--trace run.jsonl] [--metrics-json run.json]
 //                      [--timeseries-csv run.csv] [--sample-every 10]
+//                      [--profile] [--profile-json profile.json]
 //                      [--fault-script faults.txt]
 //                      [--mtbf S --mttr S] [--circuit-mtbf S --circuit-mttr S]
 //                      [--fault-seed 1]
@@ -226,6 +227,9 @@ int cmd_simulate(ArgParser& args) {
   cfg.timeseries_csv_path =
       args.get_string("--timeseries-csv", cfg.timeseries_csv_path);
   cfg.sample_every = args.get_long("--sample-every", cfg.sample_every, 1);
+  if (args.get_flag("--profile")) cfg.profile = true;
+  cfg.profile_json_path =
+      args.get_string("--profile-json", cfg.profile_json_path);
   cfg.fault_script_path =
       args.get_string("--fault-script", cfg.fault_script_path);
   cfg.node_mtbf_slots = args.get_double("--mtbf", cfg.node_mtbf_slots, 0.0);
@@ -346,6 +350,16 @@ int cmd_simulate(ArgParser& args) {
   }
   if (!cfg.trace_path.empty())
     std::printf("  event trace:      %s\n", cfg.trace_path.c_str());
+  if (Profiler* prof = runner->profiler()) {
+    const PhaseProfiler::PhaseStats& sweep =
+        prof->phases().stats(ProfPhase::kLaneSweep);
+    std::printf("  profile:          %llu slots timed, lane sweep %.1f ms "
+                "total%s%s\n",
+                static_cast<unsigned long long>(prof->phases().slots()),
+                static_cast<double>(sweep.total_ns) / 1e6,
+                cfg.profile_json_path.empty() ? "" : ", written to ",
+                cfg.profile_json_path.c_str());
+  }
   if (!save_path.empty())
     std::printf("  scenario JSON:    %s\n", save_path.c_str());
   return 0;
@@ -447,6 +461,9 @@ int usage() {
       "                      same seed => same bytes at any N)\n"
       "                     [--trace run.jsonl] [--metrics-json run.json]\n"
       "                     [--timeseries-csv run.csv] [--sample-every 10]\n"
+      "                     [--profile] [--profile-json profile.json]\n"
+      "                      (profiling never changes sim artifacts;\n"
+      "                       profile.json itself is wall-clock data)\n"
       "                     [--fault-script faults.txt]\n"
       "                     [--mtbf S --mttr S]\n"
       "                     [--circuit-mtbf S --circuit-mttr S]\n"

@@ -11,6 +11,8 @@ ControlPlane::ControlPlane(NodeId nodes, Options options)
       reconfig_(options.reconfig) {}
 
 bool ControlPlane::on_epoch(const TrafficMatrix& observed, Slot now) {
+  ScopedPhase scope(profiler_ != nullptr ? &profiler_->phases() : nullptr,
+                    ProfPhase::kControlTick);
   estimator_.observe(observed);
   const bool first = !has_plan_;
   const double macro_change = estimator_.macro_change().value_or(0.0);

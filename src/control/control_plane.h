@@ -10,6 +10,7 @@
 #include "control/estimator.h"
 #include "control/optimizer.h"
 #include "control/reconfig.h"
+#include "obs/prof/profiler.h"
 
 namespace sorn {
 
@@ -46,8 +47,13 @@ class ControlPlane {
   // Returns true when a re-plan was triggered.
   bool on_epoch(const TrafficMatrix& observed, Slot now);
 
-  // Forward to the reconfiguration manager every slot.
+  // Forward to the reconfiguration manager every slot. With a profiler
+  // attached the interval is recorded as the control_tick phase (epoch
+  // re-plans run inside on_epoch and land in the same phase — both are
+  // control-plane work amortized over the slot cadence).
   bool tick(SlottedNetwork& network, Slot now) {
+    ScopedPhase scope(profiler_ != nullptr ? &profiler_->phases() : nullptr,
+                      ProfPhase::kControlTick);
     return reconfig_.tick(network, now);
   }
 
@@ -63,6 +69,10 @@ class ControlPlane {
     reconfig_.set_tracer(tracer);
   }
 
+  // Borrowed profiler: tick() and on_epoch() time themselves under the
+  // control_tick phase. nullptr detaches (one null check per tick).
+  void set_profiler(Profiler* profiler) { profiler_ = profiler; }
+
  private:
   Options options_;
   TrafficEstimator estimator_;
@@ -72,6 +82,7 @@ class ControlPlane {
   bool has_plan_ = false;
   std::uint64_t replans_ = 0;
   Tracer* tracer_ = nullptr;
+  Profiler* profiler_ = nullptr;
   const FailureView* failures_ = nullptr;
   // FailureView::version() at the time of the last plan; a mismatch at
   // the next epoch triggers a failure re-plan.

@@ -1,0 +1,56 @@
+#include "obs/prof/memory_accountant.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+#include "util/rusage.h"
+
+namespace sorn {
+
+MemoryAccountant::Entry& MemoryAccountant::entry(const std::string& name) {
+  for (Entry& e : entries_)
+    if (e.name == name) return e;
+  entries_.push_back(Entry{name, Provider{}, 0, 0});
+  return entries_.back();
+}
+
+void MemoryAccountant::register_provider(std::string name,
+                                         Provider provider) {
+  Entry& e = entry(name);
+  e.provider = std::move(provider);
+}
+
+void MemoryAccountant::set_bytes(const std::string& name,
+                                 std::uint64_t bytes) {
+  Entry& e = entry(name);
+  e.bytes = bytes;
+  e.peak_bytes = std::max(e.peak_bytes, bytes);
+}
+
+void MemoryAccountant::set_sample_every(Slot every) {
+  SORN_ASSERT(every >= 1, "memory sample cadence must be >= 1");
+  every_ = every;
+}
+
+void MemoryAccountant::sample() {
+  for (Entry& e : entries_) {
+    if (!e.provider) continue;
+    e.bytes = e.provider();
+    e.peak_bytes = std::max(e.peak_bytes, e.bytes);
+  }
+  // Qualified: the util/rusage probe, not this class's accessor.
+  rss_peak_bytes_ = std::max(rss_peak_bytes_, ::sorn::peak_rss_bytes());
+  ++samples_;
+}
+
+std::vector<MemoryAccountant::Gauge> MemoryAccountant::snapshot() const {
+  std::vector<Gauge> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_)
+    out.push_back(Gauge{e.name, e.bytes, e.peak_bytes});
+  std::sort(out.begin(), out.end(),
+            [](const Gauge& a, const Gauge& b) { return a.name < b.name; });
+  return out;
+}
+
+}  // namespace sorn

@@ -1,0 +1,79 @@
+// Per-subsystem byte gauges plus periodic peak-RSS sampling.
+//
+// PR 5 answered "what dominates memory at N = 4096" by hand (stored
+// matchings, by a wide margin). The MemoryAccountant turns that into a
+// standing report: subsystems register named byte providers (VOQ storage,
+// stored matchings, in-flight flow records, retransmit state, trace
+// buffers), the engine ticks the accountant every k slots, and each
+// sample refreshes every gauge plus the process peak RSS, keeping a
+// per-gauge high-water mark.
+//
+// Providers only *read* their subsystem (O(nodes) at worst for the VOQ
+// estimate), so sampling cannot perturb simulation results.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace sorn {
+
+class MemoryAccountant {
+ public:
+  using Provider = std::function<std::uint64_t()>;
+
+  struct Gauge {
+    std::string name;
+    std::uint64_t bytes = 0;       // value at the last sample
+    std::uint64_t peak_bytes = 0;  // high-water mark across samples
+  };
+
+  // Register (or replace) a provider evaluated on every sample().
+  void register_provider(std::string name, Provider provider);
+
+  // Set a gauge directly (for one-shot estimates without a provider).
+  // Creates the gauge on first use; advances its peak.
+  void set_bytes(const std::string& name, std::uint64_t bytes);
+
+  // Sampling cadence for tick(); every >= 1 (default 1024 slots).
+  void set_sample_every(Slot every);
+  Slot sample_every() const { return every_; }
+
+  // Engine hook: sample when `slot` is on the cadence. One modulo when
+  // profiling is attached; nothing at all when detached (the caller's
+  // null check).
+  void tick(Slot slot) {
+    if (slot % every_ == 0) sample();
+  }
+
+  // Evaluate every provider now, refresh peaks and the RSS high-water
+  // mark. Also called once at end of run so final state is captured.
+  void sample();
+
+  std::uint64_t samples() const { return samples_; }
+  // Peak RSS (bytes) observed across samples; 0 before the first sample.
+  std::uint64_t peak_rss_bytes() const { return rss_peak_bytes_; }
+
+  // All gauges, sorted by name (deterministic export order).
+  std::vector<Gauge> snapshot() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Provider provider;  // may be empty (set_bytes-only gauge)
+    std::uint64_t bytes = 0;
+    std::uint64_t peak_bytes = 0;
+  };
+
+  Entry& entry(const std::string& name);
+
+  std::vector<Entry> entries_;
+  Slot every_ = 1024;
+  std::uint64_t samples_ = 0;
+  std::uint64_t rss_peak_bytes_ = 0;
+};
+
+}  // namespace sorn

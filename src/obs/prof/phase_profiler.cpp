@@ -1,0 +1,57 @@
+#include "obs/prof/phase_profiler.h"
+
+#include <chrono>
+
+namespace sorn {
+
+const char* prof_phase_name(ProfPhase phase) {
+  switch (phase) {
+    case ProfPhase::kScheduleAdvance:
+      return "schedule_advance";
+    case ProfPhase::kLaneSweep:
+      return "lane_sweep";
+    case ProfPhase::kMergeReplay:
+      return "merge_replay";
+    case ProfPhase::kVoqSettle:
+      return "voq_settle";
+    case ProfPhase::kRetransmit:
+      return "retransmit";
+    case ProfPhase::kControlTick:
+      return "control_tick";
+    case ProfPhase::kFaultTick:
+      return "fault_tick";
+    case ProfPhase::kSlotHook:
+      return "slot_hook";
+    case ProfPhase::kTelemetryFlush:
+      return "telemetry_flush";
+  }
+  return "unknown";
+}
+
+void PhaseProfiler::record(ProfPhase phase, std::uint64_t ns) {
+  const auto i = static_cast<std::size_t>(phase);
+  cur_ns_[i] += ns;
+  ++cur_calls_[i];
+  ++stats_[i].calls;
+  stats_[i].total_ns += ns;
+}
+
+void PhaseProfiler::end_slot() {
+  for (std::size_t i = 0; i < kProfPhaseCount; ++i) {
+    if (cur_calls_[i] == 0) continue;
+    ++stats_[i].active_slots;
+    stats_[i].slot_ns.add(static_cast<double>(cur_ns_[i]));
+    cur_ns_[i] = 0;
+    cur_calls_[i] = 0;
+  }
+  ++slots_;
+}
+
+std::uint64_t PhaseProfiler::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace sorn

@@ -1,0 +1,82 @@
+#include "obs/prof/profile_export.h"
+
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/prof/profiler.h"
+
+namespace sorn {
+
+std::string profile_to_json(const Profiler& profiler) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema", "sorn-profile-v1");
+
+  const PhaseProfiler& phases = profiler.phases();
+  w.field("slots", phases.slots());
+  w.key("phases").begin_array();
+  for (int i = 0; i < kProfPhaseCount; ++i) {
+    const auto phase = static_cast<ProfPhase>(i);
+    const PhaseProfiler::PhaseStats& s = phases.stats(phase);
+    w.begin_object();
+    w.field("phase", prof_phase_name(phase));
+    w.field("calls", s.calls);
+    w.field("total_ns", s.total_ns);
+    w.field("active_slots", s.active_slots);
+    w.key("slot_ns");
+    json_percentiles(w, s.slot_ns);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("pool").begin_object();
+  if (profiler.has_pool_utilization()) {
+    const PoolUtilization& pool = profiler.pool_utilization();
+    w.field("threads", pool.threads);
+    w.field("batches", pool.batches);
+    w.field("shards", pool.shards);
+    w.field("owner_wait_ns", pool.owner_wait_ns);
+    w.field("window_ns", pool.window_ns);
+    w.key("workers").begin_array();
+    for (std::size_t i = 0; i < pool.workers.size(); ++i) {
+      const PoolWorkerStats& ws = pool.workers[i];
+      w.begin_object();
+      w.field("worker", static_cast<std::uint64_t>(i));
+      w.field("busy_ns", ws.busy_ns);
+      const std::uint64_t idle =
+          pool.window_ns > ws.busy_ns ? pool.window_ns - ws.busy_ns : 0;
+      w.field("idle_ns", idle);
+      w.field("shards", ws.shards);
+      w.end_object();
+    }
+    w.end_array();
+  } else {
+    // Single-threaded engine: no pool, the sweep runs on the caller.
+    w.field("threads", std::int64_t{1});
+    w.field("batches", std::uint64_t{0});
+    w.field("shards", std::uint64_t{0});
+    w.field("owner_wait_ns", std::uint64_t{0});
+    w.field("window_ns", std::uint64_t{0});
+    w.key("workers").begin_array().end_array();
+  }
+  w.end_object();
+
+  const MemoryAccountant& memory = profiler.memory();
+  w.key("memory").begin_object();
+  w.field("samples", memory.samples());
+  w.field("peak_rss_bytes", memory.peak_rss_bytes());
+  w.key("gauges").begin_array();
+  for (const MemoryAccountant::Gauge& g : memory.snapshot()) {
+    w.begin_object();
+    w.field("name", g.name);
+    w.field("bytes", g.bytes);
+    w.field("peak_bytes", g.peak_bytes);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace sorn

@@ -1,0 +1,18 @@
+// Rendering a Profiler into the profile.json artifact.
+//
+// The document layout (schema "sorn-profile-v1") is fixed — phases in
+// enum order, memory gauges sorted by name — but the *values* are wall
+// clock and therefore nondeterministic: profile.json is explicitly
+// outside the byte-identical-artifact contract the sim outputs obey.
+// ci/check_bench.py --schema validates the shape.
+#pragma once
+
+#include <string>
+
+namespace sorn {
+
+class Profiler;
+
+std::string profile_to_json(const Profiler& profiler);
+
+}  // namespace sorn

@@ -47,6 +47,11 @@ class TimeSeriesSampler {
 
   const std::vector<SlotSample>& samples() const { return samples_; }
 
+  // Estimated bytes held by the sample buffer (profiler gauge input).
+  std::uint64_t memory_bytes() const {
+    return samples_.capacity() * sizeof(SlotSample);
+  }
+
   // CSV rendering: header line then one row per sample.
   static const char* csv_header();
   std::string to_csv() const;

@@ -148,6 +148,8 @@ std::string ScenarioConfig::to_json() const {
   w.field("metrics_json", metrics_json_path);
   w.field("timeseries_csv", timeseries_csv_path);
   w.field("sample_every", static_cast<std::int64_t>(sample_every));
+  w.field("profile", profile);
+  w.field("profile_json", profile_json_path);
   w.field("fault_script", fault_script);
   w.field("fault_script_path", fault_script_path);
   w.field("mtbf", node_mtbf_slots);
@@ -366,6 +368,10 @@ bool ScenarioConfig::from_json(std::string_view text, ScenarioConfig* out,
         return false;
     } else if (key == "sample_every") {
       if (!want_int(v, key, &cfg.sample_every, error)) return false;
+    } else if (key == "profile") {
+      if (!want_bool(v, key, &cfg.profile, error)) return false;
+    } else if (key == "profile_json") {
+      if (!want_string(v, key, &cfg.profile_json_path, error)) return false;
     } else if (key == "fault_script") {
       if (!want_string(v, key, &cfg.fault_script, error)) return false;
     } else if (key == "fault_script_path") {

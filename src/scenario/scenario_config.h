@@ -126,6 +126,14 @@ struct ScenarioConfig {
   std::string timeseries_csv_path;
   Slot sample_every = 1;
 
+  // ---- profiling (obs/prof) ----
+  // Attach the profiler: slot-phase timers, pool utilization, memory
+  // gauges. Implied by a non-empty profile_json_path. Sim artifacts stay
+  // byte-identical with profiling on or off; profile.json itself is wall
+  // clock and outside the determinism contract.
+  bool profile = false;
+  std::string profile_json_path;
+
   // ---- faults ----
   std::string fault_script;       // inline script text (trumps the path)
   std::string fault_script_path;  // file with FaultScript grammar

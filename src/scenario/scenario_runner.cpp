@@ -4,6 +4,7 @@
 
 #include "fault/fault_injector.h"
 #include "obs/export.h"
+#include "obs/prof/profile_export.h"
 #include "obs/telemetry.h"
 #include "sim/parallel.h"
 #include "sim/saturation.h"
@@ -118,6 +119,21 @@ std::unique_ptr<ScenarioRunner> ScenarioRunner::create(
     runner->telemetry_attached_ = true;
   }
 
+  // Profiling: the network registers its byte gauges and wraps its phases
+  // in timers; the runner adds the gauges only it can see. The profiler
+  // reads clocks and sizes, never RNG or metrics, so the sim artifacts
+  // above stay byte-identical whether or not it is attached.
+  if (config.profile || !config.profile_json_path.empty()) {
+    runner->profiler_ = std::make_unique<Profiler>();
+    runner->network_->set_profiler(runner->profiler_.get());
+    if (runner->telemetry_attached_ &&
+        runner->telemetry_->timeseries() != nullptr) {
+      const TimeSeriesSampler* ts = runner->telemetry_->timeseries();
+      runner->profiler_->memory().register_provider(
+          "timeseries_samples", [ts] { return ts->memory_bytes(); });
+    }
+  }
+
   // Traffic: an override matrix wins; otherwise generate the configured
   // pattern over the design's clique structure (or, for designs without
   // one, the override assignment / a contiguous fallback). The same
@@ -190,8 +206,16 @@ bool ScenarioRunner::run_flows(std::string* error) {
     driver.set_bulk_router(design_.bulk_router, config_.bulk_cutoff_bytes);
   if (user_hook_ || faults_enabled_) {
     driver.set_slot_hook([this](SlottedNetwork& net, Slot slot) {
-      if (user_hook_) user_hook_(net, slot);
-      if (faults_enabled_) injector_->tick(net);
+      PhaseProfiler* const prof =
+          profiler_ != nullptr ? &profiler_->phases() : nullptr;
+      if (user_hook_) {
+        ScopedPhase scope(prof, ProfPhase::kSlotHook);
+        user_hook_(net, slot);
+      }
+      if (faults_enabled_) {
+        ScopedPhase scope(prof, ProfPhase::kFaultTick);
+        injector_->tick(net);
+      }
     });
   }
   if (config_.retransmit_timeout > 0) {
@@ -233,6 +257,13 @@ bool ScenarioRunner::run(std::string* error) {
     run_saturation();
   }
 
+  // Close out the profile: a final gauge sample (end-of-run state + peak
+  // RSS) and the pool's utilization counters.
+  if (profiler_ != nullptr) {
+    profiler_->memory().sample();
+    network_->snapshot_pool_utilization();
+  }
+
   // Flush artifacts. The trace sink is detached and closed first so the
   // JSONL file is complete as soon as run() returns.
   if (trace_sink_ != nullptr) {
@@ -246,6 +277,10 @@ bool ScenarioRunner::run(std::string* error) {
   if (!config_.timeseries_csv_path.empty() &&
       !write_text_file(config_.timeseries_csv_path, timeseries_csv())) {
     return fail(error, "cannot write " + config_.timeseries_csv_path);
+  }
+  if (!config_.profile_json_path.empty() &&
+      !write_text_file(config_.profile_json_path, profile_json())) {
+    return fail(error, "cannot write " + config_.profile_json_path);
   }
   return true;
 }
@@ -261,6 +296,11 @@ std::string ScenarioRunner::metrics_json() const {
 std::string ScenarioRunner::timeseries_csv() const {
   if (telemetry_ == nullptr || telemetry_->timeseries() == nullptr) return "";
   return timeseries_to_csv(*telemetry_->timeseries());
+}
+
+std::string ScenarioRunner::profile_json() const {
+  if (profiler_ == nullptr) return "";
+  return profile_to_json(*profiler_);
 }
 
 }  // namespace sorn

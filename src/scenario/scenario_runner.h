@@ -49,6 +49,9 @@ class ScenarioRunner {
   Telemetry* telemetry() {
     return telemetry_attached_ ? telemetry_.get() : nullptr;
   }
+  // Non-null only when the config enables profiling (profile flag or a
+  // profile_json path).
+  Profiler* profiler() { return profiler_.get(); }
 
   // Runs on the coordinating thread at the start of every slot, before
   // the fault injector's tick. Set before run().
@@ -72,6 +75,9 @@ class ScenarioRunner {
   // configured paths).
   std::string metrics_json() const;
   std::string timeseries_csv() const;
+  // The profile.json body; empty when profiling is off. Wall-clock data —
+  // unlike the two artifacts above it is NOT byte-deterministic.
+  std::string profile_json() const;
 
  private:
   ScenarioRunner() = default;
@@ -85,6 +91,7 @@ class ScenarioRunner {
   TrafficMatrix traffic_{1};  // placeholder until create() generates it
   CliqueAssignment traffic_cliques_;
   std::unique_ptr<Telemetry> telemetry_;
+  std::unique_ptr<Profiler> profiler_;
   std::unique_ptr<FileTraceSink> trace_sink_;
   std::unique_ptr<FaultInjector> injector_;
   WorkloadDriver::SlotHook user_hook_;

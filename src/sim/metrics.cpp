@@ -171,4 +171,24 @@ double SimMetrics::delivered_per_slot(NodeId nodes, int lanes) const {
           static_cast<double>(lanes));
 }
 
+std::uint64_t SimMetrics::flow_records_bytes() const {
+  // Hash-map node: key + record + one bucket pointer (libstdc++ layout
+  // approximation — these are estimates, not allocator truth).
+  return open_flows_.size() *
+         (sizeof(FlowId) + sizeof(FlowRecord) + 2 * sizeof(void*));
+}
+
+std::uint64_t SimMetrics::retransmit_state_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const auto& [flow, rec] : open_flows_)
+    bytes += rec.delivered.capacity() / 8;  // vector<bool>, one bit per seq
+  return bytes;
+}
+
+std::uint64_t SimMetrics::distributions_bytes() const {
+  std::uint64_t samples = cell_latency_ps_.count() + fct_ps_.count();
+  for (const auto& [cls, p] : fct_by_class_) samples += p.count();
+  return samples * sizeof(double);
+}
+
 }  // namespace sorn

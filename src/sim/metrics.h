@@ -136,6 +136,16 @@ class SimMetrics {
   std::vector<int> flow_classes() const;
   const RunningStats& queue_occupancy() const { return queue_occupancy_; }
 
+  // ---- Memory estimates (profiler gauges, obs/prof) ----
+  // In-flight flow records: the open-flow hash map plus the record
+  // structs (excluding the per-seq delivery bitmaps, reported separately).
+  std::uint64_t flow_records_bytes() const;
+  // Retransmit/stall state: the per-seq delivered bitmaps that receiver
+  // dedup and the stall detector maintain per open flow.
+  std::uint64_t retransmit_state_bytes() const;
+  // Latency/FCT distributions (Percentiles keep every sample).
+  std::uint64_t distributions_bytes() const;
+
   // Zero all counters and distributions but keep the open-flow records:
   // flows in flight across a warmup boundary still complete and count
   // (their FCT spans the reset). The attached tracer also survives.

@@ -1,6 +1,7 @@
 #include "sim/network.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "util/assert.h"
 
@@ -124,7 +125,8 @@ void SlottedNetwork::step_lane_sequential(const Matching& m) {
 // pushed cell is never transmittable in the same slot (ready_slot > now),
 // so only queue *sizes* can differ, never heads. The merge reconstructs
 // the sequential-order size from the popped_ marks below.
-void SlottedNetwork::step_lane_parallel(const Matching& m) {
+void SlottedNetwork::step_lane_parallel(const Matching& m,
+                                        PhaseProfiler* prof) {
   const bool capped = config_.max_queue_cells > 0;
   if (capped) std::fill(popped_.begin(), popped_.end(), std::uint8_t{0});
   const Slot prop_slots =
@@ -132,6 +134,7 @@ void SlottedNetwork::step_lane_parallel(const Matching& m) {
       config_.slot_duration;
   in_parallel_sweep_ = true;
   try {
+    ScopedPhase sweep(prof, ProfPhase::kLaneSweep);
     pool_->run_shards(
         static_cast<int>(shard_plan_.size()), [&, this](int s) {
           const ShardRange range = shard_plan_[static_cast<std::size_t>(s)];
@@ -169,6 +172,10 @@ void SlottedNetwork::step_lane_parallel(const Matching& m) {
   }
   in_parallel_sweep_ = false;
   std::uint64_t pops = 0;
+  // optional<> so the merge scope closes before the settle scope opens
+  // without re-nesting the whole replay loop.
+  std::optional<ScopedPhase> merge;
+  if (prof != nullptr) merge.emplace(prof, ProfPhase::kMergeReplay);
   for (const ShardStage& stage : stages_) {
     pops += stage.pops;
     for (const StagedEvent& ev : stage.events) {
@@ -199,28 +206,46 @@ void SlottedNetwork::step_lane_parallel(const Matching& m) {
       voqs_.push(ev.cell);
     }
   }
-  voqs_.settle_total(pops);
+  merge.reset();
+  {
+    ScopedPhase settle(prof, ProfPhase::kVoqSettle);
+    voqs_.settle_total(pops);
+  }
 }
 
 void SlottedNetwork::step() {
+  PhaseProfiler* const prof =
+      profiler_ != nullptr ? &profiler_->phases() : nullptr;
   const Slot period = schedule_->period();
   for (int lane = 0; lane < config_.lanes; ++lane) {
     const Slot t = now_ + lane_phase(period, config_.lanes, lane);
-    const Matching& m = schedule_->matching_at(t);
+    const Matching* m;
+    {
+      ScopedPhase advance(prof, ProfPhase::kScheduleAdvance);
+      m = &schedule_->matching_at(t);
+    }
     if (pool_ != nullptr) {
-      step_lane_parallel(m);
+      step_lane_parallel(*m, prof);
     } else {
-      step_lane_sequential(m);
+      ScopedPhase sweep(prof, ProfPhase::kLaneSweep);
+      step_lane_sequential(*m);
     }
   }
   metrics_.on_slot(voqs_.total_queued());
   // Sample before advancing: the row is stamped with the slot it covers.
   // The max-VOQ-depth scan is only paid on sampled slots.
   if (telemetry_ != nullptr && telemetry_->sample_due(now_)) {
+    ScopedPhase flush(prof, ProfPhase::kTelemetryFlush);
     telemetry_->sample(now_, metrics_.injected_cells(),
                        metrics_.delivered_cells(), metrics_.dropped_cells(),
                        metrics_.forwarded_cells(), voqs_.total_queued(),
                        voqs_.max_queue_depth(), metrics_.open_flows());
+  }
+  if (profiler_ != nullptr) {
+    // Gauges read sizes only; metrics/RNG are untouched, so the sampled
+    // artifacts cannot diverge between profiled and unprofiled runs.
+    profiler_->memory().tick(now_);
+    prof->end_slot();
   }
   ++now_;
 }
@@ -255,6 +280,35 @@ void SlottedNetwork::set_threads(int threads) {
   shard_plan_ = shard_ranges(n_, threads);
   stages_.assign(shard_plan_.size(), ShardStage{});
   popped_.assign(static_cast<std::size_t>(n_), 0);
+  // A pool created while a profiler is attached starts accounting
+  // immediately (set_threads after set_profiler and vice versa both work).
+  if (profiler_ != nullptr) pool_->enable_profiling(true);
+}
+
+void SlottedNetwork::set_profiler(Profiler* profiler) {
+  profiler_ = profiler;
+  if (pool_ != nullptr) pool_->enable_profiling(profiler != nullptr);
+  if (profiler == nullptr) return;
+  // Register this network's byte gauges. The lambdas borrow `this`; the
+  // attachment must be cleared (set_profiler(nullptr) does not unregister
+  // — the profiler simply must not be sampled after the network dies).
+  MemoryAccountant& mem = profiler->memory();
+  mem.register_provider("voq_cells", [this] { return voqs_.memory_bytes(); });
+  mem.register_provider("schedule_matchings",
+                        [this] { return schedule_->memory_bytes(); });
+  mem.register_provider("flow_records",
+                        [this] { return metrics_.flow_records_bytes(); });
+  mem.register_provider("retransmit_state", [this] {
+    return metrics_.retransmit_state_bytes();
+  });
+  mem.register_provider("metrics_distributions", [this] {
+    return metrics_.distributions_bytes();
+  });
+}
+
+void SlottedNetwork::snapshot_pool_utilization() {
+  if (profiler_ != nullptr && pool_ != nullptr)
+    profiler_->set_pool_utilization(pool_->utilization());
 }
 
 void SlottedNetwork::set_telemetry(Telemetry* telemetry) {
@@ -305,6 +359,9 @@ std::uint64_t SlottedNetwork::retransmit_stalled(
   // Re-admission routes with rng_; a draw inside the parallel sweep would
   // break cross-thread-count determinism (same contract as injection).
   SORN_ASSERT(!in_parallel_sweep_, "retransmit during parallel sweep");
+  // Runs between slots; the interval lands in the next slot's breakdown.
+  ScopedPhase scope(profiler_ != nullptr ? &profiler_->phases() : nullptr,
+                    ProfPhase::kRetransmit);
   const std::vector<SimMetrics::StalledFlow> stalled =
       metrics_.collect_retransmits(now_, policy.timeout_slots,
                                    policy.max_attempts);

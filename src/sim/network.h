@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "obs/prof/profiler.h"
 #include "obs/telemetry.h"
 #include "routing/failure_view.h"
 #include "routing/router.h"
@@ -154,6 +155,25 @@ class SlottedNetwork {
   void set_telemetry(Telemetry* telemetry);
   Telemetry* telemetry() const { return telemetry_; }
 
+  // ---- Profiling (src/obs/prof) ----
+  // Attach a borrowed profiler: step() wraps each engine phase in a
+  // scoped timer, the pool (if any) starts utilization accounting, and
+  // the network registers its byte gauges (VOQ storage, stored matchings,
+  // flow records, retransmit state, distributions) with the profiler's
+  // MemoryAccountant. Profiling only reads clocks and sizes — sim results
+  // stay byte-identical with a profiler attached or not. Pass nullptr to
+  // detach; detached sites cost one null check (bench_obs_overhead gates
+  // this at <= 2%). The profiler must outlive the attachment.
+  void set_profiler(Profiler* profiler);
+  Profiler* profiler() const { return profiler_; }
+  // Copy the pool's utilization counters into the attached profiler
+  // (no-op without both a profiler and a pool). Call at end of run.
+  void snapshot_pool_utilization();
+
+  // The schedule currently driving the network (reconfigure() may have
+  // swapped it since construction).
+  const CircuitSchedule* schedule() const { return schedule_; }
+
  private:
   // Staged outcome of one transmit, produced by the parallel sweep and
   // replayed in node order by the merge phase. The cell is already
@@ -169,7 +189,7 @@ class SlottedNetwork {
 
   void transmit(NodeId node, NodeId peer);
   void step_lane_sequential(const Matching& m);
-  void step_lane_parallel(const Matching& m);
+  void step_lane_parallel(const Matching& m, PhaseProfiler* prof);
   // Tail-drop accounting + telemetry for a cell that failed to enqueue.
   void drop(const Cell& cell);
 
@@ -187,6 +207,7 @@ class SlottedNetwork {
   FlowId next_anonymous_flow_ = 1ULL << 62;
   FailureView failures_;
   Telemetry* telemetry_ = nullptr;
+  Profiler* profiler_ = nullptr;
 
   // Parallel engine state. rng_ must never be drawn inside the parallel
   // sweep (injection — the only RNG consumer — happens between slots);

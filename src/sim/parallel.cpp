@@ -1,6 +1,7 @@
 #include "sim/parallel.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "util/assert.h"
 
@@ -30,6 +31,13 @@ inline void cpu_relax(int spins) {
 #endif
 }
 
+inline std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
 std::vector<ShardRange> shard_ranges(NodeId n, int shards) {
@@ -48,12 +56,14 @@ std::vector<ShardRange> shard_ranges(NodeId n, int shards) {
   return out;
 }
 
-ThreadPool::ThreadPool(int threads) : threads_(threads) {
+ThreadPool::ThreadPool(int threads)
+    : threads_(threads),
+      worker_counters_(static_cast<std::size_t>(threads)) {
   SORN_ASSERT(threads >= 1, "thread pool needs at least one thread");
   if (threads_ == 1) return;
   workers_.reserve(static_cast<std::size_t>(threads_));
   for (int t = 0; t < threads_; ++t)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, t] { worker_loop(t); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -83,13 +93,23 @@ void ThreadPool::begin(int shards, std::function<void(int)> fn) {
   SORN_ASSERT(shards >= 0, "negative shard count");
   batch_active_ = true;
   errors_.assign(static_cast<std::size_t>(shards), nullptr);
+  const bool prof = profiling_.load(std::memory_order_relaxed);
+  if (prof) ++prof_batches_;
   if (workers_.empty()) {
     // Inline pool: run the whole batch here; wait() only rethrows.
+    // Profiled inline batches attribute their time to "worker" 0 — the
+    // calling thread is the only executor a 1-thread pool has.
     for (int s = 0; s < shards; ++s) {
+      const std::uint64_t t0 = prof ? steady_now_ns() : 0;
       try {
         fn(s);
       } catch (...) {
         errors_[static_cast<std::size_t>(s)] = std::current_exception();
+      }
+      if (prof) {
+        worker_counters_[0].busy_ns.fetch_add(steady_now_ns() - t0,
+                                              std::memory_order_relaxed);
+        worker_counters_[0].shards.fetch_add(1, std::memory_order_relaxed);
       }
     }
     return;
@@ -115,6 +135,8 @@ void ThreadPool::begin(int shards, std::function<void(int)> fn) {
 
 void ThreadPool::wait() {
   if (!batch_active_) return;
+  const bool prof = profiling_.load(std::memory_order_relaxed);
+  const std::uint64_t wait_start = prof ? steady_now_ns() : 0;
   if (!workers_.empty()) {
     // Poll for completion inside the spin window, then park. remaining_
     // itself is the predicate: it is reset only by the owner's next
@@ -136,6 +158,7 @@ void ThreadPool::wait() {
       });
     }
   }
+  if (prof) owner_wait_ns_ += steady_now_ns() - wait_start;
   batch_active_ = false;
   rethrow_first_error();
 }
@@ -155,7 +178,7 @@ void ThreadPool::rethrow_first_error() {
   }
 }
 
-void ThreadPool::execute_shards() {
+void ThreadPool::execute_shards(int worker) {
   for (;;) {
     const std::uint64_t t = ticket_.fetch_add(1, std::memory_order_acq_rel);
     const std::uint64_t ticket_gen = t >> kShardBits;
@@ -168,10 +191,17 @@ void ThreadPool::execute_shards() {
     if (ticket_gen != (ticket_.load(std::memory_order_acquire) >> kShardBits) ||
         s >= shards_.load(std::memory_order_acquire))
       return;
+    const bool prof = profiling_.load(std::memory_order_relaxed);
+    const std::uint64_t t0 = prof ? steady_now_ns() : 0;
     try {
       fn_(s);
     } catch (...) {
       errors_[static_cast<std::size_t>(s)] = std::current_exception();
+    }
+    if (prof) {
+      WorkerCounters& wc = worker_counters_[static_cast<std::size_t>(worker)];
+      wc.busy_ns.fetch_add(steady_now_ns() - t0, std::memory_order_relaxed);
+      wc.shards.fetch_add(1, std::memory_order_relaxed);
     }
     if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Taking the lock before notifying closes the window between the
@@ -185,7 +215,7 @@ void ThreadPool::execute_shards() {
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int worker) {
   std::uint64_t seen = 0;  // generation this worker has fully drained
   const auto current_gen = [this] {
     return ticket_.load(std::memory_order_acquire) >> kShardBits;
@@ -208,8 +238,40 @@ void ThreadPool::worker_loop() {
     }
     if (gen == seen) return;  // stopped with no newer batch
     seen = gen;
-    execute_shards();
+    execute_shards(worker);
   }
+}
+
+void ThreadPool::enable_profiling(bool on) {
+  SORN_ASSERT(!batch_active_, "enable_profiling during an active batch");
+  if (on) {
+    for (WorkerCounters& wc : worker_counters_) {
+      wc.busy_ns.store(0, std::memory_order_relaxed);
+      wc.shards.store(0, std::memory_order_relaxed);
+    }
+    prof_batches_ = 0;
+    owner_wait_ns_ = 0;
+    window_start_ns_ = steady_now_ns();
+  }
+  profiling_.store(on, std::memory_order_relaxed);
+}
+
+PoolUtilization ThreadPool::utilization() const {
+  PoolUtilization u;
+  u.threads = threads_;
+  u.batches = prof_batches_;
+  u.owner_wait_ns = owner_wait_ns_;
+  u.window_ns =
+      window_start_ns_ == 0 ? 0 : steady_now_ns() - window_start_ns_;
+  u.workers.reserve(worker_counters_.size());
+  for (const WorkerCounters& wc : worker_counters_) {
+    PoolWorkerStats ws;
+    ws.busy_ns = wc.busy_ns.load(std::memory_order_relaxed);
+    ws.shards = wc.shards.load(std::memory_order_relaxed);
+    u.shards += ws.shards;
+    u.workers.push_back(ws);
+  }
+  return u;
 }
 
 }  // namespace sorn

@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/prof/pool_stats.h"
 #include "util/types.h"
 
 namespace sorn {
@@ -64,10 +65,25 @@ class ThreadPool {
   // allows it to return 0).
   static int default_threads();
 
+  // ---- Utilization accounting (obs/prof) ----
+  // When enabled, each worker times its shard bodies (two clock reads per
+  // shard, written to its own cache-line-padded counters with relaxed
+  // atomics) and the owner times its wait()s. Disabled — the default —
+  // the hot paths pay one relaxed flag load. Call between batches, from
+  // the owner thread; enabling resets the counters and starts the
+  // utilization window.
+  void enable_profiling(bool on);
+  bool profiling_enabled() const {
+    return profiling_.load(std::memory_order_relaxed);
+  }
+  // Snapshot of the counters since enable_profiling(true). Owner thread,
+  // between batches. window_ns spans enable to this call.
+  PoolUtilization utilization() const;
+
  private:
-  void worker_loop();
+  void worker_loop(int worker);
   // Claim and run shards of the current batch until none remain.
-  void execute_shards();
+  void execute_shards(int worker);
   void rethrow_first_error();
 
   const int threads_;
@@ -97,6 +113,20 @@ class ThreadPool {
   std::atomic<std::uint64_t> ticket_{0};
   std::atomic<bool> stop_{false};
   std::vector<std::exception_ptr> errors_;  // one slot per shard
+
+  // Profiling counters. Per-worker entries are padded so concurrent
+  // relaxed writes from different workers never share a cache line; the
+  // owner-side fields (batches, wait time, window start) are touched only
+  // from the owner thread.
+  struct alignas(64) WorkerCounters {
+    std::atomic<std::uint64_t> busy_ns{0};
+    std::atomic<std::uint64_t> shards{0};
+  };
+  std::atomic<bool> profiling_{false};
+  std::vector<WorkerCounters> worker_counters_;  // sized threads_, fixed
+  std::uint64_t prof_batches_ = 0;
+  std::uint64_t owner_wait_ns_ = 0;
+  std::uint64_t window_start_ns_ = 0;
 };
 
 }  // namespace sorn

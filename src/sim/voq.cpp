@@ -92,4 +92,15 @@ std::uint64_t VoqSet::occupied_queues() const {
   return queues;
 }
 
+std::uint64_t VoqSet::memory_bytes() const {
+  std::uint64_t bytes = nodes_.capacity() * sizeof(NodeQueues);
+  for (const NodeQueues& nq : nodes_) {
+    bytes += nq.occupied.capacity() * sizeof(Voq);
+    // Deque block overhead is implementation-defined; count the cells,
+    // which dominate (a Cell carries its path inline).
+    for (const Voq& v : nq.occupied) bytes += v.fifo.size() * sizeof(Cell);
+  }
+  return bytes;
+}
+
 }  // namespace sorn

@@ -68,6 +68,11 @@ class VoqSet {
   // Number of occupied (node, next-hop) queues right now; O(nodes).
   std::uint64_t occupied_queues() const;
 
+  // Estimated bytes of queue storage: the per-node index plus one Cell per
+  // queued cell (cells are inline, no heap per cell). O(nodes + occupied);
+  // a profiler gauge (obs/prof), sampled, not a hot-path call.
+  std::uint64_t memory_bytes() const;
+
  private:
   // One occupied queue of a node. The index stays sorted by next_hop and
   // holds only non-empty FIFOs (entries are erased when drained), so a

@@ -46,6 +46,13 @@ class Matching {
 
   bool operator==(const Matching& other) const { return dst_ == other.dst_; }
 
+  // Estimated heap bytes of this matching (the destination map). Profiler
+  // gauge input: stored matchings are the dominant memory consumer at
+  // Table-1 scale (see DESIGN.md §10).
+  std::uint64_t memory_bytes() const {
+    return dst_.capacity() * sizeof(NodeId);
+  }
+
  private:
   std::vector<NodeId> dst_;
 };

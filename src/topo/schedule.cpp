@@ -43,6 +43,13 @@ double CircuitSchedule::kind_fraction(SlotKind k) const {
   return static_cast<double>(hits) / static_cast<double>(period());
 }
 
+std::uint64_t CircuitSchedule::memory_bytes() const {
+  std::uint64_t bytes = matchings_.capacity() * sizeof(Matching) +
+                        kinds_.capacity() * sizeof(SlotKind);
+  for (const Matching& m : matchings_) bytes += m.memory_bytes();
+  return bytes;
+}
+
 bool CircuitSchedule::realizable_with(const MatchingSet& available) const {
   if (available.node_count() != n_) return false;
   for (const Matching& m : matchings_)

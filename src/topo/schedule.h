@@ -76,6 +76,10 @@ class CircuitSchedule {
   // lasers provide; see tests/topo/realizability_test.cpp).
   bool realizable_with(const MatchingSet& available) const;
 
+  // Estimated bytes of stored schedule state (matchings + slot kinds).
+  // O(period); sampled by the profiler's MemoryAccountant, not hot-path.
+  std::uint64_t memory_bytes() const;
+
   // Invariant checks (O(period * n)):
   //   - every slot is a valid permutation (checked at construction of
   //     Matching);

@@ -1,0 +1,22 @@
+#include "util/rusage.h"
+
+#include <sys/resource.h>
+
+namespace sorn {
+
+std::uint64_t peak_rss_bytes() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  const auto raw = static_cast<std::uint64_t>(usage.ru_maxrss);
+#if defined(__APPLE__)
+  return raw;  // macOS reports ru_maxrss in bytes.
+#else
+  return raw * 1024;  // Linux reports ru_maxrss in kilobytes.
+#endif
+}
+
+double peak_rss_mb() {
+  return static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0);
+}
+
+}  // namespace sorn

@@ -1,0 +1,22 @@
+// Process resource probes shared by benches and the profiler.
+//
+// getrusage(RUSAGE_SELF).ru_maxrss is a process-wide high-water mark, but
+// its unit is platform-dependent: Linux reports kilobytes, macOS bytes.
+// This helper normalizes the unit in exactly one place so every consumer
+// (bench_large_n's RSS ceiling gate, MemoryAccountant's periodic RSS
+// samples) agrees on bytes.
+#pragma once
+
+#include <cstdint>
+
+namespace sorn {
+
+// Peak resident set size of the calling process, in bytes. Monotonically
+// non-decreasing over the process lifetime (it is a high-water mark, not
+// an instantaneous gauge). Returns 0 if the probe is unavailable.
+std::uint64_t peak_rss_bytes();
+
+// Convenience: peak RSS in MiB (bytes / 2^20) for human-facing gates.
+double peak_rss_mb();
+
+}  // namespace sorn

@@ -44,6 +44,18 @@ TEST(RunningStatsTest, SingleSampleHasZeroVariance) {
   EXPECT_DOUBLE_EQ(s.mean(), 42.0);
 }
 
+TEST(PercentilesTest, EmptyIsAllZeros) {
+  // stats.h documents percentile() -> 0 on the empty set; the profiler's
+  // phase export relies on it (phases that never ran serialize as zeroed
+  // percentile blocks, not NaNs). Lock the whole empty surface in.
+  Percentiles p;
+  EXPECT_EQ(p.count(), 0u);
+  EXPECT_DOUBLE_EQ(p.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.percentile(100.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.mean(), 0.0);
+}
+
 TEST(PercentilesTest, MedianOfOddCount) {
   Percentiles p;
   for (double x : {5.0, 1.0, 3.0}) p.add(x);
