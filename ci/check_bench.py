@@ -3,6 +3,7 @@
 
 Usage:
   check_bench.py compare <current.json> <baseline.json> [--tol name=bound]...
+  check_bench.py write-baseline <run.json> <baseline.json>
   check_bench.py --schema <profile.json>
   check_bench.py --self-test
 
@@ -27,6 +28,13 @@ compare
   deterministic class). Scalar config keys outside "metrics"/"rows"
   (bench, nodes, slots, ...) must match exactly — a baseline recorded
   under a different configuration is a failure, not a comparison.
+
+write-baseline
+  Regenerates a committed BENCH_*.json baseline from a bench run's JSON
+  output — no more hand-edited baselines. Validates that the run carries
+  a non-empty "metrics" object, prints every metric that changes against
+  the existing baseline (if any), and writes the run document in the
+  canonical flat formatting the repo commits.
 
 --schema
   Validates a profile.json against the sorn-profile-v1 layout: the nine
@@ -160,6 +168,68 @@ def cmd_compare(argv):
     if errors:
         return fail(f"{len(errors)} regression(s) vs baseline")
     print("PASS: no regressions vs baseline")
+    return 0
+
+
+# ---- baseline regeneration ---------------------------------------------
+
+def write_baseline(run_doc, baseline_path, old_doc=None):
+    """Validate run_doc and write it as the new baseline. Returns errors."""
+    metrics = run_doc.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        return ["run has no non-empty \"metrics\" object; refusing to "
+                "write a baseline nothing can compare against"]
+    for name, value in sorted(metrics.items()):
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return [f"metric {name!r} is not a number: {value!r}"]
+    if old_doc is not None:
+        old_metrics = old_doc.get("metrics", {})
+        for name in sorted(set(old_metrics) | set(metrics)):
+            old, new = old_metrics.get(name), metrics.get(name)
+            if old is None:
+                print(f"  new metric: {name} = {new:g}")
+            elif new is None:
+                print(f"  dropped metric: {name} (was {old:g})")
+            elif old != new:
+                print(f"  {name}: {old:g} -> {new:g}")
+        for key in sorted(set(old_doc) | set(run_doc) - {"metrics", "rows"}):
+            if key in ("metrics", "rows"):
+                continue
+            if old_doc.get(key) != run_doc.get(key):
+                print(f"  config {key}: {old_doc.get(key)!r} -> "
+                      f"{run_doc.get(key)!r}")
+    # Canonical flat formatting: one line, "rows" entries one per line —
+    # the shape the repo's committed baselines use, so diffs stay small.
+    rows = run_doc.get("rows")
+    doc = {k: v for k, v in run_doc.items() if k != "rows"}
+    text = json.dumps(doc, separators=(", ", ": "))
+    if rows is not None:
+        body = ",\n".join(
+            "  " + json.dumps(r, separators=(", ", ": ")) for r in rows)
+        text = text[:-1] + ", \"rows\": [\n" + body + "\n]\n}"
+    with open(baseline_path, "w") as f:
+        f.write(text + "\n")
+    return []
+
+
+def cmd_write_baseline(argv):
+    if len(argv) != 2:
+        return fail("write-baseline needs <run.json> <baseline.json>")
+    run_path, baseline_path = argv
+    run_doc = json.load(open(run_path))
+    old_doc = None
+    try:
+        old_doc = json.load(open(baseline_path))
+    except (FileNotFoundError, json.JSONDecodeError):
+        pass
+    print(f"writing baseline {baseline_path} from {run_path}")
+    errors = write_baseline(run_doc, baseline_path, old_doc)
+    for err in errors:
+        print(f"  REJECTED: {err}")
+    if errors:
+        return fail("run is not baseline-worthy")
+    print(f"wrote {baseline_path} "
+          f"({len(run_doc['metrics'])} metrics)")
     return 0
 
 
@@ -309,6 +379,37 @@ def cmd_self_test():
     else:
         print("[ok] missing phase fails schema")
 
+    # write-baseline round-trip: a regenerated baseline must compare clean
+    # against the run that produced it, and a metrics-free run must be
+    # rejected.
+    import os
+    import tempfile
+    run_doc = clone(slots_per_sec_t1=140.0, peak_rss_mb=750.0)
+    run_doc["rows"] = [{"threads": "1", "slots/sec": "140"}]
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "BENCH_test.json")
+        if write_baseline(run_doc, path, baseline):
+            failures += 1
+            print("[SELF-TEST FAILURE] write-baseline must accept a run "
+                  "with metrics")
+        else:
+            written = json.load(open(path))
+            if written != run_doc:
+                failures += 1
+                print("[SELF-TEST FAILURE] written baseline must round-trip")
+            elif compare(run_doc, written, {}):
+                failures += 1
+                print("[SELF-TEST FAILURE] run must compare clean against "
+                      "its own baseline")
+            else:
+                print("[ok] write-baseline round-trips and compares clean")
+        bad = {"bench": "x", "rows": []}
+        if not write_baseline(bad, os.path.join(tmp, "bad.json")):
+            failures += 1
+            print("[SELF-TEST FAILURE] metrics-free run must be rejected")
+        else:
+            print("[ok] write-baseline rejects a metrics-free run")
+
     if failures:
         return fail(f"{failures} self-test case(s) wrong")
     print("self-test OK")
@@ -328,6 +429,8 @@ def main():
         return cmd_schema(argv[1])
     if argv[0] == "compare":
         return cmd_compare(argv[1:])
+    if argv[0] == "write-baseline":
+        return cmd_write_baseline(argv[1:])
     print(__doc__)
     return 2
 

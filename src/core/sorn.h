@@ -44,10 +44,12 @@ struct SornConfig {
   Picoseconds propagation_per_hop = 500 * 1000;  // 500 ns
 
   LbMode lb_mode = LbMode::kRandom;
-  // Cap on the schedule period. Memory is ~ period * nodes * 8 bytes; a q
-  // with a large denominator on a large N can force a long period — prefer
-  // a smaller max_q_denominator (or an explicit q) over raising this.
-  Slot max_period = 1 << 18;
+  // Cap on the schedule period. AWGR-realizable slots are stored in the
+  // compact shift form (O(1) bytes per slot), so a long period costs only
+  // ~64 bytes per slot; the cap is a sanity guard against a q whose
+  // denominator blows the period up into the millions. N=65536 with 256
+  // cliques at q=5 needs 391,680 slots, which fits comfortably.
+  Slot max_period = 1 << 22;
 
   // Non-empty (cliques x cliques, row-major): apportion inter-clique slots
   // to clique pairs in proportion to this demand aggregate

@@ -18,18 +18,27 @@ void SimMetrics::on_inject(const Cell& cell, std::uint64_t flow_cells,
                            bool bulk) {
   ++injected_cells_;
   if (cell.flow == kNoFlow) return;
-  auto [it, inserted] = open_flows_.try_emplace(cell.flow);
+  auto [it, inserted] = open_flows_.try_emplace(cell.flow, 0);
   if (inserted) {
-    it->second.inject_slot = cell.inject_slot;
-    it->second.cells_total = flow_cells;
-    it->second.cells_remaining = flow_cells;
-    it->second.bytes = flow_bytes;
-    it->second.flow_class = flow_class;
-    it->second.bulk = bulk;
-    it->second.src = cell.path.src();
-    it->second.dst = cell.path.dst();
-    it->second.delivered.assign(static_cast<std::size_t>(flow_cells), false);
-    it->second.last_progress_slot = cell.inject_slot;
+    const std::uint32_t idx = flow_arena_.allocate();
+    it->second = idx;
+    // The record may be recycled from a completed flow — every field must
+    // be re-initialized here (the delivered bitmap's assign() reuses the
+    // old capacity, which is the point of the arena).
+    FlowRecord& rec = flow_arena_[idx];
+    rec.inject_slot = cell.inject_slot;
+    rec.cells_total = flow_cells;
+    rec.cells_remaining = flow_cells;
+    rec.bytes = flow_bytes;
+    rec.flow_class = flow_class;
+    rec.bulk = bulk;
+    rec.src = cell.path.src();
+    rec.dst = cell.path.dst();
+    rec.delivered.assign(static_cast<std::size_t>(flow_cells), false);
+    rec.last_progress_slot = cell.inject_slot;
+    rec.first_stall_slot = 0;
+    rec.stalled = false;
+    rec.attempts = 0;
   }
 }
 
@@ -48,7 +57,7 @@ void SimMetrics::on_deliver(const Cell& cell, Slot now) {
     ++duplicate_cells_;
     return;
   }
-  FlowRecord& rec = it->second;
+  FlowRecord& rec = flow_arena_[it->second];
   if (cell.seq < rec.delivered.size()) {
     if (rec.delivered[cell.seq]) {
       // The original and a retransmission both made it; keep the first.
@@ -73,6 +82,7 @@ void SimMetrics::on_deliver(const Cell& cell, Slot now) {
     }
     if (tracer_ != nullptr)
       tracer_->flow_complete(now, cell.flow, fct, rec.flow_class);
+    flow_arena_.release(it->second);
     open_flows_.erase(it);
   }
 }
@@ -81,7 +91,8 @@ std::vector<SimMetrics::StalledFlow> SimMetrics::collect_retransmits(
     Slot now, Slot timeout_slots, std::uint32_t max_attempts) {
   std::vector<StalledFlow> out;
   if (timeout_slots <= 0) return out;
-  for (auto& [flow, rec] : open_flows_) {
+  for (auto& [flow, idx] : open_flows_) {
+    FlowRecord& rec = flow_arena_[idx];
     if (rec.attempts >= max_attempts) continue;
     const Slot wait = timeout_slots
                       << std::min<std::uint32_t>(rec.attempts, 30);
@@ -172,16 +183,18 @@ double SimMetrics::delivered_per_slot(NodeId nodes, int lanes) const {
 }
 
 std::uint64_t SimMetrics::flow_records_bytes() const {
-  // Hash-map node: key + record + one bucket pointer (libstdc++ layout
-  // approximation — these are estimates, not allocator truth).
+  // Hash-map node (key + arena index + bucket pointer, libstdc++ layout
+  // approximation) plus the record arena itself (live + recyclable slots
+  // — allocator truth for the structs).
   return open_flows_.size() *
-         (sizeof(FlowId) + sizeof(FlowRecord) + 2 * sizeof(void*));
+             (sizeof(FlowId) + sizeof(std::uint32_t) + 2 * sizeof(void*)) +
+         flow_arena_.memory_bytes();
 }
 
 std::uint64_t SimMetrics::retransmit_state_bytes() const {
   std::uint64_t bytes = 0;
-  for (const auto& [flow, rec] : open_flows_)
-    bytes += rec.delivered.capacity() / 8;  // vector<bool>, one bit per seq
+  for (const auto& [flow, idx] : open_flows_)
+    bytes += flow_arena_[idx].delivered.capacity() / 8;  // one bit per seq
   return bytes;
 }
 

@@ -7,6 +7,7 @@
 
 #include "obs/trace.h"
 #include "sim/cell.h"
+#include "util/arena.h"
 #include "util/stats.h"
 #include "util/time.h"
 
@@ -176,7 +177,12 @@ class SimMetrics {
   Percentiles fct_ps_;
   std::unordered_map<int, Percentiles> fct_by_class_;
   RunningStats queue_occupancy_;
-  std::unordered_map<FlowId, FlowRecord> open_flows_;
+  // Flow records live in a recycling arena (util/arena.h): a completed
+  // flow's record — including its delivered-bitmap capacity — is reused by
+  // the next flow, so steady-state flow churn stops allocating. The map
+  // only holds arena indices.
+  std::unordered_map<FlowId, std::uint32_t> open_flows_;
+  SlotArena<FlowRecord> flow_arena_;
   Tracer* tracer_ = nullptr;
 };
 

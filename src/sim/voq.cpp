@@ -23,7 +23,7 @@ void VoqSet::push(const Cell& cell) {
     it = nq.occupied.insert(it, Voq{});
     it->next_hop = hop;
   }
-  it->fifo.push_back(cell);
+  it->fifo.push_back(nq.pool, cell);
   ++nq.count;
   ++total_;
 }
@@ -35,7 +35,7 @@ bool VoqSet::try_push(const Cell& cell, std::uint64_t cap) {
   return true;
 }
 
-const std::deque<Cell>* VoqSet::find(NodeId node, NodeId next_hop) const {
+const VoqSet::CellFifo* VoqSet::find(NodeId node, NodeId next_hop) const {
   const NodeQueues& nq = nodes_[static_cast<std::size_t>(node)];
   const auto it = std::lower_bound(
       nq.occupied.begin(), nq.occupied.end(), next_hop,
@@ -45,13 +45,13 @@ const std::deque<Cell>* VoqSet::find(NodeId node, NodeId next_hop) const {
 }
 
 const Cell* VoqSet::peek(NodeId node, NodeId next_hop, Slot now) const {
-  const std::deque<Cell>* q = find(node, next_hop);
+  const CellFifo* q = find(node, next_hop);
   if (q == nullptr || q->front().ready_slot > now) return nullptr;
   return &q->front();
 }
 
 std::uint64_t VoqSet::size_of(NodeId node, NodeId next_hop) const {
-  const std::deque<Cell>* q = find(node, next_hop);
+  const CellFifo* q = find(node, next_hop);
   return q == nullptr ? 0 : q->size();
 }
 
@@ -62,7 +62,7 @@ void VoqSet::pop_impl(NodeId node, NodeId next_hop) {
       [](const Voq& v, NodeId key) { return v.next_hop < key; });
   SORN_ASSERT(it != nq.occupied.end() && it->next_hop == next_hop,
               "pop from empty VOQ");
-  it->fifo.pop_front();
+  it->fifo.pop_front(nq.pool);
   if (it->fifo.empty()) nq.occupied.erase(it);
   --nq.count;
 }
@@ -96,9 +96,9 @@ std::uint64_t VoqSet::memory_bytes() const {
   std::uint64_t bytes = nodes_.capacity() * sizeof(NodeQueues);
   for (const NodeQueues& nq : nodes_) {
     bytes += nq.occupied.capacity() * sizeof(Voq);
-    // Deque block overhead is implementation-defined; count the cells,
-    // which dominate (a Cell carries its path inline).
-    for (const Voq& v : nq.occupied) bytes += v.fifo.size() * sizeof(Cell);
+    // The per-node pool holds every chunk the node ever chained
+    // (live + recyclable) — allocator truth, not an estimate.
+    bytes += nq.pool.memory_bytes();
   }
   return bytes;
 }

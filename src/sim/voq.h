@@ -14,19 +14,24 @@
 // and max_queue_depth() scans only occupied queues (O(active)), so
 // telemetry sampling no longer pays an O(N^2) sweep per sample.
 //
+// Cell storage is arena-allocated (util/arena.h): each FIFO is a chain of
+// fixed-size chunks drawn from a per-node ChunkPool, so steady-state push/
+// pop traffic recycles chunks instead of hitting the heap, and a drained
+// burst's storage is reused by the next one.
+//
 // Thread contract (sim/parallel.h): shards of the parallel sweep own
 // disjoint node ranges and only peek()/pop_sharded() their own nodes.
-// All state a pop touches — the node's queue index and its cell count —
-// is per-node, so sharded pops stay race-free; the one global, total_,
-// is deliberately NOT updated by pop_sharded and is settled once per lane
-// by the coordinating thread (settle_total).
+// All state a pop touches — the node's queue index, its cell count, and
+// its chunk pool — is per-node, so sharded pops stay race-free; the one
+// global, total_, is deliberately NOT updated by pop_sharded and is
+// settled once per lane by the coordinating thread (settle_total).
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "sim/cell.h"
+#include "util/arena.h"
 #include "util/types.h"
 
 namespace sorn {
@@ -68,26 +73,35 @@ class VoqSet {
   // Number of occupied (node, next-hop) queues right now; O(nodes).
   std::uint64_t occupied_queues() const;
 
-  // Estimated bytes of queue storage: the per-node index plus one Cell per
-  // queued cell (cells are inline, no heap per cell). O(nodes + occupied);
-  // a profiler gauge (obs/prof), sampled, not a hot-path call.
+  // Bytes of queue storage: the per-node index plus every pool chunk
+  // (live and recyclable — allocator truth). O(nodes + occupied); a
+  // profiler gauge (obs/prof), sampled, not a hot-path call.
   std::uint64_t memory_bytes() const;
 
  private:
+  // Cells per pool chunk: sized so a chunk is a few cache lines (~600 B
+  // at Cell's inline-path size) — shallow queues stay one-chunk, deep
+  // bursts chain without large-block allocation.
+  static constexpr std::size_t kChunkCells = 8;
+  using CellFifo = PooledFifo<Cell, kChunkCells>;
+
   // One occupied queue of a node. The index stays sorted by next_hop and
   // holds only non-empty FIFOs (entries are erased when drained), so a
   // node's memory tracks its live fan-out, not the full N next hops.
   struct Voq {
     NodeId next_hop = 0;
-    std::deque<Cell> fifo;
+    CellFifo fifo;
   };
   struct NodeQueues {
     std::vector<Voq> occupied;  // sorted by next_hop; every fifo non-empty
     std::uint64_t count = 0;    // cells queued at this node
+    // Chunk storage for every FIFO of this node. Per-node so the shard
+    // contract above covers allocator state too.
+    ChunkPool<Cell, kChunkCells> pool;
   };
 
   // Sorted-index lookup; nullptr when (node, next_hop) is unoccupied.
-  const std::deque<Cell>* find(NodeId node, NodeId next_hop) const;
+  const CellFifo* find(NodeId node, NodeId next_hop) const;
   // Shared pop path: FIFO head removal, erase-on-empty, per-node count.
   void pop_impl(NodeId node, NodeId next_hop);
 

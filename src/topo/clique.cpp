@@ -21,6 +21,17 @@ CliqueAssignment::CliqueAssignment(std::vector<CliqueId> clique_of)
   }
   for (const auto& m : members_)
     SORN_ASSERT(!m.empty(), "clique ids must be dense (no empty cliques)");
+  contiguous_equal_ = node_count() % nc == 0;
+  if (contiguous_equal_) {
+    const NodeId size = node_count() / nc;
+    for (NodeId i = 0; i < node_count(); ++i) {
+      if (clique_of_[static_cast<std::size_t>(i)] !=
+          static_cast<CliqueId>(i / size)) {
+        contiguous_equal_ = false;
+        break;
+      }
+    }
+  }
 }
 
 CliqueAssignment CliqueAssignment::contiguous(NodeId n, CliqueId nc) {

@@ -65,6 +65,14 @@ class CliqueAssignment {
   // analysis; the schedule builder also supports unequal cliques).
   bool equal_sized() const;
 
+  // True when the assignment is the canonical block layout of
+  // contiguous(): equal-sized cliques with clique c owning exactly nodes
+  // [c*s, (c+1)*s) in order. The schedule builder emits O(1)-state shift
+  // matchings (Matching::radix_shift) for this layout and falls back to
+  // explicit permutation vectors otherwise (e.g. failure-masked
+  // reassignments). Detected once at construction.
+  bool contiguous_equal_blocks() const { return contiguous_equal_; }
+
   // Support for non-uniform clique sizes (paper Sec. 5): pad every clique
   // to the size of the largest with ghost nodes. Ghosts are dark ports —
   // they carry no traffic, and circuits pointing at them model the
@@ -81,6 +89,7 @@ class CliqueAssignment {
   std::vector<CliqueId> clique_of_;
   std::vector<std::vector<NodeId>> members_;
   std::vector<NodeId> index_in_clique_;
+  bool contiguous_equal_ = false;
 };
 
 }  // namespace sorn

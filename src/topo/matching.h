@@ -5,9 +5,29 @@
 // dst(i), and each node receives from exactly one node. A node mapped to
 // itself is idle in that slot (no circuit); physical OCS ports are never
 // looped back, so self-maps model unused slots.
+//
+// Two storage forms, tagged (DESIGN.md §11):
+//
+//  - kShift: a three-level mixed-radix cyclic shift in O(1) state. Node ids
+//    are decomposed into digits i = a·(n2·n3) + b·n3 + c with a < n1,
+//    b < n2, c < n3 (n = n1·n2·n3), and each digit is shifted cyclically by
+//    its own offset: dst = ((a+k1) mod n1)·n2·n3 + ((b+k2) mod n2)·n3 +
+//    ((c+k3) mod n3). This covers every structured matching the builders
+//    emit — the AWGR wavelength family m_k(i) = (i+k) mod n is the
+//    degenerate n1 = n2 = 1 case, SORN intra/inter slots on contiguous
+//    equal cliques are block-local / block-rotating shifts, and the
+//    orn-hd/hierarchical digit round-robins are stride shifts — so a
+//    schedule slot costs O(1) bytes instead of O(n).
+//  - kExplicit: the full destination vector, for arbitrary permutations
+//    (Opera's random 1-factorization, BvN decomposition slots, failure-
+//    masked assignments).
+//
+// dst_of/src_of/is_idle/active_circuits are O(1) on the shift form; the
+// simulator's per-slot hot loop never touches O(n) matching state.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "util/types.h"
@@ -19,23 +39,47 @@ class Matching {
   Matching() = default;
 
   // Takes the destination map: dst_map[i] is where node i transmits.
-  // Aborts if dst_map is not a permutation.
+  // Aborts if dst_map is not a permutation. Always stored explicitly.
   explicit Matching(std::vector<NodeId> dst_map);
 
-  // Identity matching of n nodes: every node idle.
+  // Identity matching of n nodes: every node idle. O(1) state.
   static Matching idle(NodeId n);
 
   // Cyclic shift by k: i -> (i + k) mod n. The AWGR wavelength family.
+  // O(1) state.
   static Matching cyclic_shift(NodeId n, NodeId k);
 
-  NodeId size() const { return static_cast<NodeId>(dst_.size()); }
-  NodeId dst_of(NodeId src) const { return dst_[static_cast<std::size_t>(src)]; }
-  // O(n) scan: the inverse permutation is not stored. A schedule keeps one
-  // Matching per slot, and at Table-1 scale (N = 4096, period ~24k slots)
-  // a stored inverse doubles hundreds of megabytes of schedule state for a
-  // lookup nothing on the simulator hot path needs.
+  // General three-level mixed-radix shift over n = n1*n2*n3 nodes (see the
+  // header comment). Offsets are reduced mod their radix; the parameters
+  // are canonicalized (levels of radix 1 dropped, adjacent levels with an
+  // unshifted inner digit merged) so equal permutations built through
+  // different factorizations compare equal on the fast path. O(1) state.
+  static Matching radix_shift(NodeId n1, NodeId k1, NodeId n2, NodeId k2,
+                              NodeId n3, NodeId k3);
+
+  NodeId size() const { return n_; }
+
+  NodeId dst_of(NodeId src) const {
+    if (form_ == Form::kExplicit) return dst_[static_cast<std::size_t>(src)];
+    if (n2_ == 1) {  // pure cyclic shift (canonical: n1 <= n2 <= stride use)
+      const NodeId d = static_cast<NodeId>(src + k3_);
+      return d >= n3_ ? static_cast<NodeId>(d - n3_) : d;
+    }
+    return shift_dst(src);
+  }
+
+  // O(1) on the shift form (subtract each digit offset); O(n) scan on the
+  // explicit form, whose inverse permutation is deliberately not stored
+  // (nothing on the simulator hot path needs it — see DESIGN.md §9).
   NodeId src_of(NodeId dst) const;
-  bool is_idle(NodeId node) const { return dst_of(node) == node; }
+
+  // A shift-form matching is idle either at every node (all offsets zero)
+  // or at none (any nonzero digit offset moves every node), so this is
+  // O(1) there.
+  bool is_idle(NodeId node) const {
+    if (form_ == Form::kShift) return k1_ == 0 && k2_ == 0 && k3_ == 0;
+    return dst_[static_cast<std::size_t>(node)] == node;
+  }
 
   // True when no node is idle (a perfect matching of transmitters to
   // receivers).
@@ -44,17 +88,40 @@ class Matching {
   // Number of non-idle circuits.
   NodeId active_circuits() const;
 
-  bool operator==(const Matching& other) const { return dst_ == other.dst_; }
+  // Equal iff the two matchings realize the same permutation, regardless
+  // of storage form. Shift-vs-shift with identical canonical parameters
+  // short-circuits; every other combination falls back to an elementwise
+  // compare.
+  bool operator==(const Matching& other) const;
 
-  // Estimated heap bytes of this matching (the destination map). Profiler
-  // gauge input: stored matchings are the dominant memory consumer at
-  // Table-1 scale (see DESIGN.md §10).
+  // True when this matching is stored in the O(1) shift form.
+  bool is_compact() const { return form_ == Form::kShift; }
+
+  // An explicit-form copy realizing the same permutation. Test hook for
+  // pinning the compact path byte-identical against explicit storage.
+  Matching materialized() const;
+
+  // Estimated heap bytes of this matching. The shift form owns no heap at
+  // all — this is what collapses the schedule_matchings profiler gauge
+  // from O(period·n) to O(period) (DESIGN.md §11).
   std::uint64_t memory_bytes() const {
-    return dst_.capacity() * sizeof(NodeId);
+    return form_ == Form::kExplicit ? dst_.capacity() * sizeof(NodeId) : 0;
   }
 
  private:
-  std::vector<NodeId> dst_;
+  enum class Form : std::uint8_t { kShift, kExplicit };
+
+  NodeId shift_dst(NodeId src) const;
+
+  Form form_ = Form::kShift;
+  NodeId n_ = 0;
+  // Canonical shift parameters: radix-1 levels are pushed to the front as
+  // (1, 0), so a pure cyclic shift always sits in (n3_, k3_) and the
+  // dst_of fast path only tests n2_.
+  NodeId n1_ = 1, n2_ = 1, n3_ = 1;
+  NodeId k1_ = 0, k2_ = 0, k3_ = 0;
+  NodeId stride1_ = 1;  // n2_ * n3_
+  std::vector<NodeId> dst_;  // explicit form only
 };
 
 }  // namespace sorn

@@ -23,6 +23,16 @@ std::int64_t closure_multiplier(std::int64_t a, std::int64_t cycle) {
 // o = 1 + (t mod (size-1)). Cliques advance their own cycles, so unequal
 // sizes are fine; size-1 cliques idle.
 Matching intra_matching(const CliqueAssignment& cliques, std::int64_t t) {
+  if (cliques.contiguous_equal_blocks()) {
+    // Block layout: every clique is the same size s and owns nodes
+    // [c*s, (c+1)*s), so the slot is a block-local cyclic shift —
+    // O(1) state instead of an O(n) permutation vector.
+    const NodeId s = cliques.clique_size(0);
+    if (s < 2) return Matching::idle(cliques.node_count());
+    const auto o = static_cast<NodeId>(1 + (t % (s - 1)));
+    return Matching::radix_shift(
+        1, 0, static_cast<NodeId>(cliques.clique_count()), 0, s, o);
+  }
   const NodeId n = cliques.node_count();
   std::vector<NodeId> dst(static_cast<std::size_t>(n));
   for (NodeId i = 0; i < n; ++i) dst[static_cast<std::size_t>(i)] = i;
@@ -51,6 +61,13 @@ Matching inter_matching(const CliqueAssignment& cliques, std::int64_t t) {
   const std::int64_t s = cliques.clique_size(0);
   const std::int64_t k = 1 + (t % (nc - 1));
   const std::int64_t rho = (t / (nc - 1)) % s;
+  if (cliques.contiguous_equal_blocks()) {
+    // Block layout: (c, j) -> (c + k, j + rho) is a two-level shift.
+    return Matching::radix_shift(1, 0, static_cast<NodeId>(nc),
+                                 static_cast<NodeId>(k),
+                                 static_cast<NodeId>(s),
+                                 static_cast<NodeId>(rho));
+  }
   std::vector<NodeId> dst(static_cast<std::size_t>(n));
   for (NodeId i = 0; i < n; ++i) {
     const std::int64_t c = cliques.clique_of(i);
@@ -258,16 +275,12 @@ CircuitSchedule ScheduleBuilder::orn_hd(NodeId n, int h) {
   slots.reserve(static_cast<std::size_t>(h) * static_cast<std::size_t>(r - 1));
   std::int64_t stride = 1;
   for (int d = 0; d < h; ++d) {
-    for (NodeId k = 1; k < r; ++k) {
-      std::vector<NodeId> dst(static_cast<std::size_t>(n));
-      for (NodeId i = 0; i < n; ++i) {
-        const std::int64_t digit = (i / stride) % r;
-        const std::int64_t new_digit = (digit + k) % r;
-        dst[static_cast<std::size_t>(i)] =
-            static_cast<NodeId>(i + (new_digit - digit) * stride);
-      }
-      slots.emplace_back(std::move(dst));
-    }
+    // Shift one base-r digit: a three-level shift with the moving digit in
+    // the middle and the untouched high/low digits around it.
+    const auto hi = static_cast<NodeId>(n / (stride * r));
+    for (NodeId k = 1; k < r; ++k)
+      slots.push_back(Matching::radix_shift(hi, 0, r, k,
+                                            static_cast<NodeId>(stride), 0));
     stride *= r;
   }
   return CircuitSchedule(std::move(slots));
@@ -286,16 +299,10 @@ CircuitSchedule ScheduleBuilder::orn_mixed(
   std::vector<Matching> slots;
   std::int64_t stride = 1;
   for (const NodeId r : radices) {
-    for (NodeId k = 1; k < r; ++k) {
-      std::vector<NodeId> dst(static_cast<std::size_t>(n));
-      for (NodeId i = 0; i < n; ++i) {
-        const std::int64_t digit = (i / stride) % r;
-        const std::int64_t new_digit = (digit + k) % r;
-        dst[static_cast<std::size_t>(i)] =
-            static_cast<NodeId>(i + (new_digit - digit) * stride);
-      }
-      slots.emplace_back(std::move(dst));
-    }
+    const auto hi = static_cast<NodeId>(n / (stride * r));
+    for (NodeId k = 1; k < r; ++k)
+      slots.push_back(Matching::radix_shift(hi, 0, r, k,
+                                            static_cast<NodeId>(stride), 0));
     stride *= r;
   }
   return CircuitSchedule(std::move(slots));
@@ -490,20 +497,14 @@ CircuitSchedule ScheduleBuilder::sorn_hierarchical(const Hierarchy& h,
     inter.share = shares.inter;
     inter.cycle = p >= 2 ? static_cast<std::int64_t>(p - 1) * s : 0;
     inter.kind = SlotKind::kInter;
-    inter.at = [&h, s, p](std::int64_t t) {
-      const std::int64_t k = 1 + (t % (p - 1));
-      const std::int64_t rho = (t / (p - 1)) % s;
-      std::vector<NodeId> dst(static_cast<std::size_t>(h.node_count()));
-      for (NodeId i = 0; i < h.node_count(); ++i) {
-        const CliqueId cluster = h.cluster_of(i);
-        const std::int64_t pod_in_cluster = h.pod_of(i) % p;
-        const std::int64_t j = h.index_in_pod(i);
-        const auto target_pod = static_cast<NodeId>((pod_in_cluster + k) % p);
-        const auto target_idx = static_cast<NodeId>((j + rho) % s);
-        dst[static_cast<std::size_t>(i)] =
-            h.node_at(cluster, target_pod * s + target_idx);
-      }
-      return Matching(std::move(dst));
+    // The hierarchy is contiguous by construction (node id = cluster,
+    // pod-in-cluster, index-in-pod in mixed radix), so this is the shift
+    // (cluster fixed, pod + k, index + rho) in O(1) state.
+    inter.at = [nc, s, p](std::int64_t t) {
+      const auto k = static_cast<NodeId>(1 + (t % (p - 1)));
+      const auto rho = static_cast<NodeId>((t / (p - 1)) % s);
+      return Matching::radix_shift(static_cast<NodeId>(nc), 0,
+                                   static_cast<NodeId>(p), k, s, rho);
     };
     streams.push_back(std::move(inter));
   }
@@ -516,19 +517,13 @@ CircuitSchedule ScheduleBuilder::sorn_hierarchical(const Hierarchy& h,
     global.cycle =
         nc >= 2 ? static_cast<std::int64_t>(nc - 1) * cluster_size : 0;
     global.kind = SlotKind::kGlobal;
-    global.at = [&h, nc, cluster_size](std::int64_t t) {
-      const std::int64_t big_k = 1 + (t % (nc - 1));
-      const std::int64_t rho = (t / (nc - 1)) % cluster_size;
-      std::vector<NodeId> dst(static_cast<std::size_t>(h.node_count()));
-      for (NodeId i = 0; i < h.node_count(); ++i) {
-        const CliqueId cluster = h.cluster_of(i);
-        const std::int64_t pos = h.position_in_cluster(i);
-        const auto target_cluster =
-            static_cast<CliqueId>((cluster + big_k) % nc);
-        dst[static_cast<std::size_t>(i)] = h.node_at(
-            target_cluster, static_cast<NodeId>((pos + rho) % cluster_size));
-      }
-      return Matching(std::move(dst));
+    // (cluster + K, position + rho): a two-level shift over the
+    // contiguous cluster-major layout.
+    global.at = [nc, cluster_size](std::int64_t t) {
+      const auto big_k = static_cast<NodeId>(1 + (t % (nc - 1)));
+      const auto rho = static_cast<NodeId>((t / (nc - 1)) % cluster_size);
+      return Matching::radix_shift(1, 0, static_cast<NodeId>(nc), big_k,
+                                   static_cast<NodeId>(cluster_size), rho);
     };
     streams.push_back(std::move(global));
   }
