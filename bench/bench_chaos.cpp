@@ -1,0 +1,107 @@
+// Chaos campaign driver: N seeded randomized fault-soup runs, invariants
+// asserted every slot, thread-count byte-equivalence cross-checked per
+// seed (scenario/chaos.h).
+//
+// Exit nonzero on the first failing seed, printing the one-line replay
+// recipe — that command alone reproduces the failure anywhere. With
+// --json a machine-readable summary (seeds passed, aggregate fault
+// counts) is written; CI runs the nightly campaign through this binary
+// and uploads failing seeds as artifacts.
+#include <cstdio>
+#include <string>
+
+#include "bench_args.h"
+#include "obs/export.h"
+#include "scenario/chaos.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace sorn;
+  bench::ArgParser args(argc, argv);
+  const std::string json_path = args.get_string("--json", "");
+  const std::uint64_t first_seed =
+      static_cast<std::uint64_t>(args.get_long("--seed", 1, 0));
+  const long runs = args.get_long("--runs", 5, 1);
+  ChaosKnobs knobs;
+  knobs.nodes = static_cast<NodeId>(args.get_long("--nodes", 32, 4));
+  knobs.slots = args.get_long("--slots", 3000, 500);
+  knobs.compare_threads =
+      static_cast<int>(args.get_long("--compare-threads", 3, 0));
+  args.finish();
+
+  std::uint64_t passed = 0;
+  std::uint64_t total_faults = 0, total_gray = 0, total_outages = 0,
+                 total_safe = 0, total_replans = 0, total_slots = 0;
+  TablePrinter table({"seed", "faults", "gray drops", "ctrl outages",
+                      "safe mode", "replans", "slots checked", "verdict"});
+  for (long i = 0; i < runs; ++i) {
+    const std::uint64_t seed = first_seed + static_cast<std::uint64_t>(i);
+    const ChaosResult r = run_chaos(seed, knobs);
+    table.add_row(
+        {format("%llu", static_cast<unsigned long long>(seed)),
+         format("%llu", static_cast<unsigned long long>(r.faults_applied)),
+         format("%llu", static_cast<unsigned long long>(r.gray_drops)),
+         format("%llu",
+                static_cast<unsigned long long>(r.controller_outages)),
+         format("%llu",
+                static_cast<unsigned long long>(r.safe_mode_activations)),
+         format("%llu", static_cast<unsigned long long>(r.replans)),
+         format("%llu", static_cast<unsigned long long>(r.invariant_slots)),
+         r.ok ? "pass" : "FAIL"});
+    if (!r.ok) {
+      table.print();
+      std::fprintf(stderr, "\nchaos seed %llu FAILED:\n%s\n\nreplay: %s\n",
+                   static_cast<unsigned long long>(seed), r.error.c_str(),
+                   r.replay.c_str());
+      if (!json_path.empty()) {
+        const std::string doc = format(
+            "{\"bench\": \"bench_chaos\", \"first_seed\": %llu, "
+            "\"runs\": %ld, \"failed_seed\": %llu, \"replay\": \"%s\", "
+            "\"metrics\": {\"seeds_passed\": %llu, \"all_passed\": 0}}\n",
+            static_cast<unsigned long long>(first_seed), runs,
+            static_cast<unsigned long long>(seed), r.replay.c_str(),
+            static_cast<unsigned long long>(passed));
+        write_text_file(json_path, doc);
+      }
+      return 1;
+    }
+    ++passed;
+    total_faults += r.faults_applied;
+    total_gray += r.gray_drops;
+    total_outages += r.controller_outages;
+    total_safe += r.safe_mode_activations;
+    total_replans += r.replans;
+    total_slots += r.invariant_slots;
+  }
+  table.print();
+  std::printf(
+      "\n%llu/%ld seeds passed: %llu faults, %llu gray drops, %llu "
+      "controller outages, %llu safe-mode entries, %llu replans, %llu "
+      "slots invariant-checked.\n",
+      static_cast<unsigned long long>(passed), runs,
+      static_cast<unsigned long long>(total_faults),
+      static_cast<unsigned long long>(total_gray),
+      static_cast<unsigned long long>(total_outages),
+      static_cast<unsigned long long>(total_safe),
+      static_cast<unsigned long long>(total_replans),
+      static_cast<unsigned long long>(total_slots));
+
+  if (!json_path.empty()) {
+    const std::string doc = format(
+        "{\"bench\": \"bench_chaos\", \"first_seed\": %llu, \"runs\": %ld, "
+        "\"total_faults\": %llu, \"total_gray_drops\": %llu, "
+        "\"total_controller_outages\": %llu, \"total_replans\": %llu, "
+        "\"metrics\": {\"seeds_passed\": %llu, \"all_passed\": 1}}\n",
+        static_cast<unsigned long long>(first_seed), runs,
+        static_cast<unsigned long long>(total_faults),
+        static_cast<unsigned long long>(total_gray),
+        static_cast<unsigned long long>(total_outages),
+        static_cast<unsigned long long>(total_replans),
+        static_cast<unsigned long long>(passed));
+    if (!write_text_file(json_path, doc)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

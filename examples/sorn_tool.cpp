@@ -37,6 +37,12 @@
 //       with exponential backoff. Fault RNG lives on the coordinating
 //       thread, so faulted runs stay byte-identical at any --threads.
 //
+//   sorn_tool chaos [--seed 1] [--runs 1] [--nodes 32] [--slots 3000]
+//       Seeded randomized fault-soup runs (gray failures, controller
+//       outages, safe mode) with invariants asserted every slot and a
+//       thread-count byte-equivalence cross-check. A failing seed prints
+//       a one-line replay recipe.
+//
 //   sorn_tool compare [--designs sorn,vlb,...] [--nodes 64] [--cliques 8]
 //                     [--locality 0.56] [--threads N]
 //       Run every named design on the same fabric scale and traffic:
@@ -45,18 +51,23 @@
 //
 // Run without arguments for usage.
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "analysis/models.h"
+#include "control/control_faults.h"
+#include "control/control_plane.h"
 #include "control/hier_optimizer.h"
 #include "control/optimizer.h"
+#include "control/safe_mode.h"
 #include "core/sorn.h"
 #include "fault/fault_injector.h"
 #include "obs/export.h"
 #include "obs/telemetry.h"
 #include "obs/timeseries.h"
+#include "scenario/chaos.h"
 #include "scenario/scenario_runner.h"
 #include "topo/schedule_builder.h"
 #include "traffic/matrix_io.h"
@@ -245,6 +256,40 @@ int cmd_simulate(ArgParser& args) {
   cfg.retransmit_max_attempts = static_cast<std::uint32_t>(
       args.get_long("--retransmit-max-attempts", cfg.retransmit_max_attempts,
                     1));
+  cfg.retransmit_jitter =
+      args.get_double("--retransmit-jitter", cfg.retransmit_jitter, 0.0, 1.0);
+  // Closed-loop control plane and its fault model.
+  cfg.epoch_slots = args.get_long("--epoch-slots", cfg.epoch_slots, 0);
+  cfg.update_delay_slots =
+      args.get_long("--update-delay", cfg.update_delay_slots, 0);
+  const std::string outages_csv = args.get_string("--control-outages", "");
+  if (!outages_csv.empty()) {
+    cfg.control_outages.clear();
+    std::size_t pos = 0;
+    while (pos < outages_csv.size()) {
+      std::size_t comma = outages_csv.find(',', pos);
+      if (comma == std::string::npos) comma = outages_csv.size();
+      if (comma > pos) {
+        cfg.control_outages.push_back(
+            std::atoll(outages_csv.substr(pos, comma - pos).c_str()));
+      }
+      pos = comma + 1;
+    }
+  }
+  cfg.controller_mtbf_slots =
+      args.get_double("--controller-mtbf", cfg.controller_mtbf_slots, 0.0);
+  cfg.controller_mttr_slots =
+      args.get_double("--controller-mttr", cfg.controller_mttr_slots, 0.0);
+  cfg.control_fault_seed = static_cast<std::uint64_t>(
+      args.get_long("--control-fault-seed", cfg.control_fault_seed, 0));
+  cfg.replan_apply_delay =
+      args.get_long("--replan-apply-delay", cfg.replan_apply_delay, 0);
+  cfg.estimate_stale_epochs =
+      args.get_long("--estimate-stale-epochs", cfg.estimate_stale_epochs, 0);
+  cfg.estimate_noise =
+      args.get_double("--estimate-noise", cfg.estimate_noise, 0.0, 1.0);
+  cfg.safe_mode = args.get_string("--safe-mode", cfg.safe_mode);
+  if (args.get_flag("--check-invariants")) cfg.check_invariants = true;
   const std::string save_path = args.get_string("--save-scenario", "");
   args.finish();
 
@@ -336,6 +381,31 @@ int cmd_simulate(ArgParser& args) {
         static_cast<unsigned long long>(metrics.recovered_flows()),
         metrics.mean_recovery_slots(),
         static_cast<unsigned long long>(metrics.open_flows()));
+  }
+  if (const ControlPlane* control = runner->control()) {
+    std::printf("  control plane:    %llu replans (epoch %lld slots)\n",
+                static_cast<unsigned long long>(control->replans()),
+                static_cast<long long>(cfg.epoch_slots));
+    if (const ControlFaultModel* cf = runner->control_faults()) {
+      std::printf(
+          "  controller down:  %llu outages, %llu slots, %llu epochs "
+          "suppressed\n",
+          static_cast<unsigned long long>(cf->outages_started()),
+          static_cast<unsigned long long>(cf->outage_slots()),
+          static_cast<unsigned long long>(cf->suppressed_epochs()));
+    }
+    if (const SafeModeGuard* sm = runner->safe_mode()) {
+      std::printf(
+          "  safe mode (%s):  %llu activations, %llu slots\n",
+          sm->policy() == SafeModePolicy::kVlb ? "vlb" : "hold",
+          static_cast<unsigned long long>(sm->activations()),
+          static_cast<unsigned long long>(sm->slots_in_safe_mode()));
+    }
+  }
+  if (const InvariantChecker* inv = runner->invariant_checker()) {
+    std::printf("  invariants:       %llu slots checked, %llu violations\n",
+                static_cast<unsigned long long>(inv->slots_checked()),
+                static_cast<unsigned long long>(inv->violation_count()));
   }
 
   if (!cfg.metrics_json_path.empty())
@@ -445,6 +515,46 @@ int cmd_compare(ArgParser& args) {
   return 0;
 }
 
+int cmd_chaos(ArgParser& args) {
+  const std::uint64_t first_seed =
+      static_cast<std::uint64_t>(args.get_long("--seed", 1, 0));
+  const long runs = args.get_long("--runs", 1, 1);
+  ChaosKnobs knobs;
+  knobs.nodes = static_cast<NodeId>(args.get_long("--nodes", 32, 4));
+  knobs.slots = args.get_long("--slots", 3000, 500);
+  knobs.compare_threads =
+      static_cast<int>(args.get_long("--compare-threads", 3, 0));
+  args.finish();
+
+  TablePrinter table({"seed", "faults", "gray drops", "ctrl outages",
+                      "safe mode", "replans", "slots checked", "verdict"});
+  for (long i = 0; i < runs; ++i) {
+    const std::uint64_t seed = first_seed + static_cast<std::uint64_t>(i);
+    const ChaosResult r = run_chaos(seed, knobs);
+    table.add_row(
+        {format("%llu", static_cast<unsigned long long>(seed)),
+         format("%llu", static_cast<unsigned long long>(r.faults_applied)),
+         format("%llu", static_cast<unsigned long long>(r.gray_drops)),
+         format("%llu",
+                static_cast<unsigned long long>(r.controller_outages)),
+         format("%llu",
+                static_cast<unsigned long long>(r.safe_mode_activations)),
+         format("%llu", static_cast<unsigned long long>(r.replans)),
+         format("%llu", static_cast<unsigned long long>(r.invariant_slots)),
+         r.ok ? "pass" : "FAIL"});
+    if (!r.ok) {
+      table.print();
+      std::fprintf(stderr, "\nchaos seed %llu FAILED:\n%s\n\nreplay: %s\n",
+                   static_cast<unsigned long long>(seed), r.error.c_str(),
+                   r.replay.c_str());
+      return 1;
+    }
+  }
+  table.print();
+  std::printf("%ld/%ld chaos seeds passed.\n", runs, runs);
+  return 0;
+}
+
 int usage() {
   std::fprintf(
       stderr,
@@ -470,6 +580,22 @@ int usage() {
       "                     [--fault-seed 1]\n"
       "                     [--retransmit-timeout S]\n"
       "                     [--retransmit-max-attempts 8]\n"
+      "                     [--retransmit-jitter 0.25]\n"
+      "                     [--epoch-slots 500] [--update-delay S]\n"
+      "                      (closed control loop: replan every epoch)\n"
+      "                     [--control-outages s0,e0,s1,e1,...]\n"
+      "                     [--controller-mtbf S --controller-mttr S]\n"
+      "                     [--control-fault-seed 1]\n"
+      "                     [--replan-apply-delay S]\n"
+      "                     [--estimate-stale-epochs K]\n"
+      "                     [--estimate-noise 0.2]\n"
+      "                     [--safe-mode hold|vlb] [--check-invariants]\n"
+      "  sorn_tool chaos [--seed 1] [--runs 1] [--nodes 32] [--slots 3000]\n"
+      "                  [--compare-threads 3]\n"
+      "      Seeded randomized fault-soup campaign: gray failures,\n"
+      "      controller outages, safe mode, invariants every slot, and a\n"
+      "      1-vs-N-thread byte-equivalence cross-check per seed. Prints\n"
+      "      a one-line replay recipe on failure.\n"
       "  sorn_tool compare [--designs sorn,vlb,...] [--nodes 64]\n"
       "                    [--cliques 8] [--locality 0.56] [--threads N]\n");
   return 2;
@@ -486,6 +612,7 @@ int main(int argc, char** argv) {
   if (cmd == "schedule") return cmd_schedule(args);
   if (cmd == "designs") return cmd_designs(args);
   if (cmd == "simulate") return cmd_simulate(args);
+  if (cmd == "chaos") return cmd_chaos(args);
   if (cmd == "compare") return cmd_compare(args);
   return usage();
 }

@@ -13,7 +13,18 @@ ControlPlane::ControlPlane(NodeId nodes, Options options)
 bool ControlPlane::on_epoch(const TrafficMatrix& observed, Slot now) {
   ScopedPhase scope(profiler_ != nullptr ? &profiler_->phases() : nullptr,
                     ProfPhase::kControlTick);
-  estimator_.observe(observed);
+  // A down controller loses the epoch's measurement entirely — it is not
+  // queued for later. When up, the observation passes through the fault
+  // model's staleness/noise filter first.
+  if (faults_ != nullptr) {
+    if (!faults_->controller_up()) {
+      faults_->note_suppressed_epoch();
+      return false;
+    }
+    estimator_.observe(faults_->filter(observed));
+  } else {
+    estimator_.observe(observed);
+  }
   const bool first = !has_plan_;
   const double macro_change = estimator_.macro_change().value_or(0.0);
   const bool drifted = macro_change > options_.replan_threshold;

@@ -7,6 +7,7 @@
 // macro-scale structure, never to individual flows.
 #pragma once
 
+#include "control/control_faults.h"
 #include "control/estimator.h"
 #include "control/optimizer.h"
 #include "control/reconfig.h"
@@ -50,11 +51,26 @@ class ControlPlane {
   // Forward to the reconfiguration manager every slot. With a profiler
   // attached the interval is recorded as the control_tick phase (epoch
   // re-plans run inside on_epoch and land in the same phase — both are
-  // control-plane work amortized over the slot cadence).
+  // control-plane work amortized over the slot cadence). While the fault
+  // model reports the controller down, staged swaps are held: the network
+  // keeps serving the last committed generation.
   bool tick(SlottedNetwork& network, Slot now) {
     ScopedPhase scope(profiler_ != nullptr ? &profiler_->phases() : nullptr,
                       ProfPhase::kControlTick);
+    if (faults_ != nullptr && !faults_->controller_up()) return false;
     return reconfig_.tick(network, now);
+  }
+
+  // Borrowed control-plane fault model (control/control_faults.h). While
+  // it reports the controller down, on_epoch drops the observation
+  // (counted via note_suppressed_epoch) and tick holds staged swaps; when
+  // up, observations pass through its staleness/noise filter. Also
+  // installs the model's extra replan-apply delay into the reconfiguration
+  // manager. nullptr detaches (and clears the extra delay).
+  void set_fault_model(ControlFaultModel* faults) {
+    faults_ = faults;
+    reconfig_.set_extra_delay(faults != nullptr ? faults->extra_replan_delay()
+                                                : 0);
   }
 
   const TrafficEstimator& estimator() const { return estimator_; }
@@ -84,6 +100,7 @@ class ControlPlane {
   Tracer* tracer_ = nullptr;
   Profiler* profiler_ = nullptr;
   const FailureView* failures_ = nullptr;
+  ControlFaultModel* faults_ = nullptr;
   // FailureView::version() at the time of the last plan; a mismatch at
   // the next epoch triggers a failure re-plan.
   std::uint64_t planned_failure_version_ = 0;

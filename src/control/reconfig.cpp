@@ -29,7 +29,7 @@ void ReconfigManager::request_swap(SornPlan plan, Slot now) {
                                              options_.lb_mode);
   gen->router->set_failure_view(failures_);
   pending_ = std::move(gen);
-  swap_due_ = now + options_.update_delay_slots;
+  swap_due_ = now + options_.update_delay_slots + extra_delay_;
   if (tracer_ != nullptr) {
     tracer_->reconfig_staged(now, swap_due_,
                              pending_->cliques->clique_count(),

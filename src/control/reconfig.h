@@ -55,6 +55,11 @@ class ReconfigManager {
   // disables.
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
+  // Extra slots added on top of update_delay_slots for swaps staged from
+  // now on (control-plane fault model: degraded state-distribution path).
+  void set_extra_delay(Slot extra) { extra_delay_ = extra; }
+  Slot extra_delay() const { return extra_delay_; }
+
   // Borrowed failure state (usually &network.failure_view()): every
   // generation's router — current, pending, and all future ones — routes
   // around it (Router::set_failure_view). nullptr detaches.
@@ -84,6 +89,7 @@ class ReconfigManager {
   Generation previous_;  // kept alive for in-flight traffic
   std::unique_ptr<Generation> pending_;
   Slot swap_due_ = 0;
+  Slot extra_delay_ = 0;
   std::uint64_t swaps_applied_ = 0;
   std::vector<NicState> nics_;
   std::optional<UpdateCoordinator::Report> last_rollout_;

@@ -44,9 +44,23 @@ std::vector<std::string_view> split_ws(std::string_view line) {
   return tokens;
 }
 
+// Strict whole-token double parse; rejects empty, trailing garbage.
+bool parse_double(std::string_view token, double* out) {
+  if (token.empty()) return false;
+  char buf[48];
+  if (token.size() >= sizeof(buf)) return false;
+  token.copy(buf, token.size());
+  buf[token.size()] = '\0';
+  char* end = nullptr;
+  const double v = std::strtod(buf, &end);
+  if (end == buf || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
 bool fail_line(std::string* error, int line_no, const std::string& message) {
   if (error != nullptr) {
-    char buf[160];
+    char buf[192];
     std::snprintf(buf, sizeof(buf), "fault script line %d: %s", line_no,
                   message.c_str());
     *error = buf;
@@ -56,7 +70,7 @@ bool fail_line(std::string* error, int line_no, const std::string& message) {
 
 }  // namespace
 
-bool FaultScript::parse(std::string_view text, FaultScript* out,
+bool FaultScript::parse(std::string_view text, NodeId nodes, FaultScript* out,
                         std::string* error) {
   SORN_ASSERT(out != nullptr, "parse needs an output script");
   std::vector<FaultEvent> events;
@@ -82,41 +96,106 @@ bool FaultScript::parse(std::string_view text, FaultScript* out,
     FaultEvent ev;
     ev.slot = static_cast<Slot>(slot);
     const std::string_view action = tokens[1];
-    const bool node_action = action == "fail-node" || action == "heal-node";
-    const bool circuit_action =
-        action == "fail-circuit" || action == "heal-circuit";
-    if (!node_action && !circuit_action)
-      return fail_line(error, line_no,
-                       "unknown action '" + std::string(action) + "'");
-    const std::size_t want = node_action ? 3 : 4;
-    if (tokens.size() != want)
-      return fail_line(error, line_no,
-                       node_action
-                           ? "expected '<slot> " + std::string(action) +
-                                 " <node>'"
-                           : "expected '<slot> " + std::string(action) +
-                                 " <src> <dst>'");
-    long long a = 0;
-    if (!parse_int(tokens[2], &a) || a < 0)
-      return fail_line(error, line_no,
-                       "node id must be a nonnegative integer, got '" +
-                           std::string(tokens[2]) + "'");
-    ev.a = static_cast<NodeId>(a);
-    if (node_action) {
+    bool node_action = false;
+    bool valued = false;  // degrade/throttle carry a probability/fraction
+    bool flap = false;
+    std::string args;  // usage suffix for the arity error
+    if (action == "fail-node" || action == "heal-node") {
+      node_action = true;
+      args = " <node>";
       ev.kind = action == "fail-node" ? FaultKind::kFailNode
                                       : FaultKind::kHealNode;
+    } else if (action == "fail-circuit" || action == "heal-circuit" ||
+               action == "restore-circuit") {
+      args = " <src> <dst>";
+      ev.kind = action == "fail-circuit"   ? FaultKind::kFailCircuit
+                : action == "heal-circuit" ? FaultKind::kHealCircuit
+                                           : FaultKind::kRestoreCircuit;
+    } else if (action == "degrade-circuit") {
+      valued = true;
+      args = " <src> <dst> <loss_p>";
+      ev.kind = FaultKind::kDegradeCircuit;
+    } else if (action == "throttle-circuit") {
+      valued = true;
+      args = " <src> <dst> <capacity>";
+      ev.kind = FaultKind::kThrottleCircuit;
+    } else if (action == "flap-circuit") {
+      flap = true;
+      args = " <src> <dst> <cycles> <down_slots> <up_slots>";
     } else {
-      long long b = 0;
-      if (!parse_int(tokens[3], &b) || b < 0)
+      return fail_line(error, line_no,
+                       "unknown action '" + std::string(action) + "'");
+    }
+    const std::size_t want = node_action ? 3 : (valued ? 5 : (flap ? 7 : 4));
+    if (tokens.size() != want)
+      return fail_line(
+          error, line_no,
+          "expected '<slot> " + std::string(action) + args + "'");
+    // Node/circuit ids are validated against the topology size here, at
+    // parse time, so a typo'd id is a line-numbered script error instead
+    // of an assert deep inside the injector mid-run.
+    const auto parse_node = [&](std::string_view token, NodeId* id) {
+      long long v = 0;
+      if (!parse_int(token, &v) || v < 0) {
+        fail_line(error, line_no,
+                  "node id must be a nonnegative integer, got '" +
+                      std::string(token) + "'");
+        return false;
+      }
+      if (nodes > 0 && v >= static_cast<long long>(nodes)) {
+        fail_line(error, line_no,
+                  "node id " + std::to_string(v) + " out of range for a " +
+                      std::to_string(nodes) + "-node topology");
+        return false;
+      }
+      *id = static_cast<NodeId>(v);
+      return true;
+    };
+    if (!parse_node(tokens[2], &ev.a)) return false;
+    if (node_action) {
+      events.push_back(ev);
+      continue;
+    }
+    if (!parse_node(tokens[3], &ev.b)) return false;
+    if (ev.a == ev.b)
+      return fail_line(error, line_no, "circuit endpoints must differ");
+    if (valued) {
+      double v = 0.0;
+      const bool degrade = ev.kind == FaultKind::kDegradeCircuit;
+      if (!parse_double(tokens[4], &v) || v < 0.0 || v > 1.0)
         return fail_line(error, line_no,
-                         "node id must be a nonnegative integer, got '" +
-                             std::string(tokens[3]) + "'");
-      if (a == b)
+                         std::string(degrade ? "loss probability"
+                                             : "capacity fraction") +
+                             " must be in [0, 1], got '" +
+                             std::string(tokens[4]) + "'");
+      ev.value = v;
+      events.push_back(ev);
+      continue;
+    }
+    if (flap) {
+      long long cycles = 0, down = 0, up = 0;
+      if (!parse_int(tokens[4], &cycles) || cycles < 1 || cycles > 100000)
         return fail_line(error, line_no,
-                         "circuit endpoints must differ");
-      ev.b = static_cast<NodeId>(b);
-      ev.kind = action == "fail-circuit" ? FaultKind::kFailCircuit
-                                         : FaultKind::kHealCircuit;
+                         "flap cycles must be in [1, 100000], got '" +
+                             std::string(tokens[4]) + "'");
+      if (!parse_int(tokens[5], &down) || down < 1)
+        return fail_line(error, line_no,
+                         "flap down_slots must be a positive integer, got '" +
+                             std::string(tokens[5]) + "'");
+      if (!parse_int(tokens[6], &up) || up < 1)
+        return fail_line(error, line_no,
+                         "flap up_slots must be a positive integer, got '" +
+                             std::string(tokens[6]) + "'");
+      // Expand at parse time into ordinary fail/heal pairs so the
+      // injector replays a flapping link with the scripted machinery —
+      // a link bouncing on a short MTTR.
+      for (long long c = 0; c < cycles; ++c) {
+        const Slot base = ev.slot + static_cast<Slot>(c * (down + up));
+        events.push_back({base, FaultKind::kFailCircuit, ev.a, ev.b, 0.0});
+        events.push_back({base + static_cast<Slot>(down),
+                          FaultKind::kHealCircuit, ev.a, ev.b, 0.0});
+      }
+      continue;
     }
     events.push_back(ev);
   }
@@ -124,7 +203,7 @@ bool FaultScript::parse(std::string_view text, FaultScript* out,
   return true;
 }
 
-bool FaultScript::load(const std::string& path, FaultScript* out,
+bool FaultScript::load(const std::string& path, NodeId nodes, FaultScript* out,
                        std::string* error) {
   std::FILE* f = std::fopen(path.c_str(), "r");
   if (f == nullptr) {
@@ -138,7 +217,7 @@ bool FaultScript::load(const std::string& path, FaultScript* out,
     text.append(buf, got);
   }
   std::fclose(f);
-  return parse(text, out, error);
+  return parse(text, nodes, out, error);
 }
 
 FaultScript FaultScript::from_events(std::vector<FaultEvent> events) {
@@ -184,6 +263,15 @@ bool FaultInjector::apply(SlottedNetwork& net, const FaultEvent& ev) {
     case FaultKind::kHealCircuit:
       SORN_ASSERT(ev.b >= 0 && ev.b < n, "fault event node out of range");
       return net.heal_circuit(ev.a, ev.b);
+    case FaultKind::kDegradeCircuit:
+      SORN_ASSERT(ev.b >= 0 && ev.b < n, "fault event node out of range");
+      return net.degrade_circuit(ev.a, ev.b, ev.value);
+    case FaultKind::kThrottleCircuit:
+      SORN_ASSERT(ev.b >= 0 && ev.b < n, "fault event node out of range");
+      return net.throttle_circuit(ev.a, ev.b, ev.value);
+    case FaultKind::kRestoreCircuit:
+      SORN_ASSERT(ev.b >= 0 && ev.b < n, "fault event node out of range");
+      return net.restore_circuit(ev.a, ev.b);
   }
   return false;
 }

@@ -43,6 +43,12 @@ enum class FaultKind : std::uint8_t {
   kHealNode,
   kFailCircuit,
   kHealCircuit,
+  // Gray (partial) circuit failures (sim/gray_failures.h): value is the
+  // per-cell loss probability / slot-capacity fraction; restore clears
+  // both.
+  kDegradeCircuit,
+  kThrottleCircuit,
+  kRestoreCircuit,
 };
 
 struct FaultEvent {
@@ -50,6 +56,9 @@ struct FaultEvent {
   FaultKind kind = FaultKind::kFailNode;
   NodeId a = 0;  // the node, or the circuit's src
   NodeId b = 0;  // the circuit's dst (unused for node events)
+  // kDegradeCircuit: loss probability in [0, 1];
+  // kThrottleCircuit: capacity fraction in [0, 1]; otherwise unused.
+  double value = 0.0;
 };
 
 // An ordered fault timeline. Script grammar, one event per line:
@@ -58,6 +67,13 @@ struct FaultEvent {
 //   <slot> heal-node <node>
 //   <slot> fail-circuit <src> <dst>
 //   <slot> heal-circuit <src> <dst>
+//   <slot> degrade-circuit <src> <dst> <loss_p>     # gray: lossy link
+//   <slot> throttle-circuit <src> <dst> <capacity>  # gray: reduced rate
+//   <slot> restore-circuit <src> <dst>              # clear gray state
+//   <slot> flap-circuit <src> <dst> <cycles> <down_slots> <up_slots>
+//
+// flap-circuit expands at parse time into `cycles` fail/heal pairs with
+// period down_slots + up_slots — a link bouncing on a short MTTR.
 //
 // Blank lines and '#' comments are ignored. Events are stable-sorted by
 // slot, so same-slot events apply in file order.
@@ -67,10 +83,14 @@ class FaultScript {
 
   // Parse script text; on failure returns false and sets *error to a
   // message naming the offending line. out is untouched on failure.
-  static bool parse(std::string_view text, FaultScript* out,
+  // `nodes` is the topology size: node/circuit ids are validated against
+  // it at parse time (line-numbered errors) instead of blowing up in the
+  // injector at apply time; 0 skips the range check (programmatic use
+  // where the topology is not known yet).
+  static bool parse(std::string_view text, NodeId nodes, FaultScript* out,
                     std::string* error);
   // Same, reading the file at path.
-  static bool load(const std::string& path, FaultScript* out,
+  static bool load(const std::string& path, NodeId nodes, FaultScript* out,
                    std::string* error);
   // Programmatic construction (events are stable-sorted by slot).
   static FaultScript from_events(std::vector<FaultEvent> events);

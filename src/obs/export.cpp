@@ -63,6 +63,7 @@ std::string run_to_json(const SimMetrics& metrics, const Telemetry* telemetry,
       .field("delivered_cells", metrics.delivered_cells())
       .field("forwarded_cells", metrics.forwarded_cells())
       .field("dropped_cells", metrics.dropped_cells())
+      .field("gray_dropped_cells", metrics.gray_dropped_cells())
       .field("completed_flows", metrics.completed_flows())
       .field("open_flows", metrics.open_flows())
       .field("retransmitted_cells", metrics.retransmitted_cells())

@@ -10,6 +10,7 @@ Telemetry::Telemetry(TelemetryOptions options) {
   c_reconfigures_ = registry_.counter("sim.reconfigures");
   c_failures_ = registry_.counter("sim.failures");
   c_retransmits_ = registry_.counter("sim.retransmits");
+  c_gray_drops_ = registry_.counter("sim.gray_drops");
 }
 
 }  // namespace sorn

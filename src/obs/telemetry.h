@@ -89,6 +89,23 @@ class Telemetry {
   void on_circuit_heal(Slot slot, NodeId src, NodeId dst) {
     tracer_.circuit_heal(slot, src, dst);
   }
+  // A circuit entered (or changed) a gray-degraded state: lossy at
+  // `loss_p`, and/or serving only a `capacity` fraction of its slots.
+  void on_circuit_degrade(Slot slot, NodeId src, NodeId dst, double loss_p,
+                          double capacity) {
+    c_failures_->inc();
+    tracer_.circuit_degrade(slot, src, dst, loss_p, capacity);
+  }
+  void on_circuit_restore(Slot slot, NodeId src, NodeId dst) {
+    tracer_.circuit_restore(slot, src, dst);
+  }
+  // A cell was lost on a gray (lossy) circuit mid-flight.
+  void on_gray_drop(Slot slot, NodeId at, NodeId next_hop,
+                    std::uint64_t flow) {
+    c_cells_dropped_->inc();
+    c_gray_drops_->inc();
+    tracer_.gray_drop(slot, at, next_hop, flow);
+  }
   // One stall-detector firing: `cells` undelivered cells of `flow` were
   // re-admitted on backoff round `attempt`.
   void on_retransmit(Slot slot, std::uint64_t flow, std::uint64_t cells,
@@ -107,6 +124,7 @@ class Telemetry {
   Counter* c_reconfigures_;
   Counter* c_failures_;
   Counter* c_retransmits_;
+  Counter* c_gray_drops_;
 };
 
 }  // namespace sorn

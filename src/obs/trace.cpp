@@ -95,6 +95,34 @@ void Tracer::circuit_heal(Slot slot, NodeId src, NodeId dst) {
   sink_->write(w.str());
 }
 
+void Tracer::circuit_degrade(Slot slot, NodeId src, NodeId dst, double loss_p,
+                             double capacity) {
+  if (!enabled()) return;
+  JsonWriter w = event("circuit_degrade", slot);
+  w.field("src", src)
+      .field("dst", dst)
+      .field("loss_p", loss_p)
+      .field("capacity", capacity)
+      .end_object();
+  sink_->write(w.str());
+}
+
+void Tracer::circuit_restore(Slot slot, NodeId src, NodeId dst) {
+  if (!enabled()) return;
+  JsonWriter w = event("circuit_restore", slot);
+  w.field("src", src).field("dst", dst).end_object();
+  sink_->write(w.str());
+}
+
+void Tracer::gray_drop(Slot slot, NodeId at, NodeId next_hop,
+                       std::uint64_t flow) {
+  if (!enabled()) return;
+  JsonWriter w = event("gray_drop", slot);
+  w.field("at", at).field("next_hop", next_hop).field("flow", flow)
+      .end_object();
+  sink_->write(w.str());
+}
+
 void Tracer::retransmit(Slot slot, std::uint64_t flow, std::uint64_t cells,
                         std::uint32_t attempt) {
   if (!enabled()) return;
@@ -138,6 +166,34 @@ void Tracer::reconfig_applied(Slot slot, std::uint64_t swaps_applied) {
   if (!enabled()) return;
   JsonWriter w = event("reconfig_applied", slot);
   w.field("swaps_applied", swaps_applied).end_object();
+  sink_->write(w.str());
+}
+
+void Tracer::controller_down(Slot slot) {
+  if (!enabled()) return;
+  JsonWriter w = event("controller_down", slot);
+  w.end_object();
+  sink_->write(w.str());
+}
+
+void Tracer::controller_up(Slot slot) {
+  if (!enabled()) return;
+  JsonWriter w = event("controller_up", slot);
+  w.end_object();
+  sink_->write(w.str());
+}
+
+void Tracer::safe_mode_enter(Slot slot, std::string_view policy) {
+  if (!enabled()) return;
+  JsonWriter w = event("safe_mode_enter", slot);
+  w.field("policy", policy).end_object();
+  sink_->write(w.str());
+}
+
+void Tracer::safe_mode_exit(Slot slot) {
+  if (!enabled()) return;
+  JsonWriter w = event("safe_mode_exit", slot);
+  w.end_object();
   sink_->write(w.str());
 }
 

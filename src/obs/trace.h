@@ -86,6 +86,13 @@ class Tracer {
   void node_heal(Slot slot, NodeId node);
   void circuit_fail(Slot slot, NodeId src, NodeId dst);
   void circuit_heal(Slot slot, NodeId src, NodeId dst);
+  // Gray failures: a circuit degraded to per-cell loss `loss_p` and/or
+  // slot-capacity `capacity`, a cell lost on such a circuit, and the
+  // circuit restored to healthy.
+  void circuit_degrade(Slot slot, NodeId src, NodeId dst, double loss_p,
+                       double capacity);
+  void circuit_restore(Slot slot, NodeId src, NodeId dst);
+  void gray_drop(Slot slot, NodeId at, NodeId next_hop, std::uint64_t flow);
   // The stall detector re-admitted `cells` undelivered cells of `flow`
   // (backoff round `attempt`, 1-based).
   void retransmit(Slot slot, std::uint64_t flow, std::uint64_t cells,
@@ -104,6 +111,14 @@ class Tracer {
                        bool weighted);
   // The staged swap was applied to the network.
   void reconfig_applied(Slot slot, std::uint64_t swaps_applied);
+  // Controller availability transitions (control/control_faults.h).
+  void controller_down(Slot slot);
+  void controller_up(Slot slot);
+  // Safe-mode transitions (control/safe_mode.h): the data plane fell back
+  // to `policy` ("hold" or "vlb") during a controller outage, and later
+  // returned to the pre-outage configuration.
+  void safe_mode_enter(Slot slot, std::string_view policy);
+  void safe_mode_exit(Slot slot);
 
  private:
   TraceSink* sink_ = nullptr;

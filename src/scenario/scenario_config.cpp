@@ -157,9 +157,24 @@ std::string ScenarioConfig::to_json() const {
   w.field("circuit_mtbf", circuit_mtbf_slots);
   w.field("circuit_mttr", circuit_mttr_slots);
   w.field("fault_seed", fault_seed);
+  w.field("epoch_slots", static_cast<std::int64_t>(epoch_slots));
+  w.field("update_delay_slots", static_cast<std::int64_t>(update_delay_slots));
+  w.key("control_outages").begin_array();
+  for (const Slot s : control_outages) w.value(static_cast<std::int64_t>(s));
+  w.end_array();
+  w.field("controller_mtbf", controller_mtbf_slots);
+  w.field("controller_mttr", controller_mttr_slots);
+  w.field("control_fault_seed", control_fault_seed);
+  w.field("replan_apply_delay",
+          static_cast<std::int64_t>(replan_apply_delay));
+  w.field("estimate_stale_epochs", estimate_stale_epochs);
+  w.field("estimate_noise", estimate_noise);
+  w.field("safe_mode", safe_mode);
+  w.field("check_invariants", check_invariants);
   w.field("retransmit_timeout", static_cast<std::int64_t>(retransmit_timeout));
   w.field("retransmit_max_attempts",
           static_cast<std::int64_t>(retransmit_max_attempts));
+  w.field("retransmit_jitter", retransmit_jitter);
   w.end_object();
   std::string out = w.take();
   out += "\n";
@@ -387,11 +402,46 @@ bool ScenarioConfig::from_json(std::string_view text, ScenarioConfig* out,
     } else if (key == "fault_seed") {
       if (!want_int(v, key, &i, error)) return false;
       cfg.fault_seed = static_cast<std::uint64_t>(i);
+    } else if (key == "epoch_slots") {
+      if (!want_int(v, key, &cfg.epoch_slots, error)) return false;
+    } else if (key == "update_delay_slots") {
+      if (!want_int(v, key, &cfg.update_delay_slots, error)) return false;
+    } else if (key == "control_outages") {
+      if (!v.is_array()) {
+        *error = "field 'control_outages' must be an array";
+        return false;
+      }
+      cfg.control_outages.clear();
+      for (const JsonValue& item : v.items()) {
+        if (!want_int(item, key, &i, error)) return false;
+        cfg.control_outages.push_back(i);
+      }
+    } else if (key == "controller_mtbf") {
+      if (!want_double(v, key, &cfg.controller_mtbf_slots, error))
+        return false;
+    } else if (key == "controller_mttr") {
+      if (!want_double(v, key, &cfg.controller_mttr_slots, error))
+        return false;
+    } else if (key == "control_fault_seed") {
+      if (!want_int(v, key, &i, error)) return false;
+      cfg.control_fault_seed = static_cast<std::uint64_t>(i);
+    } else if (key == "replan_apply_delay") {
+      if (!want_int(v, key, &cfg.replan_apply_delay, error)) return false;
+    } else if (key == "estimate_stale_epochs") {
+      if (!want_int(v, key, &cfg.estimate_stale_epochs, error)) return false;
+    } else if (key == "estimate_noise") {
+      if (!want_double(v, key, &cfg.estimate_noise, error)) return false;
+    } else if (key == "safe_mode") {
+      if (!want_string(v, key, &cfg.safe_mode, error)) return false;
+    } else if (key == "check_invariants") {
+      if (!want_bool(v, key, &cfg.check_invariants, error)) return false;
     } else if (key == "retransmit_timeout") {
       if (!want_int(v, key, &cfg.retransmit_timeout, error)) return false;
     } else if (key == "retransmit_max_attempts") {
       if (!want_int(v, key, &i, error)) return false;
       cfg.retransmit_max_attempts = static_cast<std::uint32_t>(i);
+    } else if (key == "retransmit_jitter") {
+      if (!want_double(v, key, &cfg.retransmit_jitter, error)) return false;
     } else {
       *error = "unknown scenario field '" + key + "'";
       return false;
@@ -448,6 +498,35 @@ bool ScenarioConfig::validate(std::string* error) const {
     return fail("an MTBF needs a matching positive MTTR");
   if (!fault_script.empty() && !fault_script_path.empty())
     return fail("give fault_script or fault_script_path, not both");
+  if (epoch_slots < 0) return fail("epoch_slots must be >= 0");
+  if (update_delay_slots < 0) return fail("update_delay_slots must be >= 0");
+  if (control_outages.size() % 2 != 0)
+    return fail("control_outages must be flattened [start, end) pairs");
+  for (std::size_t i = 0; i + 1 < control_outages.size(); i += 2) {
+    if (control_outages[i] < 0 ||
+        control_outages[i + 1] <= control_outages[i])
+      return fail("control_outages windows must satisfy 0 <= start < end");
+  }
+  if (controller_mtbf_slots < 0.0 || controller_mttr_slots < 0.0)
+    return fail("controller mtbf/mttr must be >= 0");
+  if (controller_mtbf_slots > 0.0 && controller_mttr_slots <= 0.0)
+    return fail("controller_mtbf needs a matching positive controller_mttr");
+  if (replan_apply_delay < 0) return fail("replan_apply_delay must be >= 0");
+  if (estimate_stale_epochs < 0)
+    return fail("estimate_stale_epochs must be >= 0");
+  if (estimate_noise < 0.0 || estimate_noise > 1.0)
+    return fail("estimate_noise must be in [0, 1]");
+  if (safe_mode != "hold" && safe_mode != "vlb")
+    return fail("safe_mode must be \"hold\" or \"vlb\"");
+  const bool control_faults = !control_outages.empty() ||
+                              controller_mtbf_slots > 0.0 ||
+                              replan_apply_delay > 0 ||
+                              estimate_stale_epochs > 0 ||
+                              estimate_noise > 0.0;
+  if (control_faults && epoch_slots <= 0)
+    return fail("control-plane faults require epoch_slots > 0");
+  if (retransmit_jitter < 0.0 || retransmit_jitter > 1.0)
+    return fail("retransmit_jitter must be in [0, 1]");
   return true;
 }
 

@@ -143,9 +143,48 @@ struct ScenarioConfig {
   double circuit_mttr_slots = 0.0;
   std::uint64_t fault_seed = 1;
 
+  // ---- closed-loop control plane (sorn design only) ----
+  // Epoch length in slots; 0 disables the control loop. When > 0 the
+  // runner feeds the scenario's demand matrix to ControlPlane::on_epoch
+  // every epoch (perfect telemetry — degrade it with the estimate_*
+  // knobs below) and ticks the reconfiguration manager every slot.
+  Slot epoch_slots = 0;
+  // Replan-staging delay of the reconfiguration manager (state push).
+  Slot update_delay_slots = 0;
+
+  // ---- control-plane faults (require epoch_slots > 0) ----
+  // Scenario-scripted controller outage windows: flattened [start, end)
+  // pairs, e.g. [1000, 3000, 8000, 9000] = two outages.
+  std::vector<Slot> control_outages;
+  // Stochastic controller outage model (ControlFaultOptions).
+  double controller_mtbf_slots = 0.0;
+  double controller_mttr_slots = 0.0;
+  std::uint64_t control_fault_seed = 1;
+  // Extra slots between a replan and its application (on top of
+  // update_delay_slots).
+  Slot replan_apply_delay = 0;
+  // Degraded telemetry: observations lag this many epochs / carry this
+  // much seeded multiplicative noise (amplitude in [0, 1]).
+  std::int64_t estimate_stale_epochs = 0;
+  double estimate_noise = 0.0;
+  // Data-plane policy while the controller is down: "hold" keeps the last
+  // committed schedule, "vlb" swaps to the pure-oblivious round-robin +
+  // VLB floor until recovery.
+  std::string safe_mode = "hold";
+
+  // ---- invariant checking ----
+  // Attach the per-slot invariant checker (sim/invariants.h): cell
+  // conservation, no forwarding through failed elements, delivery
+  // dedup sanity. run() fails listing the violations if any fire.
+  // Zero-overhead when false.
+  bool check_invariants = false;
+
   // ---- end-host retransmission ----
   Slot retransmit_timeout = 0;  // 0 disables
   std::uint32_t retransmit_max_attempts = 8;
+  // Seeded jitter amplitude on the exponential backoff (fraction of the
+  // deterministic wait, in [0, 1]; 0 = exact legacy timeline).
+  double retransmit_jitter = 0.0;
 
   // ---- programmatic overrides (never serialized) ----
   // Borrowed pointers for callers that already hold richer objects than

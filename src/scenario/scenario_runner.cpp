@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "control/control_faults.h"
+#include "control/control_plane.h"
+#include "control/safe_mode.h"
 #include "fault/fault_injector.h"
 #include "obs/export.h"
 #include "obs/prof/profile_export.h"
@@ -73,12 +76,14 @@ std::unique_ptr<ScenarioRunner> ScenarioRunner::create(
   if (config.overrides.fault_script != nullptr) {
     script = *config.overrides.fault_script;
   } else if (!config.fault_script.empty()) {
-    if (!FaultScript::parse(config.fault_script, &script, error)) {
+    if (!FaultScript::parse(config.fault_script, config.nodes, &script,
+                            error)) {
       *error = "fault_script: " + *error;
       return nullptr;
     }
   } else if (!config.fault_script_path.empty()) {
-    if (!FaultScript::load(config.fault_script_path, &script, error))
+    if (!FaultScript::load(config.fault_script_path, config.nodes, &script,
+                           error))
       return nullptr;
   }
   FaultInjectorOptions fopts;
@@ -97,6 +102,62 @@ std::unique_ptr<ScenarioRunner> ScenarioRunner::create(
   }
   runner->injector_ =
       std::make_unique<FaultInjector>(std::move(script), fopts);
+
+  // Closed-loop control plane: epoch_slots > 0 turns on periodic
+  // replanning over the scenario's demand (perfect telemetry unless the
+  // control-fault knobs degrade it). Only the sorn design can consume the
+  // resulting SornPlans, and only the flows workload ticks slot hooks.
+  if (config.epoch_slots > 0) {
+    if (config.design != "sorn") {
+      *error = "epoch_slots (the control loop) requires the sorn design";
+      return nullptr;
+    }
+    if (config.workload != WorkloadKind::kFlows) {
+      *error = "epoch_slots (the control loop) requires the flows workload";
+      return nullptr;
+    }
+    ControlPlane::Options copts;
+    copts.optimizer.max_q_denominator = config.max_q_denominator;
+    copts.reconfig.update_delay_slots = config.update_delay_slots;
+    copts.reconfig.lb_mode = config.lb_first_available
+                                 ? LbMode::kFirstAvailable
+                                 : LbMode::kRandom;
+    runner->control_ = std::make_unique<ControlPlane>(config.nodes, copts);
+    runner->control_->set_failure_view(&runner->network_->failure_view());
+
+    const bool control_faults = !config.control_outages.empty() ||
+                                config.controller_mtbf_slots > 0.0 ||
+                                config.replan_apply_delay > 0 ||
+                                config.estimate_stale_epochs > 0 ||
+                                config.estimate_noise > 0.0;
+    if (control_faults) {
+      ControlFaultOptions cf;
+      for (std::size_t i = 0; i + 1 < config.control_outages.size(); i += 2) {
+        cf.outages.emplace_back(config.control_outages[i],
+                                config.control_outages[i + 1]);
+      }
+      cf.mtbf_slots = config.controller_mtbf_slots;
+      cf.mttr_slots = config.controller_mttr_slots;
+      cf.seed = config.control_fault_seed;
+      cf.replan_apply_delay = config.replan_apply_delay;
+      cf.estimate_stale_epochs =
+          static_cast<std::uint32_t>(config.estimate_stale_epochs);
+      cf.estimate_noise = config.estimate_noise;
+      runner->control_faults_ =
+          std::make_unique<ControlFaultModel>(std::move(cf));
+      runner->control_->set_fault_model(runner->control_faults_.get());
+      runner->safe_mode_ = std::make_unique<SafeModeGuard>(
+          config.nodes, config.safe_mode == "vlb" ? SafeModePolicy::kVlb
+                                                  : SafeModePolicy::kHold);
+    }
+  }
+
+  // Invariant checker: attach before any traffic so the conservation
+  // baseline starts from zeroed counters.
+  if (config.check_invariants) {
+    runner->checker_ = std::make_unique<InvariantChecker>();
+    runner->network_->set_invariant_checker(runner->checker_.get());
+  }
 
   // Telemetry: any export path attaches the facade; time-series sampling
   // only when the CSV or the JSON summary (which embeds it) is wanted.
@@ -118,6 +179,13 @@ std::unique_ptr<ScenarioRunner> ScenarioRunner::create(
     runner->network_->set_telemetry(runner->telemetry_.get());
     runner->telemetry_attached_ = true;
   }
+  if (runner->telemetry_attached_) {
+    Tracer* tracer = &runner->telemetry_->tracer();
+    if (runner->control_ != nullptr) runner->control_->set_tracer(tracer);
+    if (runner->control_faults_ != nullptr)
+      runner->control_faults_->set_tracer(tracer);
+    if (runner->safe_mode_ != nullptr) runner->safe_mode_->set_tracer(tracer);
+  }
 
   // Profiling: the network registers its byte gauges and wraps its phases
   // in timers; the runner adds the gauges only it can see. The profiler
@@ -126,6 +194,8 @@ std::unique_ptr<ScenarioRunner> ScenarioRunner::create(
   if (config.profile || !config.profile_json_path.empty()) {
     runner->profiler_ = std::make_unique<Profiler>();
     runner->network_->set_profiler(runner->profiler_.get());
+    if (runner->control_ != nullptr)
+      runner->control_->set_profiler(runner->profiler_.get());
     if (runner->telemetry_attached_ &&
         runner->telemetry_->timeseries() != nullptr) {
       const TimeSeriesSampler* ts = runner->telemetry_->timeseries();
@@ -204,7 +274,7 @@ bool ScenarioRunner::run_flows(std::string* error) {
     driver.set_flow_size_cap(config_.flow_size_cap);
   if (design_.bulk_router != nullptr && config_.bulk_cutoff_bytes > 0)
     driver.set_bulk_router(design_.bulk_router, config_.bulk_cutoff_bytes);
-  if (user_hook_ || faults_enabled_) {
+  if (user_hook_ || faults_enabled_ || control_ != nullptr) {
     driver.set_slot_hook([this](SlottedNetwork& net, Slot slot) {
       PhaseProfiler* const prof =
           profiler_ != nullptr ? &profiler_->phases() : nullptr;
@@ -216,12 +286,28 @@ bool ScenarioRunner::run_flows(std::string* error) {
         ScopedPhase scope(prof, ProfPhase::kFaultTick);
         injector_->tick(net);
       }
+      if (control_ != nullptr) {
+        // Fault model first (the controller's state for this slot), then
+        // the safe-mode guard (data-plane response to that state), then
+        // the epoch observation and the reconfig tick — both of which the
+        // control plane suppresses on its own while the controller is
+        // down.
+        if (control_faults_ != nullptr) {
+          control_faults_->tick(slot);
+          safe_mode_->on_controller_state(
+              net, control_faults_->controller_up(), slot);
+        }
+        if (slot > 0 && slot % config_.epoch_slots == 0)
+          control_->on_epoch(traffic_, slot);
+        control_->tick(net, slot);
+      }
     });
   }
   if (config_.retransmit_timeout > 0) {
     WorkloadDriver::RetransmitOptions ropts;
     ropts.timeout_slots = config_.retransmit_timeout;
     ropts.max_attempts = config_.retransmit_max_attempts;
+    ropts.jitter_frac = config_.retransmit_jitter;
     driver.set_retransmit(ropts);
   }
   driver.run_until(*network_,
@@ -255,6 +341,15 @@ bool ScenarioRunner::run(std::string* error) {
     if (!run_flows(error)) return false;
   } else {
     run_saturation();
+  }
+
+  // Invariant verdict: any violation fails the run, naming the first few.
+  // The checker's full list stays inspectable via invariant_checker().
+  if (checker_ != nullptr && !checker_->ok()) {
+    std::string msg = "invariant violations (" +
+                      std::to_string(checker_->violation_count()) + "):";
+    for (const std::string& v : checker_->violations()) msg += "\n  " + v;
+    return fail(error, std::move(msg));
   }
 
   // Close out the profile: a final gauge sample (end-of-run state + peak

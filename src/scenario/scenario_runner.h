@@ -15,14 +15,18 @@
 
 #include "scenario/design.h"
 #include "scenario/scenario_config.h"
+#include "sim/invariants.h"
 #include "sim/network.h"
 #include "sim/workload_driver.h"
 #include "traffic/traffic_matrix.h"
 
 namespace sorn {
 
+class ControlFaultModel;
+class ControlPlane;
 class FaultInjector;
 class FileTraceSink;
+class SafeModeGuard;
 class Telemetry;
 
 class ScenarioRunner {
@@ -52,6 +56,19 @@ class ScenarioRunner {
   // Non-null only when the config enables profiling (profile flag or a
   // profile_json path).
   Profiler* profiler() { return profiler_.get(); }
+  // Non-null only when epoch_slots > 0 enables the control loop.
+  const ControlPlane* control() const { return control_.get(); }
+  // Non-null only when the config describes control-plane faults.
+  const ControlFaultModel* control_faults() const {
+    return control_faults_.get();
+  }
+  // Non-null only when the control loop runs with faults (the guard is
+  // what keeps the data plane defined during outages).
+  const SafeModeGuard* safe_mode() const { return safe_mode_.get(); }
+  // Non-null only when check_invariants is set.
+  const InvariantChecker* invariant_checker() const {
+    return checker_.get();
+  }
 
   // Runs on the coordinating thread at the start of every slot, before
   // the fault injector's tick. Set before run().
@@ -94,6 +111,10 @@ class ScenarioRunner {
   std::unique_ptr<Profiler> profiler_;
   std::unique_ptr<FileTraceSink> trace_sink_;
   std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<ControlPlane> control_;
+  std::unique_ptr<ControlFaultModel> control_faults_;
+  std::unique_ptr<SafeModeGuard> safe_mode_;
+  std::unique_ptr<InvariantChecker> checker_;
   WorkloadDriver::SlotHook user_hook_;
   bool telemetry_attached_ = false;
   bool faults_enabled_ = false;

@@ -1,0 +1,87 @@
+#include "sim/invariants.h"
+
+#include <cstdio>
+
+namespace sorn {
+
+void InvariantChecker::on_attach(const FailureView* failures,
+                                 std::uint64_t injected,
+                                 std::uint64_t delivered, std::uint64_t dropped,
+                                 std::uint64_t in_flight) {
+  failures_ = failures;
+  baseline_ = static_cast<std::int64_t>(delivered + dropped + in_flight) -
+              static_cast<std::int64_t>(injected);
+}
+
+void InvariantChecker::on_counter_reset(std::uint64_t in_flight) {
+  // Counters are zero again; the cells still queued become the anchor.
+  baseline_ = static_cast<std::int64_t>(in_flight);
+}
+
+void InvariantChecker::on_flow_inject(FlowId flow, std::uint64_t cells) {
+  auto [it, inserted] = flows_.try_emplace(flow);
+  if (!inserted) return;  // re-injection of an open flow id; keep the first
+  it->second.total = cells;
+  it->second.delivered.assign(static_cast<std::size_t>(cells), false);
+}
+
+void InvariantChecker::on_transmit(Slot slot, NodeId src, NodeId dst) {
+  ++transmits_checked_;
+  if (failures_ == nullptr || !failures_->any_failures()) return;
+  if (failures_->is_node_failed(src))
+    violate(slot, "cell transmitted from failed node " + std::to_string(src));
+  if (failures_->is_node_failed(dst))
+    violate(slot, "cell transmitted into failed node " + std::to_string(dst));
+  if (failures_->is_circuit_failed(src, dst))
+    violate(slot, "cell transmitted across failed circuit " +
+                      std::to_string(src) + "->" + std::to_string(dst));
+}
+
+void InvariantChecker::on_deliver(Slot slot, const Cell& cell) {
+  ++delivers_checked_;
+  if (cell.flow == kNoFlow) return;
+  const auto it = flows_.find(cell.flow);
+  // Unknown flow: either injected before the checker attached, or a late
+  // retransmitted copy of a flow that already completed — both legal.
+  if (it == flows_.end()) return;
+  FlowTrack& track = it->second;
+  if (cell.seq >= track.total) {
+    violate(slot, "flow " + std::to_string(cell.flow) + " delivered seq " +
+                      std::to_string(cell.seq) + " beyond its " +
+                      std::to_string(track.total) + " cells");
+    return;
+  }
+  if (track.delivered[cell.seq]) return;  // duplicate copy; receiver dedups
+  track.delivered[cell.seq] = true;
+  if (++track.distinct >= track.total) flows_.erase(it);
+}
+
+void InvariantChecker::on_slot_end(Slot slot, std::uint64_t injected,
+                                   std::uint64_t delivered,
+                                   std::uint64_t dropped,
+                                   std::uint64_t in_flight) {
+  ++slots_checked_;
+  const std::int64_t lhs = static_cast<std::int64_t>(injected) + baseline_;
+  const std::int64_t rhs =
+      static_cast<std::int64_t>(delivered + dropped + in_flight);
+  if (lhs != rhs) {
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "cell conservation broken: injected %llu + baseline %lld "
+                  "!= delivered %llu + dropped %llu + in-flight %llu",
+                  static_cast<unsigned long long>(injected),
+                  static_cast<long long>(baseline_),
+                  static_cast<unsigned long long>(delivered),
+                  static_cast<unsigned long long>(dropped),
+                  static_cast<unsigned long long>(in_flight));
+    violate(slot, buf);
+  }
+}
+
+void InvariantChecker::violate(Slot slot, const std::string& what) {
+  ++violation_count_;
+  if (violations_.size() < kMaxRecorded)
+    violations_.push_back("slot " + std::to_string(slot) + ": " + what);
+}
+
+}  // namespace sorn

@@ -1,0 +1,98 @@
+// Runtime invariant checking for the slotted simulator.
+//
+// An InvariantChecker is attached to a SlottedNetwork like the Telemetry
+// and Profiler facades (set_invariant_checker): detached, every hook site
+// is one predictable null check; attached, the network re-derives three
+// classes of invariants every slot and records violations instead of
+// trusting its own bookkeeping:
+//
+//   conservation — injected = delivered + dropped + in-flight, checked
+//     at every slot end against an attach-time baseline (so attaching
+//     mid-run or calling reset_metrics() re-anchors, not breaks, the
+//     identity). Retransmitted copies count on the injected side and
+//     duplicate deliveries on the delivered side, so the identity is
+//     exact, not approximate.
+//
+//   no forwarding through failed elements — every transmitted cell's
+//     (src, dst) hop is checked against the live FailureView; a cell
+//     moving across a failed node or circuit means the lane sweep and
+//     the fault layer disagree about the network state.
+//
+//   receiver seq sanity — per open flow, delivered seqs must be in
+//     [0, cells_total) and the count of *distinct* delivered seqs can
+//     never exceed cells_total (duplicates are expected under
+//     retransmission; phantom or out-of-range cells are not). Tracking
+//     is independent of SimMetrics, so a dedup bug there is caught here.
+//
+// Threading contract: every hook is invoked from the coordinating thread
+// only — the sequential sweep calls them inline and the parallel engine
+// calls them during its ordered merge replay — so the checker needs no
+// synchronization and, like Telemetry, results are byte-identical at any
+// thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "routing/failure_view.h"
+#include "sim/cell.h"
+#include "util/time.h"
+#include "util/types.h"
+
+namespace sorn {
+
+class InvariantChecker {
+ public:
+  InvariantChecker() = default;
+
+  // ---- Hooks (called by SlottedNetwork; coordinating thread only) ----
+  // Attachment captures the conservation baseline from the network's
+  // current counters, so mid-run attachment is exact.
+  void on_attach(const FailureView* failures, std::uint64_t injected,
+                 std::uint64_t delivered, std::uint64_t dropped,
+                 std::uint64_t in_flight);
+  // reset_metrics() zeroed the counters but kept queued cells; re-anchor.
+  void on_counter_reset(std::uint64_t in_flight);
+  void on_flow_inject(FlowId flow, std::uint64_t cells);
+  // A cell was popped for transmission across (src, dst) this slot.
+  void on_transmit(Slot slot, NodeId src, NodeId dst);
+  void on_deliver(Slot slot, const Cell& cell);
+  void on_slot_end(Slot slot, std::uint64_t injected, std::uint64_t delivered,
+                   std::uint64_t dropped, std::uint64_t in_flight);
+
+  // ---- Results ----
+  bool ok() const { return violation_count_ == 0; }
+  std::uint64_t violation_count() const { return violation_count_; }
+  std::uint64_t slots_checked() const { return slots_checked_; }
+  std::uint64_t transmits_checked() const { return transmits_checked_; }
+  std::uint64_t delivers_checked() const { return delivers_checked_; }
+  // The first kMaxRecorded violation messages, each naming the slot and
+  // the broken invariant.
+  const std::vector<std::string>& violations() const { return violations_; }
+
+  static constexpr std::size_t kMaxRecorded = 32;
+
+ private:
+  struct FlowTrack {
+    std::uint64_t total = 0;
+    std::uint64_t distinct = 0;
+    std::vector<bool> delivered;
+  };
+
+  void violate(Slot slot, const std::string& what);
+
+  const FailureView* failures_ = nullptr;
+  // delivered + dropped + in_flight - injected at attach/reset time; the
+  // conservation identity holds relative to this anchor.
+  std::int64_t baseline_ = 0;
+  std::uint64_t violation_count_ = 0;
+  std::uint64_t slots_checked_ = 0;
+  std::uint64_t transmits_checked_ = 0;
+  std::uint64_t delivers_checked_ = 0;
+  std::vector<std::string> violations_;
+  std::unordered_map<FlowId, FlowTrack> flows_;
+};
+
+}  // namespace sorn

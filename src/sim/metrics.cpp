@@ -87,15 +87,39 @@ void SimMetrics::on_deliver(const Cell& cell, Slot now) {
   }
 }
 
+namespace {
+
+// splitmix64 finalizer; same construction as GrayFailureView's hash.
+std::uint64_t jitter_mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 std::vector<SimMetrics::StalledFlow> SimMetrics::collect_retransmits(
-    Slot now, Slot timeout_slots, std::uint32_t max_attempts) {
+    Slot now, Slot timeout_slots, std::uint32_t max_attempts,
+    double jitter_frac, std::uint64_t jitter_seed) {
   std::vector<StalledFlow> out;
   if (timeout_slots <= 0) return out;
   for (auto& [flow, idx] : open_flows_) {
     FlowRecord& rec = flow_arena_[idx];
     if (rec.attempts >= max_attempts) continue;
-    const Slot wait = timeout_slots
-                      << std::min<std::uint32_t>(rec.attempts, 30);
+    Slot wait = timeout_slots << std::min<std::uint32_t>(rec.attempts, 30);
+    if (jitter_frac > 0.0) {
+      // Deterministic per-(flow, round) factor in [1 - j/2, 1 + j/2]:
+      // flows stalled by one outage spread their re-admissions instead of
+      // stampeding the source VOQs on the same slot after heal. Hash, not
+      // Rng: the draw count must not depend on which flows are open.
+      const std::uint64_t h =
+          jitter_mix(jitter_mix(jitter_seed ^ flow) ^ rec.attempts);
+      const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;
+      const double factor = 1.0 + jitter_frac * (unit - 0.5);
+      wait = std::max<Slot>(
+          1, static_cast<Slot>(static_cast<double>(wait) * factor));
+    }
     if (now - rec.last_progress_slot < wait) continue;
     StalledFlow sf;
     sf.flow = flow;
@@ -149,6 +173,7 @@ void SimMetrics::reset_counters() {
   delivered_cells_ = 0;
   forwarded_cells_ = 0;
   dropped_cells_ = 0;
+  gray_dropped_cells_ = 0;
   slots_run_ = 0;
   completed_flows_ = 0;
   delivered_hops_ = 0;

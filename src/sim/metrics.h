@@ -78,6 +78,13 @@ class SimMetrics {
     ++injected_cells_;
     ++retransmitted_cells_;
   }
+  // A cell lost on a gray (lossy) circuit: counted in dropped_cells so
+  // the conservation identity holds, and tallied separately from
+  // tail drops.
+  void on_gray_drop() {
+    ++dropped_cells_;
+    ++gray_dropped_cells_;
+  }
 
   // Scan open flows for stalls: a flow whose last progress is at least
   // timeout * 2^attempts slots old (and under max_attempts rounds) is
@@ -85,13 +92,22 @@ class SimMetrics {
   // sorted by flow id so re-admission order is deterministic. Mutates the
   // flow records (attempts, stall bookkeeping); call once per check
   // interval, on the coordinating thread.
+  //
+  // jitter_frac > 0 scales each flow's wait by a stateless per-(flow,
+  // round) hash factor in [1 - jitter/2, 1 + jitter/2] (seeded by
+  // jitter_seed) so flows stalled by the same outage don't all re-admit
+  // on the same slot; 0 keeps the exact unjittered timeline.
   std::vector<StalledFlow> collect_retransmits(Slot now, Slot timeout_slots,
-                                               std::uint32_t max_attempts);
+                                               std::uint32_t max_attempts,
+                                               double jitter_frac = 0.0,
+                                               std::uint64_t jitter_seed = 0);
 
   std::uint64_t injected_cells() const { return injected_cells_; }
   std::uint64_t delivered_cells() const { return delivered_cells_; }
   std::uint64_t forwarded_cells() const { return forwarded_cells_; }
   std::uint64_t dropped_cells() const { return dropped_cells_; }
+  // Subset of dropped_cells lost to gray circuits (vs. tail drops).
+  std::uint64_t gray_dropped_cells() const { return gray_dropped_cells_; }
   std::uint64_t slots_run() const { return slots_run_; }
   std::uint64_t completed_flows() const { return completed_flows_; }
   // Flows injected but not yet fully delivered.
@@ -163,6 +179,7 @@ class SimMetrics {
   std::uint64_t delivered_cells_ = 0;
   std::uint64_t forwarded_cells_ = 0;
   std::uint64_t dropped_cells_ = 0;
+  std::uint64_t gray_dropped_cells_ = 0;
   std::uint64_t slots_run_ = 0;
   std::uint64_t completed_flows_ = 0;
   std::uint64_t delivered_hops_ = 0;

@@ -16,7 +16,11 @@ SlottedNetwork::SlottedNetwork(const CircuitSchedule* schedule,
       voqs_(n_),
       metrics_(config.slot_duration, config.propagation_per_hop),
       rng_(config.seed),
-      failures_(n_) {
+      failures_(n_),
+      gray_(n_) {
+  // Gray-failure decisions hash their own derived seed so enabling them
+  // never perturbs the main Rng stream (routing, injection).
+  gray_.set_seed(config.seed ^ 0x6772617946617573ULL);
   SORN_ASSERT(schedule_ != nullptr && router_ != nullptr,
               "network needs a schedule and a router");
   SORN_ASSERT(config_.lanes >= 1, "need at least one uplink lane");
@@ -43,6 +47,7 @@ void SlottedNetwork::inject_flow_with(const Router& router, FlowId flow,
   const bool bulk = bulk_router_ != nullptr && &router == bulk_router_;
   if (telemetry_ != nullptr)
     telemetry_->on_flow_inject(now_, flow, src, dst, bytes, flow_class);
+  if (checker_ != nullptr) checker_->on_flow_inject(flow, cells);
   for (std::uint64_t c = 0; c < cells; ++c) {
     Cell cell;
     cell.flow = flow;
@@ -84,12 +89,30 @@ void SlottedNetwork::drop(const Cell& cell) {
 
 void SlottedNetwork::transmit(NodeId node, NodeId peer) {
   if (failures_.any_failures() && !failures_.usable(node, peer)) return;
+  const GrayCircuit* gray = nullptr;
+  if (gray_.any()) {
+    gray = gray_.find(node, peer);
+    // A throttled circuit's inactive slot behaves like a one-slot outage:
+    // the head cell stays queued and retries next opportunity.
+    if (gray != nullptr && !gray_.slot_active(now_, node, peer, *gray))
+      return;
+  }
   const Cell* head = voqs_.peek(node, peer, now_);
   if (head == nullptr) return;
   Cell cell = *head;
   voqs_.pop(node, peer);
+  if (checker_ != nullptr) checker_->on_transmit(now_, node, peer);
+  if (gray != nullptr && gray_.cell_lost(now_, node, peer, *gray, cell)) {
+    // Transmitted but lost in flight; the end-host retransmission policy
+    // recovers the flow, duplicates are dedupped at the receiver.
+    metrics_.on_gray_drop();
+    if (telemetry_ != nullptr)
+      telemetry_->on_gray_drop(now_, node, peer, cell.flow);
+    return;
+  }
   ++cell.hop;
   if (cell.at_destination()) {
+    if (checker_ != nullptr) checker_->on_deliver(now_, cell);
     metrics_.on_deliver(cell, now_ + 1);  // arrives at the end of the slot
     return;
   }
@@ -146,6 +169,16 @@ void SlottedNetwork::step_lane_parallel(const Matching& m,
             if (peer == i) continue;
             if (failures_.any_failures() && !failures_.usable(i, peer))
               continue;
+            // Gray decisions are stateless seeded hashes (no shared Rng),
+            // so shards can evaluate them; the merge replays the outcome
+            // in node order like every other side effect.
+            const GrayCircuit* gray = nullptr;
+            if (gray_.any()) {
+              gray = gray_.find(i, peer);
+              if (gray != nullptr &&
+                  !gray_.slot_active(now_, i, peer, *gray))
+                continue;
+            }
             const Cell* head = voqs_.peek(i, peer, now_);
             if (head == nullptr) continue;
             StagedEvent ev;
@@ -153,6 +186,12 @@ void SlottedNetwork::step_lane_parallel(const Matching& m,
             voqs_.pop_sharded(i, peer);
             ++stage.pops;
             if (capped) popped_[static_cast<std::size_t>(i)] = 1;
+            if (gray != nullptr &&
+                gray_.cell_lost(now_, i, peer, *gray, ev.cell)) {
+              ev.gray_drop = true;
+              stage.events.push_back(ev);
+              continue;
+            }
             ++ev.cell.hop;
             ev.deliver = ev.cell.at_destination();
             if (!ev.deliver) ev.cell.ready_slot = now_ + 1 + prop_slots;
@@ -179,7 +218,22 @@ void SlottedNetwork::step_lane_parallel(const Matching& m,
   for (const ShardStage& stage : stages_) {
     pops += stage.pops;
     for (const StagedEvent& ev : stage.events) {
+      if (ev.gray_drop) {
+        // hop was not advanced for a lost cell: current()/next_hop() are
+        // still the circuit it was popped from.
+        if (checker_ != nullptr)
+          checker_->on_transmit(now_, ev.cell.current(), ev.cell.next_hop());
+        metrics_.on_gray_drop();
+        if (telemetry_ != nullptr)
+          telemetry_->on_gray_drop(now_, ev.cell.current(),
+                                   ev.cell.next_hop(), ev.cell.flow);
+        continue;
+      }
+      if (checker_ != nullptr)
+        checker_->on_transmit(now_, ev.cell.path.at(ev.cell.hop - 1),
+                              ev.cell.current());
       if (ev.deliver) {
+        if (checker_ != nullptr) checker_->on_deliver(now_, ev.cell);
         metrics_.on_deliver(ev.cell, now_ + 1);  // arrives at end of slot
         continue;
       }
@@ -232,6 +286,11 @@ void SlottedNetwork::step() {
     }
   }
   metrics_.on_slot(voqs_.total_queued());
+  if (checker_ != nullptr) {
+    checker_->on_slot_end(now_, metrics_.injected_cells(),
+                          metrics_.delivered_cells(),
+                          metrics_.dropped_cells(), voqs_.total_queued());
+  }
   // Sample before advancing: the row is stamped with the slot it covers.
   // The max-VOQ-depth scan is only paid on sampled slots.
   if (telemetry_ != nullptr && telemetry_->sample_due(now_)) {
@@ -265,7 +324,19 @@ void SlottedNetwork::reconfigure(const CircuitSchedule* schedule,
   if (telemetry_ != nullptr) telemetry_->on_reconfigure(now_);
 }
 
-void SlottedNetwork::reset_metrics() { metrics_.reset_counters(); }
+void SlottedNetwork::reset_metrics() {
+  metrics_.reset_counters();
+  if (checker_ != nullptr) checker_->on_counter_reset(voqs_.total_queued());
+}
+
+void SlottedNetwork::set_invariant_checker(InvariantChecker* checker) {
+  checker_ = checker;
+  if (checker_ != nullptr) {
+    checker_->on_attach(&failures_, metrics_.injected_cells(),
+                        metrics_.delivered_cells(), metrics_.dropped_cells(),
+                        voqs_.total_queued());
+  }
+}
 
 void SlottedNetwork::set_threads(int threads) {
   SORN_ASSERT(threads >= 1, "need at least one engine thread");
@@ -340,6 +411,40 @@ bool SlottedNetwork::heal_circuit(NodeId src, NodeId dst) {
   return true;
 }
 
+bool SlottedNetwork::degrade_circuit(NodeId src, NodeId dst, double loss_p) {
+  if (!gray_.degrade_circuit(src, dst, loss_p)) return false;
+  if (telemetry_ != nullptr) {
+    const GrayCircuit* g = gray_.find(src, dst);
+    telemetry_->on_circuit_degrade(now_, src, dst, loss_p,
+                                   g != nullptr ? g->capacity : 1.0);
+  }
+  return true;
+}
+
+bool SlottedNetwork::throttle_circuit(NodeId src, NodeId dst,
+                                      double capacity) {
+  if (!gray_.throttle_circuit(src, dst, capacity)) return false;
+  if (telemetry_ != nullptr) {
+    const GrayCircuit* g = gray_.find(src, dst);
+    telemetry_->on_circuit_degrade(now_, src, dst,
+                                   g != nullptr ? g->loss_p : 0.0, capacity);
+  }
+  return true;
+}
+
+bool SlottedNetwork::restore_circuit(NodeId src, NodeId dst) {
+  if (!gray_.restore_circuit(src, dst)) return false;
+  if (telemetry_ != nullptr) telemetry_->on_circuit_restore(now_, src, dst);
+  return true;
+}
+
+std::uint64_t SlottedNetwork::restore_all_gray() {
+  std::uint64_t restored = 0;
+  for (const auto& [s, d, g] : gray_.degraded_circuits())
+    restored += restore_circuit(s, d) ? 1 : 0;
+  return restored;
+}
+
 std::uint64_t SlottedNetwork::heal_all() {
   std::uint64_t healed = 0;
   for (NodeId i = 0; i < n_; ++i)
@@ -364,7 +469,8 @@ std::uint64_t SlottedNetwork::retransmit_stalled(
                     ProfPhase::kRetransmit);
   const std::vector<SimMetrics::StalledFlow> stalled =
       metrics_.collect_retransmits(now_, policy.timeout_slots,
-                                   policy.max_attempts);
+                                   policy.max_attempts, policy.jitter_frac,
+                                   config_.seed ^ 0x62636b6f66664a74ULL);
   std::uint64_t cells = 0;
   for (const SimMetrics::StalledFlow& sf : stalled) {
     // Bulk-classified flows were injected via the bulk router

@@ -16,6 +16,8 @@
 #include "routing/failure_view.h"
 #include "routing/router.h"
 #include "sim/cell.h"
+#include "sim/gray_failures.h"
+#include "sim/invariants.h"
 #include "sim/metrics.h"
 #include "sim/parallel.h"
 #include "sim/voq.h"
@@ -124,6 +126,20 @@ class SlottedNetwork {
   // and plan around outages. Valid for the network's lifetime.
   const FailureView& failure_view() const { return failures_; }
 
+  // ---- Gray (partial) circuit failures (sim/gray_failures.h) ----
+  // A degraded circuit stays up but loses each cell with probability
+  // loss_p (counted in dropped_cells and gray_dropped_cells; recovered by
+  // end-host retransmission); a throttled circuit serves only a
+  // `capacity` fraction of its slots (head cells stay queued in inactive
+  // slots, like a fail-stop outage). Both decisions are stateless seeded
+  // hashes, so results stay byte-identical at any thread count. Mutators
+  // are idempotent like fail_*/heal_*.
+  bool degrade_circuit(NodeId src, NodeId dst, double loss_p);
+  bool throttle_circuit(NodeId src, NodeId dst, double capacity);
+  bool restore_circuit(NodeId src, NodeId dst);
+  std::uint64_t restore_all_gray();
+  const GrayFailureView& gray_view() const { return gray_; }
+
   // ---- End-host retransmission ----
   // A stalled flow (no delivery progress for timeout_slots * 2^attempts)
   // has its undelivered cells re-admitted at the source, routed by the
@@ -134,6 +150,15 @@ class SlottedNetwork {
   struct RetransmitPolicy {
     Slot timeout_slots = 0;  // 0 disables
     std::uint32_t max_attempts = 8;
+    // Fractional backoff jitter: each flow's wait for round k is scaled
+    // by a deterministic per-(flow, round) factor in
+    // [1 - jitter/2, 1 + jitter/2], desynchronizing the retransmit
+    // stampede when many flows stall on the same outage and would
+    // otherwise all fire into the source VOQs on the same slot. 0 (the
+    // default) reproduces the exact pre-jitter timeline. The factor is a
+    // stateless hash seeded from the network seed — no draw from the
+    // shared Rng, so determinism at any thread count is preserved.
+    double jitter_frac = 0.0;
   };
   std::uint64_t retransmit_stalled(const RetransmitPolicy& policy);
 
@@ -170,9 +195,21 @@ class SlottedNetwork {
   // (no-op without both a profiler and a pool). Call at end of run.
   void snapshot_pool_utilization();
 
+  // ---- Invariant checking (sim/invariants.h) ----
+  // Attach a borrowed checker: the engine feeds it every transmit,
+  // delivery and slot end (always from the coordinating thread) so it can
+  // independently verify cell conservation, no-forwarding-through-failed-
+  // elements and receiver seq sanity. nullptr detaches; detached sites
+  // cost one null check. Attachment captures the conservation baseline
+  // from the current counters, so mid-run attach is exact.
+  void set_invariant_checker(InvariantChecker* checker);
+  InvariantChecker* invariant_checker() const { return checker_; }
+
   // The schedule currently driving the network (reconfigure() may have
   // swapped it since construction).
   const CircuitSchedule* schedule() const { return schedule_; }
+  // The router currently routing injections (for safe-mode save/restore).
+  const Router* router() const { return router_; }
 
  private:
   // Staged outcome of one transmit, produced by the parallel sweep and
@@ -181,6 +218,9 @@ class SlottedNetwork {
   struct StagedEvent {
     Cell cell;
     bool deliver = false;
+    // Lost to a gray (lossy) circuit: the pop happened but the cell is
+    // discarded at merge instead of delivered/forwarded.
+    bool gray_drop = false;
   };
   struct ShardStage {
     std::vector<StagedEvent> events;  // in ascending node order
@@ -206,8 +246,10 @@ class SlottedNetwork {
   Rng rng_;
   FlowId next_anonymous_flow_ = 1ULL << 62;
   FailureView failures_;
+  GrayFailureView gray_;
   Telemetry* telemetry_ = nullptr;
   Profiler* profiler_ = nullptr;
+  InvariantChecker* checker_ = nullptr;
 
   // Parallel engine state. rng_ must never be drawn inside the parallel
   // sweep (injection — the only RNG consumer — happens between slots);

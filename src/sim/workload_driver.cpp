@@ -26,6 +26,7 @@ void WorkloadDriver::before_step(SlottedNetwork& network) {
     SlottedNetwork::RetransmitPolicy policy;
     policy.timeout_slots = retransmit_.timeout_slots;
     policy.max_attempts = retransmit_.max_attempts;
+    policy.jitter_frac = retransmit_.jitter_frac;
     network.retransmit_stalled(policy);
   }
 }

@@ -31,6 +31,8 @@ class WorkloadDriver {
     std::uint32_t max_attempts = 8;
     // 0 = timeout_slots / 4 (at least 1).
     Slot check_every = 0;
+    // Backoff jitter amplitude (SlottedNetwork::RetransmitPolicy).
+    double jitter_frac = 0.0;
   };
 
   // arrivals must outlive the driver.

@@ -1,0 +1,86 @@
+// SafeModeGuard: the data plane's behavior when the controller goes
+// dark. kHold must not touch the live generation; kVlb must swap to the
+// oblivious floor on the down edge and restore the saved generation on
+// recovery — and cells must keep flowing throughout.
+#include "control/safe_mode.h"
+
+#include <gtest/gtest.h>
+
+#include "routing/vlb.h"
+#include "sim/network.h"
+#include "topo/schedule_builder.h"
+
+namespace sorn {
+namespace {
+
+NetworkConfig fast_config() {
+  NetworkConfig c;
+  c.lanes = 1;
+  c.slot_duration = 100 * 1000;
+  c.propagation_per_hop = 0;
+  return c;
+}
+
+TEST(SafeModeGuardTest, HoldPolicyAccountsWithoutSwapping) {
+  const CircuitSchedule sched = ScheduleBuilder::round_robin(8);
+  const VlbRouter router(&sched, LbMode::kFirstAvailable);
+  SlottedNetwork net(&sched, &router, fast_config());
+  SafeModeGuard guard(8, SafeModePolicy::kHold);
+
+  guard.on_controller_state(net, true, 0);
+  EXPECT_FALSE(guard.active());
+  guard.on_controller_state(net, false, 1);
+  EXPECT_TRUE(guard.active());
+  // Holding the last committed generation means exactly that: the live
+  // schedule and router are untouched.
+  EXPECT_EQ(net.schedule(), &sched);
+  EXPECT_EQ(net.router(), &router);
+  guard.on_controller_state(net, false, 2);
+  guard.on_controller_state(net, true, 3);
+  EXPECT_FALSE(guard.active());
+  EXPECT_EQ(guard.activations(), 1u);
+  EXPECT_EQ(guard.slots_in_safe_mode(), 2u);
+}
+
+TEST(SafeModeGuardTest, VlbPolicySwapsAndRestores) {
+  const CircuitSchedule sched = ScheduleBuilder::round_robin(8);
+  const VlbRouter router(&sched, LbMode::kFirstAvailable);
+  SlottedNetwork net(&sched, &router, fast_config());
+  SafeModeGuard guard(8, SafeModePolicy::kVlb);
+
+  guard.on_controller_state(net, false, 0);
+  EXPECT_TRUE(guard.active());
+  EXPECT_NE(net.schedule(), &sched);  // swapped to the guard's fallback
+  EXPECT_NE(net.router(), &router);
+
+  // The fabric still moves cells while in safe mode.
+  net.inject_cell(0, 5);
+  net.run(2 * net.schedule()->period());
+  EXPECT_EQ(net.metrics().delivered_cells(), 1u);
+
+  guard.on_controller_state(net, true, 10);
+  EXPECT_FALSE(guard.active());
+  EXPECT_EQ(net.schedule(), &sched);  // saved generation restored
+  EXPECT_EQ(net.router(), &router);
+  EXPECT_EQ(guard.activations(), 1u);
+}
+
+TEST(SafeModeGuardTest, RepeatedOutagesCountEachActivation) {
+  const CircuitSchedule sched = ScheduleBuilder::round_robin(4);
+  const VlbRouter router(&sched, LbMode::kFirstAvailable);
+  SlottedNetwork net(&sched, &router, fast_config());
+  SafeModeGuard guard(4, SafeModePolicy::kVlb);
+
+  for (int episode = 0; episode < 3; ++episode) {
+    guard.on_controller_state(net, false, episode * 10);
+    guard.on_controller_state(net, false, episode * 10 + 1);
+    guard.on_controller_state(net, true, episode * 10 + 2);
+  }
+  EXPECT_EQ(guard.activations(), 3u);
+  EXPECT_EQ(guard.slots_in_safe_mode(), 6u);
+  EXPECT_EQ(net.schedule(), &sched);
+  EXPECT_EQ(net.router(), &router);
+}
+
+}  // namespace
+}  // namespace sorn

@@ -30,7 +30,7 @@ TEST(FaultScriptTest, ParsesAllEventKindsAndSortsBySlot) {
       "250 heal-circuit 1 5\n";
   FaultScript script;
   std::string error;
-  ASSERT_TRUE(FaultScript::parse(text, &script, &error)) << error;
+  ASSERT_TRUE(FaultScript::parse(text, 0, &script, &error)) << error;
   ASSERT_EQ(script.events().size(), 4u);
   // Stable-sorted by slot; same-slot events keep file order.
   EXPECT_EQ(script.events()[0].slot, 100);
@@ -45,27 +45,79 @@ TEST(FaultScriptTest, ParsesAllEventKindsAndSortsBySlot) {
   EXPECT_EQ(script.events()[3].kind, FaultKind::kHealCircuit);
 }
 
+TEST(FaultScriptTest, ParsesGrayActionsAndExpandsFlaps) {
+  const char* text =
+      "10 degrade-circuit 1 5 0.25\n"
+      "20 throttle-circuit 2 6 0.5\n"
+      "30 restore-circuit 1 5\n"
+      "40 flap-circuit 0 3 2 5 10\n";
+  FaultScript script;
+  std::string error;
+  ASSERT_TRUE(FaultScript::parse(text, 8, &script, &error)) << error;
+  // 3 gray events + 2 flap cycles x (fail, heal).
+  ASSERT_EQ(script.events().size(), 7u);
+  EXPECT_EQ(script.events()[0].kind, FaultKind::kDegradeCircuit);
+  EXPECT_DOUBLE_EQ(script.events()[0].value, 0.25);
+  EXPECT_EQ(script.events()[1].kind, FaultKind::kThrottleCircuit);
+  EXPECT_DOUBLE_EQ(script.events()[1].value, 0.5);
+  EXPECT_EQ(script.events()[2].kind, FaultKind::kRestoreCircuit);
+  // flap: fail@40, heal@45, fail@55, heal@60.
+  EXPECT_EQ(script.events()[3].slot, 40);
+  EXPECT_EQ(script.events()[3].kind, FaultKind::kFailCircuit);
+  EXPECT_EQ(script.events()[4].slot, 45);
+  EXPECT_EQ(script.events()[4].kind, FaultKind::kHealCircuit);
+  EXPECT_EQ(script.events()[5].slot, 55);
+  EXPECT_EQ(script.events()[6].slot, 60);
+  EXPECT_EQ(script.events()[6].b, 3);
+}
+
 TEST(FaultScriptTest, RejectsMalformedLinesNamingTheLine) {
   const struct {
     const char* text;
+    NodeId nodes;      // topology size for range validation (0 = skip)
     const char* line;  // expected substring of the error
   } cases[] = {
-      {"10 melt-node 3\n", "line 1"},          // unknown action
-      {"\n10 fail-node\n", "line 2"},          // missing argument
-      {"10 fail-node 3 4\n", "line 1"},        // extra argument
-      {"ten fail-node 3\n", "line 1"},         // non-numeric slot
-      {"-5 fail-node 3\n", "line 1"},          // negative slot
-      {"10 fail-circuit 2 2\n", "line 1"},     // degenerate circuit
-      {"10 fail-node 3x\n", "line 1"},         // trailing garbage
+      {"10 melt-node 3\n", 0, "line 1"},          // unknown action
+      {"\n10 fail-node\n", 0, "line 2"},          // missing argument
+      {"10 fail-node 3 4\n", 0, "line 1"},        // extra argument
+      {"ten fail-node 3\n", 0, "line 1"},         // non-numeric slot
+      {"-5 fail-node 3\n", 0, "line 1"},          // negative slot
+      {"10 fail-circuit 2 2\n", 0, "line 1"},     // degenerate circuit
+      {"10 fail-node 3x\n", 0, "line 1"},         // trailing garbage
+      {"10 fail-node 8\n", 8, "line 1"},          // node id out of range
+      {"\n\n10 fail-circuit 0 9\n", 8, "line 3"}, // dst out of range
+      {"10 degrade-circuit 0 1 1.5\n", 8, "line 1"},   // loss_p > 1
+      {"10 degrade-circuit 0 1 -0.1\n", 8, "line 1"},  // loss_p < 0
+      {"10 throttle-circuit 0 1 two\n", 8, "line 1"},  // non-numeric value
+      {"10 degrade-circuit 0 1\n", 8, "line 1"},       // missing value
+      {"10 flap-circuit 0 1 0 5 5\n", 8, "line 1"},    // zero cycles
+      {"10 flap-circuit 0 1 2 5\n", 8, "line 1"},      // missing up_slots
   };
   for (const auto& c : cases) {
     FaultScript script;
     std::string error;
-    EXPECT_FALSE(FaultScript::parse(c.text, &script, &error)) << c.text;
+    EXPECT_FALSE(FaultScript::parse(c.text, c.nodes, &script, &error))
+        << c.text;
     EXPECT_NE(error.find(c.line), std::string::npos)
         << "error for \"" << c.text << "\" was: " << error;
     EXPECT_TRUE(script.empty()) << "out must be untouched on failure";
   }
+}
+
+TEST(FaultScriptTest, ValidatesIdsAgainstTopologyAtParseTime) {
+  FaultScript script;
+  std::string error;
+  // In range for 16 nodes: fine.
+  ASSERT_TRUE(
+      FaultScript::parse("10 fail-node 15\n", 16, &script, &error));
+  // Same script against an 8-node topology: parse-time error naming both
+  // the line and the topology size, not a runtime assert.
+  EXPECT_FALSE(FaultScript::parse("10 fail-node 15\n", 8, &script, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+  EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+  EXPECT_NE(error.find("8-node"), std::string::npos) << error;
+  // nodes = 0 skips the range check (programmatic use).
+  EXPECT_TRUE(FaultScript::parse("10 fail-node 15\n", 0, &script, &error));
 }
 
 TEST(FaultInjectorTest, ScriptedTimelineAppliesAtTheRightSlots) {
@@ -76,7 +128,7 @@ TEST(FaultInjectorTest, ScriptedTimelineAppliesAtTheRightSlots) {
   FaultScript script;
   std::string error;
   ASSERT_TRUE(FaultScript::parse(
-      "5 fail-node 2\n5 fail-circuit 0 4\n12 heal-node 2\n", &script,
+      "5 fail-node 2\n5 fail-circuit 0 4\n12 heal-node 2\n", 8, &script,
       &error))
       << error;
   FaultInjector injector(std::move(script));
@@ -106,7 +158,7 @@ TEST(FaultInjectorTest, RedundantScriptedEventsAreSilentNoOps) {
 
   FaultScript script;
   std::string error;
-  ASSERT_TRUE(FaultScript::parse("1 fail-node 0\n2 fail-node 0\n", &script,
+  ASSERT_TRUE(FaultScript::parse("1 fail-node 0\n2 fail-node 0\n", 4, &script,
                                  &error));
   FaultInjector injector(std::move(script));
   for (Slot t = 0; t < 5; ++t) {

@@ -66,6 +66,18 @@ ScenarioConfig non_default_config() {
   cfg.fault_seed = 77;
   cfg.retransmit_timeout = 256;
   cfg.retransmit_max_attempts = 4;
+  cfg.retransmit_jitter = 0.3;
+  cfg.epoch_slots = 400;
+  cfg.update_delay_slots = 24;
+  cfg.control_outages = {100, 300, 900, 1100};
+  cfg.controller_mtbf_slots = 7000.0;
+  cfg.controller_mttr_slots = 600.0;
+  cfg.control_fault_seed = 21;
+  cfg.replan_apply_delay = 16;
+  cfg.estimate_stale_epochs = 2;
+  cfg.estimate_noise = 0.15;
+  cfg.safe_mode = "vlb";
+  cfg.check_invariants = true;
   return cfg;
 }
 
@@ -165,6 +177,50 @@ TEST(ScenarioConfigTest, ValidateRejectsBadRanges) {
   EXPECT_FALSE(cfg.validate(&error));
 
   cfg = ScenarioConfig{};
+  EXPECT_TRUE(cfg.validate(&error)) << error;
+}
+
+TEST(ScenarioConfigTest, ValidateRejectsBadControlFaultFields) {
+  std::string error;
+  ScenarioConfig cfg;
+  cfg.epoch_slots = 100;
+  cfg.control_outages = {10, 20, 30};  // odd length: not (start, end) pairs
+  EXPECT_FALSE(cfg.validate(&error));
+
+  cfg = ScenarioConfig{};
+  cfg.epoch_slots = 100;
+  cfg.control_outages = {50, 40};  // end before start
+  EXPECT_FALSE(cfg.validate(&error));
+
+  cfg = ScenarioConfig{};
+  cfg.epoch_slots = 100;
+  cfg.controller_mtbf_slots = 1000.0;  // MTBF without MTTR
+  EXPECT_FALSE(cfg.validate(&error));
+
+  cfg = ScenarioConfig{};
+  cfg.epoch_slots = 100;
+  cfg.safe_mode = "panic";
+  EXPECT_FALSE(cfg.validate(&error));
+  EXPECT_NE(error.find("safe_mode"), std::string::npos) << error;
+
+  cfg = ScenarioConfig{};
+  cfg.epoch_slots = 100;
+  cfg.estimate_noise = 1.5;
+  EXPECT_FALSE(cfg.validate(&error));
+
+  cfg = ScenarioConfig{};
+  cfg.retransmit_jitter = -0.1;
+  EXPECT_FALSE(cfg.validate(&error));
+
+  // Any control-plane fault knob without a control plane to break is a
+  // config error, not a silent no-op.
+  cfg = ScenarioConfig{};
+  cfg.control_outages = {10, 20};
+  EXPECT_FALSE(cfg.validate(&error));
+  EXPECT_NE(error.find("epoch_slots"), std::string::npos) << error;
+
+  // The same knobs with a control loop are fine.
+  cfg.epoch_slots = 100;
   EXPECT_TRUE(cfg.validate(&error)) << error;
 }
 
