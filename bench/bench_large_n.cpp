@@ -12,8 +12,14 @@
 //   bench_large_n [--json out.json] [--nodes 4096] [--cliques 64]
 //                 [--lanes 16] [--slots 400] [--drain 4000] [--load 2.0]
 //                 [--flow-bytes 40960] [--threads 1,4]
+//                 [--traffic-backend procedural]
 //                 [--max-rss-mb 2048] [--min-slots-per-sec 10]
 //                 [--profile] [--profile-json profile.json]
+//
+// The demand defaults to the procedural backend (O(N) state) — the dense
+// matrix would reintroduce the very O(N^2) dominator this bench gates.
+// All backends produce byte-identical metrics, so --traffic-backend dense
+// only changes the memory column.
 //
 // With --max-rss-mb / --min-slots-per-sec, exits nonzero when peak RSS
 // exceeds the ceiling or the slowest thread count misses the floor (the
@@ -62,6 +68,16 @@ int main(int argc, char** argv) {
       args.get_long("--flow-bytes", 40960, 256));
   const std::vector<int> thread_counts =
       args.get_int_list("--threads", {1, 4}, 1);
+  const std::string backend_name =
+      args.get_string("--traffic-backend", "procedural");
+  DemandBackend traffic_backend = DemandBackend::kProcedural;
+  if (!parse_demand_backend(backend_name, &traffic_backend)) {
+    std::fprintf(stderr,
+                 "--traffic-backend: unknown backend '%s' "
+                 "(dense|sparse|procedural)\n",
+                 backend_name.c_str());
+    return 2;
+  }
   const double max_rss_mb = args.get_double("--max-rss-mb", 0.0, 0.0);
   const double min_slots_per_sec =
       args.get_double("--min-slots-per-sec", 0.0, 0.0);
@@ -82,6 +98,7 @@ int main(int argc, char** argv) {
     cfg.nodes = nodes;
     cfg.cliques = cliques;
     cfg.locality_x = 0.6;
+    cfg.traffic_backend = traffic_backend;
     cfg.lanes = lanes;
     cfg.propagation_ns = 0;
     cfg.threads = t;

@@ -209,6 +209,15 @@ void apply_fabric_flags(ArgParser& args, ScenarioConfig& cfg) {
   cfg.cliques = static_cast<CliqueId>(
       args.get_long("--cliques", cfg.cliques, 1));
   cfg.locality_x = args.get_double("--locality", cfg.locality_x, 0.0, 1.0);
+  const std::string backend = args.get_string(
+      "--traffic-backend", demand_backend_name(cfg.traffic_backend));
+  if (!parse_demand_backend(backend, &cfg.traffic_backend)) {
+    std::fprintf(stderr,
+                 "--traffic-backend: unknown backend '%s' "
+                 "(dense|sparse|procedural)\n",
+                 backend.c_str());
+    std::exit(2);
+  }
   cfg.seed =
       static_cast<std::uint64_t>(args.get_long("--seed", cfg.seed, 0));
   cfg.threads =

@@ -8,15 +8,20 @@
 namespace sorn {
 namespace {
 
-// Symmetric affinity: demand in both directions.
-std::vector<double> affinity_matrix(const TrafficMatrix& tm) {
+// Symmetric affinity: demand in both directions. Built from the nonzeros
+// (IEEE addition is commutative and adding to a 0.0 cell is exact, so the
+// result is bit-identical to at(i, j) + at(j, i) per cell).
+std::vector<double> affinity_matrix(const DemandModel& tm) {
   const NodeId n = tm.node_count();
   std::vector<double> a(static_cast<std::size_t>(n) *
-                        static_cast<std::size_t>(n));
-  for (NodeId i = 0; i < n; ++i)
-    for (NodeId j = 0; j < n; ++j)
-      a[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
-        static_cast<std::size_t>(j)] = tm.at(i, j) + tm.at(j, i);
+                            static_cast<std::size_t>(n),
+                        0.0);
+  tm.for_each_nonzero([&a, n](NodeId i, NodeId j, double d) {
+    a[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+      static_cast<std::size_t>(j)] += d;
+    a[static_cast<std::size_t>(j) * static_cast<std::size_t>(n) +
+      static_cast<std::size_t>(i)] += d;
+  });
   return a;
 }
 
@@ -24,12 +29,12 @@ std::vector<double> affinity_matrix(const TrafficMatrix& tm) {
 
 CliqueClusterer::CliqueClusterer(Options options) : options_(options) {}
 
-double CliqueClusterer::objective(const TrafficMatrix& tm,
+double CliqueClusterer::objective(const DemandModel& tm,
                                   const CliqueAssignment& cliques) {
   return tm.locality_ratio(cliques);
 }
 
-CliqueAssignment CliqueClusterer::cluster(const TrafficMatrix& tm,
+CliqueAssignment CliqueClusterer::cluster(const DemandModel& tm,
                                           CliqueId nc) const {
   const NodeId n = tm.node_count();
   SORN_ASSERT(nc >= 1 && n % nc == 0,

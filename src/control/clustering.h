@@ -8,7 +8,7 @@
 #pragma once
 
 #include "topo/clique.h"
-#include "traffic/traffic_matrix.h"
+#include "traffic/demand_model.h"
 
 namespace sorn {
 
@@ -23,10 +23,10 @@ class CliqueClusterer {
   explicit CliqueClusterer(Options options);
 
   // tm.node_count() must be divisible by nc.
-  CliqueAssignment cluster(const TrafficMatrix& tm, CliqueId nc) const;
+  CliqueAssignment cluster(const DemandModel& tm, CliqueId nc) const;
 
   // Intra-clique demand share of an assignment (the objective).
-  static double objective(const TrafficMatrix& tm,
+  static double objective(const DemandModel& tm,
                           const CliqueAssignment& cliques);
 
  private:

@@ -10,8 +10,7 @@ namespace sorn {
 ControlFaultModel::ControlFaultModel(ControlFaultOptions options)
     : options_(std::move(options)),
       outage_rng_(options_.seed ^ 0x6374726c4f757467ULL),
-      noise_rng_(options_.seed ^ 0x6374726c4e6f6973ULL),
-      degraded_(1) {
+      noise_rng_(options_.seed ^ 0x6374726c4e6f6973ULL) {
   SORN_ASSERT(options_.mtbf_slots >= 0.0, "controller MTBF must be >= 0");
   SORN_ASSERT(options_.mtbf_slots <= 0.0 || options_.mttr_slots > 0.0,
               "controller MTBF without MTTR: nothing would ever recover");
@@ -66,34 +65,40 @@ bool ControlFaultModel::tick(Slot now) {
   return true;
 }
 
-const TrafficMatrix& ControlFaultModel::filter(const TrafficMatrix& observed) {
+const DemandModel& ControlFaultModel::filter(const DemandModel& observed) {
   const bool stale = options_.estimate_stale_epochs > 0;
   const bool noisy = options_.estimate_noise > 0.0;
   if (!stale && !noisy) return observed;
 
-  const TrafficMatrix* source = &observed;
+  const DemandModel* source = &observed;
   if (stale) {
-    history_.push_back(observed);
+    history_.push_back(observed.clone());
     while (history_.size() >
            static_cast<std::size_t>(options_.estimate_stale_epochs) + 1) {
       history_.pop_front();
     }
-    source = &history_.front();
+    source = history_.front().get();
   }
   if (!noisy) return *source;
 
-  degraded_ = *source;
-  const NodeId n = degraded_.node_count();
-  for (NodeId i = 0; i < n; ++i) {
-    for (NodeId j = 0; j < n; ++j) {
-      const double rate = degraded_.at(i, j);
-      if (rate <= 0.0) continue;
-      const double factor =
-          1.0 + options_.estimate_noise * (2.0 * noise_rng_.next_double() - 1.0);
-      degraded_.set(i, j, rate * factor);
-    }
-  }
-  return degraded_;
+  // Seeded multiplicative noise as a sparse overlay of the source. The
+  // historical dense loop skipped rate <= 0 cells without drawing, so
+  // visiting only the nonzeros in row-major order consumes the noise RNG
+  // identically on every backend.
+  SparseDemand::Builder builder(source->node_count());
+  source->for_each_nonzero([this, &builder](NodeId i, NodeId j, double rate) {
+    const double factor =
+        1.0 + options_.estimate_noise * (2.0 * noise_rng_.next_double() - 1.0);
+    builder.set(i, j, rate * factor);
+  });
+  degraded_ = builder.build(false);
+  return *degraded_;
+}
+
+std::size_t ControlFaultModel::history_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& entry : history_) bytes += entry->memory_bytes();
+  return bytes;
 }
 
 }  // namespace sorn

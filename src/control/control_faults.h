@@ -29,11 +29,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "obs/trace.h"
-#include "traffic/traffic_matrix.h"
+#include "traffic/sparse_demand.h"
 #include "util/rng.h"
 #include "util/time.h"
 
@@ -75,10 +76,20 @@ class ControlFaultModel {
   bool controller_up() const { return up_; }
 
   // Degrade one epoch's observation per the staleness/noise options and
-  // return the matrix the controller believes it measured. The reference
+  // return the demand the controller believes it measured. The reference
   // stays valid until the next filter() call. With staleness and noise
-  // both off this is the identity (no copy).
-  const TrafficMatrix& filter(const TrafficMatrix& observed);
+  // both off this is the identity (no copy). Staleness history holds
+  // backend handles (DemandModel::clone), so a sparse or procedural
+  // observation never costs an N^2 copy; noise is applied as a seeded
+  // sparse overlay built from the source's nonzeros (same RNG order as the
+  // historical dense loop, which skipped zero entries without drawing).
+  const DemandModel& filter(const DemandModel& observed);
+
+  // Staleness-history introspection (regression-tested: the history stays
+  // bounded by estimate_stale_epochs + 1 entries over arbitrarily long
+  // runs).
+  std::size_t history_entries() const { return history_.size(); }
+  std::size_t history_bytes() const;
 
   // Extra replan-application latency to install into the reconfiguration
   // manager (ControlPlane::set_fault_model does this).
@@ -112,8 +123,8 @@ class ControlFaultModel {
   std::uint64_t outage_slots_ = 0;
   // Observation history for staleness; back = newest. Bounded by
   // estimate_stale_epochs + 1.
-  std::deque<TrafficMatrix> history_;
-  TrafficMatrix degraded_;
+  std::deque<std::unique_ptr<const DemandModel>> history_;
+  std::unique_ptr<const SparseDemand> degraded_;
   Tracer* tracer_ = nullptr;
 };
 

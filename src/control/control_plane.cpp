@@ -1,6 +1,6 @@
 #include "control/control_plane.h"
 
-#include <optional>
+#include <memory>
 
 namespace sorn {
 
@@ -10,7 +10,7 @@ ControlPlane::ControlPlane(NodeId nodes, Options options)
       optimizer_(options.optimizer),
       reconfig_(options.reconfig) {}
 
-bool ControlPlane::on_epoch(const TrafficMatrix& observed, Slot now) {
+bool ControlPlane::on_epoch(const DemandModel& observed, Slot now) {
   ScopedPhase scope(profiler_ != nullptr ? &profiler_->phases() : nullptr,
                     ProfPhase::kControlTick);
   // A down controller loses the epoch's measurement entirely — it is not
@@ -48,19 +48,19 @@ bool ControlPlane::on_epoch(const TrafficMatrix& observed, Slot now) {
   // Mask failed nodes out of the demand before clustering: a dead node
   // carries no traffic, so letting its stale rows/columns steer the
   // clusterer would keep granting it clique slots.
-  const TrafficMatrix* demand = &estimator_.estimate();
-  std::optional<TrafficMatrix> masked;
+  const DemandModel* demand = &estimator_.estimate();
+  std::unique_ptr<SparseDemand> masked;
   if (failures_ != nullptr && failures_->failed_node_count() > 0) {
-    masked.emplace(estimator_.estimate());
-    const NodeId n = masked->node_count();
-    for (NodeId i = 0; i < n; ++i) {
-      if (!failures_->is_node_failed(i)) continue;
-      for (NodeId j = 0; j < n; ++j) {
-        masked->set(i, j, 0.0);
-        masked->set(j, i, 0.0);
-      }
-    }
-    demand = &*masked;
+    // Rebuild the estimate without the failed nodes' rows/columns. The
+    // dense predecessor zeroed them in a full copy; dropping the entries
+    // is the same thing (exact zeros are no-ops in every optimizer fold).
+    SparseDemand::Builder builder(demand->node_count());
+    demand->for_each_nonzero([&](NodeId i, NodeId j, double d) {
+      if (!failures_->is_node_failed(i) && !failures_->is_node_failed(j))
+        builder.set(i, j, d);
+    });
+    masked = builder.build(false);
+    demand = masked.get();
   }
 
   SornPlan plan = optimizer_.plan(*demand);

@@ -46,7 +46,7 @@ class ControlPlane {
 
   // Feed one epoch of observed traffic; stages a swap if warranted.
   // Returns true when a re-plan was triggered.
-  bool on_epoch(const TrafficMatrix& observed, Slot now);
+  bool on_epoch(const DemandModel& observed, Slot now);
 
   // Forward to the reconfiguration manager every slot. With a profiler
   // attached the interval is recorded as the control_tick phase (epoch

@@ -1,34 +1,105 @@
 #include "control/estimator.h"
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "util/assert.h"
 
 namespace sorn {
 
+namespace {
+
+// All-zero sparse matrix of the given size (the pre-observation state).
+std::unique_ptr<SparseDemand> empty_demand(NodeId nodes) {
+  return SparseDemand::Builder(nodes).build(false);
+}
+
+struct Coo {
+  std::vector<NodeId> rows;
+  std::vector<NodeId> cols;
+  std::vector<double> vals;
+};
+
+Coo to_coo(const DemandModel& model) {
+  Coo coo;
+  model.for_each_nonzero([&coo](NodeId i, NodeId j, double d) {
+    coo.rows.push_back(i);
+    coo.cols.push_back(j);
+    coo.vals.push_back(d);
+  });
+  return coo;
+}
+
+}  // namespace
+
 TrafficEstimator::TrafficEstimator(NodeId nodes, double alpha)
-    : alpha_(alpha), smoothed_(nodes), latest_(nodes) {
+    : nodes_(nodes),
+      alpha_(alpha),
+      smoothed_(empty_demand(nodes)),
+      latest_(empty_demand(nodes)) {
   SORN_ASSERT(alpha > 0.0 && alpha <= 1.0, "EWMA weight must be in (0,1]");
 }
 
-void TrafficEstimator::observe(const TrafficMatrix& epoch) {
-  SORN_ASSERT(epoch.node_count() == smoothed_.node_count(),
-              "observation size mismatch");
-  const NodeId n = smoothed_.node_count();
+void TrafficEstimator::observe(const DemandModel& epoch) {
+  SORN_ASSERT(epoch.node_count() == nodes_, "observation size mismatch");
   // Normalize the observation so magnitudes are comparable across epochs.
-  TrafficMatrix obs = epoch;
-  obs.normalize_node_load();
+  auto obs = SparseDemand::from_model(epoch, /*normalize=*/true);
   const double keep = observations_ == 0 ? 0.0 : 1.0 - alpha_;
   const double add = observations_ == 0 ? 1.0 : alpha_;
-  for (NodeId i = 0; i < n; ++i)
-    for (NodeId j = 0; j < n; ++j)
-      if (i != j)
-        smoothed_.set(i, j, keep * smoothed_.at(i, j) + add * obs.at(i, j));
-  latest_ = obs;
+
+  // Merge the sorted supports of the smoothed estimate and the new
+  // observation; every union entry gets keep * s + add * o with absent
+  // values an exact 0.0 — the dense per-cell expression bit-for-bit.
+  const Coo s = to_coo(*smoothed_);
+  const Coo o = to_coo(*obs);
+  Coo merged;
+  const std::size_t reserve = s.vals.size() + o.vals.size();
+  merged.rows.reserve(reserve);
+  merged.cols.reserve(reserve);
+  merged.vals.reserve(reserve);
+  std::size_t a = 0;
+  std::size_t b = 0;
+  auto key = [](const Coo& coo, std::size_t k) {
+    return (static_cast<std::uint64_t>(coo.rows[k]) << 32) |
+           static_cast<std::uint32_t>(coo.cols[k]);
+  };
+  while (a < s.vals.size() || b < o.vals.size()) {
+    NodeId row;
+    NodeId col;
+    double sv = 0.0;
+    double ov = 0.0;
+    if (b >= o.vals.size() ||
+        (a < s.vals.size() && key(s, a) < key(o, b))) {
+      row = s.rows[a];
+      col = s.cols[a];
+      sv = s.vals[a];
+      ++a;
+    } else if (a >= s.vals.size() || key(o, b) < key(s, a)) {
+      row = o.rows[b];
+      col = o.cols[b];
+      ov = o.vals[b];
+      ++b;
+    } else {
+      row = s.rows[a];
+      col = s.cols[a];
+      sv = s.vals[a];
+      ov = o.vals[b];
+      ++a;
+      ++b;
+    }
+    merged.rows.push_back(row);
+    merged.cols.push_back(col);
+    merged.vals.push_back(keep * sv + add * ov);
+  }
+  smoothed_ = std::make_unique<SparseDemand>(
+      nodes_, std::move(merged.rows), std::move(merged.cols),
+      std::move(merged.vals));
+  latest_ = std::move(obs);
   ++observations_;
 
   if (reference_.has_value()) {
-    const std::vector<double> agg = obs.aggregate(*reference_);
+    const std::vector<double> agg = latest_->aggregate(*reference_);
     if (!last_aggregate_.empty()) {
       double diff = 0.0;
       double total = 0.0;
@@ -44,17 +115,16 @@ void TrafficEstimator::observe(const TrafficMatrix& epoch) {
 
 void TrafficEstimator::reset_to_latest() {
   SORN_ASSERT(observations_ > 0, "nothing observed yet");
-  smoothed_ = latest_;
+  smoothed_ = SparseDemand::from_model(*latest_);
 }
 
 double TrafficEstimator::locality(const CliqueAssignment& cliques) const {
-  return smoothed_.locality_ratio(cliques);
+  return smoothed_->locality_ratio(cliques);
 }
 
 void TrafficEstimator::set_reference_grouping(
     const CliqueAssignment& cliques) {
-  SORN_ASSERT(cliques.node_count() == smoothed_.node_count(),
-              "grouping size mismatch");
+  SORN_ASSERT(cliques.node_count() == nodes_, "grouping size mismatch");
   reference_ = cliques;
   last_aggregate_.clear();
   macro_change_.reset();

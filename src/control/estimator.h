@@ -6,12 +6,19 @@
 // ratio under a candidate grouping, and a stability signal comparing
 // consecutive clique-level aggregates — the quantity the paper claims is
 // predictable over hours.
+//
+// Storage is sparse-delta: the smoothed and latest estimates live in
+// SparseDemand (CSR over the union of observed supports) instead of two
+// dense N^2 matrices. The EWMA update merges the sorted supports and
+// evaluates keep * s + add * o per union entry — bit-identical to the
+// dense per-cell loop because absent entries contribute an exact 0.0.
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "topo/clique.h"
-#include "traffic/traffic_matrix.h"
+#include "traffic/sparse_demand.h"
 
 namespace sorn {
 
@@ -20,17 +27,18 @@ class TrafficEstimator {
   // alpha in (0, 1]: weight of the newest observation.
   explicit TrafficEstimator(NodeId nodes, double alpha = 0.3);
 
-  // Feed one measurement epoch's observed matrix.
-  void observe(const TrafficMatrix& epoch);
+  // Feed one measurement epoch's observed demand (any backend).
+  void observe(const DemandModel& epoch);
 
   bool has_estimate() const { return observations_ > 0; }
   std::uint64_t observations() const { return observations_; }
 
   // The smoothed demand estimate (normalized to unit peak node load).
-  const TrafficMatrix& estimate() const { return smoothed_; }
+  // All-zero until the first observation.
+  const DemandModel& estimate() const { return *smoothed_; }
 
   // The most recent (normalized) observation, un-smoothed.
-  const TrafficMatrix& latest() const { return latest_; }
+  const DemandModel& latest() const { return *latest_; }
 
   // Discard the smoothed history and restart from the latest observation.
   // Called after change-point detection: once the macro pattern has
@@ -50,10 +58,16 @@ class TrafficEstimator {
   // The grouping against which macro_change() aggregates are computed.
   void set_reference_grouping(const CliqueAssignment& cliques);
 
+  // Heap bytes held by the smoothed/latest estimates (profiler gauge).
+  std::size_t memory_bytes() const {
+    return smoothed_->memory_bytes() + latest_->memory_bytes();
+  }
+
  private:
+  NodeId nodes_;
   double alpha_;
-  TrafficMatrix smoothed_;
-  TrafficMatrix latest_;
+  std::unique_ptr<SparseDemand> smoothed_;
+  std::unique_ptr<SparseDemand> latest_;
   std::uint64_t observations_ = 0;
   std::optional<CliqueAssignment> reference_;
   std::vector<double> last_aggregate_;

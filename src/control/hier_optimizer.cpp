@@ -5,7 +5,37 @@
 
 namespace sorn {
 
-TrafficMatrix permute_matrix(const TrafficMatrix& tm,
+PermutedDemandView::PermutedDemandView(
+    const DemandModel& base, const std::vector<NodeId>& position_of_node)
+    : base_(&base) {
+  const NodeId n = base.node_count();
+  SORN_ASSERT(position_of_node.size() == static_cast<std::size_t>(n),
+              "permutation size mismatch");
+  node_at_.assign(static_cast<std::size_t>(n), kNoNode);
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId pos = position_of_node[static_cast<std::size_t>(v)];
+    SORN_ASSERT(pos >= 0 && pos < n &&
+                    node_at_[static_cast<std::size_t>(pos)] == kNoNode,
+                "position_of_node must be a permutation");
+    node_at_[static_cast<std::size_t>(pos)] = v;
+  }
+}
+
+std::pair<NodeId, NodeId> PermutedDemandView::sample_pair(Rng&) const {
+  SORN_ASSERT(false, "sampling through a permutation view is unsupported");
+  return {0, 0};
+}
+
+NodeId PermutedDemandView::sample_dst(NodeId, Rng&) const {
+  SORN_ASSERT(false, "sampling through a permutation view is unsupported");
+  return 0;
+}
+
+std::unique_ptr<DemandModel> PermutedDemandView::clone() const {
+  return std::unique_ptr<PermutedDemandView>(new PermutedDemandView(*this));
+}
+
+TrafficMatrix permute_matrix(const DemandModel& tm,
                              const std::vector<NodeId>& position_of_node) {
   const NodeId n = tm.node_count();
   SORN_ASSERT(position_of_node.size() == static_cast<std::size_t>(n),
@@ -22,7 +52,7 @@ TrafficMatrix permute_matrix(const TrafficMatrix& tm,
 HierOptimizer::HierOptimizer(Options options)
     : options_(options), clusterer_(options.clusterer) {}
 
-HierPlan HierOptimizer::plan(const TrafficMatrix& estimate) const {
+HierPlan HierOptimizer::plan(const DemandModel& estimate) const {
   const NodeId n = estimate.node_count();
   const CliqueId nc = options_.clusters;
   const CliqueId p = options_.pods_per_cluster;
@@ -61,9 +91,10 @@ HierPlan HierOptimizer::plan(const TrafficMatrix& estimate) const {
     }
   }
 
-  // Locality split and shares under the recovered hierarchy.
-  const TrafficMatrix in_position =
-      permute_matrix(estimate, plan.position_of_node);
+  // Locality split and shares under the recovered hierarchy, read through
+  // a zero-copy permutation view (same values in the same fold order as
+  // the dense materialization it replaces).
+  const PermutedDemandView in_position(estimate, plan.position_of_node);
   const Hierarchy h = plan.hierarchy(n);
   const HierLocality loc = patterns::hier_locality(h, in_position);
   plan.x1 = loc.pod;

@@ -10,9 +10,12 @@
 
 #include <vector>
 
+#include <memory>
+
 #include "analysis/models.h"
 #include "control/clustering.h"
 #include "topo/hierarchy.h"
+#include "traffic/traffic_matrix.h"
 
 namespace sorn {
 
@@ -32,9 +35,36 @@ struct HierPlan {
   }
 };
 
-// Reindex a matrix into hierarchy-position space: entry (pos_i, pos_j) of
-// the result equals tm(i, j).
-TrafficMatrix permute_matrix(const TrafficMatrix& tm,
+// Zero-copy reindexing into hierarchy-position space: entry (pos_i, pos_j)
+// reads tm(i, j) through the inverse permutation. Borrows the base model —
+// keep it alive for the view's lifetime. Read-only statistics only
+// (sampling through a permutation view is not supported).
+class PermutedDemandView : public DemandModel {
+ public:
+  PermutedDemandView(const DemandModel& base,
+                     const std::vector<NodeId>& position_of_node);
+
+  NodeId node_count() const override { return base_->node_count(); }
+  double at(NodeId src, NodeId dst) const override {
+    return base_->at(node_at_[static_cast<std::size_t>(src)],
+                     node_at_[static_cast<std::size_t>(dst)]);
+  }
+  std::pair<NodeId, NodeId> sample_pair(Rng& rng) const override;
+  NodeId sample_dst(NodeId src, Rng& rng) const override;
+  std::unique_ptr<DemandModel> clone() const override;
+  std::size_t memory_bytes() const override {
+    return node_at_.capacity() * sizeof(NodeId);
+  }
+  DemandBackend backend() const override { return base_->backend(); }
+
+ private:
+  const DemandModel* base_;
+  std::vector<NodeId> node_at_;  // inverse: node at each position
+};
+
+// Reindex a matrix into hierarchy-position space, materialized dense:
+// entry (pos_i, pos_j) of the result equals tm(i, j).
+TrafficMatrix permute_matrix(const DemandModel& tm,
                              const std::vector<NodeId>& position_of_node);
 
 class HierOptimizer {
@@ -50,7 +80,7 @@ class HierOptimizer {
   explicit HierOptimizer(Options options);
 
   // tm.node_count() must divide evenly into clusters * pods_per_cluster.
-  HierPlan plan(const TrafficMatrix& estimate) const;
+  HierPlan plan(const DemandModel& estimate) const;
 
  private:
   Options options_;

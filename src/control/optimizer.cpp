@@ -9,7 +9,7 @@ namespace sorn {
 
 SornOptimizer::SornOptimizer(Options options) : options_(std::move(options)) {}
 
-SornPlan SornOptimizer::plan_for_nc(const TrafficMatrix& estimate,
+SornPlan SornOptimizer::plan_for_nc(const DemandModel& estimate,
                                     CliqueId nc) const {
   const NodeId n = estimate.node_count();
   SORN_ASSERT(nc >= 1 && n % nc == 0, "invalid clique count for this N");
@@ -43,7 +43,7 @@ SornPlan SornOptimizer::plan_for_nc(const TrafficMatrix& estimate,
   return p;
 }
 
-SornPlan SornOptimizer::plan(const TrafficMatrix& estimate) const {
+SornPlan SornOptimizer::plan(const DemandModel& estimate) const {
   const NodeId n = estimate.node_count();
   SornPlan best;
   double best_score = -1e300;

@@ -12,7 +12,7 @@
 
 #include "control/clustering.h"
 #include "topo/schedule_builder.h"
-#include "traffic/traffic_matrix.h"
+#include "traffic/demand_model.h"
 
 namespace sorn {
 
@@ -53,11 +53,11 @@ class SornOptimizer {
   explicit SornOptimizer(Options options);
 
   // Best plan for the given demand estimate.
-  SornPlan plan(const TrafficMatrix& estimate) const;
+  SornPlan plan(const DemandModel& estimate) const;
 
   // Plan for one fixed Nc (used by ablations and by callers that pin the
   // clique structure).
-  SornPlan plan_for_nc(const TrafficMatrix& estimate, CliqueId nc) const;
+  SornPlan plan_for_nc(const DemandModel& estimate, CliqueId nc) const;
 
  private:
   Options options_;

@@ -132,6 +132,7 @@ std::string ScenarioConfig::to_json() const {
   w.field("threads", static_cast<std::int64_t>(threads));
   w.field("traffic", traffic_kind_name(traffic));
   w.field("ring_heavy_share", ring_heavy_share);
+  w.field("traffic_backend", demand_backend_name(traffic_backend));
   w.field("workload", workload_kind_name(workload));
   w.field("load", load);
   w.field("slots", static_cast<std::int64_t>(slots));
@@ -334,6 +335,12 @@ bool ScenarioConfig::from_json(std::string_view text, ScenarioConfig* out,
       }
     } else if (key == "ring_heavy_share") {
       if (!want_double(v, key, &cfg.ring_heavy_share, error)) return false;
+    } else if (key == "traffic_backend") {
+      if (!want_string(v, key, &s, error)) return false;
+      if (!parse_demand_backend(s, &cfg.traffic_backend)) {
+        *error = "unknown traffic backend '" + s + "'";
+        return false;
+      }
     } else if (key == "workload") {
       if (!want_string(v, key, &s, error)) return false;
       if (!parse_workload_kind(s, &cfg.workload)) {

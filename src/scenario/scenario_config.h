@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "topo/clique.h"
-#include "traffic/traffic_matrix.h"
+#include "traffic/demand_model.h"
 #include "util/time.h"
 #include "util/types.h"
 
@@ -105,6 +105,12 @@ struct ScenarioConfig {
   // ---- traffic ----
   TrafficKind traffic = TrafficKind::kLocality;
   double ring_heavy_share = 0.85;
+  // Storage backend for the generated demand (traffic/demand_model.h):
+  // "dense" (N^2 array, the historical default), "sparse" (CSR) or
+  // "procedural" (closed form; falls back to sparse when the clique
+  // layout is not contiguous equal blocks). All three produce
+  // byte-identical artifacts; only memory/speed differ.
+  DemandBackend traffic_backend = DemandBackend::kDense;
 
   // ---- workload ----
   WorkloadKind workload = WorkloadKind::kFlows;
@@ -189,11 +195,11 @@ struct ScenarioConfig {
   // ---- programmatic overrides (never serialized) ----
   // Borrowed pointers for callers that already hold richer objects than
   // the config can describe (a control-plane clique assignment, a
-  // measured traffic matrix, a generated fault script). All optional;
+  // measured demand model, a generated fault script). All optional;
   // must outlive the runner.
   struct Overrides {
     const CliqueAssignment* cliques = nullptr;
-    const TrafficMatrix* traffic = nullptr;
+    const DemandModel* traffic = nullptr;
     const FaultScript* fault_script = nullptr;
   };
   Overrides overrides;

@@ -219,20 +219,22 @@ std::unique_ptr<ScenarioRunner> ScenarioRunner::create(
                "scenario";
       return nullptr;
     }
-    runner->traffic_ = *config.overrides.traffic;
+    runner->traffic_ = config.overrides.traffic->clone();
   } else {
     switch (config.traffic) {
       case TrafficKind::kLocality:
-        runner->traffic_ = patterns::locality_mix(runner->traffic_cliques_,
-                                                  config.locality_x);
+        runner->traffic_ = patterns::make_locality_mix(
+            runner->traffic_cliques_, config.locality_x,
+            config.traffic_backend);
         break;
       case TrafficKind::kUniform:
-        runner->traffic_ = patterns::uniform(config.nodes);
+        runner->traffic_ =
+            patterns::make_uniform(config.nodes, config.traffic_backend);
         break;
       case TrafficKind::kRing:
-        runner->traffic_ = patterns::clique_ring(
+        runner->traffic_ = patterns::make_clique_ring(
             runner->traffic_cliques_, config.locality_x,
-            config.ring_heavy_share);
+            config.ring_heavy_share, config.traffic_backend);
         break;
       case TrafficKind::kHierLocality:
         if (runner->design_.hierarchy == nullptr) {
@@ -240,11 +242,16 @@ std::unique_ptr<ScenarioRunner> ScenarioRunner::create(
                    "hierarchy (hier)";
           return nullptr;
         }
-        runner->traffic_ = patterns::hier_locality_mix(
+        runner->traffic_ = patterns::make_hier_locality_mix(
             *runner->design_.hierarchy, config.pod_locality_x1,
-            config.cluster_locality_x2);
+            config.cluster_locality_x2, config.traffic_backend);
         break;
     }
+  }
+  if (runner->profiler_ != nullptr) {
+    const DemandModel* traffic = runner->traffic_.get();
+    runner->profiler_->memory().register_provider(
+        "traffic_demand", [traffic] { return traffic->memory_bytes(); });
   }
   return runner;
 }
@@ -254,7 +261,7 @@ bool ScenarioRunner::run_flows(std::string* error) {
   const double node_bw =
       static_cast<double>(network_->config().cell_bytes) * 8.0 /
       (static_cast<double>(network_->config().slot_duration) * 1e-12);
-  FlowArrivals arrivals(&traffic_, &sizes, node_bw, config_.load,
+  FlowArrivals arrivals(traffic_.get(), &sizes, node_bw, config_.load,
                         Rng(config_.arrival_seed));
 
   WorkloadDriver::Classifier classifier;
@@ -298,7 +305,7 @@ bool ScenarioRunner::run_flows(std::string* error) {
               net, control_faults_->controller_up(), slot);
         }
         if (slot > 0 && slot % config_.epoch_slots == 0)
-          control_->on_epoch(traffic_, slot);
+          control_->on_epoch(*traffic_, slot);
         control_->tick(net, slot);
       }
     });
@@ -322,12 +329,12 @@ void ScenarioRunner::run_saturation() {
   SaturationConfig sat;
   sat.seed = config_.workload_seed;
   if (config_.workload == WorkloadKind::kSaturation) {
-    SaturationSource source(&traffic_, sat);
+    SaturationSource source(traffic_.get(), sat);
     saturation_r_ = source.measure(*network_, config_.warmup_slots,
                                    config_.measure_slots);
   } else {
     const FlowSizeDist sizes = flow_sizes_of(config_);
-    FlowSaturationSource source(&traffic_, &sizes, sat);
+    FlowSaturationSource source(traffic_.get(), &sizes, sat);
     saturation_r_ = source.measure(*network_, config_.warmup_slots,
                                    config_.measure_slots);
   }

@@ -18,7 +18,8 @@
 #include "sim/invariants.h"
 #include "sim/network.h"
 #include "sim/workload_driver.h"
-#include "traffic/traffic_matrix.h"
+#include "traffic/demand_model.h"
+#include "util/assert.h"
 
 namespace sorn {
 
@@ -41,7 +42,13 @@ class ScenarioRunner {
   const BuiltDesign& design() const { return design_; }
   SlottedNetwork& network() { return *network_; }
   const SlottedNetwork& network() const { return *network_; }
-  const TrafficMatrix& traffic() const { return traffic_; }
+  // The scenario's demand, in whichever backend config.traffic_backend
+  // selected (an override matrix keeps its own backend). Only valid after
+  // create() — there is no placeholder matrix.
+  const DemandModel& traffic() const {
+    SORN_ASSERT(traffic_ != nullptr, "traffic accessed before create()");
+    return *traffic_;
+  }
   // The clique structure traffic was generated over (the design's, or a
   // contiguous fallback for designs without one).
   const CliqueAssignment& traffic_cliques() const { return traffic_cliques_; }
@@ -105,7 +112,7 @@ class ScenarioRunner {
   ScenarioConfig config_;
   BuiltDesign design_;
   std::unique_ptr<SlottedNetwork> network_;
-  TrafficMatrix traffic_{1};  // placeholder until create() generates it
+  std::unique_ptr<DemandModel> traffic_;  // set by create(), never null after
   CliqueAssignment traffic_cliques_;
   std::unique_ptr<Telemetry> telemetry_;
   std::unique_ptr<Profiler> profiler_;

@@ -6,21 +6,14 @@
 
 namespace sorn {
 
-SaturationSource::SaturationSource(const TrafficMatrix* tm,
+SaturationSource::SaturationSource(const DemandModel* tm,
                                    SaturationConfig config)
     : tm_(tm), config_(config), rng_(config.seed) {
   SORN_ASSERT(tm_ != nullptr, "saturation source needs a traffic matrix");
   const NodeId n = tm_->node_count();
-  row_cdf_.resize(static_cast<std::size_t>(n));
-  for (NodeId i = 0; i < n; ++i) {
-    auto& cdf = row_cdf_[static_cast<std::size_t>(i)];
-    cdf.resize(static_cast<std::size_t>(n));
-    double acc = 0.0;
-    for (NodeId j = 0; j < n; ++j) {
-      acc += tm_->at(i, j);
-      cdf[static_cast<std::size_t>(j)] = acc;
-    }
-  }
+  row_sums_.resize(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i)
+    row_sums_[static_cast<std::size_t>(i)] = tm_->row_sum(i);
 }
 
 void SaturationSource::pump(SlottedNetwork& network) {
@@ -29,14 +22,10 @@ void SaturationSource::pump(SlottedNetwork& network) {
       config_.max_in_flight_per_node * static_cast<std::uint64_t>(n);
   if (network.cells_in_flight() >= cap) return;
   for (NodeId i = 0; i < n; ++i) {
-    const auto& cdf = row_cdf_[static_cast<std::size_t>(i)];
-    const double row_total = cdf.back();
-    if (row_total <= 0.0) continue;  // node sends nothing in this matrix
+    if (row_sums_[static_cast<std::size_t>(i)] <= 0.0)
+      continue;  // node sends nothing in this matrix
     for (int c = 0; c < config_.cells_per_node_per_slot; ++c) {
-      const double u = rng_.next_double() * row_total;
-      const auto it = std::upper_bound(cdf.begin(), cdf.end(), u);
-      auto j = static_cast<NodeId>(it - cdf.begin());
-      if (j >= n) j = n - 1;
+      const NodeId j = tm_->sample_dst(i, rng_);
       if (j == i) continue;  // zero-demand diagonal draw; skip
       network.inject_cell(i, j);
     }
@@ -58,7 +47,7 @@ double SaturationSource::measure(SlottedNetwork& network, Slot warmup_slots,
                                               network.config().lanes);
 }
 
-FlowSaturationSource::FlowSaturationSource(const TrafficMatrix* tm,
+FlowSaturationSource::FlowSaturationSource(const DemandModel* tm,
                                            const FlowSizeDist* sizes,
                                            SaturationConfig config,
                                            int concurrency)
@@ -71,19 +60,12 @@ FlowSaturationSource::FlowSaturationSource(const TrafficMatrix* tm,
               "flow saturation source needs a matrix and sizes");
   SORN_ASSERT(concurrency_ >= 1, "need at least one open flow per node");
   const NodeId n = tm_->node_count();
-  row_cdf_.resize(static_cast<std::size_t>(n));
+  row_sums_.resize(static_cast<std::size_t>(n));
   open_.resize(static_cast<std::size_t>(n) *
                static_cast<std::size_t>(concurrency_));
   cursor_.assign(static_cast<std::size_t>(n), 0);
-  for (NodeId i = 0; i < n; ++i) {
-    auto& cdf = row_cdf_[static_cast<std::size_t>(i)];
-    cdf.resize(static_cast<std::size_t>(n));
-    double acc = 0.0;
-    for (NodeId j = 0; j < n; ++j) {
-      acc += tm_->at(i, j);
-      cdf[static_cast<std::size_t>(j)] = acc;
-    }
-  }
+  for (NodeId i = 0; i < n; ++i)
+    row_sums_[static_cast<std::size_t>(i)] = tm_->row_sum(i);
 }
 
 void FlowSaturationSource::pump(SlottedNetwork& network) {
@@ -93,8 +75,7 @@ void FlowSaturationSource::pump(SlottedNetwork& network) {
   if (network.cells_in_flight() >= cap) return;
   const std::uint64_t cell_bytes = network.config().cell_bytes;
   for (NodeId i = 0; i < n; ++i) {
-    const auto& cdf = row_cdf_[static_cast<std::size_t>(i)];
-    if (cdf.back() <= 0.0) continue;
+    if (row_sums_[static_cast<std::size_t>(i)] <= 0.0) continue;
     for (int c = 0; c < config_.cells_per_node_per_slot; ++c) {
       // Round-robin across the node's open flows.
       auto& slot = cursor_[static_cast<std::size_t>(i)];
@@ -105,10 +86,7 @@ void FlowSaturationSource::pump(SlottedNetwork& network) {
       if (flow.cells_left == 0) {
         // Draw the next flow: destination from the matrix row, size from
         // the flow-size distribution.
-        const double u = rng_.next_double() * cdf.back();
-        const auto it = std::upper_bound(cdf.begin(), cdf.end(), u);
-        auto j = static_cast<NodeId>(it - cdf.begin());
-        if (j >= n) j = n - 1;
+        const NodeId j = tm_->sample_dst(i, rng_);
         if (j == i) continue;
         flow.dst = j;
         flow.cells_left =

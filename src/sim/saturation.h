@@ -11,7 +11,7 @@
 
 #include "sim/network.h"
 #include "traffic/flow_size.h"
-#include "traffic/traffic_matrix.h"
+#include "traffic/demand_model.h"
 #include "util/rng.h"
 
 namespace sorn {
@@ -29,7 +29,7 @@ struct SaturationConfig {
 class SaturationSource {
  public:
   // tm rows select destinations per source; must outlive the source.
-  SaturationSource(const TrafficMatrix* tm, SaturationConfig config);
+  SaturationSource(const DemandModel* tm, SaturationConfig config);
 
   // Inject this slot's new demands into the network.
   void pump(SlottedNetwork& network);
@@ -40,10 +40,11 @@ class SaturationSource {
                  Slot measure_slots);
 
  private:
-  const TrafficMatrix* tm_;
+  const DemandModel* tm_;
   SaturationConfig config_;
-  // Per-source destination samplers (row CDFs).
-  std::vector<std::vector<double>> row_cdf_;
+  // Per-node row totals: the silent-row skip check. Destination draws go
+  // through DemandModel::sample_dst, so no N^2 CDF copy is kept here.
+  std::vector<double> row_sums_;
   Rng rng_;
 };
 
@@ -55,7 +56,7 @@ class SaturationSource {
 // only in aggregate.
 class FlowSaturationSource {
  public:
-  FlowSaturationSource(const TrafficMatrix* tm, const FlowSizeDist* sizes,
+  FlowSaturationSource(const DemandModel* tm, const FlowSizeDist* sizes,
                        SaturationConfig config, int concurrency = 8);
 
   void pump(SlottedNetwork& network);
@@ -68,11 +69,11 @@ class FlowSaturationSource {
     std::uint64_t cells_left = 0;
   };
 
-  const TrafficMatrix* tm_;
+  const DemandModel* tm_;
   const FlowSizeDist* sizes_;
   SaturationConfig config_;
   int concurrency_;
-  std::vector<std::vector<double>> row_cdf_;
+  std::vector<double> row_sums_;
   // concurrency_ open flows per node, row-major.
   std::vector<OpenFlow> open_;
   std::vector<int> cursor_;

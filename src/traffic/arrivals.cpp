@@ -6,7 +6,7 @@
 
 namespace sorn {
 
-FlowArrivals::FlowArrivals(const TrafficMatrix* tm, const FlowSizeDist* sizes,
+FlowArrivals::FlowArrivals(const DemandModel* tm, const FlowSizeDist* sizes,
                            double node_bandwidth_bps, double load, Rng rng)
     : tm_(tm), sizes_(sizes), rng_(rng) {
   SORN_ASSERT(tm_ != nullptr && sizes_ != nullptr, "null workload inputs");

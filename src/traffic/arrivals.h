@@ -10,7 +10,7 @@
 #include <cstdint>
 
 #include "traffic/flow_size.h"
-#include "traffic/traffic_matrix.h"
+#include "traffic/demand_model.h"
 #include "util/time.h"
 
 namespace sorn {
@@ -26,7 +26,7 @@ class FlowArrivals {
  public:
   // node_bandwidth_bps: per-node aggregate bandwidth b in bits/second.
   // load in (0, +inf): 1.0 offers exactly the aggregate network capacity.
-  FlowArrivals(const TrafficMatrix* tm, const FlowSizeDist* sizes,
+  FlowArrivals(const DemandModel* tm, const FlowSizeDist* sizes,
                double node_bandwidth_bps, double load, Rng rng);
 
   // Next flow in arrival order; times are strictly nondecreasing.
@@ -36,7 +36,7 @@ class FlowArrivals {
   Picoseconds mean_interarrival() const { return mean_gap_; }
 
  private:
-  const TrafficMatrix* tm_;
+  const DemandModel* tm_;
   const FlowSizeDist* sizes_;
   Picoseconds mean_gap_;
   Picoseconds now_ = 0;

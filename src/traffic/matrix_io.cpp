@@ -9,7 +9,7 @@
 
 namespace sorn {
 
-std::string matrix_to_csv(const TrafficMatrix& tm) {
+std::string matrix_to_csv(const DemandModel& tm) {
   std::string out;
   const NodeId n = tm.node_count();
   for (NodeId i = 0; i < n; ++i) {
@@ -65,7 +65,7 @@ std::optional<TrafficMatrix> matrix_from_csv(const std::string& csv) {
   return tm;
 }
 
-bool save_matrix_csv(const TrafficMatrix& tm, const std::string& path) {
+bool save_matrix_csv(const DemandModel& tm, const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   const std::string csv = matrix_to_csv(tm);

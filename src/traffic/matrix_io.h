@@ -15,7 +15,7 @@
 namespace sorn {
 
 // Serialize to CSV text.
-std::string matrix_to_csv(const TrafficMatrix& tm);
+std::string matrix_to_csv(const DemandModel& tm);
 
 // Parse CSV text; returns nullopt on malformed input (ragged rows,
 // non-numeric cells, negative demand, nonzero diagonal, or a non-square
@@ -23,7 +23,7 @@ std::string matrix_to_csv(const TrafficMatrix& tm);
 std::optional<TrafficMatrix> matrix_from_csv(const std::string& csv);
 
 // File convenience wrappers; return false / nullopt on IO failure.
-bool save_matrix_csv(const TrafficMatrix& tm, const std::string& path);
+bool save_matrix_csv(const DemandModel& tm, const std::string& path);
 std::optional<TrafficMatrix> load_matrix_csv(const std::string& path);
 
 }  // namespace sorn

@@ -1,23 +1,30 @@
 #include "traffic/patterns.h"
 
+#include "traffic/procedural_demand.h"
+#include "traffic/sparse_demand.h"
 #include "util/assert.h"
 
 namespace sorn {
 namespace patterns {
+namespace {
 
-TrafficMatrix uniform(NodeId n) {
-  TrafficMatrix tm(n);
+// The generator bodies, templated on the write sink (TrafficMatrix or
+// SparseDemand::Builder) so the dense and sparse builds run the SAME loop
+// in the same order — bit-identity between backends is then just the
+// builders' normalization replication.
+
+template <typename Sink>
+void fill_uniform(NodeId n, Sink& sink) {
   for (NodeId i = 0; i < n; ++i)
     for (NodeId j = 0; j < n; ++j)
-      if (i != j) tm.set(i, j, 1.0);
-  tm.normalize_node_load();
-  return tm;
+      if (i != j) sink.set(i, j, 1.0);
 }
 
-TrafficMatrix locality_mix(const CliqueAssignment& cliques, double x) {
+template <typename Sink>
+void fill_locality_mix(const CliqueAssignment& cliques, double x,
+                       Sink& sink) {
   SORN_ASSERT(x >= 0.0 && x <= 1.0, "locality ratio must be in [0,1]");
   const NodeId n = cliques.node_count();
-  TrafficMatrix tm(n);
   for (NodeId i = 0; i < n; ++i) {
     const CliqueId c = cliques.clique_of(i);
     const NodeId in_clique = cliques.clique_size(c) - 1;
@@ -28,12 +35,88 @@ TrafficMatrix locality_mix(const CliqueAssignment& cliques, double x) {
     for (NodeId j = 0; j < n; ++j) {
       if (i == j) continue;
       if (cliques.same_clique(i, j)) {
-        tm.set(i, j, intra_share / static_cast<double>(in_clique));
+        sink.set(i, j, intra_share / static_cast<double>(in_clique));
       } else {
-        tm.set(i, j, inter_share / static_cast<double>(out_clique));
+        sink.set(i, j, inter_share / static_cast<double>(out_clique));
       }
     }
   }
+}
+
+template <typename Sink>
+void fill_clique_ring(const CliqueAssignment& cliques, double x,
+                      double heavy_share, Sink& sink) {
+  SORN_ASSERT(x >= 0.0 && x < 1.0, "locality must be in [0,1)");
+  SORN_ASSERT(heavy_share >= 0.0 && heavy_share <= 1.0,
+              "heavy share must be in [0,1]");
+  SORN_ASSERT(cliques.equal_sized(), "clique_ring needs equal cliques");
+  const NodeId n = cliques.node_count();
+  const CliqueId nc = cliques.clique_count();
+  SORN_ASSERT(nc >= 3, "clique_ring needs at least three cliques");
+  const NodeId s = cliques.clique_size(0);
+  for (NodeId i = 0; i < n; ++i) {
+    const CliqueId c = cliques.clique_of(i);
+    const CliqueId next = static_cast<CliqueId>((c + 1) % nc);
+    // Intra share.
+    if (s >= 2) {
+      for (const NodeId j : cliques.members(c))
+        if (j != i) sink.set(i, j, x / static_cast<double>(s - 1));
+    }
+    const double inter = s >= 2 ? 1.0 - x : 1.0;
+    // Heavy share to the next clique.
+    for (const NodeId j : cliques.members(next))
+      sink.set(i, j, inter * heavy_share / static_cast<double>(s));
+    // The rest spread over the remaining cliques.
+    const double rest = inter * (1.0 - heavy_share);
+    const double per_node =
+        rest / static_cast<double>((nc - 2) * s);
+    for (CliqueId other = 0; other < nc; ++other) {
+      if (other == c || other == next) continue;
+      for (const NodeId j : cliques.members(other)) sink.set(i, j, per_node);
+    }
+  }
+}
+
+template <typename Sink>
+void fill_hier_locality_mix(const Hierarchy& h, double x1, double x2,
+                            Sink& sink) {
+  SORN_ASSERT(x1 >= 0.0 && x2 >= 0.0 && x1 + x2 <= 1.0 + 1e-12,
+              "locality shares must be a sub-distribution");
+  const NodeId n = h.node_count();
+  const NodeId pod_peers = h.pod_size() - 1;
+  const NodeId cluster_peers = h.cluster_size() - h.pod_size();
+  const NodeId global_peers = n - h.cluster_size();
+  for (NodeId i = 0; i < n; ++i) {
+    const double pod_share = pod_peers > 0 ? x1 : 0.0;
+    const double cluster_share = cluster_peers > 0 ? x2 : 0.0;
+    double global_share = global_peers > 0 ? 1.0 - pod_share - cluster_share
+                                           : 0.0;
+    if (global_share < 0.0) global_share = 0.0;
+    for (NodeId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (h.same_pod(i, j)) {
+        sink.set(i, j, pod_share / static_cast<double>(pod_peers));
+      } else if (h.same_cluster(i, j)) {
+        sink.set(i, j, cluster_share / static_cast<double>(cluster_peers));
+      } else {
+        sink.set(i, j, global_share / static_cast<double>(global_peers));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+TrafficMatrix uniform(NodeId n) {
+  TrafficMatrix tm(n);
+  fill_uniform(n, tm);
+  tm.normalize_node_load();
+  return tm;
+}
+
+TrafficMatrix locality_mix(const CliqueAssignment& cliques, double x) {
+  TrafficMatrix tm(cliques.node_count());
+  fill_locality_mix(cliques, x, tm);
   tm.normalize_node_load();
   return tm;
 }
@@ -97,70 +180,79 @@ TrafficMatrix gravity(const CliqueAssignment& cliques,
 
 TrafficMatrix clique_ring(const CliqueAssignment& cliques, double x,
                           double heavy_share) {
-  SORN_ASSERT(x >= 0.0 && x < 1.0, "locality must be in [0,1)");
-  SORN_ASSERT(heavy_share >= 0.0 && heavy_share <= 1.0,
-              "heavy share must be in [0,1]");
-  SORN_ASSERT(cliques.equal_sized(), "clique_ring needs equal cliques");
-  const NodeId n = cliques.node_count();
-  const CliqueId nc = cliques.clique_count();
-  SORN_ASSERT(nc >= 3, "clique_ring needs at least three cliques");
-  const NodeId s = cliques.clique_size(0);
-  TrafficMatrix tm(n);
-  for (NodeId i = 0; i < n; ++i) {
-    const CliqueId c = cliques.clique_of(i);
-    const CliqueId next = static_cast<CliqueId>((c + 1) % nc);
-    // Intra share.
-    if (s >= 2) {
-      for (const NodeId j : cliques.members(c))
-        if (j != i) tm.set(i, j, x / static_cast<double>(s - 1));
-    }
-    const double inter = s >= 2 ? 1.0 - x : 1.0;
-    // Heavy share to the next clique.
-    for (const NodeId j : cliques.members(next))
-      tm.set(i, j, inter * heavy_share / static_cast<double>(s));
-    // The rest spread over the remaining cliques.
-    const double rest = inter * (1.0 - heavy_share);
-    const double per_node =
-        rest / static_cast<double>((nc - 2) * s);
-    for (CliqueId other = 0; other < nc; ++other) {
-      if (other == c || other == next) continue;
-      for (const NodeId j : cliques.members(other)) tm.set(i, j, per_node);
-    }
-  }
+  TrafficMatrix tm(cliques.node_count());
+  fill_clique_ring(cliques, x, heavy_share, tm);
   tm.normalize_node_load();
   return tm;
 }
 
 TrafficMatrix hier_locality_mix(const Hierarchy& h, double x1, double x2) {
-  SORN_ASSERT(x1 >= 0.0 && x2 >= 0.0 && x1 + x2 <= 1.0 + 1e-12,
-              "locality shares must be a sub-distribution");
-  const NodeId n = h.node_count();
-  TrafficMatrix tm(n);
-  const NodeId pod_peers = h.pod_size() - 1;
-  const NodeId cluster_peers = h.cluster_size() - h.pod_size();
-  const NodeId global_peers = n - h.cluster_size();
-  for (NodeId i = 0; i < n; ++i) {
-    const double pod_share = pod_peers > 0 ? x1 : 0.0;
-    const double cluster_share = cluster_peers > 0 ? x2 : 0.0;
-    double global_share = global_peers > 0 ? 1.0 - pod_share - cluster_share
-                                           : 0.0;
-    if (global_share < 0.0) global_share = 0.0;
-    for (NodeId j = 0; j < n; ++j) {
-      if (i == j) continue;
-      if (h.same_pod(i, j)) {
-        tm.set(i, j, pod_share / static_cast<double>(pod_peers));
-      } else if (h.same_cluster(i, j)) {
-        tm.set(i, j, cluster_share / static_cast<double>(cluster_peers));
-      } else {
-        tm.set(i, j, global_share / static_cast<double>(global_peers));
-      }
-    }
-  }
+  TrafficMatrix tm(h.node_count());
+  fill_hier_locality_mix(h, x1, x2, tm);
   tm.normalize_node_load();
   return tm;
 }
 
-HierLocality hier_locality(const Hierarchy& h, const TrafficMatrix& tm) {
+std::unique_ptr<DemandModel> make_uniform(NodeId n, DemandBackend backend) {
+  switch (backend) {
+    case DemandBackend::kDense:
+      return std::make_unique<TrafficMatrix>(uniform(n));
+    case DemandBackend::kSparse: {
+      SparseDemand::Builder builder(n);
+      fill_uniform(n, builder);
+      return builder.build(/*normalize_node_load=*/true);
+    }
+    case DemandBackend::kProcedural:
+      return ProceduralDemand::uniform(n);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<DemandModel> make_locality_mix(const CliqueAssignment& cliques,
+                                               double x,
+                                               DemandBackend backend) {
+  if (backend == DemandBackend::kDense)
+    return std::make_unique<TrafficMatrix>(locality_mix(cliques, x));
+  if (backend == DemandBackend::kProcedural &&
+      ProceduralDemand::supports(cliques))
+    return ProceduralDemand::locality_mix(cliques, x);
+  SparseDemand::Builder builder(cliques.node_count());
+  fill_locality_mix(cliques, x, builder);
+  return builder.build(/*normalize_node_load=*/true);
+}
+
+std::unique_ptr<DemandModel> make_clique_ring(const CliqueAssignment& cliques,
+                                              double x, double heavy_share,
+                                              DemandBackend backend) {
+  if (backend == DemandBackend::kDense)
+    return std::make_unique<TrafficMatrix>(
+        clique_ring(cliques, x, heavy_share));
+  if (backend == DemandBackend::kProcedural &&
+      ProceduralDemand::supports(cliques))
+    return ProceduralDemand::clique_ring(cliques, x, heavy_share);
+  SparseDemand::Builder builder(cliques.node_count());
+  fill_clique_ring(cliques, x, heavy_share, builder);
+  return builder.build(/*normalize_node_load=*/true);
+}
+
+std::unique_ptr<DemandModel> make_hier_locality_mix(const Hierarchy& h,
+                                                    double x1, double x2,
+                                                    DemandBackend backend) {
+  switch (backend) {
+    case DemandBackend::kDense:
+      return std::make_unique<TrafficMatrix>(hier_locality_mix(h, x1, x2));
+    case DemandBackend::kSparse: {
+      SparseDemand::Builder builder(h.node_count());
+      fill_hier_locality_mix(h, x1, x2, builder);
+      return builder.build(/*normalize_node_load=*/true);
+    }
+    case DemandBackend::kProcedural:
+      return ProceduralDemand::hier_locality_mix(h, x1, x2);
+  }
+  return nullptr;
+}
+
+HierLocality hier_locality(const Hierarchy& h, const DemandModel& tm) {
   SORN_ASSERT(tm.node_count() == h.node_count(), "size mismatch");
   double pod = 0.0;
   double cluster = 0.0;

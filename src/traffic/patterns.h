@@ -1,10 +1,20 @@
 // Generators for the traffic patterns the paper discusses (Sec. 3):
 // uniform all-to-all, locality mixes with a target intra-clique ratio x,
 // gravity models between cliques, permutations and hotspots.
+//
+// Two entry points per scenario pattern: the historical dense generators
+// returning TrafficMatrix, and make_* factories that build the SAME demand
+// (bit-identical entries and sample streams) directly in a chosen
+// DemandModel backend — sparse generators write straight into CSR, and the
+// procedural backend stores only the closed form, so neither ever
+// materializes the N^2 array.
 #pragma once
+
+#include <memory>
 
 #include "topo/clique.h"
 #include "topo/hierarchy.h"
+#include "traffic/demand_model.h"
 #include "traffic/traffic_matrix.h"
 #include "util/rng.h"
 
@@ -51,9 +61,24 @@ TrafficMatrix clique_ring(const CliqueAssignment& cliques, double x,
 TrafficMatrix hier_locality_mix(const Hierarchy& hierarchy, double x1,
                                 double x2);
 
+// Backend factories for the scenario patterns. kProcedural needs the
+// canonical contiguous equal-block layout (ProceduralDemand::supports);
+// other assignments silently fall back to kSparse, which represents any
+// pattern. The hierarchical mix is always procedural-representable
+// (Hierarchy is regular by construction).
+std::unique_ptr<DemandModel> make_uniform(NodeId n, DemandBackend backend);
+std::unique_ptr<DemandModel> make_locality_mix(const CliqueAssignment& cliques,
+                                               double x,
+                                               DemandBackend backend);
+std::unique_ptr<DemandModel> make_clique_ring(const CliqueAssignment& cliques,
+                                              double x, double heavy_share,
+                                              DemandBackend backend);
+std::unique_ptr<DemandModel> make_hier_locality_mix(const Hierarchy& hierarchy,
+                                                    double x1, double x2,
+                                                    DemandBackend backend);
+
 // Demand shares per hierarchy level of an arbitrary matrix.
-HierLocality hier_locality(const Hierarchy& hierarchy,
-                           const TrafficMatrix& tm);
+HierLocality hier_locality(const Hierarchy& hierarchy, const DemandModel& tm);
 
 }  // namespace patterns
 }  // namespace sorn

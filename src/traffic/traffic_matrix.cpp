@@ -16,12 +16,23 @@ void TrafficMatrix::set(NodeId src, NodeId dst, double rate) {
   SORN_ASSERT(rate >= 0.0, "demand must be nonnegative");
   demand_[index(src, dst)] = src == dst ? 0.0 : rate;
   cdf_valid_ = false;
+  row_cdf_valid_ = false;
 }
 
 void TrafficMatrix::add(NodeId src, NodeId dst, double rate) {
   SORN_ASSERT(rate >= 0.0, "demand must be nonnegative");
   if (src != dst) demand_[index(src, dst)] += rate;
   cdf_valid_ = false;
+  row_cdf_valid_ = false;
+}
+
+void TrafficMatrix::for_each_nonzero(const NonzeroVisitor& visit) const {
+  for (NodeId i = 0; i < n_; ++i) {
+    const double* row = demand_.data() + index(i, 0);
+    for (NodeId j = 0; j < n_; ++j) {
+      if (row[j] != 0.0) visit(i, j, row[j]);
+    }
+  }
 }
 
 double TrafficMatrix::total() const {
@@ -53,6 +64,7 @@ void TrafficMatrix::scale(double factor) {
   SORN_ASSERT(factor >= 0.0, "scale factor must be nonnegative");
   for (double& d : demand_) d *= factor;
   cdf_valid_ = false;
+  row_cdf_valid_ = false;
 }
 
 void TrafficMatrix::normalize_node_load(double target) {
@@ -104,6 +116,38 @@ std::pair<NodeId, NodeId> TrafficMatrix::sample_pair(Rng& rng) const {
   if (k >= demand_.size()) k = demand_.size() - 1;
   return {static_cast<NodeId>(k / static_cast<std::size_t>(n_)),
           static_cast<NodeId>(k % static_cast<std::size_t>(n_))};
+}
+
+NodeId TrafficMatrix::sample_dst(NodeId src, Rng& rng) const {
+  if (!row_cdf_valid_) {
+    row_cdf_.resize(demand_.size());
+    for (NodeId i = 0; i < n_; ++i) {
+      double acc = 0.0;
+      for (NodeId j = 0; j < n_; ++j) {
+        acc += at(i, j);
+        row_cdf_[index(i, j)] = acc;
+      }
+    }
+    row_cdf_valid_ = true;
+  }
+  const auto begin = row_cdf_.begin() + static_cast<std::ptrdiff_t>(
+                                            index(src, 0));
+  const auto end = begin + n_;
+  const double row_total = *(end - 1);
+  const double u = rng.next_double() * row_total;
+  const auto it = std::upper_bound(begin, end, u);
+  auto j = static_cast<NodeId>(it - begin);
+  if (j >= n_) j = n_ - 1;
+  return j;
+}
+
+std::unique_ptr<DemandModel> TrafficMatrix::clone() const {
+  return std::make_unique<TrafficMatrix>(*this);
+}
+
+std::size_t TrafficMatrix::memory_bytes() const {
+  return (demand_.capacity() + cdf_.capacity() + row_cdf_.capacity()) *
+         sizeof(double);
 }
 
 }  // namespace sorn

@@ -5,33 +5,44 @@
 // paper argues that is unpredictable); it consumes the two macro statistics
 // implemented here: the locality ratio x and the clique-aggregated matrix
 // (paper Sec. 3).
+//
+// TrafficMatrix is the DENSE backend of the DemandModel interface
+// (demand_model.h) and the only mutable one; consumers that merely read
+// demand take a const DemandModel& so sparse/procedural backends can stand
+// in byte-identically.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "topo/clique.h"
+#include "traffic/demand_model.h"
 #include "util/rng.h"
 #include "util/types.h"
 
 namespace sorn {
 
-class TrafficMatrix {
+class TrafficMatrix : public DemandModel {
  public:
   explicit TrafficMatrix(NodeId n);
 
-  NodeId node_count() const { return n_; }
+  NodeId node_count() const override { return n_; }
 
-  double at(NodeId src, NodeId dst) const { return demand_[index(src, dst)]; }
+  double at(NodeId src, NodeId dst) const override {
+    return demand_[index(src, dst)];
+  }
   void set(NodeId src, NodeId dst, double rate);
   void add(NodeId src, NodeId dst, double rate);
 
-  double total() const;
-  double row_sum(NodeId src) const;
-  double col_sum(NodeId dst) const;
+  void for_each_nonzero(const NonzeroVisitor& visit) const override;
+
+  double total() const override;
+  double row_sum(NodeId src) const override;
+  double col_sum(NodeId dst) const override;
   // Max over nodes of max(row_sum, col_sum): the load the busiest node
   // must carry; normalizing by it makes the matrix admissible at rate 1.
-  double max_node_load() const;
+  double max_node_load() const override;
 
   // Scale all entries by the given factor.
   void scale(double factor);
@@ -39,14 +50,23 @@ class TrafficMatrix {
   void normalize_node_load(double target = 1.0);
 
   // Fraction of total demand that stays within a clique (the paper's x).
-  double locality_ratio(const CliqueAssignment& cliques) const;
+  double locality_ratio(const CliqueAssignment& cliques) const override;
 
   // Clique-level aggregate: entry (a, b) sums demand from clique a to b.
-  std::vector<double> aggregate(const CliqueAssignment& cliques) const;
+  std::vector<double> aggregate(
+      const CliqueAssignment& cliques) const override;
 
   // Draw a (src, dst) pair with probability proportional to demand.
   // Requires total() > 0.
-  std::pair<NodeId, NodeId> sample_pair(Rng& rng) const;
+  std::pair<NodeId, NodeId> sample_pair(Rng& rng) const override;
+
+  // Draw a destination for src proportional to the row (the historical
+  // per-row CDF of the saturation sources, now owned by the matrix).
+  NodeId sample_dst(NodeId src, Rng& rng) const override;
+
+  std::unique_ptr<DemandModel> clone() const override;
+  std::size_t memory_bytes() const override;
+  DemandBackend backend() const override { return DemandBackend::kDense; }
 
  private:
   std::size_t index(NodeId src, NodeId dst) const {
@@ -59,6 +79,10 @@ class TrafficMatrix {
   // Cached prefix sums for sample_pair; rebuilt lazily after mutation.
   mutable std::vector<double> cdf_;
   mutable bool cdf_valid_ = false;
+  // Cached per-row prefix sums (flattened N x N, row folds restarting at
+  // zero) for sample_dst; rebuilt lazily after mutation.
+  mutable std::vector<double> row_cdf_;
+  mutable bool row_cdf_valid_ = false;
 };
 
 }  // namespace sorn

@@ -7,6 +7,8 @@
 
 #include <vector>
 
+#include "traffic/traffic_matrix.h"
+
 namespace sorn {
 namespace {
 
@@ -105,8 +107,8 @@ TEST(ControlFaultModelTest, NoiseIsBoundedSeededAndSparesZeros) {
   TrafficMatrix tm(3);
   tm.set(0, 1, 1.0);
   tm.set(1, 2, 0.5);
-  const TrafficMatrix& da = a.filter(tm);
-  const TrafficMatrix& db = b.filter(tm);
+  const DemandModel& da = a.filter(tm);
+  const DemandModel& db = b.filter(tm);
   for (NodeId i = 0; i < 3; ++i) {
     for (NodeId j = 0; j < 3; ++j) {
       const double rate = tm.at(i, j);
@@ -122,6 +124,30 @@ TEST(ControlFaultModelTest, NoiseIsBoundedSeededAndSparesZeros) {
       EXPECT_DOUBLE_EQ(da.at(i, j), db.at(i, j));  // seeded, reproducible
     }
   }
+}
+
+TEST(ControlFaultModelTest, StaleHistoryIsBoundedByTheLag) {
+  // Regression: the handle history must stay at estimate_stale_epochs + 1
+  // entries no matter how long the run is — an unbounded deque here was an
+  // O(epochs * N^2) leak on long staleness runs.
+  ControlFaultOptions opts;
+  opts.estimate_stale_epochs = 3;
+  ControlFaultModel model(opts);
+  TrafficMatrix tm(8);
+  tm.set(0, 1, 1.0);
+  tm.set(2, 3, 0.5);
+  std::size_t bytes_at_fill = 0;
+  for (int epoch = 0; epoch < 500; ++epoch) {
+    (void)model.filter(tm);
+    EXPECT_LE(model.history_entries(), 4u) << "epoch " << epoch;
+    if (epoch == 3) bytes_at_fill = model.history_bytes();
+    if (epoch > 3) {
+      // Memory is flat once the window fills: same matrices, same bytes.
+      EXPECT_EQ(model.history_bytes(), bytes_at_fill) << "epoch " << epoch;
+    }
+  }
+  EXPECT_EQ(model.history_entries(), 4u);
+  EXPECT_GT(bytes_at_fill, 0u);
 }
 
 TEST(ControlFaultModelTest, ReplanDelayAndSuppressionAccounting) {

@@ -42,6 +42,7 @@ ScenarioConfig non_default_config() {
   cfg.threads = 4;
   cfg.traffic = TrafficKind::kRing;
   cfg.ring_heavy_share = 0.75;
+  cfg.traffic_backend = DemandBackend::kProcedural;
   cfg.workload = WorkloadKind::kFlowSaturation;
   cfg.load = 0.55;
   cfg.slots = 12345;
@@ -104,6 +105,7 @@ TEST(ScenarioConfigTest, EveryFieldRoundTrips) {
   EXPECT_EQ(back.radices, (std::vector<NodeId>{4, 6}));
   EXPECT_EQ(back.workload, WorkloadKind::kFlowSaturation);
   EXPECT_EQ(back.traffic, TrafficKind::kRing);
+  EXPECT_EQ(back.traffic_backend, DemandBackend::kProcedural);
   EXPECT_EQ(back.flow_size, FlowSizeKind::kFixed);
   EXPECT_EQ(back.classify, ClassifyKind::kSize);
   EXPECT_DOUBLE_EQ(back.node_mtbf_slots, 5000.0);
@@ -146,6 +148,14 @@ TEST(ScenarioConfigTest, BadEnumValueIsAnError) {
   EXPECT_FALSE(ScenarioConfig::from_json(R"({"workload": "turbo"})", &back,
                                          &error));
   EXPECT_FALSE(error.empty());
+}
+
+TEST(ScenarioConfigTest, BadTrafficBackendIsAnError) {
+  ScenarioConfig back;
+  std::string error;
+  EXPECT_FALSE(ScenarioConfig::from_json(
+      R"({"traffic_backend": "hologram"})", &back, &error));
+  EXPECT_NE(error.find("backend"), std::string::npos) << error;
 }
 
 TEST(ScenarioConfigTest, MalformedJsonLeavesOutputUntouched) {
