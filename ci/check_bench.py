@@ -82,9 +82,19 @@ def classify(name):
 
 def check_metric(name, current, baseline, bound_override):
     """Return None on pass, an error string on regression."""
+    for label, value in (("baseline", baseline), ("current", current)):
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return (f"{name}: {label} value {value!r} is not a number — "
+                    f"the gate cannot compare it")
     kind, bound = classify(name)
     if bound_override is not None:
         bound = bound_override
+    if kind in ("min_ratio", "max_ratio") and baseline <= 0:
+        # A zero baseline makes a ratio gate vacuous (every current value
+        # passes a floor of 0) or impossible (a ceiling of 0); either way
+        # the baseline is broken, not the run.
+        return (f"{name}: baseline {baseline:g} makes the {kind} gate "
+                f"meaningless — regenerate the baseline")
     if kind == "exact":
         if current != baseline:
             return f"{name}: {current} != baseline {baseline} (exact)"
@@ -338,10 +348,20 @@ def cmd_self_test():
         ("equivalence break fails", clone(equivalent=0), {}, 1),
         ("--tol override tightens the gate",
          clone(slots_per_sec_t1=60.0), {"slots_per_sec_t1": 0.9}, 1),
+        ("zero ratio baseline is an explicit error, not a vacuous pass",
+         clone(), {}, 1, {"slots_per_sec_t1": 0.0}),
+        ("non-numeric baseline is an explicit error",
+         clone(), {}, 1, {"delivered_cells": "123456"}),
+        ("non-numeric current value is an explicit error",
+         clone(delivered_cells="oops"), {}, 1),
     ]
     failures = 0
-    for name, current, overrides, want in cases:
-        errors = compare(current, baseline, overrides)
+    for name, current, overrides, want, *extra in cases:
+        base = baseline
+        if extra:
+            base = json.loads(json.dumps(baseline))
+            base["metrics"].update(extra[0])
+        errors = compare(current, base, overrides)
         got = 1 if errors else 0
         status = "ok" if got == want else "SELF-TEST FAILURE"
         if got != want:

@@ -23,8 +23,13 @@
 //                      [--mtbf S --mttr S] [--circuit-mtbf S --circuit-mttr S]
 //                      [--fault-seed 1]
 //                      [--retransmit-timeout S] [--retransmit-max-attempts 8]
-//       Run an open-loop pFabric workload on the chosen design and print
-//       throughput/FCT metrics. --scenario loads a full ScenarioConfig
+//       Run a workload on the chosen design and print throughput/FCT
+//       metrics. --workload picks the traffic shape: open-loop pFabric
+//       flows (the default), closed-loop saturation sources, or the burst
+//       workloads (incast waves, allreduce collectives, oversubscribed
+//       racks). --transport dctcp swaps open-loop injection for the
+//       windowed end-host transport with ECN marking at --ecn-threshold
+//       VOQ cells. --scenario loads a full ScenarioConfig
 //       JSON first; explicit flags then override individual fields, and
 //       --save-scenario writes the effective config back out (the
 //       reproducible artifact). --threads shards the slot engine across
@@ -71,6 +76,7 @@
 #include "scenario/scenario_runner.h"
 #include "topo/schedule_builder.h"
 #include "traffic/matrix_io.h"
+#include "transport/transport.h"
 #include "util/args.h"
 #include "util/table.h"
 
@@ -239,8 +245,42 @@ int cmd_simulate(ArgParser& args) {
     }
   }
   apply_fabric_flags(args, cfg);
+  const std::string workload = args.get_string(
+      "--workload", workload_kind_name(cfg.workload));
+  if (!parse_workload_kind(workload, &cfg.workload)) {
+    std::fprintf(stderr,
+                 "--workload: unknown workload '%s' (flows|saturation|"
+                 "flow-saturation|incast|collective|oversub-rack)\n",
+                 workload.c_str());
+    return 2;
+  }
   cfg.load = args.get_double("--load", cfg.load, 0.0);
   cfg.slots = args.get_long("--slots", cfg.slots, 1);
+  // Burst workloads.
+  cfg.incast_fanin = static_cast<NodeId>(
+      args.get_long("--incast-fanin", cfg.incast_fanin, 1));
+  cfg.incast_bytes = static_cast<std::uint64_t>(
+      args.get_long("--incast-bytes", cfg.incast_bytes, 1));
+  cfg.incast_period_slots =
+      args.get_long("--incast-period", cfg.incast_period_slots, 1);
+  cfg.collective_kind = args.get_string("--collective", cfg.collective_kind);
+  cfg.collective_bytes = static_cast<std::uint64_t>(
+      args.get_long("--collective-bytes", cfg.collective_bytes, 1));
+  cfg.collective_phase_gap_slots = args.get_long(
+      "--collective-gap", cfg.collective_phase_gap_slots, 1);
+  cfg.rack_local_frac =
+      args.get_double("--rack-local-frac", cfg.rack_local_frac, 0.0, 1.0);
+  cfg.oversub_factor =
+      args.get_double("--oversub-factor", cfg.oversub_factor, 1.0);
+  // Closed-loop transport.
+  cfg.transport = args.get_string("--transport", cfg.transport);
+  cfg.ecn_threshold_cells = static_cast<std::uint64_t>(
+      args.get_long("--ecn-threshold", cfg.ecn_threshold_cells, 0));
+  cfg.init_cwnd_cells = static_cast<std::uint64_t>(
+      args.get_long("--init-cwnd", cfg.init_cwnd_cells, 1));
+  cfg.max_cwnd_cells = static_cast<std::uint64_t>(
+      args.get_long("--max-cwnd", cfg.max_cwnd_cells, 1));
+  cfg.dctcp_gain = args.get_double("--dctcp-gain", cfg.dctcp_gain, 0.0, 1.0);
   cfg.trace_path = args.get_string("--trace", cfg.trace_path);
   cfg.metrics_json_path =
       args.get_string("--metrics-json", cfg.metrics_json_path);
@@ -336,7 +376,7 @@ int cmd_simulate(ArgParser& args) {
         runner->design().summary.c_str(), cfg.nodes, cfg.load,
         sim.threads());
   }
-  if (cfg.workload == WorkloadKind::kFlows) {
+  if (workload_uses_flow_driver(cfg.workload)) {
     std::printf("  flows injected:   %llu (completed %llu)\n",
                 static_cast<unsigned long long>(runner->flows_injected()),
                 static_cast<unsigned long long>(metrics.completed_flows()));
@@ -350,10 +390,25 @@ int cmd_simulate(ArgParser& args) {
   std::printf("  cell latency p50: %.2f us, p99 %.2f us\n",
               metrics.cell_latency_ps().percentile(50.0) / 1e6,
               metrics.cell_latency_ps().percentile(99.0) / 1e6);
-  if (cfg.workload == WorkloadKind::kFlows) {
+  if (workload_uses_flow_driver(cfg.workload)) {
     std::printf("  FCT p50:          %.2f us, p99 %.2f us\n",
                 metrics.fct_ps().percentile(50.0) / 1e6,
                 metrics.fct_ps().percentile(99.0) / 1e6);
+  }
+  if (const DctcpTransport* transport = runner->transport()) {
+    const TransportStats tstats = transport->stats();
+    std::printf(
+        "  transport:        dctcp, %llu flows opened / %llu completed, "
+        "%llu/%llu acks ECN-marked\n",
+        static_cast<unsigned long long>(tstats.flows_opened),
+        static_cast<unsigned long long>(tstats.flows_completed),
+        static_cast<unsigned long long>(tstats.ecn_acked_cells),
+        static_cast<unsigned long long>(tstats.acked_cells));
+    std::printf("  cwnd (cells):     mean %.1f, min %.0f, max %.0f "
+                "(%llu ECN marks applied)\n",
+                tstats.cwnd_cells.mean(), tstats.cwnd_cells.min(),
+                tstats.cwnd_cells.max(),
+                static_cast<unsigned long long>(metrics.ecn_marked_cells()));
   }
   if (cfg.design == "sorn") {
     std::printf("  predicted r:      %.4f (1/(3-x))\n",
@@ -575,6 +630,17 @@ int usage() {
       "  sorn_tool simulate [--design sorn] [--scenario file.json]\n"
       "                     [--save-scenario out.json]\n"
       "                     [--nodes 64] [--cliques 8] [--locality 0.56]\n"
+      "                     [--workload flows|saturation|flow-saturation|\n"
+      "                                 incast|collective|oversub-rack]\n"
+      "                     [--incast-fanin 32] [--incast-bytes 16384]\n"
+      "                     [--incast-period 512]\n"
+      "                     [--collective ring|tree]\n"
+      "                     [--collective-bytes 262144]\n"
+      "                     [--collective-gap 256]\n"
+      "                     [--rack-local-frac 0.6] [--oversub-factor 4]\n"
+      "                     [--transport open-loop|dctcp]\n"
+      "                     [--ecn-threshold 8] [--init-cwnd 8]\n"
+      "                     [--max-cwnd 256] [--dctcp-gain 0.0625]\n"
       "                     [--load 0.3] [--slots 30000] [--seed 42]\n"
       "                     [--threads N]  (default: hardware threads;\n"
       "                      same seed => same bytes at any N)\n"

@@ -72,6 +72,7 @@ std::string run_to_json(const SimMetrics& metrics, const Telemetry* telemetry,
       .field("stalled_flow_slots", metrics.stalled_flow_slots())
       .field("recovered_flows", metrics.recovered_flows())
       .field("mean_recovery_slots", metrics.mean_recovery_slots())
+      .field("ecn_marked_cells", metrics.ecn_marked_cells())
       .field("mean_hops", metrics.mean_hops());
   if (options.nodes > 0) {
     w.field("delivered_per_slot",
@@ -101,6 +102,19 @@ std::string run_to_json(const SimMetrics& metrics, const Telemetry* telemetry,
 
   w.key("queue_occupancy");
   json_running_stats(w, metrics.queue_occupancy());
+
+  if (options.transport != nullptr) {
+    const TransportStats& t = *options.transport;
+    w.key("transport").begin_object();
+    w.field("flows_opened", t.flows_opened)
+        .field("flows_completed", t.flows_completed)
+        .field("cells_sent", t.cells_sent)
+        .field("acked_cells", t.acked_cells)
+        .field("ecn_acked_cells", t.ecn_acked_cells);
+    w.key("cwnd_cells");
+    json_running_stats(w, t.cwnd_cells);
+    w.end_object();
+  }
 
   if (telemetry != nullptr) {
     w.key("registry").begin_object();

@@ -14,6 +14,7 @@
 #include "obs/json.h"
 #include "obs/telemetry.h"
 #include "sim/metrics.h"
+#include "sim/transport_hook.h"
 
 namespace sorn {
 
@@ -23,6 +24,9 @@ struct ExportOptions {
   int lanes = 1;
   // Bins of the cell-latency histogram (0 disables it).
   std::size_t latency_histogram_bins = 20;
+  // When non-null the document gains a "transport" block (window/ack
+  // counters + cwnd stats) — set by runs with a closed-loop transport.
+  const TransportStats* transport = nullptr;
 };
 
 // Append helpers, usable to embed the same blocks in other documents.

@@ -11,6 +11,7 @@ Telemetry::Telemetry(TelemetryOptions options) {
   c_failures_ = registry_.counter("sim.failures");
   c_retransmits_ = registry_.counter("sim.retransmits");
   c_gray_drops_ = registry_.counter("sim.gray_drops");
+  c_ecn_marks_ = registry_.counter("sim.ecn_marks");
 }
 
 }  // namespace sorn

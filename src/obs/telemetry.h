@@ -113,6 +113,9 @@ class Telemetry {
     c_retransmits_->inc();
     tracer_.retransmit(slot, flow, cells, attempt);
   }
+  // A cell was ECN-marked at enqueue. Counter only — marking is per-cell
+  // and would swamp the event trace.
+  void on_ecn_mark() { c_ecn_marks_->inc(); }
 
  private:
   CounterRegistry registry_;
@@ -125,6 +128,7 @@ class Telemetry {
   Counter* c_failures_;
   Counter* c_retransmits_;
   Counter* c_gray_drops_;
+  Counter* c_ecn_marks_;
 };
 
 }  // namespace sorn

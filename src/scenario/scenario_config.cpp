@@ -18,6 +18,9 @@ constexpr EnumEntry kWorkloads[] = {
     {"flows", static_cast<int>(WorkloadKind::kFlows)},
     {"saturation", static_cast<int>(WorkloadKind::kSaturation)},
     {"flow-saturation", static_cast<int>(WorkloadKind::kFlowSaturation)},
+    {"incast", static_cast<int>(WorkloadKind::kIncast)},
+    {"collective", static_cast<int>(WorkloadKind::kCollective)},
+    {"oversub-rack", static_cast<int>(WorkloadKind::kOversubRack)},
 };
 constexpr EnumEntry kTraffics[] = {
     {"locality", static_cast<int>(TrafficKind::kLocality)},
@@ -60,6 +63,11 @@ bool enum_parse(const EnumEntry (&table)[N], std::string_view name,
 
 const char* workload_kind_name(WorkloadKind k) {
   return enum_name(kWorkloads, static_cast<int>(k));
+}
+
+bool workload_uses_flow_driver(WorkloadKind k) {
+  return k == WorkloadKind::kFlows || k == WorkloadKind::kIncast ||
+         k == WorkloadKind::kCollective || k == WorkloadKind::kOversubRack;
 }
 const char* traffic_kind_name(TrafficKind k) {
   return enum_name(kTraffics, static_cast<int>(k));
@@ -145,6 +153,21 @@ std::string ScenarioConfig::to_json() const {
   w.field("classify", classify_kind_name(classify));
   w.field("arrival_seed", arrival_seed);
   w.field("workload_seed", workload_seed);
+  w.field("incast_fanin", static_cast<std::int64_t>(incast_fanin));
+  w.field("incast_bytes", incast_bytes);
+  w.field("incast_period_slots",
+          static_cast<std::int64_t>(incast_period_slots));
+  w.field("collective_kind", collective_kind);
+  w.field("collective_bytes", collective_bytes);
+  w.field("collective_phase_gap_slots",
+          static_cast<std::int64_t>(collective_phase_gap_slots));
+  w.field("rack_local_frac", rack_local_frac);
+  w.field("oversub_factor", oversub_factor);
+  w.field("transport", transport);
+  w.field("ecn_threshold_cells", ecn_threshold_cells);
+  w.field("init_cwnd_cells", init_cwnd_cells);
+  w.field("max_cwnd_cells", max_cwnd_cells);
+  w.field("dctcp_gain", dctcp_gain);
   w.field("trace", trace_path);
   w.field("metrics_json", metrics_json_path);
   w.field("timeseries_csv", timeseries_csv_path);
@@ -242,7 +265,6 @@ bool ScenarioConfig::from_json(std::string_view text, ScenarioConfig* out,
     std::int64_t i = 0;
     double d = 0.0;
     std::string s;
-    bool b = false;
     if (key == "design") {
       if (!want_string(v, key, &cfg.design, error)) return false;
     } else if (key == "nodes") {
@@ -381,6 +403,39 @@ bool ScenarioConfig::from_json(std::string_view text, ScenarioConfig* out,
     } else if (key == "workload_seed") {
       if (!want_int(v, key, &i, error)) return false;
       cfg.workload_seed = static_cast<std::uint64_t>(i);
+    } else if (key == "incast_fanin") {
+      if (!want_int(v, key, &i, error)) return false;
+      cfg.incast_fanin = static_cast<NodeId>(i);
+    } else if (key == "incast_bytes") {
+      if (!want_int(v, key, &i, error)) return false;
+      cfg.incast_bytes = static_cast<std::uint64_t>(i);
+    } else if (key == "incast_period_slots") {
+      if (!want_int(v, key, &cfg.incast_period_slots, error)) return false;
+    } else if (key == "collective_kind") {
+      if (!want_string(v, key, &cfg.collective_kind, error)) return false;
+    } else if (key == "collective_bytes") {
+      if (!want_int(v, key, &i, error)) return false;
+      cfg.collective_bytes = static_cast<std::uint64_t>(i);
+    } else if (key == "collective_phase_gap_slots") {
+      if (!want_int(v, key, &cfg.collective_phase_gap_slots, error))
+        return false;
+    } else if (key == "rack_local_frac") {
+      if (!want_double(v, key, &cfg.rack_local_frac, error)) return false;
+    } else if (key == "oversub_factor") {
+      if (!want_double(v, key, &cfg.oversub_factor, error)) return false;
+    } else if (key == "transport") {
+      if (!want_string(v, key, &cfg.transport, error)) return false;
+    } else if (key == "ecn_threshold_cells") {
+      if (!want_int(v, key, &i, error)) return false;
+      cfg.ecn_threshold_cells = static_cast<std::uint64_t>(i);
+    } else if (key == "init_cwnd_cells") {
+      if (!want_int(v, key, &i, error)) return false;
+      cfg.init_cwnd_cells = static_cast<std::uint64_t>(i);
+    } else if (key == "max_cwnd_cells") {
+      if (!want_int(v, key, &i, error)) return false;
+      cfg.max_cwnd_cells = static_cast<std::uint64_t>(i);
+    } else if (key == "dctcp_gain") {
+      if (!want_double(v, key, &cfg.dctcp_gain, error)) return false;
     } else if (key == "trace") {
       if (!want_string(v, key, &cfg.trace_path, error)) return false;
     } else if (key == "metrics_json") {
@@ -534,6 +589,34 @@ bool ScenarioConfig::validate(std::string* error) const {
     return fail("control-plane faults require epoch_slots > 0");
   if (retransmit_jitter < 0.0 || retransmit_jitter > 1.0)
     return fail("retransmit_jitter must be in [0, 1]");
+  // Fan-in is bounded by the node count, so only enforce it when the
+  // incast workload is actually selected (the default fanin must not
+  // invalidate small-N configs of other workloads).
+  if (workload == WorkloadKind::kIncast &&
+      (incast_fanin < 1 || incast_fanin > nodes - 1))
+    return fail("incast_fanin must be in [1, nodes - 1]");
+  if (incast_bytes < 1) return fail("incast_bytes must be >= 1");
+  if (incast_period_slots < 1)
+    return fail("incast_period_slots must be >= 1");
+  if (collective_kind != "ring" && collective_kind != "tree")
+    return fail("collective_kind must be \"ring\" or \"tree\"");
+  if (collective_bytes < 1) return fail("collective_bytes must be >= 1");
+  if (collective_phase_gap_slots < 1)
+    return fail("collective_phase_gap_slots must be >= 1");
+  if (rack_local_frac < 0.0 || rack_local_frac > 1.0)
+    return fail("rack_local_frac must be in [0, 1]");
+  if (oversub_factor < 1.0) return fail("oversub_factor must be >= 1");
+  if (workload == WorkloadKind::kOversubRack && cliques < 2 &&
+      rack_local_frac < 1.0)
+    return fail("oversub-rack inter-rack traffic needs cliques >= 2");
+  if (transport != "open-loop" && transport != "dctcp")
+    return fail("transport must be \"open-loop\" or \"dctcp\"");
+  if (transport == "dctcp" && !workload_uses_flow_driver(workload))
+    return fail("transport \"dctcp\" requires a flow-driver workload");
+  if (init_cwnd_cells < 1 || max_cwnd_cells < init_cwnd_cells)
+    return fail("need 1 <= init_cwnd_cells <= max_cwnd_cells");
+  if (dctcp_gain <= 0.0 || dctcp_gain > 1.0)
+    return fail("dctcp_gain must be in (0, 1]");
   return true;
 }
 

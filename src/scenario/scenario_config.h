@@ -30,7 +30,21 @@ enum class WorkloadKind {
   kSaturation,
   // Closed-loop flow-granular backlog (FlowSaturationSource).
   kFlowSaturation,
+  // Synchronized incast waves: every incast_period_slots a fresh receiver
+  // gets incast_fanin simultaneous flows of incast_bytes each.
+  kIncast,
+  // Allreduce phases (ring or binary tree per collective_kind), barrier-
+  // separated by collective_phase_gap_slots, sized off the demand model.
+  kCollective,
+  // Rack-local/inter-rack Poisson mix with the inter-rack share
+  // multiplied by oversub_factor (racks = the scenario's cliques).
+  kOversubRack,
 };
+
+// True for the workloads the flow driver runs (arrivals + FCTs + drain):
+// these all support faults, the control loop, retransmission and the
+// closed-loop transport; the saturation workloads do not.
+bool workload_uses_flow_driver(WorkloadKind k);
 
 // Traffic matrix family (patterns.h) the scenario draws demand from.
 enum class TrafficKind {
@@ -125,6 +139,31 @@ struct ScenarioConfig {
   ClassifyKind classify = ClassifyKind::kNone;
   std::uint64_t arrival_seed = 1;   // flows: FlowArrivals RNG
   std::uint64_t workload_seed = 7;  // saturation: SaturationConfig::seed
+
+  // ---- incast workload ----
+  NodeId incast_fanin = 32;                 // senders per wave
+  std::uint64_t incast_bytes = 16384;       // bytes per sender per wave
+  Slot incast_period_slots = 512;           // wave spacing
+
+  // ---- collective workload ----
+  std::string collective_kind = "ring";     // "ring" | "tree"
+  std::uint64_t collective_bytes = 262144;  // per-node gradient bytes
+  Slot collective_phase_gap_slots = 256;    // barrier between phases
+
+  // ---- oversub-rack workload ----
+  double rack_local_frac = 0.6;   // share of demand staying in-rack
+  double oversub_factor = 4.0;    // multiplier on the inter-rack share
+
+  // ---- closed-loop transport ----
+  // "open-loop" injects each flow's cells at arrival (the historical
+  // behavior); "dctcp" attaches the windowed transport (src/transport)
+  // with ECN marking at ecn_threshold_cells. Transport knobs only apply
+  // to flow-driver workloads.
+  std::string transport = "open-loop";
+  std::uint64_t ecn_threshold_cells = 0;  // 0 = no marking
+  std::uint64_t init_cwnd_cells = 8;
+  std::uint64_t max_cwnd_cells = 256;
+  double dctcp_gain = 0.0625;
 
   // ---- telemetry sinks ----
   std::string trace_path;

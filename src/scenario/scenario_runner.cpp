@@ -14,6 +14,8 @@
 #include "traffic/arrivals.h"
 #include "traffic/flow_size.h"
 #include "traffic/patterns.h"
+#include "traffic/workloads.h"
+#include "transport/transport.h"
 
 namespace sorn {
 namespace {
@@ -62,6 +64,7 @@ std::unique_ptr<ScenarioRunner> ScenarioRunner::create(
   net_cfg.propagation_per_hop = config.propagation_ns * 1000;
   net_cfg.cell_bytes = config.cell_bytes;
   net_cfg.max_queue_cells = config.max_queue_cells;
+  net_cfg.ecn_threshold_cells = config.ecn_threshold_cells;
   net_cfg.seed = config.seed;
   runner->network_ = std::make_unique<SlottedNetwork>(
       runner->design_.schedule, runner->design_.router, net_cfg);
@@ -95,8 +98,9 @@ std::unique_ptr<ScenarioRunner> ScenarioRunner::create(
   runner->faults_enabled_ = !script.empty() ||
                             fopts.node_mtbf_slots > 0.0 ||
                             fopts.circuit_mtbf_slots > 0.0;
-  if (runner->faults_enabled_ && config.workload != WorkloadKind::kFlows) {
-    *error = "faults require the flows workload (the closed-loop "
+  if (runner->faults_enabled_ &&
+      !workload_uses_flow_driver(config.workload)) {
+    *error = "faults require a flow-driver workload (the closed-loop "
              "saturation sources do not tick the injector)";
     return nullptr;
   }
@@ -112,8 +116,9 @@ std::unique_ptr<ScenarioRunner> ScenarioRunner::create(
       *error = "epoch_slots (the control loop) requires the sorn design";
       return nullptr;
     }
-    if (config.workload != WorkloadKind::kFlows) {
-      *error = "epoch_slots (the control loop) requires the flows workload";
+    if (!workload_uses_flow_driver(config.workload)) {
+      *error =
+          "epoch_slots (the control loop) requires a flow-driver workload";
       return nullptr;
     }
     ControlPlane::Options copts;
@@ -204,6 +209,24 @@ std::unique_ptr<ScenarioRunner> ScenarioRunner::create(
     }
   }
 
+  // Closed-loop transport: arrivals become open_flow() calls and the
+  // window paces injection; the network echoes ECN-marked deliveries back
+  // as acks on the coordinating thread, so artifacts stay byte-identical
+  // at any thread count.
+  if (config.transport == "dctcp") {
+    DctcpTransport::Options topt;
+    topt.congestion.init_cwnd_cells = config.init_cwnd_cells;
+    topt.congestion.max_cwnd_cells = config.max_cwnd_cells;
+    topt.congestion.gain = config.dctcp_gain;
+    runner->transport_ = std::make_unique<DctcpTransport>(topt);
+    runner->network_->set_transport(runner->transport_.get());
+    if (runner->profiler_ != nullptr) {
+      const DctcpTransport* t = runner->transport_.get();
+      runner->profiler_->memory().register_provider(
+          "transport_state", [t] { return t->memory_bytes(); });
+    }
+  }
+
   // Traffic: an override matrix wins; otherwise generate the configured
   // pattern over the design's clique structure (or, for designs without
   // one, the override assignment / a contiguous fallback). The same
@@ -258,11 +281,37 @@ std::unique_ptr<ScenarioRunner> ScenarioRunner::create(
 
 bool ScenarioRunner::run_flows(std::string* error) {
   const FlowSizeDist sizes = flow_sizes_of(config_);
+  const Picoseconds slot_ps = network_->config().slot_duration;
   const double node_bw =
       static_cast<double>(network_->config().cell_bytes) * 8.0 /
-      (static_cast<double>(network_->config().slot_duration) * 1e-12);
-  FlowArrivals arrivals(traffic_.get(), &sizes, node_bw, config_.load,
-                        Rng(config_.arrival_seed));
+      (static_cast<double>(slot_ps) * 1e-12);
+  std::unique_ptr<ArrivalStream> arrivals;
+  switch (config_.workload) {
+    case WorkloadKind::kIncast:
+      arrivals = std::make_unique<IncastArrivals>(
+          config_.nodes, config_.incast_fanin, config_.incast_bytes,
+          config_.incast_period_slots, slot_ps, Rng(config_.arrival_seed));
+      break;
+    case WorkloadKind::kCollective:
+      arrivals = std::make_unique<CollectiveArrivals>(
+          traffic_.get(),
+          config_.collective_kind == "tree" ? CollectiveArrivals::Kind::kTree
+                                           : CollectiveArrivals::Kind::kRing,
+          config_.collective_bytes, config_.collective_phase_gap_slots,
+          slot_ps);
+      break;
+    case WorkloadKind::kOversubRack:
+      arrivals = std::make_unique<OversubRackArrivals>(
+          &traffic_cliques_, &sizes, node_bw, config_.load,
+          config_.rack_local_frac, config_.oversub_factor,
+          Rng(config_.arrival_seed));
+      break;
+    default:
+      arrivals = std::make_unique<FlowArrivals>(traffic_.get(), &sizes,
+                                                node_bw, config_.load,
+                                                Rng(config_.arrival_seed));
+      break;
+  }
 
   WorkloadDriver::Classifier classifier;
   if (config_.classify == ClassifyKind::kClique) {
@@ -276,11 +325,12 @@ bool ScenarioRunner::run_flows(std::string* error) {
       return a.bytes > cutoff ? 1 : 0;
     };
   }
-  WorkloadDriver driver(&arrivals, std::move(classifier));
+  WorkloadDriver driver(arrivals.get(), std::move(classifier));
   if (config_.flow_size_cap > 0)
     driver.set_flow_size_cap(config_.flow_size_cap);
   if (design_.bulk_router != nullptr && config_.bulk_cutoff_bytes > 0)
     driver.set_bulk_router(design_.bulk_router, config_.bulk_cutoff_bytes);
+  if (transport_ != nullptr) driver.set_transport(transport_.get());
   if (user_hook_ || faults_enabled_ || control_ != nullptr) {
     driver.set_slot_hook([this](SlottedNetwork& net, Slot slot) {
       PhaseProfiler* const prof =
@@ -344,7 +394,7 @@ bool ScenarioRunner::run(std::string* error) {
   if (ran_) return fail(error, "scenario already ran (one-shot)");
   ran_ = true;
 
-  if (config_.workload == WorkloadKind::kFlows) {
+  if (workload_uses_flow_driver(config_.workload)) {
     if (!run_flows(error)) return false;
   } else {
     run_saturation();
@@ -391,6 +441,11 @@ std::string ScenarioRunner::metrics_json() const {
   ExportOptions eopts;
   eopts.nodes = config_.nodes;
   eopts.lanes = network_->config().lanes;
+  TransportStats tstats;
+  if (transport_ != nullptr) {
+    tstats = transport_->stats();
+    eopts.transport = &tstats;
+  }
   return run_to_json(network_->metrics(),
                      telemetry_attached_ ? telemetry_.get() : nullptr, eopts);
 }

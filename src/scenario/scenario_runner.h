@@ -25,6 +25,7 @@ namespace sorn {
 
 class ControlFaultModel;
 class ControlPlane;
+class DctcpTransport;
 class FaultInjector;
 class FileTraceSink;
 class SafeModeGuard;
@@ -76,6 +77,9 @@ class ScenarioRunner {
   const InvariantChecker* invariant_checker() const {
     return checker_.get();
   }
+  // Non-null only when config.transport == "dctcp" wires the closed-loop
+  // transport (window/ack counters live here, not in SimMetrics).
+  const DctcpTransport* transport() const { return transport_.get(); }
 
   // Runs on the coordinating thread at the start of every slot, before
   // the fault injector's tick. Set before run().
@@ -122,6 +126,7 @@ class ScenarioRunner {
   std::unique_ptr<ControlFaultModel> control_faults_;
   std::unique_ptr<SafeModeGuard> safe_mode_;
   std::unique_ptr<InvariantChecker> checker_;
+  std::unique_ptr<DctcpTransport> transport_;
   WorkloadDriver::SlotHook user_hook_;
   bool telemetry_attached_ = false;
   bool faults_enabled_ = false;

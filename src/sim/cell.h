@@ -29,6 +29,10 @@ struct Cell {
   // Earliest slot at which the cell may be transmitted from the current
   // node (models propagation + forwarding turnaround after each hop).
   Slot ready_slot = 0;
+  // ECN-like congestion mark: set when the cell is enqueued into a VOQ
+  // already holding at least NetworkConfig::ecn_threshold_cells cells.
+  // Carried to the receiver and echoed to the transport at delivery.
+  bool ecn = false;
 
   NodeId current() const { return path.at(hop); }
   NodeId next_hop() const { return path.at(hop + 1); }

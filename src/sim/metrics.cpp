@@ -39,10 +39,16 @@ void SimMetrics::on_inject(const Cell& cell, std::uint64_t flow_cells,
     rec.first_stall_slot = 0;
     rec.stalled = false;
     rec.attempts = 0;
+    rec.cells_sent = 0;
   }
+  // Track the frontier of first transmissions: a windowed transport
+  // injects a flow's cells across many slots, and the stall detector must
+  // not "retransmit" seqs that were never sent (collect_retransmits).
+  FlowRecord& rec = flow_arena_[it->second];
+  if (cell.seq >= rec.cells_sent) rec.cells_sent = cell.seq + 1;
 }
 
-void SimMetrics::on_deliver(const Cell& cell, Slot now) {
+bool SimMetrics::on_deliver(const Cell& cell, Slot now) {
   ++delivered_cells_;
   const auto hops = static_cast<std::uint64_t>(cell.path.hop_count());
   delivered_hops_ += hops;
@@ -50,19 +56,19 @@ void SimMetrics::on_deliver(const Cell& cell, Slot now) {
       (now - cell.inject_slot) * slot_duration_ +
       static_cast<Picoseconds>(hops) * propagation_per_hop_;
   cell_latency_ps_.add(static_cast<double>(latency));
-  if (cell.flow == kNoFlow) return;
+  if (cell.flow == kNoFlow) return false;
   const auto it = open_flows_.find(cell.flow);
   if (it == open_flows_.end()) {
     // A retransmitted copy arriving after its flow already completed.
     ++duplicate_cells_;
-    return;
+    return false;
   }
   FlowRecord& rec = flow_arena_[it->second];
   if (cell.seq < rec.delivered.size()) {
     if (rec.delivered[cell.seq]) {
       // The original and a retransmission both made it; keep the first.
       ++duplicate_cells_;
-      return;
+      return false;
     }
     rec.delivered[cell.seq] = true;
   }
@@ -85,6 +91,7 @@ void SimMetrics::on_deliver(const Cell& cell, Slot now) {
     flow_arena_.release(it->second);
     open_flows_.erase(it);
   }
+  return true;
 }
 
 namespace {
@@ -127,7 +134,13 @@ std::vector<SimMetrics::StalledFlow> SimMetrics::collect_retransmits(
     sf.dst = rec.dst;
     sf.flow_class = rec.flow_class;
     sf.bulk = rec.bulk;
-    for (std::size_t s = 0; s < rec.delivered.size(); ++s) {
+    // Only seqs the source actually injected at least once are missing;
+    // cells still held back by a transport window are not (re-admitting
+    // them here would bypass the congestion window). Open-loop flows
+    // inject everything up front, so sent == delivered.size() for them.
+    const std::size_t sent = std::min<std::size_t>(
+        rec.delivered.size(), static_cast<std::size_t>(rec.cells_sent));
+    for (std::size_t s = 0; s < sent; ++s) {
       if (!rec.delivered[s])
         sf.missing.push_back(static_cast<std::uint32_t>(s));
     }
@@ -174,6 +187,7 @@ void SimMetrics::reset_counters() {
   forwarded_cells_ = 0;
   dropped_cells_ = 0;
   gray_dropped_cells_ = 0;
+  ecn_marked_cells_ = 0;
   slots_run_ = 0;
   completed_flows_ = 0;
   delivered_hops_ = 0;

@@ -29,6 +29,12 @@ struct FlowRecord {
   // ---- End-host retransmission state ----
   NodeId src = 0;
   NodeId dst = 0;
+  // Highest seq + 1 the source has actually injected. Open-loop flows
+  // inject all cells at once, but a windowed transport releases them
+  // gradually — the stall detector must only re-admit cells that were
+  // sent at least once (an unsent seq is not "missing", and re-admitting
+  // it would bypass the congestion window).
+  std::uint64_t cells_sent = 0;
   // Per-seq delivery marks: lets the receiver drop duplicate copies when
   // both an original and its retransmission eventually arrive (outage
   // semantics never lose the original).
@@ -68,8 +74,14 @@ class SimMetrics {
                  std::uint64_t flow_bytes, int flow_class = 0,
                  bool bulk = false);
   void on_forward() { ++forwarded_cells_; }
-  void on_deliver(const Cell& cell, Slot now);
+  // Returns true when the cell was the first copy to advance an open flow
+  // (false for anonymous cells and receiver-dedup duplicates) — the
+  // signal the network echoes to an attached transport as an ack.
+  bool on_deliver(const Cell& cell, Slot now);
   void on_drop() { ++dropped_cells_; }
+  // A cell was ECN-marked at enqueue (VOQ depth at or above the
+  // configured threshold).
+  void on_ecn_mark() { ++ecn_marked_cells_; }
   void on_slot(std::uint64_t queued_cells);
   // A retransmitted copy entered the source queue: counts as an injected
   // cell (so the injected = delivered + dropped + in-flight invariant
@@ -108,6 +120,8 @@ class SimMetrics {
   std::uint64_t dropped_cells() const { return dropped_cells_; }
   // Subset of dropped_cells lost to gray circuits (vs. tail drops).
   std::uint64_t gray_dropped_cells() const { return gray_dropped_cells_; }
+  // Cells that received an ECN mark at enqueue.
+  std::uint64_t ecn_marked_cells() const { return ecn_marked_cells_; }
   std::uint64_t slots_run() const { return slots_run_; }
   std::uint64_t completed_flows() const { return completed_flows_; }
   // Flows injected but not yet fully delivered.
@@ -180,6 +194,7 @@ class SimMetrics {
   std::uint64_t forwarded_cells_ = 0;
   std::uint64_t dropped_cells_ = 0;
   std::uint64_t gray_dropped_cells_ = 0;
+  std::uint64_t ecn_marked_cells_ = 0;
   std::uint64_t slots_run_ = 0;
   std::uint64_t completed_flows_ = 0;
   std::uint64_t delivered_hops_ = 0;

@@ -64,7 +64,43 @@ void SlottedNetwork::inject_flow_with(const Router& router, FlowId flow,
     cell.inject_slot = now_;
     cell.ready_slot = now_;
     metrics_.on_inject(cell, cells, bytes, flow_class, bulk);
-    if (!voqs_.try_push(cell, config_.max_queue_cells)) drop(cell);
+    enqueue_or_drop(cell);
+  }
+}
+
+void SlottedNetwork::inject_flow_segment(const Router& router, FlowId flow,
+                                         NodeId src, NodeId dst,
+                                         std::uint64_t bytes,
+                                         std::uint64_t first_cell,
+                                         std::uint64_t cell_count,
+                                         int flow_class) {
+  SORN_ASSERT(src != dst, "flow endpoints must differ");
+  SORN_ASSERT(!in_parallel_sweep_, "inject during parallel sweep");
+  const std::uint64_t cells =
+      (bytes + config_.cell_bytes - 1) / config_.cell_bytes;
+  SORN_ASSERT(first_cell + cell_count <= cells, "segment past end of flow");
+  const bool bulk = bulk_router_ != nullptr && &router == bulk_router_;
+  // Flow-level events fire once, with the first segment; the flow record
+  // (created by the first on_inject with the full totals) completes when
+  // every cell — across all segments — has been delivered.
+  if (first_cell == 0) {
+    if (telemetry_ != nullptr)
+      telemetry_->on_flow_inject(now_, flow, src, dst, bytes, flow_class);
+    if (checker_ != nullptr) checker_->on_flow_inject(flow, cells);
+  }
+  for (std::uint64_t c = 0; c < cell_count; ++c) {
+    Cell cell;
+    cell.flow = flow;
+    cell.seq = static_cast<std::uint32_t>(first_cell + c);
+    // Stagger routing by each cell's departure opportunity within this
+    // segment, same as inject_flow_with does across a whole flow.
+    cell.path = router.route(
+        src, dst, now_ + static_cast<Slot>(c) / config_.lanes, rng_);
+    cell.hop = 0;
+    cell.inject_slot = now_;
+    cell.ready_slot = now_;
+    metrics_.on_inject(cell, cells, bytes, flow_class, bulk);
+    enqueue_or_drop(cell);
   }
 }
 
@@ -78,13 +114,41 @@ void SlottedNetwork::inject_cell(NodeId src, NodeId dst) {
   cell.inject_slot = now_;
   cell.ready_slot = now_;
   metrics_.on_inject(cell, 1, config_.cell_bytes);
-  if (!voqs_.try_push(cell, config_.max_queue_cells)) drop(cell);
+  enqueue_or_drop(cell);
 }
 
 void SlottedNetwork::drop(const Cell& cell) {
   metrics_.on_drop();
   if (telemetry_ != nullptr)
     telemetry_->on_cell_drop(now_, cell.current(), cell.next_hop(), cell.flow);
+}
+
+void SlottedNetwork::enqueue_or_drop(Cell& cell) {
+  if (config_.ecn_threshold_cells == 0) {
+    // ECN off: the capacity check lives inside try_push (the pre-ECN hot
+    // path, one queue lookup).
+    if (!voqs_.try_push(cell, config_.max_queue_cells)) drop(cell);
+    return;
+  }
+  const std::uint64_t size = voqs_.size_of(cell.current(), cell.next_hop());
+  if (config_.max_queue_cells > 0 && size >= config_.max_queue_cells) {
+    drop(cell);
+    return;
+  }
+  if (size >= config_.ecn_threshold_cells) {
+    cell.ecn = true;
+    metrics_.on_ecn_mark();
+    if (telemetry_ != nullptr) telemetry_->on_ecn_mark();
+  }
+  voqs_.push(cell);
+}
+
+void SlottedNetwork::deliver(const Cell& cell) {
+  if (checker_ != nullptr) checker_->on_deliver(now_, cell);
+  // The cell arrives at the end of the slot; only first copies that
+  // advanced an open flow are echoed to the transport as acks.
+  const bool first_copy = metrics_.on_deliver(cell, now_ + 1);
+  if (transport_ != nullptr && first_copy) transport_->on_ack(cell, now_ + 1);
 }
 
 void SlottedNetwork::transmit(NodeId node, NodeId peer) {
@@ -112,8 +176,7 @@ void SlottedNetwork::transmit(NodeId node, NodeId peer) {
   }
   ++cell.hop;
   if (cell.at_destination()) {
-    if (checker_ != nullptr) checker_->on_deliver(now_, cell);
-    metrics_.on_deliver(cell, now_ + 1);  // arrives at the end of the slot
+    deliver(cell);
     return;
   }
   metrics_.on_forward();
@@ -124,7 +187,7 @@ void SlottedNetwork::transmit(NodeId node, NodeId peer) {
       (config_.propagation_per_hop + config_.slot_duration - 1) /
       config_.slot_duration;
   cell.ready_slot = now_ + 1 + prop_slots;
-  if (!voqs_.try_push(cell, config_.max_queue_cells)) drop(cell);
+  enqueue_or_drop(cell);
 }
 
 void SlottedNetwork::step_lane_sequential(const Matching& m) {
@@ -151,7 +214,11 @@ void SlottedNetwork::step_lane_sequential(const Matching& m) {
 void SlottedNetwork::step_lane_parallel(const Matching& m,
                                         PhaseProfiler* prof) {
   const bool capped = config_.max_queue_cells > 0;
-  if (capped) std::fill(popped_.begin(), popped_.end(), std::uint8_t{0});
+  const bool ecn_on = config_.ecn_threshold_cells > 0;
+  // Both the capacity check and the ECN mark decision need the
+  // sequential-order queue size, reconstructed from the popped_ marks.
+  const bool sized = capped || ecn_on;
+  if (sized) std::fill(popped_.begin(), popped_.end(), std::uint8_t{0});
   const Slot prop_slots =
       (config_.propagation_per_hop + config_.slot_duration - 1) /
       config_.slot_duration;
@@ -185,7 +252,7 @@ void SlottedNetwork::step_lane_parallel(const Matching& m,
             ev.cell = *head;
             voqs_.pop_sharded(i, peer);
             ++stage.pops;
-            if (capped) popped_[static_cast<std::size_t>(i)] = 1;
+            if (sized) popped_[static_cast<std::size_t>(i)] = 1;
             if (gray != nullptr &&
                 gray_.cell_lost(now_, i, peer, *gray, ev.cell)) {
               ev.gray_drop = true;
@@ -215,9 +282,9 @@ void SlottedNetwork::step_lane_parallel(const Matching& m,
   // without re-nesting the whole replay loop.
   std::optional<ScopedPhase> merge;
   if (prof != nullptr) merge.emplace(prof, ProfPhase::kMergeReplay);
-  for (const ShardStage& stage : stages_) {
+  for (ShardStage& stage : stages_) {
     pops += stage.pops;
-    for (const StagedEvent& ev : stage.events) {
+    for (StagedEvent& ev : stage.events) {
       if (ev.gray_drop) {
         // hop was not advanced for a lost cell: current()/next_hop() are
         // still the circuit it was popped from.
@@ -233,12 +300,11 @@ void SlottedNetwork::step_lane_parallel(const Matching& m,
         checker_->on_transmit(now_, ev.cell.path.at(ev.cell.hop - 1),
                               ev.cell.current());
       if (ev.deliver) {
-        if (checker_ != nullptr) checker_->on_deliver(now_, ev.cell);
-        metrics_.on_deliver(ev.cell, now_ + 1);  // arrives at end of slot
+        deliver(ev.cell);
         continue;
       }
       metrics_.on_forward();
-      if (capped) {
+      if (sized) {
         const NodeId src = ev.cell.path.at(ev.cell.hop - 1);
         const NodeId at = ev.cell.current();
         const NodeId next = ev.cell.next_hop();
@@ -252,9 +318,17 @@ void SlottedNetwork::step_lane_parallel(const Matching& m,
              m.dst_of(at) == next)
                 ? 1
                 : 0;
-        if (voqs_.size_of(at, next) + adj >= config_.max_queue_cells) {
+        const std::uint64_t size = voqs_.size_of(at, next) + adj;
+        if (capped && size >= config_.max_queue_cells) {
           drop(ev.cell);
           continue;
+        }
+        // Same reconstructed size as the capacity check, so the mark is
+        // byte-identical to the one the sequential sweep would set.
+        if (ecn_on && size >= config_.ecn_threshold_cells) {
+          ev.cell.ecn = true;
+          metrics_.on_ecn_mark();
+          if (telemetry_ != nullptr) telemetry_->on_ecn_mark();
         }
       }
       voqs_.push(ev.cell);
@@ -489,7 +563,7 @@ std::uint64_t SlottedNetwork::retransmit_stalled(
       cell.ready_slot = now_;
       metrics_.on_retransmit_cell();
       ++cells;
-      if (!voqs_.try_push(cell, config_.max_queue_cells)) drop(cell);
+      enqueue_or_drop(cell);
     }
     if (telemetry_ != nullptr) {
       telemetry_->on_retransmit(now_, sf.flow, sf.missing.size(),

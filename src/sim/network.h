@@ -20,6 +20,7 @@
 #include "sim/invariants.h"
 #include "sim/metrics.h"
 #include "sim/parallel.h"
+#include "sim/transport_hook.h"
 #include "sim/voq.h"
 #include "topo/schedule.h"
 #include "util/rng.h"
@@ -38,6 +39,13 @@ struct NetworkConfig {
   // tail-dropped and counted in SimMetrics::dropped_cells (NIC buffers
   // are finite; loss experiments set this).
   std::uint64_t max_queue_cells = 0;
+  // ECN-like marking: a cell enqueued into a VOQ already holding at least
+  // this many cells is marked (Cell::ecn) and counted in
+  // SimMetrics::ecn_marked_cells; the mark is echoed to an attached
+  // transport at delivery. 0 disables. The mark decision observes the
+  // same sequential-order queue size the capacity check does, so results
+  // stay byte-identical at any thread count.
+  std::uint64_t ecn_threshold_cells = 0;
   std::uint64_t seed = 42;
 };
 
@@ -66,6 +74,17 @@ class SlottedNetwork {
   // expander paths, bulk on the direct rotation circuit).
   void inject_flow_with(const Router& router, FlowId flow, NodeId src,
                         NodeId dst, std::uint64_t bytes, int flow_class = 0);
+
+  // Inject a contiguous window segment [first_cell, first_cell +
+  // cell_count) of a flow whose full size is `bytes` — the closed-loop
+  // transport's release path. The flow record is created with the full
+  // totals on the first segment (first_cell == 0), which is also when the
+  // flow-inject telemetry/invariant events fire; the flow completes when
+  // every cell is delivered, exactly like an atomic injection.
+  void inject_flow_segment(const Router& router, FlowId flow, NodeId src,
+                           NodeId dst, std::uint64_t bytes,
+                           std::uint64_t first_cell, std::uint64_t cell_count,
+                           int flow_class = 0);
 
   // Register the secondary (bulk) router so the network can recognize
   // bulk-class injections and retransmit their stalled cells through the
@@ -205,6 +224,15 @@ class SlottedNetwork {
   void set_invariant_checker(InvariantChecker* checker);
   InvariantChecker* invariant_checker() const { return checker_; }
 
+  // ---- Closed-loop transport (sim/transport_hook.h) ----
+  // Attach a borrowed transport: every first-copy delivery is echoed back
+  // through Transport::on_ack, always on the coordinating thread (the
+  // sequential sweep or the parallel merge replay), so the §6 determinism
+  // contract holds with a transport attached. nullptr detaches; detached
+  // sites cost one null check.
+  void set_transport(Transport* transport) { transport_ = transport; }
+  Transport* transport() const { return transport_; }
+
   // The schedule currently driving the network (reconfigure() may have
   // swapped it since construction).
   const CircuitSchedule* schedule() const { return schedule_; }
@@ -232,6 +260,14 @@ class SlottedNetwork {
   void step_lane_parallel(const Matching& m, PhaseProfiler* prof);
   // Tail-drop accounting + telemetry for a cell that failed to enqueue.
   void drop(const Cell& cell);
+  // Enqueue with the capacity check and ECN marking evaluated against the
+  // same queue size, in sequential-site order. Used by every push site
+  // except the parallel merge, which reconstructs the sequential-order
+  // size from popped_ first (see step_lane_parallel).
+  void enqueue_or_drop(Cell& cell);
+  // Delivery bookkeeping shared by both engines: invariant hook, metrics,
+  // and the transport ack echo for first copies.
+  void deliver(const Cell& cell);
 
   const CircuitSchedule* schedule_;
   const Router* router_;
@@ -250,6 +286,7 @@ class SlottedNetwork {
   Telemetry* telemetry_ = nullptr;
   Profiler* profiler_ = nullptr;
   InvariantChecker* checker_ = nullptr;
+  Transport* transport_ = nullptr;
 
   // Parallel engine state. rng_ must never be drawn inside the parallel
   // sweep (injection — the only RNG consumer — happens between slots);
@@ -258,7 +295,8 @@ class SlottedNetwork {
   std::vector<ShardRange> shard_plan_;
   std::vector<ShardStage> stages_;
   // Per-node "popped its VOQ head this lane" marks, used by the merge to
-  // reconstruct the sequential-order queue size for capacity checks.
+  // reconstruct the sequential-order queue size for capacity checks and
+  // ECN mark decisions.
   std::vector<std::uint8_t> popped_;
   bool in_parallel_sweep_ = false;
 };

@@ -1,0 +1,73 @@
+// The sim-facing transport interface.
+//
+// The closed-loop end-host transport (src/transport) sits *above* the
+// simulator: it holds per-flow congestion windows and releases cells into
+// the network as acknowledgements open the window. The simulator must not
+// depend on that library, so the two touch points are abstracted here:
+//
+//   - SlottedNetwork borrows a Transport* and echoes every first-copy
+//     delivery back through on_ack() (always from the coordinating thread,
+//     during the merge replay — the §6 determinism contract, see
+//     DESIGN.md "Parallel slot engine").
+//   - WorkloadDriver borrows the same Transport* and, when attached,
+//     registers arrivals via open_flow() and calls pump() once per slot
+//     (after that slot's arrivals, before step()) to release windowed
+//     cells.
+//
+// TransportStats is the plain snapshot the exporters consume
+// (obs/export.h) without linking the transport library either.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/cell.h"
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace sorn {
+
+class Router;
+class SlottedNetwork;
+
+// Exporter-facing snapshot of a transport's lifetime counters.
+struct TransportStats {
+  std::uint64_t flows_opened = 0;
+  std::uint64_t flows_completed = 0;
+  // Cells released into the network by pump() (first transmissions only;
+  // network-level retransmissions are counted by SimMetrics).
+  std::uint64_t cells_sent = 0;
+  // First-copy deliveries echoed back via on_ack().
+  std::uint64_t acked_cells = 0;
+  // Subset of acked cells that carried an ECN mark.
+  std::uint64_t ecn_acked_cells = 0;
+  // Congestion-window size in cells, sampled once per flow per congestion
+  // round (window update), so it summarizes how hard senders were braked.
+  RunningStats cwnd_cells;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Register a flow; its cells are released by subsequent pump() calls.
+  // bulk_router selects the bulk path class (nullptr = the network's
+  // primary router, resolved at each pump so reconfigures are honored).
+  virtual void open_flow(SlottedNetwork& network, const Router* bulk_router,
+                         FlowId flow, NodeId src, NodeId dst,
+                         std::uint64_t bytes, int flow_class) = 0;
+
+  // Release every flow's available window into the network (ascending
+  // flow id). Call between slots on the coordinating thread; returns the
+  // number of cells injected.
+  virtual std::uint64_t pump(SlottedNetwork& network) = 0;
+
+  // A first (non-duplicate) copy of `cell` was delivered at the end of
+  // slot `now`. Called by the network on the coordinating thread only.
+  virtual void on_ack(const Cell& cell, Slot now) = 0;
+
+  // True while any registered flow still has unsent or unacked cells —
+  // the drain phase waits on this like it waits on open flows.
+  virtual bool has_backlog() const = 0;
+};
+
+}  // namespace sorn

@@ -6,7 +6,7 @@
 
 namespace sorn {
 
-WorkloadDriver::WorkloadDriver(FlowArrivals* arrivals, Classifier classifier)
+WorkloadDriver::WorkloadDriver(ArrivalStream* arrivals, Classifier classifier)
     : arrivals_(arrivals), classifier_(std::move(classifier)) {
   SORN_ASSERT(arrivals_ != nullptr, "driver needs an arrival stream");
 }
@@ -49,10 +49,19 @@ void WorkloadDriver::run_until(SlottedNetwork& network, Picoseconds horizon,
       if (pending_.time > slot_start + slot_ps || pending_.time > horizon)
         break;
       FlowArrival arrival = pending_;
+      // The cap truncates before classification and before injection, so
+      // the classifier, the trace `flow` event, and the flow record all
+      // observe the same (capped) size.
       if (size_cap_ > 0)
         arrival.bytes = std::min(arrival.bytes, size_cap_);
       const int cls = classifier_ ? classifier_(arrival) : 0;
-      if (bulk_router_ != nullptr && arrival.bytes > bulk_cutoff_) {
+      const bool bulk =
+          bulk_router_ != nullptr && arrival.bytes > bulk_cutoff_;
+      if (transport_ != nullptr) {
+        transport_->open_flow(network, bulk ? bulk_router_ : nullptr,
+                              next_flow_id_++, arrival.src, arrival.dst,
+                              arrival.bytes, cls);
+      } else if (bulk) {
         network.inject_flow_with(*bulk_router_, next_flow_id_++, arrival.src,
                                  arrival.dst, arrival.bytes, cls);
       } else {
@@ -62,15 +71,18 @@ void WorkloadDriver::run_until(SlottedNetwork& network, Picoseconds horizon,
       ++flows_injected_;
       has_pending_ = false;
     }
+    if (transport_ != nullptr) transport_->pump(network);
     network.step();
   }
   const bool wait_on_flows = retransmit_.timeout_slots > 0;
   for (Slot s = 0; s < drain_slots; ++s) {
     if (network.cells_in_flight() == 0 &&
-        !(wait_on_flows && network.metrics().open_flows() > 0)) {
+        !(wait_on_flows && network.metrics().open_flows() > 0) &&
+        !(transport_ != nullptr && transport_->has_backlog())) {
       break;
     }
     before_step(network);
+    if (transport_ != nullptr) transport_->pump(network);
     network.step();
   }
 }

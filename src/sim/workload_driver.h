@@ -1,11 +1,16 @@
-// Open-loop flow workload driver: feeds a Poisson flow arrival stream into
-// the slotted network and runs it to a time horizon, collecting FCTs.
+// Flow workload driver: feeds an arrival stream (Poisson, incast waves,
+// collective phases, …) into the slotted network and runs it to a time
+// horizon, collecting FCTs. Open-loop by default — arrivals inject all
+// their cells at once; attach a Transport (set_transport) to run closed
+// loop, with arrivals opening windowed flows that release cells as acks
+// come back.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 
 #include "sim/network.h"
+#include "sim/transport_hook.h"
 #include "traffic/arrivals.h"
 
 namespace sorn {
@@ -36,11 +41,20 @@ class WorkloadDriver {
   };
 
   // arrivals must outlive the driver.
-  explicit WorkloadDriver(FlowArrivals* arrivals,
+  explicit WorkloadDriver(ArrivalStream* arrivals,
                           Classifier classifier = nullptr);
 
   void set_retransmit(RetransmitOptions options);
   void set_slot_hook(SlotHook hook) { slot_hook_ = std::move(hook); }
+
+  // Attach a closed-loop transport (borrowed; must outlive the driver).
+  // Arrivals are registered via Transport::open_flow instead of injected
+  // directly, and the transport is pumped once per slot — after that
+  // slot's arrivals, before step() — on the coordinating thread. The
+  // caller wires the same transport into the network (set_transport) so
+  // deliveries are acked. The drain phase also waits on the transport's
+  // backlog: a windowed flow can be fully un-injected yet still pending.
+  void set_transport(Transport* transport) { transport_ = transport; }
 
   // Truncate every arrival to at most `cap` bytes before classification
   // and injection (bounded-drain demos); 0 disables.
@@ -68,9 +82,10 @@ class WorkloadDriver {
   // Hook + retransmission work for one slot; called before network.step().
   void before_step(SlottedNetwork& network);
 
-  FlowArrivals* arrivals_;
+  ArrivalStream* arrivals_;
   Classifier classifier_;
   SlotHook slot_hook_;
+  Transport* transport_ = nullptr;
   RetransmitOptions retransmit_{};
   Slot retransmit_every_ = 0;
   std::uint64_t size_cap_ = 0;

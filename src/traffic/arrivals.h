@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 
 #include "traffic/flow_size.h"
 #include "traffic/demand_model.h"
@@ -22,7 +23,21 @@ struct FlowArrival {
   std::uint64_t bytes = 0;
 };
 
-class FlowArrivals {
+// A finite stream signals exhaustion with an arrival stamped at this time
+// (past any horizon); infinite streams (Poisson) never emit it.
+constexpr Picoseconds kNoMoreArrivals =
+    std::numeric_limits<Picoseconds>::max();
+
+// Abstract flow-arrival sequence the WorkloadDriver consumes. Arrival
+// times must be nondecreasing; implementations own their RNG so the
+// driver stays deterministic regardless of how far it reads ahead.
+class ArrivalStream {
+ public:
+  virtual ~ArrivalStream() = default;
+  virtual FlowArrival next() = 0;
+};
+
+class FlowArrivals : public ArrivalStream {
  public:
   // node_bandwidth_bps: per-node aggregate bandwidth b in bits/second.
   // load in (0, +inf): 1.0 offers exactly the aggregate network capacity.
@@ -30,7 +45,7 @@ class FlowArrivals {
                double node_bandwidth_bps, double load, Rng rng);
 
   // Next flow in arrival order; times are strictly nondecreasing.
-  FlowArrival next();
+  FlowArrival next() override;
 
   // Mean flow inter-arrival time implied by the calibration.
   Picoseconds mean_interarrival() const { return mean_gap_; }

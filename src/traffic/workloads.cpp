@@ -1,0 +1,216 @@
+#include "traffic/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace sorn {
+
+IncastArrivals::IncastArrivals(NodeId nodes, NodeId fanin,
+                               std::uint64_t bytes_per_sender,
+                               Slot period_slots, Picoseconds slot_duration,
+                               Rng rng)
+    : nodes_(nodes),
+      fanin_(fanin),
+      bytes_(bytes_per_sender),
+      period_slots_(period_slots),
+      slot_duration_(slot_duration),
+      rng_(rng) {
+  SORN_ASSERT(nodes_ >= 2, "incast needs at least two nodes");
+  SORN_ASSERT(fanin_ >= 1 && fanin_ <= nodes_ - 1,
+              "incast fan-in must be in [1, nodes - 1]");
+  SORN_ASSERT(bytes_ >= 1, "incast senders must send at least one byte");
+  SORN_ASSERT(period_slots_ >= 1, "incast period must be at least one slot");
+  SORN_ASSERT(slot_duration_ > 0, "slot duration must be positive");
+  senders_.reserve(static_cast<std::size_t>(nodes_));
+  start_wave();
+}
+
+void IncastArrivals::start_wave() {
+  receiver_ = static_cast<NodeId>(
+      rng_.next_below(static_cast<std::uint64_t>(nodes_)));
+  // Partial Fisher-Yates over the non-receiver nodes: the first fanin_
+  // entries are the wave's distinct senders.
+  senders_.clear();
+  for (NodeId i = 0; i < nodes_; ++i)
+    if (i != receiver_) senders_.push_back(i);
+  for (NodeId s = 0; s < fanin_; ++s) {
+    const std::size_t i = static_cast<std::size_t>(s);
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng_.next_below(senders_.size() - i));
+    std::swap(senders_[i], senders_[j]);
+  }
+  emitted_ = 0;
+}
+
+FlowArrival IncastArrivals::next() {
+  if (emitted_ >= static_cast<std::size_t>(fanin_)) {
+    ++wave_;
+    start_wave();
+  }
+  const Picoseconds time = static_cast<Picoseconds>(wave_) * period_slots_ *
+                           slot_duration_;
+  return FlowArrival{time, senders_[emitted_++], receiver_, bytes_};
+}
+
+namespace {
+
+std::uint64_t ceil_log2(NodeId n) {
+  std::uint64_t levels = 0;
+  while ((NodeId{1} << levels) < n) ++levels;
+  return levels;
+}
+
+}  // namespace
+
+CollectiveArrivals::CollectiveArrivals(const DemandModel* tm, Kind kind,
+                                       std::uint64_t bytes_per_node,
+                                       Slot phase_gap_slots,
+                                       Picoseconds slot_duration)
+    : nodes_(tm != nullptr ? tm->node_count() : 0),
+      kind_(kind),
+      phase_gap_slots_(phase_gap_slots),
+      slot_duration_(slot_duration) {
+  SORN_ASSERT(tm != nullptr, "collective needs a demand model");
+  SORN_ASSERT(nodes_ >= 2, "collective needs at least two nodes");
+  SORN_ASSERT(phase_gap_slots_ >= 1, "phase gap must be at least one slot");
+  SORN_ASSERT(slot_duration_ > 0, "slot duration must be positive");
+  // Size each node's contribution off its demand-model row share: a node
+  // responsible for twice the average demand pushes a gradient twice the
+  // size. Uniform demand degenerates to bytes_per_node everywhere.
+  node_bytes_.assign(static_cast<std::size_t>(nodes_), bytes_per_node);
+  const double total = tm->total();
+  if (total > 0.0) {
+    for (NodeId i = 0; i < nodes_; ++i) {
+      const double share =
+          tm->row_sum(i) * static_cast<double>(nodes_) / total;
+      node_bytes_[static_cast<std::size_t>(i)] = static_cast<std::uint64_t>(
+          std::llround(static_cast<double>(bytes_per_node) * share));
+    }
+  }
+  phases_per_iter_ = kind_ == Kind::kRing
+                         ? 2 * (static_cast<std::uint64_t>(nodes_) - 1)
+                         : 2 * ceil_log2(nodes_);
+  build_phase();
+}
+
+void CollectiveArrivals::build_phase() {
+  flows_.clear();
+  emitted_ = 0;
+  const Picoseconds time = static_cast<Picoseconds>(phase_) *
+                           phase_gap_slots_ * slot_duration_;
+  const std::uint64_t p = phase_ % phases_per_iter_;
+  if (kind_ == Kind::kRing) {
+    // Reduce-scatter then allgather: every phase, every node passes one
+    // 1/N-sized chunk of its (scaled) gradient to its ring successor.
+    for (NodeId i = 0; i < nodes_; ++i) {
+      const std::uint64_t whole = node_bytes_[static_cast<std::size_t>(i)];
+      if (whole == 0) continue;
+      const std::uint64_t chunk = std::max<std::uint64_t>(
+          1, whole / static_cast<std::uint64_t>(nodes_));
+      flows_.push_back(
+          FlowArrival{time, i, (i + 1) % nodes_, chunk});
+    }
+    return;
+  }
+  // Binary tree: reduce up for ceil(log2 N) phases (children send their
+  // full aggregate to the parent), then broadcast back down mirrored.
+  const std::uint64_t levels = phases_per_iter_ / 2;
+  const bool reduce = p < levels;
+  const std::uint64_t shift = reduce ? p : levels - 1 - (p - levels);
+  const NodeId stride = static_cast<NodeId>(std::uint64_t{1} << shift);
+  for (NodeId i = 0; i < nodes_; ++i) {
+    NodeId src, dst;
+    if (reduce) {
+      // Senders sit at odd multiples of stride: they fold into i - stride.
+      if (i % (2 * stride) != stride) continue;
+      src = i;
+      dst = i - stride;
+    } else {
+      if (i % (2 * stride) != 0 || i + stride >= nodes_) continue;
+      src = i;
+      dst = i + stride;
+    }
+    const std::uint64_t bytes = node_bytes_[static_cast<std::size_t>(src)];
+    if (bytes == 0) continue;
+    flows_.push_back(FlowArrival{time, src, dst, bytes});
+  }
+}
+
+FlowArrival CollectiveArrivals::next() {
+  // An empty phase (every participant's scaled bytes rounded to zero) is
+  // skipped; if a whole iteration is empty the stream is exhausted.
+  std::uint64_t empty_phases = 0;
+  while (emitted_ >= flows_.size()) {
+    if (flows_.empty() && ++empty_phases > phases_per_iter_)
+      return FlowArrival{kNoMoreArrivals, 0, 1, 1};
+    ++phase_;
+    build_phase();
+  }
+  return flows_[emitted_++];
+}
+
+OversubRackArrivals::OversubRackArrivals(const CliqueAssignment* racks,
+                                         const FlowSizeDist* sizes,
+                                         double node_bandwidth_bps,
+                                         double load, double rack_local_frac,
+                                         double oversub_factor, Rng rng)
+    : racks_(racks), sizes_(sizes), rng_(rng) {
+  SORN_ASSERT(racks_ != nullptr && sizes_ != nullptr, "null workload inputs");
+  SORN_ASSERT(racks_->node_count() >= 2, "need at least two nodes");
+  SORN_ASSERT(load > 0.0, "load must be positive");
+  SORN_ASSERT(node_bandwidth_bps > 0.0, "bandwidth must be positive");
+  SORN_ASSERT(rack_local_frac >= 0.0 && rack_local_frac <= 1.0,
+              "rack-local fraction must be in [0, 1]");
+  SORN_ASSERT(oversub_factor >= 1.0, "oversubscription factor must be >= 1");
+  // The inter-rack share of a balanced mix is (1 - x); oversubscription
+  // multiplies exactly that share by F (F racks of servers behind one
+  // uplink), so the total offered load becomes load * (x + F(1 - x)) and
+  // an arrival crosses racks with probability F(1 - x) / (x + F(1 - x)).
+  const double inter_weight = oversub_factor * (1.0 - rack_local_frac);
+  const double total_weight = rack_local_frac + inter_weight;
+  SORN_ASSERT(total_weight > 0.0, "degenerate rack mix: zero offered load");
+  inter_prob_ = inter_weight / total_weight;
+  if (inter_prob_ > 0.0) {
+    SORN_ASSERT(racks_->clique_count() >= 2,
+                "inter-rack traffic needs at least two racks");
+  }
+  const double byte_rate = load * total_weight *
+                           static_cast<double>(racks_->node_count()) *
+                           node_bandwidth_bps / 8.0;
+  const double gap_seconds = sizes_->mean_bytes() / byte_rate;
+  mean_gap_ = static_cast<Picoseconds>(std::llround(gap_seconds * 1e12));
+  SORN_ASSERT(mean_gap_ > 0, "arrival rate too high for picosecond clock");
+}
+
+FlowArrival OversubRackArrivals::next() {
+  now_ += static_cast<Picoseconds>(std::llround(
+      rng_.next_exponential(static_cast<double>(mean_gap_))));
+  const NodeId n = racks_->node_count();
+  const NodeId src =
+      static_cast<NodeId>(rng_.next_below(static_cast<std::uint64_t>(n)));
+  const CliqueId rack = racks_->clique_of(src);
+  const bool inter = rng_.next_double() < inter_prob_ ||
+                     racks_->clique_size(rack) < 2;
+  NodeId dst;
+  if (inter) {
+    // Rejection over the other racks' nodes; terminates because at least
+    // one other rack is nonempty whenever inter traffic is possible.
+    do {
+      dst = static_cast<NodeId>(
+          rng_.next_below(static_cast<std::uint64_t>(n)));
+    } while (racks_->clique_of(dst) == rack);
+  } else {
+    // Uniform rack member other than src (skip src's own position).
+    const std::vector<NodeId>& members = racks_->members(rack);
+    const NodeId pos = racks_->index_in_clique(src);
+    NodeId j = static_cast<NodeId>(
+        rng_.next_below(static_cast<std::uint64_t>(members.size() - 1)));
+    if (j >= pos) ++j;
+    dst = members[static_cast<std::size_t>(j)];
+  }
+  return FlowArrival{now_, src, dst, sizes_->sample(rng_)};
+}
+
+}  // namespace sorn

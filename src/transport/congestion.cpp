@@ -1,0 +1,48 @@
+#include "transport/congestion.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace sorn {
+
+CongestionControl::CongestionControl(const CongestionConfig& config)
+    : config_(config), cwnd_(static_cast<double>(config.init_cwnd_cells)) {
+  SORN_ASSERT(config_.min_cwnd_cells >= 1, "window floor must be >= 1 cell");
+  SORN_ASSERT(config_.min_cwnd_cells <= config_.init_cwnd_cells &&
+                  config_.init_cwnd_cells <= config_.max_cwnd_cells,
+              "need min <= init <= max congestion window");
+  SORN_ASSERT(config_.gain > 0.0 && config_.gain <= 1.0,
+              "DCTCP gain must be in (0, 1]");
+  SORN_ASSERT(config_.additive_increase >= 0.0,
+              "additive increase must be nonnegative");
+  round_acks_ = window_cells();
+}
+
+std::uint64_t CongestionControl::window_cells() const {
+  const auto w = static_cast<std::uint64_t>(cwnd_);
+  return std::max(config_.min_cwnd_cells, std::min(config_.max_cwnd_cells, w));
+}
+
+void CongestionControl::on_ack(bool ecn_marked) {
+  ++acked_in_round_;
+  if (ecn_marked) ++marked_in_round_;
+  if (acked_in_round_ < round_acks_) return;
+  const double fraction = static_cast<double>(marked_in_round_) /
+                          static_cast<double>(acked_in_round_);
+  alpha_ = (1.0 - config_.gain) * alpha_ + config_.gain * fraction;
+  if (marked_in_round_ > 0) {
+    cwnd_ *= 1.0 - alpha_ / 2.0;
+  } else {
+    cwnd_ += config_.additive_increase;
+  }
+  cwnd_ = std::max(static_cast<double>(config_.min_cwnd_cells),
+                   std::min(static_cast<double>(config_.max_cwnd_cells),
+                            cwnd_));
+  acked_in_round_ = 0;
+  marked_in_round_ = 0;
+  round_acks_ = window_cells();
+  ++rounds_;
+}
+
+}  // namespace sorn

@@ -43,7 +43,7 @@ ScenarioConfig non_default_config() {
   cfg.traffic = TrafficKind::kRing;
   cfg.ring_heavy_share = 0.75;
   cfg.traffic_backend = DemandBackend::kProcedural;
-  cfg.workload = WorkloadKind::kFlowSaturation;
+  cfg.workload = WorkloadKind::kIncast;
   cfg.load = 0.55;
   cfg.slots = 12345;
   cfg.drain_slots = 42;
@@ -55,6 +55,19 @@ ScenarioConfig non_default_config() {
   cfg.classify = ClassifyKind::kSize;
   cfg.arrival_seed = 5;
   cfg.workload_seed = 6;
+  cfg.incast_fanin = 12;
+  cfg.incast_bytes = 32768;
+  cfg.incast_period_slots = 128;
+  cfg.collective_kind = "tree";
+  cfg.collective_bytes = 1 << 19;
+  cfg.collective_phase_gap_slots = 96;
+  cfg.rack_local_frac = 0.8;
+  cfg.oversub_factor = 2.5;
+  cfg.transport = "dctcp";
+  cfg.ecn_threshold_cells = 8;
+  cfg.init_cwnd_cells = 16;
+  cfg.max_cwnd_cells = 128;
+  cfg.dctcp_gain = 0.125;
   cfg.trace_path = "out.jsonl";
   cfg.metrics_json_path = "out.json";
   cfg.timeseries_csv_path = "out.csv";
@@ -103,13 +116,21 @@ TEST(ScenarioConfigTest, EveryFieldRoundTrips) {
   EXPECT_EQ(back.design, "opera");
   EXPECT_EQ(back.nodes, 96);
   EXPECT_EQ(back.radices, (std::vector<NodeId>{4, 6}));
-  EXPECT_EQ(back.workload, WorkloadKind::kFlowSaturation);
+  EXPECT_EQ(back.workload, WorkloadKind::kIncast);
   EXPECT_EQ(back.traffic, TrafficKind::kRing);
   EXPECT_EQ(back.traffic_backend, DemandBackend::kProcedural);
   EXPECT_EQ(back.flow_size, FlowSizeKind::kFixed);
   EXPECT_EQ(back.classify, ClassifyKind::kSize);
   EXPECT_DOUBLE_EQ(back.node_mtbf_slots, 5000.0);
   EXPECT_EQ(back.retransmit_timeout, 256);
+  EXPECT_EQ(back.incast_fanin, 12);
+  EXPECT_EQ(back.incast_bytes, 32768u);
+  EXPECT_EQ(back.incast_period_slots, 128);
+  EXPECT_EQ(back.collective_kind, "tree");
+  EXPECT_DOUBLE_EQ(back.oversub_factor, 2.5);
+  EXPECT_EQ(back.transport, "dctcp");
+  EXPECT_EQ(back.ecn_threshold_cells, 8u);
+  EXPECT_DOUBLE_EQ(back.dctcp_gain, 0.125);
 }
 
 TEST(ScenarioConfigTest, AbsentFieldsKeepDefaults) {
@@ -231,6 +252,68 @@ TEST(ScenarioConfigTest, ValidateRejectsBadControlFaultFields) {
 
   // The same knobs with a control loop are fine.
   cfg.epoch_slots = 100;
+  EXPECT_TRUE(cfg.validate(&error)) << error;
+}
+
+TEST(ScenarioConfigTest, ValidateRejectsBadWorkloadAndTransportFields) {
+  std::string error;
+  ScenarioConfig cfg;
+  cfg.workload = WorkloadKind::kIncast;
+  cfg.nodes = 16;
+  cfg.incast_fanin = 16;  // fanin must leave room for the receiver
+  EXPECT_FALSE(cfg.validate(&error));
+  EXPECT_NE(error.find("incast_fanin"), std::string::npos) << error;
+
+  // Other workloads tolerate any default fanin at small N.
+  cfg = ScenarioConfig{};
+  cfg.nodes = 16;
+  cfg.cliques = 4;
+  EXPECT_TRUE(cfg.validate(&error)) << error;
+
+  cfg = ScenarioConfig{};
+  cfg.workload = WorkloadKind::kCollective;
+  cfg.collective_kind = "butterfly";
+  EXPECT_FALSE(cfg.validate(&error));
+  EXPECT_NE(error.find("collective_kind"), std::string::npos) << error;
+
+  cfg = ScenarioConfig{};
+  cfg.rack_local_frac = 1.5;
+  EXPECT_FALSE(cfg.validate(&error));
+
+  cfg = ScenarioConfig{};
+  cfg.oversub_factor = 0.5;
+  EXPECT_FALSE(cfg.validate(&error));
+
+  cfg = ScenarioConfig{};
+  cfg.transport = "quic";
+  EXPECT_FALSE(cfg.validate(&error));
+  EXPECT_NE(error.find("transport"), std::string::npos) << error;
+
+  // The closed-loop transport needs a flow driver to pump it.
+  cfg = ScenarioConfig{};
+  cfg.transport = "dctcp";
+  cfg.workload = WorkloadKind::kSaturation;
+  EXPECT_FALSE(cfg.validate(&error));
+
+  cfg = ScenarioConfig{};
+  cfg.transport = "dctcp";
+  cfg.init_cwnd_cells = 64;
+  cfg.max_cwnd_cells = 32;  // init above max
+  EXPECT_FALSE(cfg.validate(&error));
+
+  cfg = ScenarioConfig{};
+  cfg.dctcp_gain = 0.0;
+  EXPECT_FALSE(cfg.validate(&error));
+
+  // The happy paths: each new workload and the transport validate.
+  cfg = ScenarioConfig{};
+  cfg.workload = WorkloadKind::kIncast;
+  cfg.transport = "dctcp";
+  cfg.ecn_threshold_cells = 8;
+  EXPECT_TRUE(cfg.validate(&error)) << error;
+  cfg.workload = WorkloadKind::kCollective;
+  EXPECT_TRUE(cfg.validate(&error)) << error;
+  cfg.workload = WorkloadKind::kOversubRack;
   EXPECT_TRUE(cfg.validate(&error)) << error;
 }
 

@@ -246,6 +246,46 @@ TEST(RetransmitTest, OperaSplitFaultBlastRetransmitsBulkViaBulkPaths) {
   EXPECT_EQ(net.metrics().open_flows(), 0u) << "every flow recovers";
 }
 
+TEST(RetransmitTest, StallDetectorSkipsCellsNeverSent) {
+  // Satellite audit pin: with a windowed transport only part of a flow
+  // has been released when the stall detector fires. collect_retransmits
+  // used to scan every seq below total_cells and "retransmit" cells that
+  // were never injected, inflating injected/delivered accounting. The
+  // scan must stop at the send frontier (FlowRecord::cells_sent).
+  const CircuitSchedule s = ScheduleBuilder::round_robin(4);
+  const DirectRouter router;
+  SlottedNetwork net(&s, &router, fast_config());
+
+  // 8-cell flow, but only the first 2 cells have been sent (a window).
+  net.fail_node(2);
+  net.inject_flow_segment(router, /*flow=*/1, /*src=*/0, /*dst=*/2,
+                          /*bytes=*/8 * 256, /*first_cell=*/0,
+                          /*cell_count=*/2);
+  EXPECT_EQ(net.metrics().injected_cells(), 2u);
+  net.run(64);
+  const std::uint64_t readmitted =
+      net.retransmit_stalled({/*timeout_slots=*/16, /*max_attempts=*/1});
+  EXPECT_EQ(readmitted, 2u)
+      << "only the sent window may be re-admitted, never unsent seqs";
+  EXPECT_EQ(net.metrics().injected_cells(), 4u);
+
+  // Deliver everything (sending the rest of the flow too) and pin the
+  // completion accounting: one flow, one FCT sample, exact dedup math.
+  net.heal_node(2);
+  net.inject_flow_segment(router, /*flow=*/1, /*src=*/0, /*dst=*/2,
+                          /*bytes=*/8 * 256, /*first_cell=*/2,
+                          /*cell_count=*/6);
+  net.run(400);
+  EXPECT_EQ(net.metrics().completed_flows(), 1u);
+  EXPECT_EQ(net.metrics().open_flows(), 0u);
+  EXPECT_EQ(net.metrics().fct_ps().count(), 1u) << "one FCT per flow";
+  EXPECT_EQ(net.metrics().delivered_cells(),
+            8u + net.metrics().duplicate_cells());
+  EXPECT_EQ(net.metrics().injected_cells(),
+            net.metrics().delivered_cells() + net.metrics().dropped_cells() +
+                net.cells_in_flight());
+}
+
 TEST(RetransmitTest, BackoffCapsAttempts) {
   // An unhealable outage: the destination stays down forever. The stall
   // detector must stop re-admitting after max_attempts rounds instead of

@@ -53,6 +53,40 @@ TEST(WorkloadTest, HigherLoadRaisesLatency) {
   EXPECT_GT(heavy, light);
 }
 
+TEST(WorkloadTest, FlowSizeCapAppliesBeforeClassification) {
+  // Satellite audit pin: the cap must truncate the arrival BEFORE the
+  // classifier runs, so a size-based classifier sees the capped bytes —
+  // a flow drawn above the cap must land in the small class, and the
+  // injected cell count must reflect the cap too.
+  const CircuitSchedule s = ScheduleBuilder::round_robin(8);
+  const VlbRouter router(&s, LbMode::kRandom);
+  NetworkConfig nc;
+  nc.propagation_per_hop = 0;
+  SlottedNetwork net(&s, &router, nc);
+  const TrafficMatrix tm = patterns::uniform(8);
+  // Every flow draws 16 KiB; the cap truncates to 1 KiB (4 cells).
+  const FlowSizeDist sizes = FlowSizeDist::fixed(16 * 1024);
+  const double node_bw = 256.0 * 8.0 / 100e-9;
+  FlowArrivals arrivals(&tm, &sizes, node_bw, 0.2, Rng(9));
+  // Size classifier with the cutoff between the cap and the drawn size:
+  // uncapped arrivals would all classify as class 1.
+  WorkloadDriver driver(&arrivals, [](const FlowArrival& a) {
+    return a.bytes > 4096 ? 1 : 0;
+  });
+  driver.set_flow_size_cap(1024);
+  driver.run_until(net, 20 * 1000 * 1000, 100000);
+
+  ASSERT_GT(driver.flows_injected(), 0u);
+  EXPECT_EQ(net.metrics().completed_flows(), driver.flows_injected());
+  // Capped size reached the classifier: only class 0 exists.
+  ASSERT_EQ(net.metrics().flow_classes().size(), 1u);
+  EXPECT_EQ(net.metrics().flow_classes()[0], 0);
+  EXPECT_EQ(net.metrics().fct_ps_class(0).count(),
+            net.metrics().fct_ps().count());
+  // Capped size reached injection: 4 cells per flow, not 64.
+  EXPECT_EQ(net.metrics().injected_cells(), 4u * driver.flows_injected());
+}
+
 TEST(WorkloadTest, DrainDeliversEverything) {
   const CircuitSchedule s = ScheduleBuilder::round_robin(8);
   const VlbRouter router(&s, LbMode::kRandom);

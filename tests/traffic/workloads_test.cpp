@@ -1,0 +1,185 @@
+// Burst workload generators: incast wave structure, collective phase
+// schedules (ring and tree), and the oversubscribed-rack mix.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "topo/clique.h"
+#include "traffic/patterns.h"
+#include "traffic/workloads.h"
+
+namespace sorn {
+namespace {
+
+constexpr Picoseconds kSlotPs = 100000;
+
+TEST(IncastArrivalsTest, WavesAreSynchronizedWithDistinctSenders) {
+  IncastArrivals stream(/*nodes=*/8, /*fanin=*/3, /*bytes_per_sender=*/1000,
+                        /*period_slots=*/50, kSlotPs, Rng(7));
+  for (int wave = 0; wave < 20; ++wave) {
+    const Picoseconds expected_time =
+        static_cast<Picoseconds>(wave) * 50 * kSlotPs;
+    std::set<NodeId> senders;
+    NodeId receiver = -1;
+    for (int k = 0; k < 3; ++k) {
+      const FlowArrival a = stream.next();
+      EXPECT_EQ(a.time, expected_time) << "wave bursts are simultaneous";
+      EXPECT_EQ(a.bytes, 1000u);
+      if (k == 0) receiver = a.dst;
+      EXPECT_EQ(a.dst, receiver) << "one receiver per wave";
+      EXPECT_NE(a.src, a.dst);
+      senders.insert(a.src);
+    }
+    EXPECT_EQ(senders.size(), 3u) << "senders are distinct within a wave";
+  }
+}
+
+TEST(IncastArrivalsTest, FullFaninUsesEveryOtherNode) {
+  IncastArrivals stream(/*nodes=*/6, /*fanin=*/5, /*bytes_per_sender=*/256,
+                        /*period_slots=*/10, kSlotPs, Rng(3));
+  std::set<NodeId> senders;
+  NodeId receiver = -1;
+  for (int k = 0; k < 5; ++k) {
+    const FlowArrival a = stream.next();
+    receiver = a.dst;
+    senders.insert(a.src);
+  }
+  EXPECT_EQ(senders.size(), 5u);
+  EXPECT_EQ(senders.count(receiver), 0u);
+}
+
+TEST(IncastArrivalsTest, ReceiversVaryAcrossWaves) {
+  IncastArrivals stream(/*nodes=*/16, /*fanin=*/4, /*bytes_per_sender=*/512,
+                        /*period_slots=*/8, kSlotPs, Rng(11));
+  std::set<NodeId> receivers;
+  for (int wave = 0; wave < 32; ++wave)
+    for (int k = 0; k < 4; ++k) receivers.insert(stream.next().dst);
+  EXPECT_GT(receivers.size(), 4u) << "the hotspot must move between waves";
+}
+
+TEST(CollectiveArrivalsTest, RingPhasesPassChunksToSuccessors) {
+  const TrafficMatrix tm = patterns::uniform(4);
+  CollectiveArrivals stream(&tm, CollectiveArrivals::Kind::kRing,
+                            /*bytes_per_node=*/4096, /*phase_gap_slots=*/100,
+                            kSlotPs);
+  // 2(N-1) = 6 phases per iteration, N flows per phase, chunk = 4096/4.
+  for (int phase = 0; phase < 12; ++phase) {
+    const Picoseconds expected_time =
+        static_cast<Picoseconds>(phase) * 100 * kSlotPs;
+    for (NodeId i = 0; i < 4; ++i) {
+      const FlowArrival a = stream.next();
+      EXPECT_EQ(a.time, expected_time);
+      EXPECT_EQ(a.src, i) << "phase flows ascend by source";
+      EXPECT_EQ(a.dst, (i + 1) % 4) << "ring successor";
+      EXPECT_EQ(a.bytes, 1024u);
+    }
+  }
+}
+
+TEST(CollectiveArrivalsTest, TreeReduceThenBroadcastMirrors) {
+  const TrafficMatrix tm = patterns::uniform(4);
+  CollectiveArrivals stream(&tm, CollectiveArrivals::Kind::kTree,
+                            /*bytes_per_node=*/1 << 20,
+                            /*phase_gap_slots=*/10, kSlotPs);
+  // N=4: 2*log2(4) = 4 phases. Reduce: (1->0, 3->2), then (2->0).
+  // Broadcast mirrors: (0->2), then (0->1, 2->3).
+  struct Edge {
+    NodeId src, dst;
+  };
+  const std::vector<std::vector<Edge>> expected = {
+      {{1, 0}, {3, 2}}, {{2, 0}}, {{0, 2}}, {{0, 1}, {2, 3}}};
+  for (int iter = 0; iter < 2; ++iter) {
+    for (std::size_t p = 0; p < expected.size(); ++p) {
+      for (const Edge& e : expected[p]) {
+        const FlowArrival a = stream.next();
+        EXPECT_EQ(a.src, e.src) << "iter " << iter << " phase " << p;
+        EXPECT_EQ(a.dst, e.dst) << "iter " << iter << " phase " << p;
+        EXPECT_EQ(a.bytes, static_cast<std::uint64_t>(1) << 20);
+      }
+    }
+  }
+}
+
+TEST(CollectiveArrivalsTest, DemandRowShareScalesContributions) {
+  // Node 0 carries 3x the demand of each other node (row sums 3:1:1:1,
+  // mean 1.5): its gradient scales to 2x bytes_per_node, the rest to 2/3.
+  TrafficMatrix tm(4);
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = 0; j < 4; ++j) {
+      if (i == j) continue;
+      tm.set(i, j, i == 0 ? 1.0 : 1.0 / 3.0);
+    }
+  }
+  CollectiveArrivals stream(&tm, CollectiveArrivals::Kind::kRing,
+                            /*bytes_per_node=*/3000, /*phase_gap_slots=*/10,
+                            kSlotPs);
+  // Ring chunk = scaled whole / N.
+  const FlowArrival a0 = stream.next();
+  EXPECT_EQ(a0.src, 0);
+  EXPECT_EQ(a0.bytes, 1500u) << "3000 * 2.0 / 4";
+  const FlowArrival a1 = stream.next();
+  EXPECT_EQ(a1.src, 1);
+  EXPECT_EQ(a1.bytes, 500u) << "3000 * (2/3) / 4";
+}
+
+TEST(OversubRackArrivalsTest, LocalityExtremesPinTheMix) {
+  const auto racks = CliqueAssignment::contiguous(16, 4);
+  const FlowSizeDist sizes = FlowSizeDist::fixed(2560);
+  {
+    // All-local mix: every arrival stays inside its source's rack.
+    OversubRackArrivals stream(&racks, &sizes, /*node_bandwidth_bps=*/1e9,
+                               /*load=*/0.3, /*rack_local_frac=*/1.0,
+                               /*oversub_factor=*/4.0, Rng(5));
+    for (int k = 0; k < 200; ++k) {
+      const FlowArrival a = stream.next();
+      EXPECT_NE(a.src, a.dst);
+      EXPECT_TRUE(racks.same_clique(a.src, a.dst));
+    }
+  }
+  {
+    // All-inter mix: every arrival crosses racks.
+    OversubRackArrivals stream(&racks, &sizes, /*node_bandwidth_bps=*/1e9,
+                               /*load=*/0.3, /*rack_local_frac=*/0.0,
+                               /*oversub_factor=*/4.0, Rng(5));
+    for (int k = 0; k < 200; ++k) {
+      const FlowArrival a = stream.next();
+      EXPECT_FALSE(racks.same_clique(a.src, a.dst));
+    }
+  }
+}
+
+TEST(OversubRackArrivalsTest, OversubscriptionInflatesInterShareAndLoad) {
+  const auto racks = CliqueAssignment::contiguous(16, 4);
+  const FlowSizeDist sizes = FlowSizeDist::fixed(2560);
+  auto measure = [&](double factor, double* inter_frac) {
+    OversubRackArrivals stream(&racks, &sizes, /*node_bandwidth_bps=*/1e9,
+                               /*load=*/0.3, /*rack_local_frac=*/0.5, factor,
+                               Rng(9));
+    constexpr int kFlows = 4000;
+    Picoseconds last = 0;
+    int inter = 0;
+    for (int k = 0; k < kFlows; ++k) {
+      const FlowArrival a = stream.next();
+      EXPECT_GE(a.time, last) << "arrival times are nondecreasing";
+      last = a.time;
+      if (!racks.same_clique(a.src, a.dst)) ++inter;
+    }
+    *inter_frac = static_cast<double>(inter) / kFlows;
+    return last;  // horizon of kFlows arrivals ~ 1 / offered load
+  };
+  double inter_f1 = 0.0, inter_f4 = 0.0;
+  const Picoseconds span_f1 = measure(1.0, &inter_f1);
+  const Picoseconds span_f4 = measure(4.0, &inter_f4);
+  // x = 0.5: F=1 splits 50/50; F=4 crosses racks 4/(1+4) = 80%.
+  EXPECT_NEAR(inter_f1, 0.5, 0.05);
+  EXPECT_NEAR(inter_f4, 0.8, 0.05);
+  // Total offered load scales by (x + F(1-x)) = 2.5x, so the same flow
+  // count arrives in proportionally less time.
+  EXPECT_LT(span_f4, span_f1);
+  EXPECT_NEAR(static_cast<double>(span_f1) / static_cast<double>(span_f4),
+              2.5, 0.5);
+}
+
+}  // namespace
+}  // namespace sorn

@@ -1,0 +1,113 @@
+// DCTCP congestion-control unit tests: window arithmetic only, no
+// network. The invariants the transport layer leans on: clean rounds
+// grow additively, marked rounds shrink multiplicatively through the
+// smoothed alpha, the integer window stays inside [min, max], and round
+// boundaries are latched from the window at round start.
+#include <gtest/gtest.h>
+
+#include "transport/congestion.h"
+
+namespace sorn {
+namespace {
+
+CongestionConfig small_config() {
+  CongestionConfig c;
+  c.init_cwnd_cells = 4;
+  c.min_cwnd_cells = 1;
+  c.max_cwnd_cells = 16;
+  return c;
+}
+
+TEST(CongestionTest, StartsAtInitialWindow) {
+  CongestionControl cc(small_config());
+  EXPECT_EQ(cc.window_cells(), 4u);
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 4.0);
+  EXPECT_DOUBLE_EQ(cc.alpha(), 0.0);
+  EXPECT_EQ(cc.rounds(), 0u);
+}
+
+TEST(CongestionTest, CleanRoundGrowsAdditively) {
+  CongestionControl cc(small_config());
+  // One round = window_cells() acks at round start (4).
+  for (int i = 0; i < 4; ++i) cc.on_ack(/*ecn_marked=*/false);
+  EXPECT_EQ(cc.rounds(), 1u);
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 5.0);
+  EXPECT_DOUBLE_EQ(cc.alpha(), 0.0) << "no marks, no alpha";
+  EXPECT_EQ(cc.window_cells(), 5u);
+}
+
+TEST(CongestionTest, MarkedRoundShrinksThroughAlpha) {
+  CongestionConfig cfg = small_config();
+  cfg.gain = 0.5;
+  CongestionControl cc(cfg);
+  // Fully marked round: F = 1, alpha <- 0.5 * 0 + 0.5 * 1 = 0.5,
+  // cwnd <- 4 * (1 - 0.25) = 3.
+  for (int i = 0; i < 4; ++i) cc.on_ack(/*ecn_marked=*/true);
+  EXPECT_EQ(cc.rounds(), 1u);
+  EXPECT_DOUBLE_EQ(cc.alpha(), 0.5);
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 3.0);
+  EXPECT_EQ(cc.window_cells(), 3u);
+}
+
+TEST(CongestionTest, PartialMarkingUsesMarkedFraction) {
+  CongestionConfig cfg = small_config();
+  cfg.gain = 1.0;  // alpha = this round's fraction exactly
+  CongestionControl cc(cfg);
+  cc.on_ack(true);
+  cc.on_ack(false);
+  cc.on_ack(false);
+  cc.on_ack(false);
+  // F = 1/4, alpha = 0.25, cwnd = 4 * (1 - 0.125) = 3.5.
+  EXPECT_DOUBLE_EQ(cc.alpha(), 0.25);
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 3.5);
+  EXPECT_EQ(cc.window_cells(), 3u) << "integer window truncates";
+}
+
+TEST(CongestionTest, WindowClampsToMinUnderSustainedMarking) {
+  CongestionConfig cfg = small_config();
+  cfg.gain = 1.0;
+  CongestionControl cc(cfg);
+  for (int round = 0; round < 64; ++round) {
+    const std::uint64_t acks = cc.window_cells();
+    for (std::uint64_t i = 0; i < acks; ++i) cc.on_ack(true);
+  }
+  EXPECT_EQ(cc.window_cells(), cfg.min_cwnd_cells)
+      << "persistent congestion floors at min, never zero";
+}
+
+TEST(CongestionTest, WindowClampsToMaxUnderCleanRounds) {
+  CongestionControl cc(small_config());
+  for (int round = 0; round < 64; ++round) {
+    const std::uint64_t acks = cc.window_cells();
+    for (std::uint64_t i = 0; i < acks; ++i) cc.on_ack(false);
+  }
+  EXPECT_EQ(cc.window_cells(), 16u);
+}
+
+TEST(CongestionTest, RoundLengthLatchedAtRoundStart) {
+  // After a clean round the window is 5; the next round must take 5 acks
+  // (the latched value), not re-read the window mid-round.
+  CongestionControl cc(small_config());
+  for (int i = 0; i < 4; ++i) cc.on_ack(false);
+  ASSERT_EQ(cc.rounds(), 1u);
+  for (int i = 0; i < 4; ++i) cc.on_ack(false);
+  EXPECT_EQ(cc.rounds(), 1u) << "round 2 needs 5 acks now";
+  cc.on_ack(false);
+  EXPECT_EQ(cc.rounds(), 2u);
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 6.0);
+}
+
+TEST(CongestionTest, AlphaDecaysAcrossCleanRounds) {
+  CongestionConfig cfg = small_config();
+  cfg.gain = 0.5;
+  CongestionControl cc(cfg);
+  for (int i = 0; i < 4; ++i) cc.on_ack(true);  // alpha = 0.5
+  const double after_marked = cc.alpha();
+  const std::uint64_t acks = cc.window_cells();
+  for (std::uint64_t i = 0; i < acks; ++i) cc.on_ack(false);
+  EXPECT_LT(cc.alpha(), after_marked) << "EWMA decays when rounds are clean";
+  EXPECT_DOUBLE_EQ(cc.alpha(), 0.25);
+}
+
+}  // namespace
+}  // namespace sorn
